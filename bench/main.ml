@@ -1,0 +1,203 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (§6), plus bechamel microbenchmarks of the compile-side and
+   runtime-side machinery.
+
+     dune exec bench/main.exe            -- everything (default sizes)
+     dune exec bench/main.exe -- fig7    -- detection rates (Figure 7)
+     dune exec bench/main.exe -- fig8    -- table sizes (Figure 8)
+     dune exec bench/main.exe -- fig9    -- normalized performance (Figure 9)
+     dune exec bench/main.exe -- table1  -- simulated processor parameters
+     dune exec bench/main.exe -- latency -- detection latency (paper §6)
+     dune exec bench/main.exe -- compile-time
+     dune exec bench/main.exe -- ablation
+     dune exec bench/main.exe -- micro   -- bechamel microbenchmarks *)
+
+module H = Ipds_harness
+module W = Ipds_workloads.Workloads
+
+let section title = Printf.printf "\n=== %s ===\n%!" title
+
+let fig7 ~attacks () =
+  section (Printf.sprintf "Figure 7: detection rate (%d attacks/server)" attacks);
+  (* three independent campaigns: the first is the reported table, the
+     spread across seeds quantifies sampling noise *)
+  let summaries =
+    List.map (fun seed -> H.Attack_experiment.run_all ~attacks ~seed ()) [ 2006; 7; 99 ]
+  in
+  let s = List.hd summaries in
+  print_endline (H.Attack_experiment.render s);
+  let series f = List.map f summaries in
+  Printf.printf
+    "across seeds: cf-changed %s, detected %s, detected|cf %s\n"
+    (H.Stats.mean_sd (series (fun s -> s.H.Attack_experiment.avg_cf_changed)))
+    (H.Stats.mean_sd (series (fun s -> s.H.Attack_experiment.avg_detected)))
+    (H.Stats.mean_sd (series (fun s -> s.H.Attack_experiment.detected_given_cf)));
+  print_endline
+    "paper: 49.4% of tamperings change control flow; 29.3% detected overall; \
+     59.3% of control-flow-changing detected"
+
+let fig8 () =
+  section "Figure 8: average table sizes (bits)";
+  print_endline (H.Size_census.render (H.Size_census.run_all ()));
+  print_endline "paper averages: BSV 34, BCV 17, BAT 393"
+
+let fig9 () =
+  section "Figure 9: performance normalized to no-IPDS baseline";
+  print_endline (H.Perf_experiment.render (H.Perf_experiment.run_all ()));
+  print_endline "paper: average degradation 0.79%"
+
+let table1 () =
+  section "Table 1: simulated processor parameters";
+  Format.printf "%a@." Ipds_pipeline.Config.pp Ipds_pipeline.Config.default
+
+let latency () =
+  section "Detection latency (cycles from branch commit to IPDS verdict)";
+  let rows = H.Perf_experiment.run_all () in
+  List.iter
+    (fun (r : H.Perf_experiment.row) ->
+      Printf.printf "%-10s %6.1f cycles\n" r.workload r.avg_detection_latency)
+    rows;
+  let avg =
+    List.fold_left
+      (fun a (r : H.Perf_experiment.row) -> a +. r.avg_detection_latency)
+      0. rows
+    /. float_of_int (max 1 (List.length rows))
+  in
+  Printf.printf "AVERAGE    %6.1f cycles   (paper: 11.7)\n" avg
+
+let compile_time () =
+  section "Compile time per benchmark (paper: up to a few seconds)";
+  print_endline (H.Compile_time.render (H.Compile_time.run_all ()))
+
+let ablation ~attacks () =
+  section (Printf.sprintf "Ablation (%d attacks/server)" attacks);
+  print_endline (H.Ablation.render (H.Ablation.run_all ~attacks ()))
+
+let baseline ~attacks () =
+  section
+    (Printf.sprintf
+       "Baseline comparison: 3-gram syscall-trace detector vs IPDS (%d \
+        attacks/server)"
+       attacks);
+  print_endline
+    (H.Baseline_experiment.render (H.Baseline_experiment.run_all ~attacks ()))
+
+let models ~attacks () =
+  section
+    (Printf.sprintf "Attack models (paper §3): overflow vs arbitrary write (%d \
+                     attacks/server)" attacks);
+  print_endline (H.Model_experiment.render (H.Model_experiment.run_all ~attacks ()))
+
+let ctx () =
+  section "Context switches: save/restore cost vs switch period (sshd)";
+  print_endline
+    (H.Ctx_experiment.render (H.Ctx_experiment.run (W.find "sshd")))
+
+let opt_levels ~attacks () =
+  section
+    (Printf.sprintf
+       "Optimization levels (paper: \"compiler optimizations can remove some \
+        correlations\"; %d attacks/server)"
+       attacks);
+  print_endline (H.Opt_experiment.render (H.Opt_experiment.run_all ~attacks ()))
+
+(* ---------- bechamel microbenchmarks ---------- *)
+
+let micro () =
+  section "Microbenchmarks (bechamel, ns/run)";
+  let open Bechamel in
+  let telnetd = W.find "telnetd" in
+  let program = W.program telnetd in
+  let system = Ipds_core.System.build program in
+  let tests =
+    [
+      Test.make ~name:"minic-compile:telnetd"
+        (Staged.stage (fun () -> ignore (Ipds_minic.Minic.compile telnetd.W.source)));
+      Test.make ~name:"analyze:telnetd"
+        (Staged.stage (fun () ->
+             ignore (Ipds_correlation.Analysis.analyze_program program)));
+      Test.make ~name:"system-build:telnetd"
+        (Staged.stage (fun () -> ignore (Ipds_core.System.build program)));
+      Test.make ~name:"run+check:telnetd"
+        (Staged.stage (fun () ->
+             let checker = Ipds_core.System.new_checker system in
+             ignore
+               (Ipds_machine.Interp.run program
+                  {
+                    Ipds_machine.Interp.default_config with
+                    inputs = Ipds_machine.Input_script.random ~seed:1 ();
+                    checker = Some checker;
+                    record_trace = false;
+                  })));
+      (let layout = system.Ipds_core.System.layout in
+       let f = Ipds_mir.Program.find_func_exn program "main" in
+       let pcs = Ipds_mir.Layout.branch_pcs layout f in
+       Test.make ~name:"hash-search:telnetd-main"
+         (Staged.stage (fun () -> ignore (Ipds_core.Hash.find pcs))));
+    ]
+  in
+  List.iter
+    (fun t ->
+      let results =
+        Benchmark.all
+          (Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ())
+          Toolkit.Instance.[ monotonic_clock ]
+          t
+      in
+      let ols =
+        Analyze.all
+          (Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |])
+          Toolkit.Instance.monotonic_clock results
+      in
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some (est :: _) -> Printf.printf "%-28s %12.0f ns/run\n" name est
+          | Some [] | None -> Printf.printf "%-28s (no estimate)\n" name)
+        ols)
+    tests
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let args = List.filter (fun a -> not (String.equal a "--")) args in
+  match args with
+  | [] ->
+      table1 ();
+      fig8 ();
+      fig7 ~attacks:100 ();
+      fig9 ();
+      latency ();
+      compile_time ();
+      ablation ~attacks:40 ();
+      opt_levels ~attacks:40 ();
+      baseline ~attacks:40 ();
+      models ~attacks:40 ();
+      ctx ()
+  | [ "fig7" ] -> fig7 ~attacks:100 ()
+  | [ "fig8" ] -> fig8 ()
+  | [ "fig9" ] -> fig9 ()
+  | [ "table1" ] -> table1 ()
+  | [ "latency" ] -> latency ()
+  | [ "compile-time" ] -> compile_time ()
+  | [ "ablation" ] -> ablation ~attacks:40 ()
+  | [ "opt-levels" ] -> opt_levels ~attacks:40 ()
+  | [ "baseline" ] -> baseline ~attacks:100 ()
+  | [ "ctx" ] -> ctx ()
+  | [ "models" ] -> models ~attacks:100 ()
+  | [ "micro" ] -> micro ()
+  | [ "full" ] ->
+      table1 ();
+      fig8 ();
+      fig7 ~attacks:100 ();
+      fig9 ();
+      latency ();
+      compile_time ();
+      ablation ~attacks:100 ();
+      opt_levels ~attacks:100 ();
+      baseline ~attacks:100 ();
+      models ~attacks:100 ();
+      ctx ();
+      micro ()
+  | other ->
+      Printf.eprintf "unknown bench target: %s\n" (String.concat " " other);
+      exit 2

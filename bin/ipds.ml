@@ -1,0 +1,308 @@
+(* The ipds command-line tool: analyze, run, attack, and benchmark MIR or
+   MiniC programs under the Infeasible Path Detection System.
+
+     ipds analyze  FILE          show depends, BAT/BCV and table sizes
+     ipds run      FILE          execute under the checker
+     ipds attack   FILE          run a tamper campaign
+     ipds perf     FILE          timing model, baseline vs IPDS
+     ipds servers                list the built-in server workloads
+
+   FILE ending in .c/.mc is treated as MiniC, anything else as textual
+   MIR.  Built-in workloads can be named with '@name' (e.g. @telnetd). *)
+
+module Mir = Ipds_mir
+module Core = Ipds_core
+module M = Ipds_machine
+module P = Ipds_pipeline
+module W = Ipds_workloads.Workloads
+open Cmdliner
+
+let load_program path =
+  if String.length path > 1 && path.[0] = '@' then
+    W.program (W.find (String.sub path 1 (String.length path - 1)))
+  else begin
+    let ic = open_in path in
+    let n = in_channel_length ic in
+    let src = really_input_string ic n in
+    close_in ic;
+    if Filename.check_suffix path ".c" || Filename.check_suffix path ".mc" then
+      Ipds_minic.Minic.compile src
+    else Mir.Parser.program_of_string src
+  end
+
+let file_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"FILE" ~doc:"Program file (.c/.mc MiniC, else MIR), or @name for a built-in server.")
+
+let seed_arg =
+  Arg.(value & opt int 2006 & info [ "seed" ] ~doc:"PRNG seed for inputs/attacks.")
+
+let steps_arg =
+  Arg.(value & opt int 500_000 & info [ "max-steps" ] ~doc:"Execution step cap.")
+
+(* ---------- analyze ---------- *)
+
+let analyze_cmd =
+  let run file =
+    let program = load_program file in
+    let system = Core.System.build program in
+    List.iter
+      (fun (_, (i : Core.System.func_info)) ->
+        Format.printf "%a@.%a@.@."
+          Ipds_correlation.Analysis.pp_result i.result Core.Tables.pp i.tables)
+      system.Core.System.funcs;
+    let stats = Core.System.size_stats system in
+    Format.printf "checked %d of %d branches; avg bits: BSV %.1f BCV %.1f BAT %.1f@."
+      (Core.System.checked_branch_count system)
+      (Core.System.total_branch_count system)
+      stats.Core.System.avg_bsv_bits stats.Core.System.avg_bcv_bits
+      stats.Core.System.avg_bat_bits
+  in
+  Cmd.v
+    (Cmd.info "analyze" ~doc:"Run the compile-side correlation analysis and show the tables.")
+    Term.(const run $ file_arg)
+
+(* ---------- run ---------- *)
+
+let run_cmd =
+  let run file seed max_steps =
+    let program = load_program file in
+    let system = Core.System.build program in
+    let checker = Core.System.new_checker system in
+    let o =
+      M.Interp.run program
+        {
+          M.Interp.default_config with
+          max_steps;
+          inputs = M.Input_script.random ~seed ();
+          checker = Some checker;
+        }
+    in
+    Format.printf "steps: %d, branches: %d@." o.M.Interp.steps o.M.Interp.branches;
+    Format.printf "outputs: %s@."
+      (String.concat " " (List.map string_of_int o.M.Interp.outputs));
+    Format.printf "stop: %s@."
+      (match o.M.Interp.reason with
+      | M.Interp.Exited v -> Format.asprintf "exit %a" M.Value.pp v
+      | M.Interp.Halted -> "halt"
+      | M.Interp.Fault m -> "fault: " ^ m
+      | M.Interp.Out_of_steps -> "step cap"
+      | M.Interp.Trapped a ->
+          Format.asprintf "IPDS trap at pc 0x%x" a.Core.Checker.branch_pc);
+    match o.M.Interp.alarms with
+    | [] -> Format.printf "alarms: none@."
+    | alarms ->
+        List.iter
+          (fun (a : Core.Checker.alarm) ->
+            Format.printf "ALARM: %s pc 0x%x expected %a went %s@." a.fname
+              a.branch_pc Core.Status.pp a.expected
+              (if a.actual_taken then "taken" else "not-taken"))
+          alarms
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Execute the program under the IPDS runtime checker.")
+    Term.(const run $ file_arg $ seed_arg $ steps_arg)
+
+(* ---------- attack ---------- *)
+
+let attack_cmd =
+  let attacks_arg =
+    Arg.(value & opt int 100 & info [ "n"; "attacks" ] ~doc:"Number of independent attacks.")
+  in
+  let model_arg =
+    Arg.(
+      value
+      & opt (enum [ ("overflow", `Overflow); ("arbitrary", `Arbitrary) ]) `Arbitrary
+      & info [ "model" ] ~doc:"Tamper model: overflow (active frame) or arbitrary.")
+  in
+  let run file seed attacks model =
+    let program = load_program file in
+    let system = Core.System.build program in
+    let model =
+      match model with
+      | `Overflow -> M.Tamper.Stack_overflow
+      | `Arbitrary -> M.Tamper.Arbitrary_write
+    in
+    let rng = Random.State.make [| seed |] in
+    let injected = ref 0 and cf = ref 0 and det = ref 0 in
+    for _ = 1 to attacks do
+      let input_seed = Random.State.bits rng land 0xffffff in
+      let run_once ~tamper =
+        let checker = Core.System.new_checker system in
+        M.Interp.run program
+          {
+            M.Interp.default_config with
+            inputs = M.Input_script.random ~seed:input_seed ();
+            checker = Some checker;
+            tamper;
+          }
+      in
+      let benign = run_once ~tamper:None in
+      if benign.M.Interp.steps > 2 then begin
+        let plan =
+          {
+            M.Tamper.at_step = 1 + Random.State.int rng (benign.M.Interp.steps - 1);
+            model;
+            seed = Random.State.bits rng land 0xffffff;
+            value = Random.State.int rng 256;
+          }
+        in
+        let o = run_once ~tamper:(Some plan) in
+        match o.M.Interp.injection with
+        | None -> ()
+        | Some _ ->
+            incr injected;
+            if M.Interp.control_flow_changed benign o then incr cf;
+            if o.M.Interp.alarms <> [] then incr det
+      end
+    done;
+    Format.printf "attacks injected: %d@." !injected;
+    Format.printf "changed control flow: %d@." !cf;
+    Format.printf "detected by IPDS: %d@." !det
+  in
+  Cmd.v
+    (Cmd.info "attack" ~doc:"Run a randomized memory-tampering campaign against the program.")
+    Term.(const run $ file_arg $ seed_arg $ attacks_arg $ model_arg)
+
+(* ---------- perf ---------- *)
+
+let perf_cmd =
+  let run file seed =
+    let program = load_program file in
+    let system = Core.System.build program in
+    let drive cpu =
+      ignore
+        (M.Interp.run program
+           {
+             M.Interp.default_config with
+             inputs = M.Input_script.random ~seed ();
+             observer = Some (P.Cpu.observer cpu);
+           })
+    in
+    let base_cpu = P.Cpu.create ~system:None () in
+    let ipds_cpu = P.Cpu.create ~system:(Some system) () in
+    drive base_cpu;
+    drive ipds_cpu;
+    let base = P.Cpu.finish base_cpu in
+    let ipds = P.Cpu.finish ipds_cpu in
+    Format.printf "baseline:@.%a@.@.with IPDS:@.%a@." P.Cpu.pp_report base
+      P.Cpu.pp_report ipds;
+    Format.printf "@.normalized: %.4f@." (ipds.P.Cpu.cycles /. base.P.Cpu.cycles)
+  in
+  Cmd.v
+    (Cmd.info "perf" ~doc:"Compare cycle counts with and without the IPDS engine.")
+    Term.(const run $ file_arg $ seed_arg)
+
+(* ---------- trace ---------- *)
+
+let trace_cmd =
+  let limit_arg =
+    Arg.(value & opt int 200 & info [ "limit" ] ~doc:"Maximum lines printed.")
+  in
+  let run file seed limit =
+    let program = load_program file in
+    let system = Core.System.build program in
+    let log_lines = ref 0 in
+    let log =
+      Core.Trace_log.create
+        ~lookup:(Core.System.tables system)
+        ~out:(fun line ->
+          if !log_lines < limit then print_endline line
+          else if !log_lines = limit then print_endline "... (truncated)";
+          incr log_lines)
+    in
+    let observer (e : M.Event.t) =
+      match e.M.Event.kind with
+      | M.Event.Call { callee } ->
+          if Mir.Program.is_defined program callee then Core.Trace_log.on_call log callee
+      | M.Event.Ret -> Core.Trace_log.on_return log
+      | M.Event.Branch { taken; _ } ->
+          ignore (Core.Trace_log.on_branch log ~pc:e.M.Event.pc ~taken)
+      | M.Event.Alu | M.Event.Load _ | M.Event.Store _ | M.Event.Jump _
+      | M.Event.Input_read | M.Event.Output_write _ ->
+          ()
+    in
+    let o =
+      M.Interp.run program
+        {
+          M.Interp.default_config with
+          inputs = M.Input_script.random ~seed ();
+          observer = Some observer;
+        }
+    in
+    Format.printf "(%d branches, %d alarms)@." o.M.Interp.branches
+      (List.length (Core.Checker.alarms (Core.Trace_log.checker log)))
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Run the program and log every IPDS verify/update decision.")
+    Term.(const run $ file_arg $ seed_arg $ limit_arg)
+
+(* ---------- encode / inspect ---------- *)
+
+let encode_cmd =
+  let out_arg =
+    Arg.(value & opt string "tables.img" & info [ "o"; "output" ] ~doc:"Output image file.")
+  in
+  let run file out =
+    let program = load_program file in
+    let system = Core.System.build program in
+    let image = Core.Encode.program_image system in
+    let oc = open_out_bin out in
+    output_bytes oc image;
+    close_out oc;
+    Format.printf "wrote %d bytes (%d functions) to %s@." (Bytes.length image)
+      (List.length system.Core.System.funcs)
+      out
+  in
+  Cmd.v
+    (Cmd.info "encode"
+       ~doc:"Serialize the BSV/BCV/BAT tables into the binary image the compiler \
+             would attach to the executable.")
+    Term.(const run $ file_arg $ out_arg)
+
+let inspect_cmd =
+  let image_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"IMAGE" ~doc:"Table image file.")
+  in
+  let run path =
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let image = Bytes.create n in
+    really_input ic image 0 n;
+    close_in ic;
+    List.iter
+      (fun (name, (entry_pc, tables)) ->
+        let s = Core.Tables.sizes tables in
+        Format.printf "%-16s entry 0x%x  %a  %d branches  BSV %d / BCV %d / BAT %d bits@."
+          name entry_pc Core.Hash.pp tables.Core.Tables.hash
+          tables.Core.Tables.n_branches s.Core.Tables.bsv_bits s.Core.Tables.bcv_bits
+          s.Core.Tables.bat_bits)
+      (Core.Encode.load_program image)
+  in
+  Cmd.v
+    (Cmd.info "inspect" ~doc:"Print the function information table of an encoded image.")
+    Term.(const run $ image_arg)
+
+(* ---------- servers ---------- *)
+
+let servers_cmd =
+  let run () =
+    List.iter
+      (fun (w : W.t) ->
+        Format.printf "@%-10s %-14s %s@." w.W.name
+          (match w.W.vulnerability with
+          | W.Buffer_overflow -> "overflow"
+          | W.Format_string -> "format-string")
+          w.W.description)
+      W.all
+  in
+  Cmd.v
+    (Cmd.info "servers" ~doc:"List the built-in server workloads (usable as @name).")
+    Term.(const run $ const ())
+
+let () =
+  let doc = "Infeasible Path Detection System (MICRO 2006) toolchain" in
+  exit (Cmd.eval (Cmd.group (Cmd.info "ipds" ~doc) [ analyze_cmd; run_cmd; attack_cmd; perf_cmd; trace_cmd; encode_cmd; inspect_cmd; servers_cmd ]))

@@ -1,0 +1,101 @@
+(* The paper's Figure 1 attack, end to end: a server checks the user's
+   identity twice; a buffer overflow between the checks flips the stored
+   identity.  No code is injected — the control flow simply takes a path
+   the original data could never have produced, and IPDS flags it.
+
+     dune exec examples/privilege_escalation.exe *)
+
+module Mir = Ipds_mir
+module Core = Ipds_core
+module M = Ipds_machine
+
+(* user[0] holds the verified identity (1 = admin).  Between the two
+   privilege checks the server reads attacker-controlled input into a
+   buffer next to it on the stack. *)
+let source =
+  {|
+int verify_user(int *pw, int n) {
+  int h;
+  h = hash_pw(pw, n);
+  if (h == 4660) { return 1; }
+  return 0;
+}
+
+int main() {
+  int user[1];
+  int str[4];
+  int pw[4];
+  read_line(&pw[0], 4);
+  user[0] = verify_user(&pw[0], 4);
+  if (user[0] == 1) { output(1000); } else { output(2000); }
+
+  // ... the server talks to the user again: the overflow happens here ...
+  read_line(&str[0], 4);
+
+  if (user[0] == 1) {
+    output(1111);  // superuser operations
+  } else {
+    output(2222);
+  }
+  return 0;
+}
+|}
+
+let run system program ~tamper =
+  let checker = Core.System.new_checker system in
+  M.Interp.run program
+    {
+      M.Interp.default_config with
+      checker = Some checker;
+      inputs = M.Input_script.of_lists [ (0, [ 9; 9; 9; 9; 0; 0; 0; 0 ]) ];
+      tamper;
+    }
+
+let () =
+  let program = Ipds_minic.Minic.compile source in
+  let system = Core.System.build program in
+
+  print_endline "The two privilege checks are correlated by the compiler:";
+  let info = List.assoc "main" system.Core.System.funcs in
+  Format.printf "%a@." Ipds_correlation.Analysis.pp_result
+    info.Core.System.result;
+
+  print_endline "Benign session (guest):";
+  let benign = run system program ~tamper:None in
+  Format.printf "  outputs: %s   alarms: %d@."
+    (String.concat " " (List.map string_of_int benign.M.Interp.outputs))
+    (List.length benign.M.Interp.alarms);
+
+  print_endline "Attacked session (overflow flips user[0] to 1 mid-run):";
+  let rec attack seed =
+    if seed > 200 then print_endline "  (no seed hit user[0])"
+    else begin
+      let o =
+        run system program
+          ~tamper:
+            (Some
+               {
+                 M.Tamper.at_step = 18;
+                 model = M.Tamper.Stack_overflow;
+                 seed;
+                 value = 1;
+               })
+      in
+      match o.M.Interp.injection with
+      | Some inj
+        when String.equal inj.M.Tamper.var.Mir.Var.name "user"
+             && o.M.Interp.outputs <> benign.M.Interp.outputs ->
+          Format.printf "  %a@." M.Tamper.pp_injection inj;
+          Format.printf "  outputs: %s  <- privilege escalation!@."
+            (String.concat " " (List.map string_of_int o.M.Interp.outputs));
+          (match o.M.Interp.alarms with
+          | [] -> print_endline "  NOT DETECTED"
+          | a :: _ ->
+              Format.printf
+                "  DETECTED: the second check at pc 0x%x expected %a but went %s@."
+                a.Core.Checker.branch_pc Core.Status.pp a.Core.Checker.expected
+                (if a.Core.Checker.actual_taken then "taken" else "not-taken"))
+      | Some _ | None -> attack (seed + 1)
+    end
+  in
+  attack 0

@@ -1,0 +1,37 @@
+module Mir = Ipds_mir
+
+type t = {
+  var : Mir.Var.t;
+  index : int;
+}
+
+let make var index =
+  if index < 0 || index >= var.Mir.Var.size then
+    invalid_arg
+      (Printf.sprintf "Cell.make: index %d out of bounds for %s" index
+         var.Mir.Var.name);
+  { var; index }
+
+let of_scalar var =
+  if not (Mir.Var.is_scalar var) then invalid_arg "Cell.of_scalar: array variable";
+  { var; index = 0 }
+
+let equal a b = Mir.Var.equal a.var b.var && Int.equal a.index b.index
+
+let compare a b =
+  match Mir.Var.compare a.var b.var with
+  | 0 -> Int.compare a.index b.index
+  | c -> c
+
+let pp ppf t =
+  if Mir.Var.is_scalar t.var then Format.fprintf ppf "%s" t.var.Mir.Var.name
+  else Format.fprintf ppf "%s[%d]" t.var.Mir.Var.name t.index
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)

@@ -1,0 +1,25 @@
+(** Memory cells: one integer slot of a variable.
+
+    The correlation analysis tracks values at cell granularity, so scalar
+    variables and constant-indexed array slots are individually trackable
+    while variably-indexed accesses fall back to whole-variable may-sets. *)
+
+type t = {
+  var : Ipds_mir.Var.t;
+  index : int;  (** [0 <= index < var.size] *)
+}
+
+val make : Ipds_mir.Var.t -> int -> t
+(** Raises [Invalid_argument] if the index is out of the variable's
+    bounds. *)
+
+val of_scalar : Ipds_mir.Var.t -> t
+(** The single cell of a scalar variable.  Raises [Invalid_argument] for
+    arrays. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

@@ -1,0 +1,38 @@
+module Mir = Ipds_mir
+module Int_set = Set.Make (Int)
+
+type t = {
+  vars : Mir.Var.Set.t;
+  params : Int_set.t;
+  unknown : bool;
+}
+
+let empty = { vars = Mir.Var.Set.empty; params = Int_set.empty; unknown = false }
+let unknown = { empty with unknown = true }
+let of_var v = { empty with vars = Mir.Var.Set.singleton v }
+let of_param i = { empty with params = Int_set.singleton i }
+
+let union a b =
+  {
+    vars = Mir.Var.Set.union a.vars b.vars;
+    params = Int_set.union a.params b.params;
+    unknown = a.unknown || b.unknown;
+  }
+
+let equal a b =
+  Mir.Var.Set.equal a.vars b.vars
+  && Int_set.equal a.params b.params
+  && Bool.equal a.unknown b.unknown
+
+let is_empty t =
+  Mir.Var.Set.is_empty t.vars && Int_set.is_empty t.params && not t.unknown
+
+let subsumes_anything t = t.unknown || not (Int_set.is_empty t.params)
+
+let pp ppf t =
+  let items =
+    List.map (fun v -> v.Mir.Var.name) (Mir.Var.Set.elements t.vars)
+    @ List.map (Printf.sprintf "param%d") (Int_set.elements t.params)
+    @ (if t.unknown then [ "?" ] else [])
+  in
+  Format.fprintf ppf "{%s}" (String.concat ", " items)

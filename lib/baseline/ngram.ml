@@ -1,0 +1,38 @@
+type t = {
+  n : int;
+  windows : (string, unit) Hashtbl.t;
+}
+
+let key window = String.concat "\x00" window
+
+let rec windows_of n trace =
+  if List.length trace <= n then [ trace ]
+  else
+    let rec take k = function
+      | [] -> []
+      | x :: rest -> if k = 0 then [] else x :: take (k - 1) rest
+    in
+    take n trace
+    ::
+    (match trace with
+    | [] -> []
+    | _ :: rest -> windows_of n rest)
+
+let train ~n traces =
+  if n < 1 then invalid_arg "Ngram.train: n must be >= 1";
+  let windows = Hashtbl.create 1024 in
+  List.iter
+    (fun trace ->
+      List.iter (fun w -> Hashtbl.replace windows (key w) ()) (windows_of n trace))
+    traces;
+  { n; windows }
+
+let n t = t.n
+let size t = Hashtbl.length t.windows
+
+let anomalies t trace =
+  List.fold_left
+    (fun acc w -> if Hashtbl.mem t.windows (key w) then acc else acc + 1)
+    0 (windows_of t.n trace)
+
+let flags t trace = anomalies t trace > 0

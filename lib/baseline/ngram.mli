@@ -1,0 +1,25 @@
+(** N-gram sequence model over event symbols — the classic
+    system-call-trace anomaly detector of Forrest et al. ("A Sense of
+    Self for Unix Processes"), which the paper's related-work section
+    positions IPDS against.
+
+    Training records every window of [n] consecutive symbols seen in
+    benign traces; monitoring flags any window absent from that
+    database.  Unlike IPDS, the model can raise false positives whenever
+    training under-covers benign behaviour. *)
+
+type t
+
+val train : n:int -> string list list -> t
+(** [train ~n traces] builds the normal-behaviour database.  Traces
+    shorter than [n] contribute their full sequence as one window. *)
+
+val n : t -> int
+val size : t -> int
+(** Distinct windows in the database. *)
+
+val anomalies : t -> string list -> int
+(** Number of windows of the trace absent from the database. *)
+
+val flags : t -> string list -> bool
+(** [anomalies > 0]. *)

@@ -1,0 +1,28 @@
+module M = Ipds_machine
+
+let collect program ~(config : M.Interp.config) =
+  let acc = ref [] in
+  let base_observer = config.M.Interp.observer in
+  let observer (e : M.Event.t) =
+    (match e.M.Event.kind with
+    | M.Event.Call { callee } ->
+        if not (Ipds_mir.Program.is_defined program callee) then
+          acc := callee :: !acc
+    | M.Event.Alu | M.Event.Load _ | M.Event.Store _ | M.Event.Branch _
+    | M.Event.Jump _ | M.Event.Ret | M.Event.Input_read | M.Event.Output_write _
+      ->
+        ());
+    match base_observer with
+    | Some f -> f e
+    | None -> ()
+  in
+  let o = M.Interp.run program { config with M.Interp.observer = Some observer } in
+  let terminal =
+    match o.M.Interp.reason with
+    | M.Interp.Exited _ -> "exit"
+    | M.Interp.Halted -> "halt"
+    | M.Interp.Fault _ -> "fault"
+    | M.Interp.Out_of_steps -> "steps"
+    | M.Interp.Trapped _ -> "trap"
+  in
+  List.rev (terminal :: !acc)

@@ -1,0 +1,11 @@
+(** Extract the "system call trace" of a run: the sequence of external
+    (runtime/library) calls the program makes, terminated by how the run
+    ended.  This is the granularity classic host-based anomaly detectors
+    monitor — far coarser than IPDS's per-branch view. *)
+
+val collect :
+  Ipds_mir.Program.t -> config:Ipds_machine.Interp.config -> string list
+(** Runs the program (forcing a fresh observer; any observer already in
+    [config] is composed with the collector) and returns the extern-call
+    name sequence plus a terminal symbol ("exit", "halt", "fault",
+    "steps"). *)

@@ -1,0 +1,62 @@
+module Mir = Ipds_mir
+
+type t = {
+  idom : int array;  (* -1 = none *)
+  rpo_index : int array;  (* -1 for unreachable *)
+}
+
+let compute cfg =
+  let n = Cfg.n_blocks cfg in
+  let rpo = Cfg.reverse_postorder cfg in
+  let rpo_index = Array.make n (-1) in
+  Array.iteri (fun i b -> rpo_index.(b) <- i) rpo;
+  let idom = Array.make n (-1) in
+  idom.(0) <- 0;
+  let rec intersect a b =
+    if a = b then a
+    else if rpo_index.(a) > rpo_index.(b) then intersect idom.(a) b
+    else intersect a idom.(b)
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun b ->
+        if b <> 0 then begin
+          let processed p = idom.(p) >= 0 in
+          let preds = List.filter (fun p -> rpo_index.(p) >= 0) (Cfg.preds cfg b) in
+          match List.filter processed preds with
+          | [] -> ()
+          | first :: rest ->
+              let new_idom = List.fold_left intersect first rest in
+              if idom.(b) <> new_idom then begin
+                idom.(b) <- new_idom;
+                changed := true
+              end
+        end)
+      rpo
+  done;
+  { idom; rpo_index }
+
+let idom t b =
+  if b = 0 then None
+  else if t.idom.(b) < 0 then None
+  else Some t.idom.(b)
+
+let dominates t a b =
+  if t.rpo_index.(a) < 0 || t.rpo_index.(b) < 0 then false
+  else begin
+    (* Walk b's dominator chain towards the entry. *)
+    let rec up x = if x = a then true else if x = 0 then false else up t.idom.(x) in
+    up b
+  end
+
+let position f iid =
+  match Mir.Func.location f iid with
+  | Mir.Func.Body (blk, pos) -> (blk, pos)
+  | Mir.Func.Term blk -> (blk, Array.length f.Mir.Func.blocks.(blk).Mir.Block.body)
+
+let dominates_point t f a b =
+  let blk_a, pos_a = position f a in
+  let blk_b, pos_b = position f b in
+  if blk_a = blk_b then pos_a <= pos_b else dominates t blk_a blk_b

@@ -1,0 +1,22 @@
+(** Dominator tree via the Cooper–Harvey–Kennedy iterative algorithm.
+
+    Dominance is what licenses "store-then-test" correlations: a fact about
+    a memory variable anchored at point [a] may be attached to branch [b]
+    only when [a] dominates [b] (every execution of [b] is preceded by an
+    execution of [a]). *)
+
+type t
+
+val compute : Cfg.t -> t
+
+val idom : t -> int -> int option
+(** Immediate dominator of a block; [None] for the entry block and for
+    unreachable blocks. *)
+
+val dominates : t -> int -> int -> bool
+(** [dominates t a b] — block [a] dominates block [b] (reflexive). *)
+
+val dominates_point : t -> Ipds_mir.Func.t -> int -> int -> bool
+(** [dominates_point t f a b] — instruction id [a] dominates instruction id
+    [b]: either their blocks differ and [a]'s block strictly dominates
+    [b]'s, or they share a block and [a] comes first ([a = b] counts). *)

@@ -1,0 +1,64 @@
+module Mir = Ipds_mir
+
+type t = {
+  n : int;
+  succs : int list array;
+  preds : int list array;
+  first : int array;  (* block index -> first point *)
+}
+
+let make (f : Mir.Func.t) =
+  let n = f.instr_count in
+  let nblocks = Array.length f.blocks in
+  let first =
+    Array.init nblocks (fun b ->
+        let blk = f.blocks.(b) in
+        if Array.length blk.Mir.Block.body > 0 then blk.Mir.Block.body.(0).Mir.Instr.iid
+        else blk.Mir.Block.term_iid)
+  in
+  let succs = Array.make n [] in
+  Array.iter
+    (fun (blk : Mir.Block.t) ->
+      let body = blk.body in
+      Array.iteri
+        (fun pos (i : Mir.Instr.t) ->
+          let nxt =
+            if pos + 1 < Array.length body then body.(pos + 1).Mir.Instr.iid
+            else blk.term_iid
+          in
+          succs.(i.iid) <- [ nxt ])
+        body;
+      succs.(blk.term_iid) <-
+        List.map (fun b -> first.(b)) (Mir.Terminator.successors blk.term))
+    f.blocks;
+  let preds = Array.make n [] in
+  Array.iteri (fun p ss -> List.iter (fun s -> preds.(s) <- p :: preds.(s)) ss) succs;
+  { n; succs; preds; first }
+
+let n_points t = t.n
+let succs t p = t.succs.(p)
+let preds t p = t.preds.(p)
+let first_point t b = t.first.(b)
+
+let no_avoid (_ : int) = false
+
+let bfs edges n ~avoid starts =
+  let seen = Array.make n false in
+  let queue = Queue.create () in
+  let push p =
+    if (not (avoid p)) && not seen.(p) then begin
+      seen.(p) <- true;
+      Queue.add p queue
+    end
+  in
+  List.iter push starts;
+  while not (Queue.is_empty queue) do
+    let p = Queue.take queue in
+    List.iter push edges.(p)
+  done;
+  seen
+
+let reachable_from t ?(avoid = no_avoid) starts = bfs t.succs t.n ~avoid starts
+
+let co_reachable_to t ?(avoid = no_avoid) target =
+  bfs t.preds t.n ~avoid t.preds.(target)

@@ -1,0 +1,32 @@
+(** Instruction-level flow graph.
+
+    Points are instruction ids (body instructions and terminators alike,
+    dense in [0 .. instr_count - 1]).  A body instruction flows to the next
+    instruction of its block (or the terminator); a terminator flows to the
+    first point of each successor block.
+
+    This is the graph on which the correlation analysis asks its
+    path-sensitivity questions, e.g. "can a may-store of [v] execute
+    between this load and that branch?". *)
+
+type t
+
+val make : Ipds_mir.Func.t -> t
+val n_points : t -> int
+val succs : t -> int -> int list
+val preds : t -> int -> int list
+
+val first_point : t -> int -> int
+(** First instruction id executed when entering a block (its terminator if
+    the body is empty). *)
+
+val reachable_from : t -> ?avoid:(int -> bool) -> int list -> bool array
+(** [reachable_from t ~avoid starts] marks every point reachable from the
+    points in [starts] (which are themselves marked, unless avoided) along
+    edges that never pass through a point satisfying [avoid]. *)
+
+val co_reachable_to : t -> ?avoid:(int -> bool) -> int -> bool array
+(** [co_reachable_to t ~avoid target] marks every point [p] from which
+    [target] is reachable in one or more steps without passing through an
+    avoided point strictly between; [target] itself is marked only if it
+    lies on a cycle. *)

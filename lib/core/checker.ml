@@ -1,0 +1,90 @@
+type alarm = {
+  fname : string;
+  branch_pc : int;
+  expected : Status.t;
+  actual_taken : bool;
+  sequence : int;
+}
+
+type check_info = {
+  alarm : alarm option;
+  was_checked : bool;
+  bat_nodes : int;
+}
+
+type frame = {
+  tables : Tables.t;
+  bsv : Status.t array;
+}
+
+type t = {
+  lookup : string -> Tables.t;
+  mutable stack : frame list;
+  mutable alarms_rev : alarm list;
+  mutable branches : int;
+}
+
+let create ~lookup = { lookup; stack = []; alarms_rev = []; branches = 0 }
+
+let apply_row frame row =
+  List.iter
+    (fun (e : Tables.bat_entry) ->
+      frame.bsv.(e.target_slot) <- Status.of_action e.action)
+    row
+
+let on_call t fname =
+  let tables = t.lookup fname in
+  let frame =
+    { tables; bsv = Array.make (Hash.space tables.Tables.hash) Status.Unknown }
+  in
+  apply_row frame tables.Tables.entry_row;
+  t.stack <- frame :: t.stack;
+  List.length tables.Tables.entry_row
+
+let on_return t =
+  match t.stack with
+  | [] -> invalid_arg "Checker.on_return: empty stack"
+  | _ :: rest -> t.stack <- rest
+
+let top t =
+  match t.stack with
+  | [] -> invalid_arg "Checker: no active frame"
+  | frame :: _ -> frame
+
+let on_branch t ~pc ~taken =
+  let frame = top t in
+  let tables = frame.tables in
+  let slot = Tables.slot_of_pc tables pc in
+  let sequence = t.branches in
+  t.branches <- t.branches + 1;
+  let alarm =
+    if tables.Tables.bcv.(slot) then begin
+      let expected = frame.bsv.(slot) in
+      if Status.matches expected taken then None
+      else begin
+        let a =
+          {
+            fname = tables.Tables.fname;
+            branch_pc = pc;
+            expected;
+            actual_taken = taken;
+            sequence;
+          }
+        in
+        t.alarms_rev <- a :: t.alarms_rev;
+        Some a
+      end
+    end
+    else None
+  in
+  let row = tables.Tables.bat.((slot * 2) + if taken then 1 else 0) in
+  apply_row frame row;
+  { alarm; was_checked = tables.Tables.bcv.(slot); bat_nodes = List.length row }
+
+let depth t = List.length t.stack
+let alarms t = List.rev t.alarms_rev
+let branches_seen t = t.branches
+
+let current_statuses t =
+  let frame = top t in
+  Array.to_list (Array.mapi (fun slot s -> (slot, s)) frame.bsv)

@@ -1,0 +1,46 @@
+(** The IPDS runtime checking engine (paper §5.4).
+
+    Keeps a stack of per-activation BSVs mirroring the call stack: entering
+    a function pushes a fresh all-Unknown status vector (and applies the
+    function's entry actions); returning pops it.  Every committed
+    conditional branch is verified against its expected status and then
+    drives BAT updates.
+
+    The checker never stops on an alarm — it records it and continues, so
+    one run can report every infeasible-path violation it sees (the
+    hardware would trap on the first). *)
+
+type alarm = {
+  fname : string;
+  branch_pc : int;
+  expected : Status.t;
+  actual_taken : bool;
+  sequence : int;  (** how many branches had committed before this one *)
+}
+
+type check_info = {
+  alarm : alarm option;
+  was_checked : bool;  (** the branch was marked in the BCV *)
+  bat_nodes : int;  (** BAT list nodes walked for the update *)
+}
+
+type t
+
+val create : lookup:(string -> Tables.t) -> t
+val on_call : t -> string -> int
+(** Push an activation; returns the number of entry actions applied. *)
+
+val on_return : t -> unit
+(** Raises [Invalid_argument] when the stack is empty. *)
+
+val on_branch : t -> pc:int -> taken:bool -> check_info
+(** Verify-then-update for a committed conditional branch of the current
+    (top-of-stack) activation. *)
+
+val depth : t -> int
+val alarms : t -> alarm list
+(** All alarms so far, in commit order. *)
+
+val branches_seen : t -> int
+val current_statuses : t -> (int * Status.t) list
+(** (slot, status) of the top activation, for inspection/debugging. *)

@@ -1,0 +1,152 @@
+module W = Bitstream.Writer
+module R = Bitstream.Reader
+
+let rec ceil_log2 n = if n <= 1 then 0 else 1 + ceil_log2 ((n + 1) / 2)
+
+let action_code = function
+  | Ipds_correlation.Action.Set_taken -> 1
+  | Ipds_correlation.Action.Set_not_taken -> 2
+  | Ipds_correlation.Action.Set_unknown -> 3
+
+let action_of_code = function
+  | 1 -> Ipds_correlation.Action.Set_taken
+  | 2 -> Ipds_correlation.Action.Set_not_taken
+  | 3 -> Ipds_correlation.Action.Set_unknown
+  | c -> invalid_arg (Printf.sprintf "Encode: bad action code %d" c)
+
+(* Rows in image order: the 2*space BAT edge rows, then the entry row. *)
+let rows (t : Tables.t) = Array.to_list t.bat @ [ t.entry_row ]
+
+(* Linearize the rows into a node pool: per node
+   (target_slot, action, next index; 0 = null), heads point at the first
+   node of each row. *)
+let pool (t : Tables.t) =
+  let nodes = ref [] in
+  let count = ref 0 in
+  let heads =
+    List.map
+      (fun row ->
+        match row with
+        | [] -> 0
+        | entries ->
+            let head = !count + 1 in
+            let n = List.length entries in
+            List.iteri
+              (fun i (e : Tables.bat_entry) ->
+                incr count;
+                let next = if i = n - 1 then 0 else !count + 1 in
+                nodes := (e.Tables.target_slot, e.Tables.action, next) :: !nodes)
+              entries;
+            head)
+      (rows t)
+  in
+  (heads, List.rev !nodes)
+
+let widths (t : Tables.t) =
+  let _, nodes = pool t in
+  let n_nodes = List.length nodes in
+  let ptr_bits = max 1 (ceil_log2 (n_nodes + 1)) in
+  let slot_bits = max 1 t.hash.Hash.space_bits in
+  (ptr_bits, slot_bits, n_nodes)
+
+let payload_bits t =
+  let space = Hash.space t.Tables.hash in
+  let ptr_bits, slot_bits, n_nodes = widths t in
+  space + (((2 * space) + 1) * ptr_bits) + (n_nodes * (slot_bits + 2 + ptr_bits))
+
+let write_function w ~entry_pc (t : Tables.t) =
+  let name = t.fname in
+  W.push w ~width:16 (String.length name);
+  String.iter (fun c -> W.push w ~width:8 (Char.code c)) name;
+  W.push w ~width:32 entry_pc;
+  W.push w ~width:8 t.hash.Hash.shift1;
+  W.push w ~width:8 t.hash.Hash.shift2;
+  W.push w ~width:8 t.hash.Hash.space_bits;
+  W.push w ~width:16 t.n_branches;
+  let heads, nodes = pool t in
+  let ptr_bits, slot_bits, n_nodes = widths t in
+  W.push w ~width:16 n_nodes;
+  (* packed payload *)
+  Array.iter (fun b -> W.push w ~width:1 (if b then 1 else 0)) t.bcv;
+  List.iter (fun h -> W.push w ~width:ptr_bits h) heads;
+  List.iter
+    (fun (slot, action, next) ->
+      W.push w ~width:slot_bits slot;
+      W.push w ~width:2 (action_code action);
+      W.push w ~width:ptr_bits next)
+    nodes;
+  W.align_byte w
+
+let read_function r =
+  let name_len = R.pull r ~width:16 in
+  let name = String.init name_len (fun _ -> Char.chr (R.pull r ~width:8)) in
+  let entry_pc = R.pull r ~width:32 in
+  let shift1 = R.pull r ~width:8 in
+  let shift2 = R.pull r ~width:8 in
+  let space_bits = R.pull r ~width:8 in
+  let n_branches = R.pull r ~width:16 in
+  let n_nodes = R.pull r ~width:16 in
+  let hash = Hash.make ~shift1 ~shift2 ~space_bits in
+  let space = Hash.space hash in
+  let ptr_bits = max 1 (ceil_log2 (n_nodes + 1)) in
+  let slot_bits = max 1 space_bits in
+  let bcv = Array.init space (fun _ -> R.pull r ~width:1 = 1) in
+  let heads = List.init ((2 * space) + 1) (fun _ -> R.pull r ~width:ptr_bits) in
+  let node_array =
+    Array.init n_nodes (fun _ ->
+        let slot = R.pull r ~width:slot_bits in
+        let action = action_of_code (R.pull r ~width:2) in
+        let next = R.pull r ~width:ptr_bits in
+        (slot, action, next))
+  in
+  R.align_byte r;
+  let rec chase idx acc =
+    if idx = 0 then List.rev acc
+    else begin
+      if idx > n_nodes then invalid_arg "Encode: dangling node pointer";
+      let slot, action, next = node_array.(idx - 1) in
+      chase next ({ Tables.target_slot = slot; action } :: acc)
+    end
+  in
+  let all_rows = List.map (fun h -> chase h []) heads in
+  let bat_rows, entry_row =
+    let rec split n acc = function
+      | [ last ] when n = 0 -> (List.rev acc, last)
+      | x :: rest when n > 0 -> split (n - 1) (x :: acc) rest
+      | _ -> invalid_arg "Encode: bad row structure"
+    in
+    split (2 * space) [] all_rows
+  in
+  ( entry_pc,
+    {
+      Tables.fname = name;
+      hash;
+      n_branches;
+      bcv;
+      bat = Array.of_list bat_rows;
+      entry_row;
+      slot_of_iid = [];
+    } )
+
+let function_image ~entry_pc t =
+  let w = W.create () in
+  write_function w ~entry_pc t;
+  W.contents w
+
+let decode_function bytes = read_function (R.of_bytes bytes)
+
+let program_image (sys : System.t) =
+  let w = W.create () in
+  W.push w ~width:16 (List.length sys.System.funcs);
+  List.iter
+    (fun (_, (info : System.func_info)) ->
+      write_function w ~entry_pc:info.System.entry_pc info.System.tables)
+    sys.System.funcs;
+  W.contents w
+
+let load_program bytes =
+  let r = R.of_bytes bytes in
+  let n = R.pull r ~width:16 in
+  List.init n (fun _ ->
+      let entry_pc, tables = read_function r in
+      (tables.Tables.fname, (entry_pc, tables)))

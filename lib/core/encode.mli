@@ -1,0 +1,29 @@
+(** Binary table images.
+
+    The compiler "attaches BSVs, BCVs and BATs to the program binary" and
+    conveys per-function metadata through a function information table
+    (paper §5.4, Figure 6).  This module serializes a {!System.t} into
+    that image and loads it back: per function, a byte-aligned metadata
+    header (name, entry PC, hash parameters, node count) followed by the
+    bit-packed BCV and BAT.  The packed payload is exactly
+    {!Tables.sizes} minus the BSV (which is runtime state, initialized to
+    all-unknown at activation).
+
+    A checker built from a decoded image behaves identically to one built
+    from the in-memory tables — tested property. *)
+
+val function_image : entry_pc:int -> Tables.t -> Bytes.t
+val decode_function : Bytes.t -> (int * Tables.t)
+(** Inverse of {!function_image} (the debug-only [slot_of_iid] field is
+    not serialized and comes back empty).  Raises [Invalid_argument] on a
+    malformed image. *)
+
+val program_image : System.t -> Bytes.t
+(** All functions, prefixed with a count. *)
+
+val load_program : Bytes.t -> (string * (int * Tables.t)) list
+(** [(fname, (entry_pc, tables))] for every function in the image. *)
+
+val payload_bits : Tables.t -> int
+(** Packed BCV+BAT bits — must equal
+    [sizes.bcv_bits + sizes.bat_bits] (tested). *)

@@ -1,0 +1,68 @@
+type params = {
+  shift1 : int;
+  shift2 : int;
+  space_bits : int;
+}
+
+let make ~shift1 ~shift2 ~space_bits =
+  if shift1 < 1 || shift2 < 1 || space_bits < 0 || space_bits > 62 then
+    invalid_arg "Hash.make: bad parameters";
+  { shift1; shift2; space_bits }
+
+let space p = 1 lsl p.space_bits
+
+let apply p pc =
+  let x = pc lsr 2 in
+  let x = x lxor (x lsr p.shift1) in
+  let x = x lxor ((x lsl p.shift2) land max_int) in
+  x land (space p - 1)
+
+let collision_free p pcs =
+  let seen = Hashtbl.create 16 in
+  List.for_all
+    (fun pc ->
+      let h = apply p pc in
+      if Hashtbl.mem seen h then false
+      else begin
+        Hashtbl.add seen h ();
+        true
+      end)
+    pcs
+
+let rec ceil_log2 n = if n <= 1 then 0 else 1 + ceil_log2 ((n + 1) / 2)
+
+(* Tries a bounded set of shift pairs per space size, then grows the
+   space; [k] counts candidates examined. *)
+let search pcs =
+  let n = List.length pcs in
+  let exception Found of params * int in
+  try
+    let k = ref 0 in
+    let bits = ref (max 1 (ceil_log2 n)) in
+    while !bits <= 62 do
+      for shift1 = 1 to 12 do
+        for shift2 = 1 to 12 do
+          let p = { shift1; shift2; space_bits = !bits } in
+          incr k;
+          if collision_free p pcs then raise (Found (p, !k))
+        done
+      done;
+      incr bits
+    done;
+    (* Unreachable: with space >= n distinct keys some parameters always
+       separate 4-byte-aligned PCs well before 2^62 slots. *)
+    assert false
+  with Found (p, k) -> (p, k)
+
+let find pcs =
+  match pcs with
+  | [] -> { shift1 = 1; shift2 = 1; space_bits = 0 }
+  | _ :: _ -> fst (search pcs)
+
+let attempts_for pcs =
+  match pcs with
+  | [] -> 0
+  | _ :: _ -> snd (search pcs)
+
+let pp ppf p =
+  Format.fprintf ppf "hash(s1=%d, s2=%d, space=%d)" p.shift1 p.shift2 (space p)

@@ -1,0 +1,34 @@
+(** Collision-free branch-PC hashing (paper §5.2).
+
+    The tables are indexed by hashed branch addresses.  To avoid storing
+    tags, the compiler searches a parameterisable shift-XOR hash family
+    for parameters that map the function's branch PCs into the hash space
+    without collision, growing the space when the search fails.  The same
+    parameters are shipped to the runtime in the function information
+    table. *)
+
+type params = private {
+  shift1 : int;  (** right-shift feedback *)
+  shift2 : int;  (** left-shift feedback *)
+  space_bits : int;  (** hash space is [2^space_bits] slots *)
+}
+
+val make : shift1:int -> shift2:int -> space_bits:int -> params
+(** For reloading parameters shipped in a binary image; raises
+    [Invalid_argument] on nonsensical values. *)
+
+val space : params -> int
+val apply : params -> int -> int
+(** [apply p pc] ∈ [0, space p). *)
+
+val find : int list -> params
+(** Collision-free parameters for the given (distinct) branch PCs.  Grows
+    the space until the search succeeds, so it always returns; the space
+    never needs to exceed a few times the branch count in practice. *)
+
+val attempts_for : int list -> int
+(** How many (shift1, shift2, space) candidates the search for [find]
+    examined — the paper's "trial-and-error" cost, reported by the
+    compile-time experiment. *)
+
+val pp : Format.formatter -> params -> unit

@@ -1,0 +1,30 @@
+type t =
+  | Taken
+  | Not_taken
+  | Unknown
+
+let matches expected actual =
+  match expected with
+  | Taken -> actual
+  | Not_taken -> not actual
+  | Unknown -> true
+
+let of_action = function
+  | Ipds_correlation.Action.Set_taken -> Taken
+  | Ipds_correlation.Action.Set_not_taken -> Not_taken
+  | Ipds_correlation.Action.Set_unknown -> Unknown
+
+let equal a b =
+  match a, b with
+  | Taken, Taken | Not_taken, Not_taken | Unknown, Unknown -> true
+  | (Taken | Not_taken | Unknown), _ -> false
+
+let pp ppf = function
+  | Taken -> Format.pp_print_string ppf "T"
+  | Not_taken -> Format.pp_print_string ppf "NT"
+  | Unknown -> Format.pp_print_string ppf "UN"
+
+let to_char = function
+  | Taken -> 'T'
+  | Not_taken -> 'N'
+  | Unknown -> 'U'

@@ -1,0 +1,15 @@
+(** Branch Status Vector entries: the expected direction of a branch's
+    next dynamic instance (2 bits in hardware). *)
+
+type t =
+  | Taken
+  | Not_taken
+  | Unknown
+
+val matches : t -> bool -> bool
+(** [matches expected actual] — [Unknown] matches any direction. *)
+
+val of_action : Ipds_correlation.Action.t -> t
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_char : t -> char

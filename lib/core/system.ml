@@ -1,0 +1,63 @@
+module Mir = Ipds_mir
+module Corr = Ipds_correlation
+
+type func_info = {
+  entry_pc : int;
+  tables : Tables.t;
+  result : Corr.Analysis.result;
+}
+
+type t = {
+  program : Mir.Program.t;
+  layout : Mir.Layout.t;
+  funcs : (string * func_info) list;
+}
+
+let build ?options program =
+  let layout = Mir.Layout.make program in
+  let results = Corr.Analysis.analyze_program ?options program in
+  let funcs =
+    List.map
+      (fun (name, result) ->
+        let tables = Tables.build ~layout result in
+        (name, { entry_pc = Mir.Layout.func_base layout name; tables; result }))
+      results
+  in
+  { program; layout; funcs }
+
+let info t name =
+  match List.assoc_opt name t.funcs with
+  | Some i -> i
+  | None -> invalid_arg (Printf.sprintf "System: unknown function %s" name)
+
+let tables t name = (info t name).tables
+let new_checker t = Checker.create ~lookup:(tables t)
+
+type size_stats = {
+  per_func : (string * Tables.sizes) list;
+  avg_bsv_bits : float;
+  avg_bcv_bits : float;
+  avg_bat_bits : float;
+}
+
+let size_stats t =
+  let per_func = List.map (fun (n, i) -> (n, Tables.sizes i.tables)) t.funcs in
+  let n = float_of_int (max 1 (List.length per_func)) in
+  let sum f = float_of_int (List.fold_left (fun acc (_, s) -> acc + f s) 0 per_func) in
+  {
+    per_func;
+    avg_bsv_bits = sum (fun s -> s.Tables.bsv_bits) /. n;
+    avg_bcv_bits = sum (fun s -> s.Tables.bcv_bits) /. n;
+    avg_bat_bits = sum (fun s -> s.Tables.bat_bits) /. n;
+  }
+
+let checked_branch_count t =
+  List.fold_left
+    (fun acc (_, i) -> acc + List.length i.result.Corr.Analysis.checked)
+    0 t.funcs
+
+let total_branch_count t =
+  List.fold_left
+    (fun acc (_, i) ->
+      acc + List.length (Mir.Func.branches i.result.Corr.Analysis.func))
+    0 t.funcs

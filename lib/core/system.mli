@@ -1,0 +1,35 @@
+(** The whole IPDS compile-side pipeline: correlation analysis, table
+    construction and the function information table (paper Figure 6). *)
+
+type func_info = {
+  entry_pc : int;
+  tables : Tables.t;
+  result : Ipds_correlation.Analysis.result;
+}
+
+type t = {
+  program : Ipds_mir.Program.t;
+  layout : Ipds_mir.Layout.t;
+  funcs : (string * func_info) list;
+}
+
+val build :
+  ?options:Ipds_correlation.Analysis.options -> Ipds_mir.Program.t -> t
+
+val tables : t -> string -> Tables.t
+(** Raises [Invalid_argument] for unknown functions. *)
+
+val new_checker : t -> Checker.t
+
+type size_stats = {
+  per_func : (string * Tables.sizes) list;
+  avg_bsv_bits : float;
+  avg_bcv_bits : float;
+  avg_bat_bits : float;
+}
+
+val size_stats : t -> size_stats
+(** The Figure 8 measurement: average per-function table sizes in bits. *)
+
+val checked_branch_count : t -> int
+val total_branch_count : t -> int

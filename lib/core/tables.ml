@@ -1,0 +1,79 @@
+module Mir = Ipds_mir
+module Corr = Ipds_correlation
+
+type bat_entry = {
+  target_slot : int;
+  action : Corr.Action.t;
+}
+
+type t = {
+  fname : string;
+  hash : Hash.params;
+  n_branches : int;
+  bcv : bool array;
+  bat : bat_entry list array;
+  entry_row : bat_entry list;
+  slot_of_iid : (int * int) list;
+}
+
+let build ~layout (r : Corr.Analysis.result) =
+  let fname = r.func.Mir.Func.name in
+  let branch_iids = List.map fst (Mir.Func.branches r.func) in
+  let pc_of iid = Mir.Layout.pc layout ~fname ~iid in
+  let hash = Hash.find (List.map pc_of branch_iids) in
+  let slot iid = Hash.apply hash (pc_of iid) in
+  let space = Hash.space hash in
+  let bcv = Array.make space false in
+  List.iter (fun iid -> bcv.(slot iid) <- true) r.checked;
+  let bat = Array.make (2 * space) [] in
+  List.iter
+    (fun ((bs, dir), actions) ->
+      let row = (slot bs * 2) + if dir then 1 else 0 in
+      bat.(row) <-
+        List.map (fun (tgt, action) -> { target_slot = slot tgt; action }) actions)
+    r.edge_actions;
+  let entry_row =
+    List.map (fun (tgt, action) -> { target_slot = slot tgt; action }) r.entry_actions
+  in
+  {
+    fname;
+    hash;
+    n_branches = List.length branch_iids;
+    bcv;
+    bat;
+    entry_row;
+    slot_of_iid = List.map (fun iid -> (iid, slot iid)) branch_iids;
+  }
+
+type sizes = {
+  bsv_bits : int;
+  bcv_bits : int;
+  bat_bits : int;
+}
+
+let rec ceil_log2 n = if n <= 1 then 0 else 1 + ceil_log2 ((n + 1) / 2)
+
+let sizes t =
+  let space = Hash.space t.hash in
+  let n_nodes =
+    Array.fold_left (fun acc row -> acc + List.length row) (List.length t.entry_row)
+      t.bat
+  in
+  let ptr_bits = max 1 (ceil_log2 (n_nodes + 1)) in
+  let slot_bits = max 1 t.hash.Hash.space_bits in
+  let head_bits = ((2 * space) + 1) * ptr_bits in
+  let node_bits = n_nodes * (slot_bits + 2 + ptr_bits) in
+  {
+    bsv_bits = 2 * space;
+    bcv_bits = space;
+    bat_bits = head_bits + node_bits;
+  }
+
+let slot_of_pc t pc = Hash.apply t.hash pc
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>tables %s: %d branches, %a@," t.fname t.n_branches
+    Hash.pp t.hash;
+  let s = sizes t in
+  Format.fprintf ppf "  bsv %d bits, bcv %d bits, bat %d bits@]" s.bsv_bits
+    s.bcv_bits s.bat_bits

@@ -1,0 +1,42 @@
+(** Per-function BSV/BCV/BAT binary layouts (paper §5.1–5.2).
+
+    Slots are hash positions of branch PCs under a collision-free
+    function-specific hash.  The BAT is a head-pointer array indexed by
+    (slot, direction) into a node pool of (target-slot, action, next)
+    records — "the BAT table implements a link list" — plus one extra row
+    of entry actions applied when an activation starts.
+
+    {!sizes} reports the exact bit cost of each structure, which is what
+    Figure 8 of the paper measures (averages: BSV 34, BCV 17, BAT 393). *)
+
+type bat_entry = {
+  target_slot : int;
+  action : Ipds_correlation.Action.t;
+}
+
+type t = {
+  fname : string;
+  hash : Hash.params;
+  n_branches : int;
+  bcv : bool array;  (** indexed by slot *)
+  bat : bat_entry list array;  (** indexed by [slot * 2 + dir]; dir 1 = taken *)
+  entry_row : bat_entry list;
+  slot_of_iid : (int * int) list;  (** (branch iid, slot), for debugging *)
+}
+
+val build :
+  layout:Ipds_mir.Layout.t -> Ipds_correlation.Analysis.result -> t
+
+type sizes = {
+  bsv_bits : int;
+  bcv_bits : int;
+  bat_bits : int;
+}
+
+val sizes : t -> sizes
+(** BSV: 2 bits/slot.  BCV: 1 bit/slot.  BAT: head pointers for
+    [2*space + 1] rows plus nodes of (target-slot, 2-bit action, next
+    pointer); pointer width is [ceil log2 (nodes + 1)]. *)
+
+val slot_of_pc : t -> int -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,49 @@
+type t = {
+  inner : Checker.t;
+  lookup : string -> Tables.t;
+  out : string -> unit;
+  mutable stack : string list;  (* function names, innermost first *)
+}
+
+let create ~lookup ~out = { inner = Checker.create ~lookup; lookup; out; stack = [] }
+let checker t = t.inner
+
+let on_call t fname =
+  t.stack <- fname :: t.stack;
+  let n = Checker.on_call t.inner fname in
+  t.out (Printf.sprintf "call %s (%d entry actions)" fname n)
+
+let on_return t =
+  (match t.stack with
+  | f :: rest ->
+      t.stack <- rest;
+      t.out (Printf.sprintf "ret  %s" f)
+  | [] -> ());
+  Checker.on_return t.inner
+
+let status_before t pc =
+  match t.stack with
+  | [] -> None
+  | fname :: _ ->
+      let tables = t.lookup fname in
+      let slot = Tables.slot_of_pc tables pc in
+      List.assoc_opt slot (Checker.current_statuses t.inner)
+
+let on_branch t ~pc ~taken =
+  let before = status_before t pc in
+  let info = Checker.on_branch t.inner ~pc ~taken in
+  let expected =
+    match before with
+    | Some s -> Format.asprintf "%a" Status.pp s
+    | None -> "?"
+  in
+  let verdict =
+    match info.Checker.alarm with
+    | Some _ -> "ALARM"
+    | None -> if info.Checker.was_checked then "ok" else "unchecked"
+  in
+  t.out
+    (Printf.sprintf "br   pc=0x%x %s expected=%s -> %s (%d BAT nodes)" pc
+       (if taken then "taken" else "not-taken")
+       expected verdict info.Checker.bat_nodes);
+  info

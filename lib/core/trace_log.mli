@@ -1,0 +1,20 @@
+(** Human-readable log of the checker's per-branch decisions.
+
+    Wraps a {!Checker.t}; every committed branch produces one line:
+    expected status, actual direction, verdict, and the BAT actions
+    applied.  Used by [ipds trace] and handy when writing new analyses
+    ("why did this branch stop being checked?"). *)
+
+type t
+
+val create : lookup:(string -> Tables.t) -> out:(string -> unit) -> t
+(** [out] receives one line per event (without trailing newline). *)
+
+val checker : t -> Checker.t
+(** The underlying checker (attach it to the interpreter). *)
+
+val on_call : t -> string -> unit
+val on_return : t -> unit
+val on_branch : t -> pc:int -> taken:bool -> Checker.check_info
+(** Drive these instead of the underlying checker's hooks to get the
+    log; they delegate. *)

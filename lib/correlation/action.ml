@@ -1,0 +1,17 @@
+type t =
+  | Set_taken
+  | Set_not_taken
+  | Set_unknown
+
+let of_direction taken = if taken then Set_taken else Set_not_taken
+
+let equal a b =
+  match a, b with
+  | Set_taken, Set_taken | Set_not_taken, Set_not_taken | Set_unknown, Set_unknown ->
+      true
+  | (Set_taken | Set_not_taken | Set_unknown), _ -> false
+
+let pp ppf = function
+  | Set_taken -> Format.pp_print_string ppf "SET_T"
+  | Set_not_taken -> Format.pp_print_string ppf "SET_NT"
+  | Set_unknown -> Format.pp_print_string ppf "SET_UN"

@@ -1,0 +1,12 @@
+(** BAT actions: how a committed branch direction updates another branch's
+    expected-direction status (paper §5.1: SET_T, SET_NT, SET_UN, NC; NC
+    is represented by the absence of an entry). *)
+
+type t =
+  | Set_taken
+  | Set_not_taken
+  | Set_unknown
+
+val of_direction : bool -> t
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

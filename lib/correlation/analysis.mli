@@ -1,0 +1,53 @@
+(** The branch-correlation analysis (paper §5.1, Figure 5).
+
+    For every branch edge (branch, direction) — and for function entry —
+    the analysis derives which *facts* about memory cells hold once the
+    edge commits:
+
+    - {e test-implied} facts: the committed direction pins the tested
+      value, which traces back to a load of a cell (load–load correlation)
+      or matches the value a dominating store put in memory (store–load
+      correlation);
+    - {e region} facts: the straight-line region after the edge runs
+      constant stores or stores of the just-tested value;
+    - {e kills}: stores and call pseudo-stores in the region invalidate
+      previously known directions (SET_UN).
+
+    Facts become BAT actions against every branch whose outcome depends on
+    the affected cell, guarded by two freshness conditions that make the
+    runtime check {e sound} (zero false positives): either every path from
+    the fact point to the target passes the target's anchoring load, or no
+    kill can separate that load from the fact point. *)
+
+type edge = int * bool
+(** Branch terminator iid and direction. *)
+
+type result = {
+  func : Ipds_mir.Func.t;
+  depends : Depend.t list;  (** branches with traceable dependencies *)
+  checked : int list;
+      (** BCV: branch iids that can receive an expected direction, sorted *)
+  edge_actions : (edge * (int * Action.t) list) list;
+      (** BAT: per committed edge, targets and actions (NC omitted) *)
+  entry_actions : (int * Action.t) list;
+      (** actions applied when an activation of the function starts *)
+}
+
+val analyze : Context.program_wide -> Ipds_mir.Func.t -> result
+
+type options = {
+  store_load : bool;  (** store–load correlations (§4 scenario 1/3) *)
+  load_load : bool;  (** load–load correlations (§4 scenario 2) *)
+  affine_tracing : bool;
+      (** trace through add/sub chains (Figure 3.c); off = direct loads only *)
+  summary_mode : Ipds_alias.Summary.mode;
+}
+
+val default_options : options
+
+val analyze_program :
+  ?options:options -> Ipds_mir.Program.t -> (string * result) list
+(** Analyze every defined function. *)
+
+val actions_for : result -> edge -> (int * Action.t) list
+val pp_result : Format.formatter -> result -> unit

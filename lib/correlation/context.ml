@@ -1,0 +1,40 @@
+module Mir = Ipds_mir
+module Alias = Ipds_alias
+
+type t = {
+  program : Mir.Program.t;
+  func : Mir.Func.t;
+  cfg : Ipds_cfg.Cfg.t;
+  pgraph : Ipds_cfg.Point_graph.t;
+  rdefs : Ipds_dataflow.Reaching_defs.t;
+  access : Alias.Access.t;
+  may_def_of : Alias.Access.target array;
+}
+
+type program_wide = {
+  prog : Mir.Program.t;
+  points_to : Alias.Points_to.t;
+  summaries : string -> Alias.Summary.t;
+}
+
+let prepare ?(mode = `Faithful) prog =
+  let points_to = Alias.Points_to.compute prog in
+  let summaries = Alias.Summary.compute prog points_to ~mode in
+  { prog; points_to; summaries }
+
+let for_func pw (func : Mir.Func.t) =
+  let cfg = Ipds_cfg.Cfg.make func in
+  let pgraph = Ipds_cfg.Point_graph.make func in
+  let rdefs = Ipds_dataflow.Reaching_defs.compute cfg in
+  let access = Alias.Access.make pw.prog pw.points_to ~summaries:pw.summaries func in
+  let may_def_of = Array.make func.instr_count Alias.Access.No_target in
+  Mir.Func.iter_instrs func (fun iid op -> may_def_of.(iid) <- Alias.Access.may_defs access op);
+  { program = pw.prog; func; cfg; pgraph; rdefs; access; may_def_of }
+
+let kills_of_cell t cell =
+  let out = ref [] in
+  Array.iteri
+    (fun iid target ->
+      if Alias.Access.may_touch target cell then out := iid :: !out)
+    t.may_def_of;
+  List.rev !out

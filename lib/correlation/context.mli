@@ -1,0 +1,24 @@
+(** Bundled per-function analysis state shared by the correlation passes. *)
+
+type t = {
+  program : Ipds_mir.Program.t;
+  func : Ipds_mir.Func.t;
+  cfg : Ipds_cfg.Cfg.t;
+  pgraph : Ipds_cfg.Point_graph.t;
+  rdefs : Ipds_dataflow.Reaching_defs.t;
+  access : Ipds_alias.Access.t;
+  may_def_of : Ipds_alias.Access.target array;
+      (** indexed by iid; [No_target] for non-writing instructions *)
+}
+
+type program_wide = {
+  prog : Ipds_mir.Program.t;
+  points_to : Ipds_alias.Points_to.t;
+  summaries : string -> Ipds_alias.Summary.t;
+}
+
+val prepare : ?mode:Ipds_alias.Summary.mode -> Ipds_mir.Program.t -> program_wide
+val for_func : program_wide -> Ipds_mir.Func.t -> t
+
+val kills_of_cell : t -> Ipds_alias.Cell.t -> int list
+(** Instruction ids that may overwrite the cell. *)

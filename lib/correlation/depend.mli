@@ -1,0 +1,32 @@
+(** Branch dependencies: which memory cell a conditional branch's outcome
+    is a function of.
+
+    A branch [br cmp lhs, rhs] depends on cell [c] when one side traces to
+    an affine view of a load of [c] and the other side traces to a
+    constant.  Branches without such a dependency cannot be checked (the
+    paper's BCV exclusion). *)
+
+type t = {
+  branch_iid : int;
+  cell : Ipds_alias.Cell.t;
+  load_iid : int;  (** the anchoring load *)
+  affine : Ipds_range.Cond.affine;  (** tested value = affine(cell value) *)
+  cmp : Ipds_mir.Cmp.t;
+  konst : int;  (** tested against this constant *)
+}
+
+val of_branch : Context.t -> int -> t option
+(** [of_branch ctx iid] — the dependency of the conditional branch with
+    terminator id [iid], if traceable. *)
+
+val all : Context.t -> t list
+(** Dependencies of every conditional branch of the function. *)
+
+val taken_pred : t -> taken:bool -> Ipds_range.Pred.t
+(** The predicate the cell value satisfies when the branch goes in the
+    given direction. *)
+
+val forced_direction : t -> Ipds_range.Pred.t -> bool option
+(** The direction forced by a known predicate on the cell value. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,80 @@
+module Mir = Ipds_mir
+module Range = Ipds_range
+module Rd = Ipds_dataflow.Reaching_defs
+
+type source =
+  | Const of int
+  | Val of {
+      def_iid : int;
+      affine : Range.Cond.affine;
+    }
+  | Opaque
+
+let compose_affine (s : source) f =
+  match s with
+  | Const _ | Opaque -> Opaque
+  | Val v -> Val { v with affine = f v.affine }
+
+let max_depth = 100
+
+let rec reg_at ctx ~depth ~at r =
+  if depth > max_depth then Opaque
+  else
+    match Rd.unique_def ctx.Context.rdefs ~iid:at r with
+    | None | Some Rd.Entry -> Opaque
+    | Some (Rd.At d) -> (
+        match Mir.Func.op_at ctx.Context.func d with
+        | None -> Opaque (* terminators define nothing *)
+        | Some op -> (
+            match op with
+            | Mir.Op.Const (_, n) -> Const n
+            | Mir.Op.Move (_, o) -> operand_at ctx ~depth:(depth + 1) ~at:d o
+            | Mir.Op.Binop (_, bop, a, b) -> (
+                let sa = operand_at ctx ~depth:(depth + 1) ~at:d a in
+                let sb = operand_at ctx ~depth:(depth + 1) ~at:d b in
+                match bop, sa, sb with
+                | _, Const x, Const y -> Const (Mir.Binop.eval bop x y)
+                | Mir.Binop.Add, Val _, Const k ->
+                    compose_affine sa (fun af -> Range.Cond.compose_add af k)
+                | Mir.Binop.Add, Const k, Val _ ->
+                    compose_affine sb (fun af -> Range.Cond.compose_add af k)
+                | Mir.Binop.Sub, Val _, Const k ->
+                    compose_affine sa (fun af -> Range.Cond.compose_add af (-k))
+                | Mir.Binop.Sub, Const k, Val _ ->
+                    compose_affine sb (fun af -> Range.Cond.compose_sub_from k af)
+                | Mir.Binop.Mul, Val v, Const k | Mir.Binop.Mul, Const k, Val v -> (
+                    match Range.Cond.compose_mul v.affine k with
+                    | Some affine -> Val { v with affine }
+                    | None -> Const 0 (* k = 0 *))
+                | Mir.Binop.Shl, Val v, Const k -> (
+                    match Range.Cond.compose_shl v.affine k with
+                    | Some affine -> Val { v with affine }
+                    | None -> Opaque)
+                | ( ( Mir.Binop.Add | Mir.Binop.Sub | Mir.Binop.Mul | Mir.Binop.Div
+                    | Mir.Binop.Rem | Mir.Binop.And | Mir.Binop.Or | Mir.Binop.Xor
+                    | Mir.Binop.Shl | Mir.Binop.Shr ),
+                    (Const _ | Val _ | Opaque),
+                    (Const _ | Val _ | Opaque) ) ->
+                    Opaque)
+            | Mir.Op.Load _ | Mir.Op.Addr_of _ | Mir.Op.Call _ | Mir.Op.Input _ ->
+                Val { def_iid = d; affine = Range.Cond.identity }
+            | Mir.Op.Store _ | Mir.Op.Output _ | Mir.Op.Nop -> Opaque))
+
+and operand_at ctx ~depth ~at (o : Mir.Operand.t) =
+  match o with
+  | Mir.Operand.Imm n -> Const n
+  | Mir.Operand.Reg r -> reg_at ctx ~depth ~at r
+
+let operand ctx ~at o = operand_at ctx ~depth:0 ~at o
+let reg ctx ~at r = reg_at ctx ~depth:0 ~at r
+
+let load_anchor ctx (s : source) =
+  match s with
+  | Const _ | Opaque -> None
+  | Val { def_iid; affine } -> (
+      match Mir.Func.op_at ctx.Context.func def_iid with
+      | Some (Mir.Op.Load (_, a)) -> (
+          match Ipds_alias.Access.addr_target ctx.Context.access a with
+          | Ipds_alias.Access.Exact cell -> Some (def_iid, cell, affine)
+          | Ipds_alias.Access.No_target | Ipds_alias.Access.Within _ -> None)
+      | Some _ | None -> None)

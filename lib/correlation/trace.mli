@@ -1,0 +1,27 @@
+(** Backward value tracing through unique affine definition chains.
+
+    Starting from a register use, the tracer follows the (unique) reaching
+    definition through moves and add/sub-by-constant chains until it
+    bottoms out at a value-producing instruction (load, input, call, …) or
+    a constant.  A successful trace means the register provably equals
+    [scale * v + offset] where [v] is the value produced by the anchor on
+    *every* execution reaching the use — the property that lets branch
+    directions speak about memory contents. *)
+
+type source =
+  | Const of int  (** the register provably holds this constant *)
+  | Val of {
+      def_iid : int;  (** anchor instruction producing the base value *)
+      affine : Ipds_range.Cond.affine;
+    }
+  | Opaque
+
+val operand : Context.t -> at:int -> Ipds_mir.Operand.t -> source
+(** Trace an operand as read just before instruction [at] executes. *)
+
+val reg : Context.t -> at:int -> Ipds_mir.Reg.t -> source
+
+val load_anchor :
+  Context.t -> source -> (int * Ipds_alias.Cell.t * Ipds_range.Cond.affine) option
+(** If the source anchors at a load of a uniquely-aliased cell, the load's
+    iid, cell, and the affine view of the loaded value. *)

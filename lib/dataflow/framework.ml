@@ -1,0 +1,76 @@
+module type DOMAIN = sig
+  type t
+
+  val equal : t -> t -> bool
+  val join : t -> t -> t
+end
+
+module Forward (D : DOMAIN) = struct
+  let solve cfg ~entry ~bottom ~transfer =
+    let n = Ipds_cfg.Cfg.n_blocks cfg in
+    let block_in = Array.make n bottom in
+    let block_out = Array.make n bottom in
+    block_in.(0) <- entry;
+    let worklist = Queue.create () in
+    let on_list = Array.make n false in
+    let enqueue b =
+      if not on_list.(b) then begin
+        on_list.(b) <- true;
+        Queue.add b worklist
+      end
+    in
+    Array.iter enqueue (Ipds_cfg.Cfg.reverse_postorder cfg);
+    while not (Queue.is_empty worklist) do
+      let b = Queue.take worklist in
+      on_list.(b) <- false;
+      let input =
+        List.fold_left
+          (fun acc p -> D.join acc block_out.(p))
+          (if b = 0 then entry else bottom)
+          (Ipds_cfg.Cfg.preds cfg b)
+      in
+      block_in.(b) <- input;
+      let output = transfer b input in
+      if not (D.equal output block_out.(b)) then begin
+        block_out.(b) <- output;
+        List.iter enqueue (Ipds_cfg.Cfg.succs cfg b)
+      end
+    done;
+    (block_in, block_out)
+end
+
+module Backward (D : DOMAIN) = struct
+  let solve cfg ~exit ~bottom ~transfer =
+    let n = Ipds_cfg.Cfg.n_blocks cfg in
+    let block_in = Array.make n bottom in
+    let block_out = Array.make n bottom in
+    let worklist = Queue.create () in
+    let on_list = Array.make n false in
+    let enqueue b =
+      if not on_list.(b) then begin
+        on_list.(b) <- true;
+        Queue.add b worklist
+      end
+    in
+    let rpo = Ipds_cfg.Cfg.reverse_postorder cfg in
+    for i = Array.length rpo - 1 downto 0 do
+      enqueue rpo.(i)
+    done;
+    while not (Queue.is_empty worklist) do
+      let b = Queue.take worklist in
+      on_list.(b) <- false;
+      let succs = Ipds_cfg.Cfg.succs cfg b in
+      let output =
+        match succs with
+        | [] -> exit
+        | _ :: _ -> List.fold_left (fun acc s -> D.join acc block_in.(s)) bottom succs
+      in
+      block_out.(b) <- output;
+      let input = transfer b output in
+      if not (D.equal input block_in.(b)) then begin
+        block_in.(b) <- input;
+        List.iter enqueue (Ipds_cfg.Cfg.preds cfg b)
+      end
+    done;
+    (block_in, block_out)
+end

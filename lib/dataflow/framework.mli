@@ -1,0 +1,33 @@
+(** Generic iterative monotone dataflow framework over block CFGs. *)
+
+module type DOMAIN = sig
+  type t
+
+  val equal : t -> t -> bool
+  val join : t -> t -> t
+end
+
+module Forward (D : DOMAIN) : sig
+  val solve :
+    Ipds_cfg.Cfg.t ->
+    entry:D.t ->
+    bottom:D.t ->
+    transfer:(int -> D.t -> D.t) ->
+    D.t array * D.t array
+  (** [solve cfg ~entry ~bottom ~transfer] iterates to a fixpoint and
+      returns [(block_in, block_out)].  [entry] seeds the entry block,
+      [bottom] every other block; [transfer b d] pushes [d] through block
+      [b].  Unreachable blocks keep [bottom]. *)
+end
+
+module Backward (D : DOMAIN) : sig
+  val solve :
+    Ipds_cfg.Cfg.t ->
+    exit:D.t ->
+    bottom:D.t ->
+    transfer:(int -> D.t -> D.t) ->
+    D.t array * D.t array
+  (** Returns [(block_in, block_out)]: [block_in b] holds before the first
+      instruction of [b], [block_out b] after its terminator.  Blocks with
+      no successors are seeded with [exit]. *)
+end

@@ -1,0 +1,69 @@
+module Mir = Ipds_mir
+module Int_set = Set.Make (Int)
+
+module Domain = struct
+  type t = Int_set.t
+
+  let equal = Int_set.equal
+  let join = Int_set.union
+end
+
+module Solver = Framework.Backward (Domain)
+
+type t = {
+  func : Mir.Func.t;
+  block_in : Int_set.t array;
+  block_out : Int_set.t array;
+}
+
+let kill_gen_instr live (i : Mir.Instr.t) =
+  let live =
+    match Mir.Op.def i.op with
+    | Some r -> Int_set.remove (Mir.Reg.index r) live
+    | None -> live
+  in
+  List.fold_left
+    (fun acc r -> Int_set.add (Mir.Reg.index r) acc)
+    live (Mir.Op.uses i.op)
+
+let transfer_block (f : Mir.Func.t) b live_out =
+  let blk = f.blocks.(b) in
+  let live =
+    List.fold_left
+      (fun acc r -> Int_set.add (Mir.Reg.index r) acc)
+      live_out
+      (Mir.Terminator.uses blk.Mir.Block.term)
+  in
+  Array.fold_right (fun i acc -> kill_gen_instr acc i) blk.body live
+
+let compute cfg =
+  let f = Ipds_cfg.Cfg.func cfg in
+  let block_in, block_out =
+    Solver.solve cfg ~exit:Int_set.empty ~bottom:Int_set.empty
+      ~transfer:(fun b d -> transfer_block f b d)
+  in
+  { func = f; block_in; block_out }
+
+let live_in t b reg = Int_set.mem (Mir.Reg.index reg) t.block_in.(b)
+
+let live_before t ~iid reg =
+  let f = t.func in
+  let blk_idx, pos =
+    match Mir.Func.location f iid with
+    | Mir.Func.Body (b, p) -> (b, p)
+    | Mir.Func.Term b -> (b, Array.length f.blocks.(b).Mir.Block.body)
+  in
+  let blk = f.blocks.(blk_idx) in
+  let live = ref t.block_out.(blk_idx) in
+  (* Walk backwards from the terminator to the queried position. *)
+  let live_at_term =
+    List.fold_left
+      (fun acc r -> Int_set.add (Mir.Reg.index r) acc)
+      !live
+      (Mir.Terminator.uses blk.Mir.Block.term)
+  in
+  live := live_at_term;
+  for p = Array.length blk.body - 1 downto pos do
+    live := kill_gen_instr !live blk.body.(p)
+  done;
+  Int_set.mem (Mir.Reg.index reg) !live

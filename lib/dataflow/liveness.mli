@@ -1,0 +1,12 @@
+(** Backward register liveness (used for statistics and sanity checks;
+    the correlation analysis itself reasons about memory variables). *)
+
+type t
+
+val compute : Ipds_cfg.Cfg.t -> t
+
+val live_in : t -> int -> Ipds_mir.Reg.t -> bool
+(** [live_in t block reg] — is [reg] live at the start of [block]? *)
+
+val live_before : t -> iid:int -> Ipds_mir.Reg.t -> bool
+(** Is the register live just before instruction [iid]? *)

@@ -1,0 +1,25 @@
+(** Register reaching definitions.
+
+    Tracks, for every program point and register, which definitions may
+    have produced the register's current value.  [Entry] stands for the
+    value at function entry (parameter or uninitialised).  The correlation
+    analysis relies on {!unique_def} to trace branch operands back through
+    affine chains: only registers with exactly one reaching definition can
+    be traced. *)
+
+type def =
+  | Entry
+  | At of int  (** iid of the defining instruction *)
+
+module Def_set : Set.S with type elt = def
+
+type t
+
+val compute : Ipds_cfg.Cfg.t -> t
+
+val before : t -> iid:int -> Ipds_mir.Reg.t -> Def_set.t
+(** Definitions of the register reaching the point just before [iid]
+    executes. *)
+
+val unique_def : t -> iid:int -> Ipds_mir.Reg.t -> def option
+(** [Some d] iff exactly one definition reaches. *)

@@ -1,0 +1,73 @@
+module Corr = Ipds_correlation
+module Core = Ipds_core
+module W = Ipds_workloads.Workloads
+
+type variant = {
+  label : string;
+  options : Corr.Analysis.options;
+}
+
+let base = Corr.Analysis.default_options
+
+let variants =
+  [
+    { label = "full"; options = base };
+    { label = "no-load-load"; options = { base with Corr.Analysis.load_load = false } };
+    {
+      label = "no-store-load";
+      options = { base with Corr.Analysis.store_load = false };
+    };
+    {
+      label = "no-affine";
+      options = { base with Corr.Analysis.affine_tracing = false };
+    };
+    {
+      label = "precise-globals";
+      options = { base with Corr.Analysis.summary_mode = `Precise_globals };
+    };
+  ]
+
+type row = {
+  label : string;
+  avg_detected : float;
+  detected_given_cf : float;
+  checked_branches : int;
+  avg_bat_bits : float;
+}
+
+let run_variant ?attacks ?seed v =
+  let summary = Attack_experiment.run_all ~options:v.options ?attacks ?seed () in
+  let checked, bat_sum, bat_n =
+    List.fold_left
+      (fun (c, s, n) w ->
+        let system = Core.System.build ~options:v.options (W.program w) in
+        let stats = Core.System.size_stats system in
+        ( c + Core.System.checked_branch_count system,
+          s +. stats.Core.System.avg_bat_bits,
+          n + 1 ))
+      (0, 0., 0) W.all
+  in
+  {
+    label = v.label;
+    avg_detected = summary.Attack_experiment.avg_detected;
+    detected_given_cf = summary.Attack_experiment.detected_given_cf;
+    checked_branches = checked;
+    avg_bat_bits = (if bat_n = 0 then 0. else bat_sum /. float_of_int bat_n);
+  }
+
+let run_all ?attacks ?seed () = List.map (run_variant ?attacks ?seed) variants
+
+let render rows =
+  Table.render
+    ~header:
+      [ "variant"; "detected"; "detected|cf"; "checked branches"; "avg BAT bits" ]
+    (List.map
+       (fun r ->
+         [
+           r.label;
+           Table.pct r.avg_detected;
+           Table.pct r.detected_given_cf;
+           string_of_int r.checked_branches;
+           Table.f1 r.avg_bat_bits;
+         ])
+       rows)

@@ -1,0 +1,23 @@
+(** Ablation study over the analysis design choices DESIGN.md calls out:
+    which correlation families and precision knobs contribute how much
+    detection capability and table cost. *)
+
+type variant = {
+  label : string;
+  options : Ipds_correlation.Analysis.options;
+}
+
+val variants : variant list
+(** full, no-load-load, no-store-load, no-affine-tracing,
+    precise-global-summaries. *)
+
+type row = {
+  label : string;
+  avg_detected : float;
+  detected_given_cf : float;
+  checked_branches : int;  (** across all servers *)
+  avg_bat_bits : float;
+}
+
+val run_all : ?attacks:int -> ?seed:int -> unit -> row list
+val render : row list -> string

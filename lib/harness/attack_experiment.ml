@@ -1,0 +1,140 @@
+module M = Ipds_machine
+module Core = Ipds_core
+module W = Ipds_workloads.Workloads
+
+type row = {
+  workload : string;
+  attacks : int;
+  cf_changed : int;
+  detected : int;
+}
+
+type summary = {
+  rows : row list;
+  avg_cf_changed : float;
+  avg_detected : float;
+  detected_given_cf : float;
+}
+
+exception False_positive of string
+
+let campaign ?options ?(prepare = fun w -> W.program w) ?(attacks = 100)
+    ?(seed = 2006) ~model (w : W.t) =
+  let program = prepare w in
+  let system = Core.System.build ?options program in
+  let model =
+    match model with
+    | `Stack_overflow -> M.Tamper.Stack_overflow
+    | `Arbitrary_write -> M.Tamper.Arbitrary_write
+  in
+  let rng = Random.State.make [| seed; Hashtbl.hash w.W.name |] in
+  let injected = ref 0 in
+  let cf_changed = ref 0 in
+  let detected = ref 0 in
+  let attempt = ref 0 in
+  (* Some attempts pick a victim whose old value equals the attack value
+     (no-op); retry with fresh randomness until [attacks] real injections
+     have happened, within a bounded number of attempts. *)
+  while !injected < attacks && !attempt < attacks * 4 do
+    incr attempt;
+    let input_seed = Random.State.bits rng land 0xffffff in
+    let run_once ~tamper ~checker =
+      M.Interp.run program
+        {
+          M.Interp.default_config with
+          inputs = M.Input_script.random ~seed:input_seed ();
+          checker;
+          tamper;
+          record_trace = true;
+        }
+    in
+    let benign_checker = Core.System.new_checker system in
+    let benign = run_once ~tamper:None ~checker:(Some benign_checker) in
+    if benign.M.Interp.alarms <> [] then
+      raise (False_positive (Printf.sprintf "%s: alarm on benign run" w.W.name));
+    if benign.M.Interp.steps > 2 then begin
+      (* The vulnerability fires on attacker input, i.e. once the session
+         is up: strike in the [20%, 100%) window of the benign run. *)
+      let lo = max 1 (benign.M.Interp.steps / 5) in
+      let at_step = lo + Random.State.int rng (max 1 (benign.M.Interp.steps - lo)) in
+      (* Attackers pick meaningful values: small protocol constants about
+         half the time, arbitrary bytes otherwise. *)
+      let value =
+        if Random.State.bool rng then Random.State.int rng 8
+        else Random.State.int rng 256
+      in
+      let tamper_seed = Random.State.bits rng land 0xffffff in
+      let checker = Core.System.new_checker system in
+      let attacked =
+        run_once
+          ~tamper:(Some { M.Tamper.at_step; model; seed = tamper_seed; value })
+          ~checker:(Some checker)
+      in
+      match attacked.M.Interp.injection with
+      | None -> ()
+      | Some _ ->
+          incr injected;
+          let changed = M.Interp.control_flow_changed benign attacked in
+          if changed then incr cf_changed;
+          if attacked.M.Interp.alarms <> [] then begin
+            incr detected;
+            (* An alarm without a control-flow divergence would be a
+               false positive in disguise. *)
+            if not changed then
+              raise
+                (False_positive
+                   (Printf.sprintf "%s: alarm without control-flow change" w.W.name))
+          end
+    end
+  done;
+  { workload = w.W.name; attacks = !injected; cf_changed = !cf_changed;
+    detected = !detected }
+
+let run ?options ?prepare ?attacks ?seed (w : W.t) =
+  campaign ?options ?prepare ?attacks ?seed ~model:(W.tamper_model w) w
+
+let summarize rows =
+  let frac num den = if den = 0 then 0. else float_of_int num /. float_of_int den in
+  let mean f =
+    match rows with
+    | [] -> 0.
+    | _ :: _ ->
+        List.fold_left (fun acc r -> acc +. f r) 0. rows
+        /. float_of_int (List.length rows)
+  in
+  {
+    rows;
+    avg_cf_changed = mean (fun r -> frac r.cf_changed r.attacks);
+    avg_detected = mean (fun r -> frac r.detected r.attacks);
+    detected_given_cf = mean (fun r -> frac r.detected (max 1 r.cf_changed));
+  }
+
+let run_all ?options ?prepare ?attacks ?seed () =
+  summarize (List.map (run ?options ?prepare ?attacks ?seed) W.all)
+
+let render s =
+  let rows =
+    List.map
+      (fun r ->
+        [
+          r.workload;
+          string_of_int r.attacks;
+          Table.pct (float_of_int r.cf_changed /. float_of_int (max 1 r.attacks));
+          Table.pct (float_of_int r.detected /. float_of_int (max 1 r.attacks));
+          Table.pct (float_of_int r.detected /. float_of_int (max 1 r.cf_changed));
+        ])
+      s.rows
+  in
+  let avg =
+    [
+      "AVERAGE";
+      "";
+      Table.pct s.avg_cf_changed;
+      Table.pct s.avg_detected;
+      Table.pct s.detected_given_cf;
+    ]
+  in
+  Table.render
+    ~header:
+      [ "benchmark"; "attacks"; "cf-changed"; "detected"; "detected|cf-changed" ]
+    (rows @ [ avg ])

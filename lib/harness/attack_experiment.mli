@@ -1,0 +1,63 @@
+(** The Figure 7 experiment: detection rate under simulated attacks.
+
+    Each server is attacked [attacks] times independently.  One attack:
+    run the benign server under a seeded input script, pick a uniformly
+    random dynamic step and victim cell (restricted by the workload's
+    vulnerability class) and a random replacement value, re-run the same
+    inputs with the tamper injected, and compare.  Reported per server:
+
+    - how many tamperings changed control flow (the branch trace or the
+      termination state differs), and
+    - how many IPDS detected (at least one alarm).
+
+    The benign run doubles as the zero-false-positive check: an alarm
+    there fails the experiment. *)
+
+type row = {
+  workload : string;
+  attacks : int;  (** attacks with an actual injection *)
+  cf_changed : int;
+  detected : int;
+}
+
+type summary = {
+  rows : row list;
+  avg_cf_changed : float;  (** fraction, paper: 0.494 *)
+  avg_detected : float;  (** fraction of all attacks, paper: 0.293 *)
+  detected_given_cf : float;  (** paper: 0.593 *)
+}
+
+exception False_positive of string
+(** Raised if a benign run raises an alarm — a soundness violation. *)
+
+val campaign :
+  ?options:Ipds_correlation.Analysis.options ->
+  ?prepare:(Ipds_workloads.Workloads.t -> Ipds_mir.Program.t) ->
+  ?attacks:int ->
+  ?seed:int ->
+  model:[ `Stack_overflow | `Arbitrary_write ] ->
+  Ipds_workloads.Workloads.t ->
+  row
+(** Attack campaign under an explicit tamper model. *)
+
+val run :
+  ?options:Ipds_correlation.Analysis.options ->
+  ?prepare:(Ipds_workloads.Workloads.t -> Ipds_mir.Program.t) ->
+  ?attacks:int ->
+  ?seed:int ->
+  Ipds_workloads.Workloads.t ->
+  row
+(** [prepare] compiles the workload (default: {!Ipds_workloads.Workloads.program}
+    with register promotion); override it to study other compilation
+    pipelines. *)
+
+val run_all :
+  ?options:Ipds_correlation.Analysis.options ->
+  ?prepare:(Ipds_workloads.Workloads.t -> Ipds_mir.Program.t) ->
+  ?attacks:int ->
+  ?seed:int ->
+  unit ->
+  summary
+
+val summarize : row list -> summary
+val render : summary -> string

@@ -1,0 +1,39 @@
+(** Head-to-head with the classic detector the paper motivates against:
+    an N-gram model over system-call (extern-call) traces.
+
+    For each server: train the model on benign sessions, measure its
+    false-positive rate on held-out benign sessions, then run the same
+    attack campaign IPDS faces and compare detection.  IPDS's selling
+    points — zero false positives by construction, and detection of
+    attacks whose damage never reaches the syscall pattern — show up as
+    the two right-hand columns. *)
+
+type row = {
+  workload : string;
+  ngram_fp : float;  (** fraction of held-out benign runs flagged *)
+  ngram_detected : int;  (** of [attacks] tamperings *)
+  ipds_detected : int;
+  cf_changed : int;
+  attacks : int;
+}
+
+val run :
+  ?n:int ->
+  ?train_runs:int ->
+  ?holdout_runs:int ->
+  ?attacks:int ->
+  ?seed:int ->
+  Ipds_workloads.Workloads.t ->
+  row
+(** Defaults: 3-grams, 40 training runs, 50 held-out runs, 100 attacks. *)
+
+val run_all :
+  ?n:int ->
+  ?train_runs:int ->
+  ?holdout_runs:int ->
+  ?attacks:int ->
+  ?seed:int ->
+  unit ->
+  row list
+
+val render : row list -> string

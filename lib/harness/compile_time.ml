@@ -1,0 +1,33 @@
+module Mir = Ipds_mir
+module Core = Ipds_core
+module W = Ipds_workloads.Workloads
+
+type row = {
+  workload : string;
+  seconds : float;
+  hash_attempts : int;
+}
+
+let run (w : W.t) =
+  let t0 = Unix.gettimeofday () in
+  let program = Ipds_minic.Minic.compile w.W.source in
+  let system = Core.System.build program in
+  let t1 = Unix.gettimeofday () in
+  let layout = system.Core.System.layout in
+  let attempts =
+    List.fold_left
+      (fun acc (f : Mir.Func.t) ->
+        acc + Core.Hash.attempts_for (Mir.Layout.branch_pcs layout f))
+      0 program.Mir.Program.funcs
+  in
+  { workload = w.W.name; seconds = t1 -. t0; hash_attempts = attempts }
+
+let run_all () = List.map run W.all
+
+let render rows =
+  Table.render
+    ~header:[ "benchmark"; "compile seconds"; "hash attempts" ]
+    (List.map
+       (fun r ->
+         [ r.workload; Printf.sprintf "%.4f" r.seconds; string_of_int r.hash_attempts ])
+       rows)

@@ -1,0 +1,13 @@
+(** The §6 compile-time note ("up to a few seconds per benchmark"): wall
+    clock of the full IPDS compile-side pipeline per server, and the
+    trial-and-error cost of the collision-free hash search. *)
+
+type row = {
+  workload : string;
+  seconds : float;
+  hash_attempts : int;  (** candidates examined across all functions *)
+}
+
+val run : Ipds_workloads.Workloads.t -> row
+val run_all : unit -> row list
+val render : row list -> string

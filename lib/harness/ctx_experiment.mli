@@ -1,0 +1,24 @@
+(** Context-switch cost study (paper §5.4): the tables and vectors must be
+    saved and restored when a protected process is switched; the design
+    swaps the ~1K-bit top of stack synchronously and streams the rest in
+    parallel with the new process.  This experiment sweeps the switch
+    period and reports the resulting overhead on top of plain IPDS. *)
+
+type row = {
+  period_cycles : int;
+  switches : int;
+  ipds_cycles : float;  (** with context switches *)
+  plain_ipds_cycles : float;  (** no context switches *)
+  overhead : float;  (** ipds_cycles / plain_ipds_cycles *)
+}
+
+val run :
+  ?config:Ipds_pipeline.Config.t ->
+  ?seed:int ->
+  ?periods:int list ->
+  Ipds_workloads.Workloads.t ->
+  row list
+(** Default periods: 2k, 5k, 10k, 25k cycles (a real OS quantum
+    at 1 GHz is on the order of a million cycles). *)
+
+val render : row list -> string

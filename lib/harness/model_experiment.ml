@@ -1,0 +1,54 @@
+module W = Ipds_workloads.Workloads
+
+type row = {
+  workload : string;
+  overflow_cf : float;
+  overflow_detected : float;
+  arbitrary_cf : float;
+  arbitrary_detected : float;
+}
+
+let frac a b = if b = 0 then 0. else float_of_int a /. float_of_int b
+
+let run ?attacks ?seed (w : W.t) =
+  let o = Attack_experiment.campaign ?attacks ?seed ~model:`Stack_overflow w in
+  let a = Attack_experiment.campaign ?attacks ?seed ~model:`Arbitrary_write w in
+  {
+    workload = w.W.name;
+    overflow_cf = frac o.Attack_experiment.cf_changed o.Attack_experiment.attacks;
+    overflow_detected = frac o.Attack_experiment.detected o.Attack_experiment.attacks;
+    arbitrary_cf = frac a.Attack_experiment.cf_changed a.Attack_experiment.attacks;
+    arbitrary_detected = frac a.Attack_experiment.detected a.Attack_experiment.attacks;
+  }
+
+let run_all ?attacks ?seed () = List.map (run ?attacks ?seed) W.all
+
+let render rows =
+  let mean f = Stats.mean (List.map f rows) in
+  let body =
+    List.map
+      (fun r ->
+        [
+          r.workload;
+          Table.pct r.overflow_cf;
+          Table.pct r.overflow_detected;
+          Table.pct r.arbitrary_cf;
+          Table.pct r.arbitrary_detected;
+        ])
+      rows
+  in
+  let avg =
+    [
+      "AVERAGE";
+      Table.pct (mean (fun r -> r.overflow_cf));
+      Table.pct (mean (fun r -> r.overflow_detected));
+      Table.pct (mean (fun r -> r.arbitrary_cf));
+      Table.pct (mean (fun r -> r.arbitrary_detected));
+    ]
+  in
+  Table.render
+    ~header:
+      [
+        "benchmark"; "overflow cf"; "overflow det"; "arbitrary cf"; "arbitrary det";
+      ]
+    (body @ [ avg ])

@@ -1,0 +1,21 @@
+(** The paper's two attack models (§3), compared on every server:
+
+    - buffer overflow: the tamper can reach only the executing function's
+      local stack data;
+    - format string / malicious co-resident process: the tamper can reach
+      any live memory, globals included.
+
+    The arbitrary-write model reaches long-lived state more often, so it
+    both changes control flow and gets detected at different rates. *)
+
+type row = {
+  workload : string;
+  overflow_cf : float;
+  overflow_detected : float;
+  arbitrary_cf : float;
+  arbitrary_detected : float;
+}
+
+val run : ?attacks:int -> ?seed:int -> Ipds_workloads.Workloads.t -> row
+val run_all : ?attacks:int -> ?seed:int -> unit -> row list
+val render : row list -> string

@@ -1,0 +1,63 @@
+module Core = Ipds_core
+module W = Ipds_workloads.Workloads
+
+type level =
+  | O0
+  | O1
+  | O2
+
+let label = function
+  | O0 -> "O0 (all memory)"
+  | O1 -> "O1 (promotion)"
+  | O2 -> "O2 (opt+promotion)"
+
+let compile level w =
+  match level with
+  | O0 -> W.program ~promote:false w
+  | O1 -> W.program w
+  | O2 -> Ipds_opt.Promote.program (Ipds_opt.Passes.optimize (W.program ~promote:false w))
+
+type row = {
+  level : string;
+  avg_detected : float;
+  detected_given_cf : float;
+  avg_cf_changed : float;
+  checked_branches : int;
+  total_branches : int;
+}
+
+let run_level ?attacks ?seed level =
+  let prepare = compile level in
+  let summary = Attack_experiment.run_all ~prepare ?attacks ?seed () in
+  let checked, total =
+    List.fold_left
+      (fun (c, t) w ->
+        let system = Core.System.build (prepare w) in
+        ( c + Core.System.checked_branch_count system,
+          t + Core.System.total_branch_count system ))
+      (0, 0) W.all
+  in
+  {
+    level = label level;
+    avg_detected = summary.Attack_experiment.avg_detected;
+    detected_given_cf = summary.Attack_experiment.detected_given_cf;
+    avg_cf_changed = summary.Attack_experiment.avg_cf_changed;
+    checked_branches = checked;
+    total_branches = total;
+  }
+
+let run_all ?attacks ?seed () = List.map (run_level ?attacks ?seed) [ O0; O1; O2 ]
+
+let render rows =
+  Table.render
+    ~header:[ "level"; "cf-changed"; "detected"; "detected|cf"; "checked/total" ]
+    (List.map
+       (fun r ->
+         [
+           r.level;
+           Table.pct r.avg_cf_changed;
+           Table.pct r.avg_detected;
+           Table.pct r.detected_given_cf;
+           Printf.sprintf "%d/%d" r.checked_branches r.total_branches;
+         ])
+       rows)

@@ -1,0 +1,27 @@
+(** Optimization-level study: the paper notes that "compiler optimizations
+    can remove some correlations, reducing the detection rate".  Compare
+    detection and table sizes across compilation pipelines:
+
+    - [O0]: straight -O0 code, everything memory-resident;
+    - [O1]: register promotion only (the default elsewhere);
+    - [O2]: constant/copy propagation + dead code elimination, then
+      promotion. *)
+
+type level =
+  | O0
+  | O1
+  | O2
+
+val compile : level -> Ipds_workloads.Workloads.t -> Ipds_mir.Program.t
+
+type row = {
+  level : string;
+  avg_detected : float;
+  detected_given_cf : float;
+  avg_cf_changed : float;
+  checked_branches : int;
+  total_branches : int;
+}
+
+val run_all : ?attacks:int -> ?seed:int -> unit -> row list
+val render : row list -> string

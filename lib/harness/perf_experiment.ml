@@ -1,0 +1,97 @@
+module M = Ipds_machine
+module P = Ipds_pipeline
+module Core = Ipds_core
+module W = Ipds_workloads.Workloads
+
+type row = {
+  workload : string;
+  instructions : int;
+  base_cycles : float;
+  ipds_cycles : float;
+  normalized : float;
+  avg_detection_latency : float;
+  spills : int;
+  stall_cycles : float;
+}
+
+let run ?(config = P.Config.default) ?(seed = 42) ?(repeats = 5) (w : W.t) =
+  let program = W.program w in
+  let system = Core.System.build program in
+  let base_cpu = P.Cpu.create ~config ~system:None () in
+  let ipds_cpu = P.Cpu.create ~config ~system:(Some system) () in
+  for i = 0 to repeats - 1 do
+    let run_with cpu =
+      ignore
+        (M.Interp.run program
+           {
+             M.Interp.default_config with
+             inputs = M.Input_script.random ~seed:(seed + i) ();
+             observer = Some (P.Cpu.observer cpu);
+             record_trace = false;
+           })
+    in
+    run_with base_cpu;
+    run_with ipds_cpu
+  done;
+  let base = P.Cpu.finish base_cpu in
+  let ipds = P.Cpu.finish ipds_cpu in
+  let stats =
+    match ipds.P.Cpu.ipds with
+    | Some s -> s
+    | None -> invalid_arg "Perf_experiment: missing ipds stats"
+  in
+  {
+    workload = w.W.name;
+    instructions = ipds.P.Cpu.instructions;
+    base_cycles = base.P.Cpu.cycles;
+    ipds_cycles = ipds.P.Cpu.cycles;
+    normalized =
+      (if base.P.Cpu.cycles > 0. then ipds.P.Cpu.cycles /. base.P.Cpu.cycles
+       else 1.);
+    avg_detection_latency = stats.P.Cpu.avg_detection_latency;
+    spills = stats.P.Cpu.spills;
+    stall_cycles = stats.P.Cpu.stall_cycles;
+  }
+
+let run_all ?config ?seed ?repeats () = List.map (run ?config ?seed ?repeats) W.all
+
+let render rows =
+  let mean f =
+    match rows with
+    | [] -> 0.
+    | _ :: _ ->
+        List.fold_left (fun acc r -> acc +. f r) 0. rows
+        /. float_of_int (List.length rows)
+  in
+  let body =
+    List.map
+      (fun r ->
+        [
+          r.workload;
+          string_of_int r.instructions;
+          Printf.sprintf "%.0f" r.base_cycles;
+          Printf.sprintf "%.0f" r.ipds_cycles;
+          Printf.sprintf "%.4f" r.normalized;
+          Table.f1 r.avg_detection_latency;
+          string_of_int r.spills;
+        ])
+      rows
+  in
+  let avg =
+    [
+      "AVERAGE";
+      "";
+      "";
+      "";
+      Printf.sprintf "%.4f" (mean (fun r -> r.normalized));
+      Table.f1 (mean (fun r -> r.avg_detection_latency));
+      "";
+    ]
+  in
+  Table.render
+    ~header:
+      [
+        "benchmark"; "instr"; "base cycles"; "ipds cycles"; "normalized";
+        "latency"; "spills";
+      ]
+    (body @ [ avg ])

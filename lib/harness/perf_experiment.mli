@@ -1,0 +1,28 @@
+(** The Figure 9 experiment: execution time with IPDS normalized to the
+    baseline without it (paper: 0.79% average degradation), plus the §6
+    detection-latency measurement (paper: 11.7 cycles average). *)
+
+type row = {
+  workload : string;
+  instructions : int;
+  base_cycles : float;
+  ipds_cycles : float;
+  normalized : float;  (** ipds / base; 1.0 = no overhead *)
+  avg_detection_latency : float;  (** cycles, over all verify requests *)
+  spills : int;
+  stall_cycles : float;
+}
+
+val run :
+  ?config:Ipds_pipeline.Config.t ->
+  ?seed:int ->
+  ?repeats:int ->
+  Ipds_workloads.Workloads.t ->
+  row
+(** [repeats] runs of the benign driver are concatenated into one trace
+    (default 5) to smooth the timing. *)
+
+val run_all :
+  ?config:Ipds_pipeline.Config.t -> ?seed:int -> ?repeats:int -> unit -> row list
+
+val render : row list -> string

@@ -1,0 +1,56 @@
+module Core = Ipds_core
+module W = Ipds_workloads.Workloads
+
+type row = {
+  workload : string;
+  functions : int;
+  avg_bsv_bits : float;
+  avg_bcv_bits : float;
+  avg_bat_bits : float;
+}
+
+let run ?options (w : W.t) =
+  let system = Core.System.build ?options (W.program w) in
+  let stats = Core.System.size_stats system in
+  {
+    workload = w.W.name;
+    functions = List.length stats.Core.System.per_func;
+    avg_bsv_bits = stats.Core.System.avg_bsv_bits;
+    avg_bcv_bits = stats.Core.System.avg_bcv_bits;
+    avg_bat_bits = stats.Core.System.avg_bat_bits;
+  }
+
+let run_all ?options () = List.map (run ?options) W.all
+
+let render rows =
+  let mean f =
+    match rows with
+    | [] -> 0.
+    | _ :: _ ->
+        List.fold_left (fun acc r -> acc +. f r) 0. rows
+        /. float_of_int (List.length rows)
+  in
+  let body =
+    List.map
+      (fun r ->
+        [
+          r.workload;
+          string_of_int r.functions;
+          Table.f1 r.avg_bsv_bits;
+          Table.f1 r.avg_bcv_bits;
+          Table.f1 r.avg_bat_bits;
+        ])
+      rows
+  in
+  let avg =
+    [
+      "AVERAGE";
+      "";
+      Table.f1 (mean (fun r -> r.avg_bsv_bits));
+      Table.f1 (mean (fun r -> r.avg_bcv_bits));
+      Table.f1 (mean (fun r -> r.avg_bat_bits));
+    ]
+  in
+  Table.render
+    ~header:[ "benchmark"; "funcs"; "BSV bits"; "BCV bits"; "BAT bits" ]
+    (body @ [ avg ])

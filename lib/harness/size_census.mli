@@ -1,0 +1,14 @@
+(** The Figure 8 experiment: average per-function BSV/BCV/BAT sizes in
+    bits (paper averages: 34 / 17 / 393). *)
+
+type row = {
+  workload : string;
+  functions : int;
+  avg_bsv_bits : float;
+  avg_bcv_bits : float;
+  avg_bat_bits : float;
+}
+
+val run : ?options:Ipds_correlation.Analysis.options -> Ipds_workloads.Workloads.t -> row
+val run_all : ?options:Ipds_correlation.Analysis.options -> unit -> row list
+val render : row list -> string

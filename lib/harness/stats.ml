@@ -1,0 +1,14 @@
+let mean = function
+  | [] -> 0.
+  | xs -> List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+let stddev = function
+  | [] | [ _ ] -> 0.
+  | xs ->
+      let m = mean xs in
+      let ss = List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.)) 0. xs in
+      sqrt (ss /. float_of_int (List.length xs - 1))
+
+let mean_sd xs = Printf.sprintf "%.1f%% ± %.1f%%" (100. *. mean xs) (100. *. stddev xs)
+let minimum = function [] -> 0. | x :: xs -> List.fold_left min x xs
+let maximum = function [] -> 0. | x :: xs -> List.fold_left max x xs

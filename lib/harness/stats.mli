@@ -1,0 +1,11 @@
+(** Small statistics helpers for the experiment reports. *)
+
+val mean : float list -> float
+val stddev : float list -> float
+(** Sample standard deviation (n-1); 0 for fewer than two samples. *)
+
+val mean_sd : float list -> string
+(** ["12.3% ± 1.1%"] formatting for fractions. *)
+
+val minimum : float list -> float
+val maximum : float list -> float

@@ -1,0 +1,12 @@
+(** Plain-text table rendering for the experiment reports. *)
+
+val render : header:string list -> string list list -> string
+(** Aligned columns, pipe-separated, with a rule under the header. *)
+
+val pct : float -> string
+(** [pct 0.493] is ["49.3%"]. *)
+
+val f1 : float -> string
+(** One decimal. *)
+
+val f2 : float -> string

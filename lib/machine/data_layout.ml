@@ -1,0 +1,31 @@
+module Mir = Ipds_mir
+
+(* One address unit per cell: pointer arithmetic in the value model then
+   agrees with numeric addresses (Ptr + k is numeric + k), which keeps the
+   compile-time affine tracing exact even for pointer-valued data. *)
+let cell_bytes = 1
+let globals_base = 0x100000
+let stack_top = 0x7ff00000
+
+let global_address (p : Mir.Program.t) var index =
+  let rec offset acc = function
+    | [] -> invalid_arg "Data_layout.global_address: not a global"
+    | v :: rest ->
+        if Mir.Var.equal v var then acc
+        else offset (acc + (v.Mir.Var.size * cell_bytes)) rest
+  in
+  globals_base + offset 0 p.globals + (index * cell_bytes)
+
+let frame_size (f : Mir.Func.t) =
+  let cells = List.fold_left (fun acc v -> acc + v.Mir.Var.size) 0 f.locals in
+  (* locals + a fixed bookkeeping slop (saved registers, return address) *)
+  (cells * cell_bytes) + 32
+
+let local_offset (f : Mir.Func.t) var index =
+  let rec offset acc = function
+    | [] -> invalid_arg "Data_layout.local_offset: not a local of this function"
+    | v :: rest ->
+        if Mir.Var.equal v var then acc
+        else offset (acc + (v.Mir.Var.size * cell_bytes)) rest
+  in
+  offset 0 f.locals + (index * cell_bytes)

@@ -1,0 +1,36 @@
+type kind =
+  | Alu
+  | Load of { addr : int }
+  | Store of { addr : int }
+  | Branch of {
+      taken : bool;
+      target_pc : int;
+    }
+  | Jump of { target_pc : int }
+  | Call of { callee : string }
+  | Ret
+  | Input_read
+  | Output_write of int
+
+type t = {
+  fname : string;
+  iid : int;
+  pc : int;
+  kind : kind;
+}
+
+let pp ppf t =
+  let k =
+    match t.kind with
+    | Alu -> "alu"
+    | Load { addr } -> Printf.sprintf "load @0x%x" addr
+    | Store { addr } -> Printf.sprintf "store @0x%x" addr
+    | Branch { taken; target_pc } ->
+        Printf.sprintf "branch %s -> 0x%x" (if taken then "T" else "N") target_pc
+    | Jump { target_pc } -> Printf.sprintf "jump -> 0x%x" target_pc
+    | Call { callee } -> Printf.sprintf "call %s" callee
+    | Ret -> "ret"
+    | Input_read -> "input"
+    | Output_write v -> Printf.sprintf "output %d" v
+  in
+  Format.fprintf ppf "%s+%d@0x%x: %s" t.fname t.iid t.pc k

@@ -1,0 +1,26 @@
+(** Dynamic execution events, the interface between the functional
+    interpreter and its observers (the IPDS checker driver, the timing
+    model, trace recorders). *)
+
+type kind =
+  | Alu
+  | Load of { addr : int }
+  | Store of { addr : int }
+  | Branch of {
+      taken : bool;
+      target_pc : int;
+    }
+  | Jump of { target_pc : int }
+  | Call of { callee : string }
+  | Ret
+  | Input_read
+  | Output_write of int
+
+type t = {
+  fname : string;
+  iid : int;
+  pc : int;
+  kind : kind;
+}
+
+val pp : Format.formatter -> t -> unit

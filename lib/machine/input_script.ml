@@ -1,0 +1,24 @@
+type t = { next : channel:int -> int }
+
+let of_lists pairs =
+  let table = Hashtbl.create 4 in
+  List.iter (fun (ch, values) -> Hashtbl.replace table ch (ref values)) pairs;
+  let next ~channel =
+    match Hashtbl.find_opt table channel with
+    | None -> 0
+    | Some q -> (
+        match !q with
+        | [] -> 0
+        | v :: rest ->
+            q := rest;
+            v)
+  in
+  { next }
+
+let random ?(lo = 0) ?(hi = 255) ~seed () =
+  let state = Random.State.make [| seed |] in
+  let next ~channel:_ = lo + Random.State.int state (hi - lo + 1) in
+  { next }
+
+let constant v = { next = (fun ~channel:_ -> v) }
+let next t ~channel = t.next ~channel

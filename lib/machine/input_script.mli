@@ -1,0 +1,18 @@
+(** Deterministic input providers for [Input] instructions and
+    input-reading externals ([recv], [read_line]).
+
+    A script either replays fixed per-channel sequences (padding with 0
+    when exhausted) or draws from a seeded PRNG — the latter drives the
+    benign workload runs of the experiments. *)
+
+type t
+
+val of_lists : (int * int list) list -> t
+(** [(channel, values)] pairs. *)
+
+val random : ?lo:int -> ?hi:int -> seed:int -> unit -> t
+(** Uniform values in [lo, hi] (default [0, 255]) on every channel, from a
+    private PRNG state. *)
+
+val constant : int -> t
+val next : t -> channel:int -> int

@@ -1,0 +1,453 @@
+module Mir = Ipds_mir
+
+type stop_reason =
+  | Exited of Value.t
+  | Halted
+  | Fault of string
+  | Out_of_steps
+  | Trapped of Ipds_core.Checker.alarm
+
+type outcome = {
+  reason : stop_reason;
+  steps : int;
+  branches : int;
+  outputs : int list;
+  branch_trace : (int * bool) list;
+  alarms : Ipds_core.Checker.alarm list;
+  injection : Tamper.injection option;
+}
+
+type config = {
+  max_steps : int;
+  inputs : Input_script.t;
+  checker : Ipds_core.Checker.t option;
+  trap_on_alarm : bool;
+  observer : (Event.t -> unit) option;
+  record_trace : bool;
+  tamper : Tamper.plan option;
+}
+
+let default_config =
+  {
+    max_steps = 500_000;
+    inputs = Input_script.constant 0;
+    checker = None;
+    trap_on_alarm = false;
+    observer = None;
+    record_trace = true;
+    tamper = None;
+  }
+
+exception Machine_fault of string
+
+type act = {
+  frame_id : int;
+  func : Mir.Func.t;
+  regs : Value.t array;
+  mutable blk : int;
+  mutable pos : int;
+  ret_dst : Mir.Reg.t option;
+}
+
+type state = {
+  program : Mir.Program.t;
+  layout : Mir.Layout.t;
+  memory : Memory.t;
+  config : config;
+  mutable stack : act list;
+  mutable steps : int;
+  mutable branches : int;
+  mutable outputs_rev : int list;
+  mutable trace_rev : (int * bool) list;
+  mutable injection : Tamper.injection option;
+  mutable stop : stop_reason option;
+}
+
+let max_call_depth = 4096
+
+let to_num st = function
+  | Value.Int n -> n
+  | Value.Ptr p -> Memory.address st.memory ~frame:p.Value.frame p.Value.var p.Value.index
+
+let operand (a : act) (o : Mir.Operand.t) =
+  match o with
+  | Mir.Operand.Imm n -> Value.Int n
+  | Mir.Operand.Reg r -> a.regs.(Mir.Reg.index r)
+
+let eval_binop st op va vb =
+  match op, va, vb with
+  | Mir.Binop.Add, Value.Ptr p, Value.Int n | Mir.Binop.Add, Value.Int n, Value.Ptr p
+    ->
+      Value.Ptr { p with Value.index = p.Value.index + n }
+  | Mir.Binop.Sub, Value.Ptr p, Value.Int n ->
+      Value.Ptr { p with Value.index = p.Value.index - n }
+  | Mir.Binop.Sub, Value.Ptr p, Value.Ptr q
+    when p.Value.frame = q.Value.frame && Mir.Var.equal p.Value.var q.Value.var ->
+      Value.Int (p.Value.index - q.Value.index)
+  | ( ( Mir.Binop.Add | Mir.Binop.Sub | Mir.Binop.Mul | Mir.Binop.Div
+      | Mir.Binop.Rem | Mir.Binop.And | Mir.Binop.Or | Mir.Binop.Xor
+      | Mir.Binop.Shl | Mir.Binop.Shr ),
+      _,
+      _ ) ->
+      Value.Int (Mir.Binop.eval op (to_num st va) (to_num st vb))
+
+(* Resolve an addressing mode to a concrete (frame, var, index) triple. *)
+let resolve st (a : act) = function
+  | Mir.Addr.Direct v ->
+      let frame = if v.Mir.Var.storage = Mir.Var.Global then 0 else a.frame_id in
+      (frame, v, 0)
+  | Mir.Addr.Index (v, o) -> (
+      let frame = if v.Mir.Var.storage = Mir.Var.Global then 0 else a.frame_id in
+      match operand a o with
+      | Value.Int i -> (frame, v, i)
+      | Value.Ptr _ as p -> (frame, v, to_num st p))
+  | Mir.Addr.Indirect r -> (
+      match a.regs.(Mir.Reg.index r) with
+      | Value.Ptr p ->
+          if Memory.frame_alive st.memory p.Value.frame then
+            (p.Value.frame, p.Value.var, p.Value.index)
+          else raise (Machine_fault "dangling pointer dereference")
+      | Value.Int _ -> raise (Machine_fault "dereference of non-pointer"))
+
+let mem_load st triple =
+  let frame, v, i = triple in
+  match Memory.load st.memory ~frame v i with
+  | Some value -> value
+  | None -> raise (Machine_fault "load from dead memory")
+
+let mem_store st triple value =
+  let frame, v, i = triple in
+  if not (Memory.store st.memory ~frame v i value) then
+    raise (Machine_fault "store to dead memory")
+
+let output st v =
+  st.outputs_rev <- to_num st v :: st.outputs_rev
+
+(* ---------- external functions ---------- *)
+
+let as_ptr = function
+  | Value.Ptr p ->
+      if p.Value.index < 0 || p.Value.index >= p.Value.var.Mir.Var.size then
+        raise (Machine_fault "extern: pointer out of bounds")
+      else p
+  | Value.Int _ -> raise (Machine_fault "extern: expected pointer argument")
+
+let ptr_cells (p : Value.pointer) n =
+  (* indices [p.index, p.index + n) clamped to the variable *)
+  let lo = max 0 p.Value.index in
+  let hi = min p.Value.var.Mir.Var.size (p.Value.index + max 0 n) in
+  List.init (max 0 (hi - lo)) (fun k ->
+      (p.Value.frame, p.Value.var, lo + k))
+
+let exec_extern st name (args : Value.t list) =
+  let num = to_num st in
+  match name, args with
+  | "memset", [ p; v; n ] ->
+      let p = as_ptr p in
+      List.iter (fun c -> mem_store st c (Value.Int (num v))) (ptr_cells p (num n));
+      Value.Int 0
+  | "memcpy", [ dst; src; n ] ->
+      let dst = as_ptr dst and src = as_ptr src in
+      let n = num n in
+      let values = List.map (mem_load st) (ptr_cells src n) in
+      let cells = ptr_cells dst n in
+      List.iteri
+        (fun i c -> match List.nth_opt values i with
+          | Some v -> mem_store st c v
+          | None -> ())
+        cells;
+      Value.Int 0
+  | "strcmp", [ a; b ] ->
+      let a = as_ptr a and b = as_ptr b in
+      let cell (p : Value.pointer) i =
+        if p.Value.index + i < p.Value.var.Mir.Var.size then
+          num (mem_load st (p.Value.frame, p.Value.var, p.Value.index + i))
+        else 0
+      in
+      let rec cmp i =
+        let x = cell a i and y = cell b i in
+        if x <> y then if x < y then -1 else 1
+        else if x = 0 then 0
+        else if a.Value.index + i >= a.Value.var.Mir.Var.size
+                && b.Value.index + i >= b.Value.var.Mir.Var.size then 0
+        else cmp (i + 1)
+      in
+      Value.Int (cmp 0)
+  | "strlen", [ p ] ->
+      let p = as_ptr p in
+      let rec len i =
+        if p.Value.index + i >= p.Value.var.Mir.Var.size then i
+        else if num (mem_load st (p.Value.frame, p.Value.var, p.Value.index + i)) = 0
+        then i
+        else len (i + 1)
+      in
+      Value.Int (len 0)
+  | "checksum", [ p; n ] ->
+      let p = as_ptr p in
+      let sum =
+        List.fold_left (fun acc c -> acc + num (mem_load st c)) 0 (ptr_cells p (num n))
+      in
+      Value.Int sum
+  | "hash_pw", [ p; n ] ->
+      let p = as_ptr p in
+      let h =
+        List.fold_left
+          (fun acc c -> (acc * 31) + num (mem_load st c))
+          17 (ptr_cells p (num n))
+      in
+      Value.Int (h land 0xffffff)
+  | "log_msg", [ _; _ ] -> Value.Int 0
+  | "send", [ _; n ] -> Value.Int (num n)
+  | ("recv" | "read_line"), [ p; n ] ->
+      let p = as_ptr p in
+      let channel = if String.equal name "recv" then 1 else 0 in
+      let cells = ptr_cells p (num n) in
+      List.iter
+        (fun c ->
+          mem_store st c (Value.Int (Input_script.next st.config.inputs ~channel)))
+        cells;
+      Value.Int (List.length cells)
+  | "syscall", _ -> Value.Int 0
+  | _, _ ->
+      raise (Machine_fault (Printf.sprintf "extern %s: bad arity or unknown" name))
+
+(* ---------- the main loop ---------- *)
+
+let emit st (a : act) iid kind =
+  match st.config.observer with
+  | None -> ()
+  | Some f ->
+      f
+        {
+          Event.fname = a.func.Mir.Func.name;
+          iid;
+          pc = Mir.Layout.pc st.layout ~fname:a.func.Mir.Func.name ~iid;
+          kind;
+        }
+
+let push_function st callee (args : Value.t list) ret_dst =
+  let f = Mir.Program.find_func_exn st.program callee in
+  if List.length st.stack >= max_call_depth then
+    raise (Machine_fault "call stack overflow");
+  let frame_id = Memory.push_frame st.memory f in
+  let regs = Array.make (max 1 f.Mir.Func.reg_count) Value.zero in
+  List.iteri (fun i v -> if i < f.Mir.Func.reg_count then regs.(i) <- v) args;
+  let a = { frame_id; func = f; regs; blk = 0; pos = 0; ret_dst } in
+  st.stack <- a :: st.stack;
+  (match st.config.checker with
+  | Some c -> ignore (Ipds_core.Checker.on_call c callee)
+  | None -> ())
+
+let pop_function st (ret : Value.t) =
+  match st.stack with
+  | [] -> invalid_arg "Interp: pop on empty stack"
+  | a :: rest ->
+      Memory.pop_frame st.memory;
+      (match st.config.checker with
+      | Some c -> Ipds_core.Checker.on_return c
+      | None -> ());
+      st.stack <- rest;
+      (match rest with
+      | [] -> st.stop <- Some (Exited ret)
+      | caller :: _ -> (
+          match a.ret_dst with
+          | Some r -> caller.regs.(Mir.Reg.index r) <- ret
+          | None -> ()))
+
+let first_iid (f : Mir.Func.t) blk_idx =
+  let blk = f.blocks.(blk_idx) in
+  if Array.length blk.Mir.Block.body > 0 then blk.Mir.Block.body.(0).Mir.Instr.iid
+  else blk.Mir.Block.term_iid
+
+let step st =
+  match st.stack with
+  | [] -> ()
+  | a :: _ -> (
+      let blk = a.func.Mir.Func.blocks.(a.blk) in
+      let body = blk.Mir.Block.body in
+      if a.pos < Array.length body then begin
+        let instr = body.(a.pos) in
+        a.pos <- a.pos + 1;
+        let iid = instr.Mir.Instr.iid in
+        match instr.Mir.Instr.op with
+        | Mir.Op.Const (r, n) ->
+            a.regs.(Mir.Reg.index r) <- Value.Int n;
+            emit st a iid Event.Alu
+        | Mir.Op.Move (r, o) ->
+            a.regs.(Mir.Reg.index r) <- operand a o;
+            emit st a iid Event.Alu
+        | Mir.Op.Binop (r, op, x, y) ->
+            a.regs.(Mir.Reg.index r) <-
+              eval_binop st op (operand a x) (operand a y);
+            emit st a iid Event.Alu
+        | Mir.Op.Load (r, addr) ->
+            let triple = resolve st a addr in
+            a.regs.(Mir.Reg.index r) <- mem_load st triple;
+            let frame, v, i = triple in
+            emit st a iid (Event.Load { addr = Memory.address st.memory ~frame v i })
+        | Mir.Op.Store (addr, o) ->
+            let triple = resolve st a addr in
+            mem_store st triple (operand a o);
+            let frame, v, i = triple in
+            emit st a iid (Event.Store { addr = Memory.address st.memory ~frame v i })
+        | Mir.Op.Addr_of (r, v, o) ->
+            let index =
+              match operand a o with
+              | Value.Int n -> n
+              | Value.Ptr _ as p -> to_num st p
+            in
+            let frame = if v.Mir.Var.storage = Mir.Var.Global then 0 else a.frame_id in
+            a.regs.(Mir.Reg.index r) <- Value.Ptr { Value.frame; var = v; index };
+            emit st a iid Event.Alu
+        | Mir.Op.Input (r, channel) ->
+            a.regs.(Mir.Reg.index r) <-
+              Value.Int (Input_script.next st.config.inputs ~channel);
+            emit st a iid Event.Input_read
+        | Mir.Op.Output o ->
+            let v = operand a o in
+            output st v;
+            emit st a iid (Event.Output_write (to_num st v))
+        | Mir.Op.Nop -> emit st a iid Event.Alu
+        | Mir.Op.Call { dst; callee; args } ->
+            let argv = List.map (operand a) args in
+            emit st a iid (Event.Call { callee });
+            if Mir.Program.is_defined st.program callee then
+              push_function st callee argv dst
+            else begin
+              let result = exec_extern st callee argv in
+              match dst with
+              | Some r -> a.regs.(Mir.Reg.index r) <- result
+              | None -> ()
+            end
+      end
+      else begin
+        (* terminator *)
+        let iid = blk.Mir.Block.term_iid in
+        match blk.Mir.Block.term with
+        | Mir.Terminator.Jump target ->
+            emit st a iid
+              (Event.Jump
+                 {
+                   target_pc =
+                     Mir.Layout.pc st.layout ~fname:a.func.Mir.Func.name
+                       ~iid:(first_iid a.func target);
+                 });
+            a.blk <- target;
+            a.pos <- 0
+        | Mir.Terminator.Branch { cmp; lhs; rhs; if_true; if_false } ->
+            let x = to_num st a.regs.(Mir.Reg.index lhs) in
+            let y = to_num st (operand a rhs) in
+            let taken = Mir.Cmp.eval cmp x y in
+            let target = if taken then if_true else if_false in
+            let pc = Mir.Layout.pc st.layout ~fname:a.func.Mir.Func.name ~iid in
+            st.branches <- st.branches + 1;
+            if st.config.record_trace then
+              st.trace_rev <- (pc, taken) :: st.trace_rev;
+            emit st a iid
+              (Event.Branch
+                 {
+                   taken;
+                   target_pc =
+                     Mir.Layout.pc st.layout ~fname:a.func.Mir.Func.name
+                       ~iid:(first_iid a.func target);
+                 });
+            (match st.config.checker with
+            | Some c ->
+                let info = Ipds_core.Checker.on_branch c ~pc ~taken in
+                (match info.Ipds_core.Checker.alarm with
+                | Some a when st.config.trap_on_alarm -> st.stop <- Some (Trapped a)
+                | Some _ | None -> ())
+            | None -> ());
+            a.blk <- target;
+            a.pos <- 0
+        | Mir.Terminator.Return o ->
+            let v =
+              match o with
+              | Some o -> operand a o
+              | None -> Value.zero
+            in
+            emit st a iid Event.Ret;
+            pop_function st v
+        | Mir.Terminator.Halt ->
+            emit st a iid Event.Alu;
+            st.stop <- Some Halted
+      end)
+
+let run program config =
+  let st =
+    {
+      program;
+      layout = Mir.Layout.make program;
+      memory = Memory.create program;
+      config;
+      stack = [];
+      steps = 0;
+      branches = 0;
+      outputs_rev = [];
+      trace_rev = [];
+      injection = None;
+      stop = None;
+    }
+  in
+  let result reason =
+    {
+      reason;
+      steps = st.steps;
+      branches = st.branches;
+      outputs = List.rev st.outputs_rev;
+      branch_trace = List.rev st.trace_rev;
+      alarms =
+        (match config.checker with
+        | Some c -> Ipds_core.Checker.alarms c
+        | None -> []);
+      injection = st.injection;
+    }
+  in
+  try
+    (* Observers see the initial activation as a call event, so external
+       models (the IPDS checker in the timing model) can push main's
+       tables. *)
+    (match config.observer with
+    | Some f ->
+        f
+          {
+            Event.fname = program.Mir.Program.main;
+            iid = 0;
+            pc = Mir.Layout.func_base st.layout program.Mir.Program.main;
+            kind = Event.Call { callee = program.Mir.Program.main };
+          }
+    | None -> ());
+    push_function st program.Mir.Program.main [] None;
+    let continue = ref true in
+    while !continue do
+      (match st.stop with
+      | Some _ -> continue := false
+      | None ->
+          if st.steps >= config.max_steps then begin
+            st.stop <- Some Out_of_steps;
+            continue := false
+          end
+          else begin
+            step st;
+            st.steps <- st.steps + 1;
+            match config.tamper with
+            | Some plan when plan.Tamper.at_step = st.steps ->
+                st.injection <- Tamper.inject plan st.memory
+            | Some _ | None -> ()
+          end)
+    done;
+    (match st.stop with
+    | Some reason -> result reason
+    | None -> result Out_of_steps)
+  with Machine_fault msg -> result (Fault msg)
+
+let control_flow_changed a b =
+  let reason_tag = function
+    | Exited v -> Printf.sprintf "exit:%d" (match v with Value.Int n -> n | Value.Ptr _ -> -1)
+    | Halted -> "halt"
+    | Fault m -> "fault:" ^ m
+    | Out_of_steps -> "steps"
+    | Trapped _ -> "trap"
+  in
+  a.branch_trace <> b.branch_trace
+  || not (String.equal (reason_tag a.reason) (reason_tag b.reason))

@@ -1,0 +1,48 @@
+(** The MIR interpreter — the role Bochs plays in the paper: run the
+    program, optionally under IPDS checking, optionally under attack.
+
+    The interpreter is deterministic given the input script and tamper
+    plan, which is what makes "same run, with and without tampering"
+    comparisons (Figure 7) and timing replays (Figure 9) possible. *)
+
+type stop_reason =
+  | Exited of Value.t
+  | Halted
+  | Fault of string
+  | Out_of_steps
+  | Trapped of Ipds_core.Checker.alarm
+      (** stopped by the IPDS hardware trap (with [trap_on_alarm]) *)
+
+type outcome = {
+  reason : stop_reason;
+  steps : int;
+  branches : int;  (** committed conditional branches *)
+  outputs : int list;  (** in emission order *)
+  branch_trace : (int * bool) list;
+      (** (pc, taken) per committed branch, if recording was on *)
+  alarms : Ipds_core.Checker.alarm list;
+  injection : Tamper.injection option;
+}
+
+type config = {
+  max_steps : int;
+  inputs : Input_script.t;
+  checker : Ipds_core.Checker.t option;
+  trap_on_alarm : bool;
+      (** abort execution at the first alarm, like the hardware (default
+          false: record alarms and keep running, convenient for
+          experiments) *)
+  observer : (Event.t -> unit) option;
+  record_trace : bool;
+  tamper : Tamper.plan option;
+}
+
+val default_config : config
+(** 500k steps, constant-0 inputs, no checker/observer/tamper, trace
+    recording on. *)
+
+val run : Ipds_mir.Program.t -> config -> outcome
+
+val control_flow_changed : outcome -> outcome -> bool
+(** Do two runs differ in their committed-branch traces (or stop
+    reasons)?  Both must have been recorded. *)

@@ -1,0 +1,114 @@
+module Mir = Ipds_mir
+
+type frame = {
+  id : int;
+  func : Mir.Func.t;
+  base : int;
+  slots : (int, Value.t array) Hashtbl.t;  (* var id -> cells *)
+}
+
+type t = {
+  program : Mir.Program.t;
+  globals : (int, Value.t array) Hashtbl.t;
+  global_vars : (int, Mir.Var.t) Hashtbl.t;
+  mutable stack : frame list;
+  mutable next_id : int;
+  mutable sp : int;
+  live : (int, frame) Hashtbl.t;
+}
+
+let create (p : Mir.Program.t) =
+  let globals = Hashtbl.create 16 in
+  let global_vars = Hashtbl.create 16 in
+  List.iter
+    (fun (v : Mir.Var.t) ->
+      Hashtbl.replace globals v.id (Array.make v.size Value.zero);
+      Hashtbl.replace global_vars v.id v)
+    p.globals;
+  {
+    program = p;
+    globals;
+    global_vars;
+    stack = [];
+    next_id = 1;
+    sp = Data_layout.stack_top;
+    live = Hashtbl.create 16;
+  }
+
+let push_frame t (f : Mir.Func.t) =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  t.sp <- t.sp - Data_layout.frame_size f;
+  let slots = Hashtbl.create 8 in
+  List.iter
+    (fun (v : Mir.Var.t) -> Hashtbl.replace slots v.id (Array.make v.size Value.zero))
+    f.locals;
+  let frame = { id; func = f; base = t.sp; slots } in
+  t.stack <- frame :: t.stack;
+  Hashtbl.replace t.live id frame;
+  id
+
+let pop_frame t =
+  match t.stack with
+  | [] -> invalid_arg "Memory.pop_frame: empty stack"
+  | frame :: rest ->
+      t.stack <- rest;
+      t.sp <- frame.base + Data_layout.frame_size frame.func;
+      Hashtbl.remove t.live frame.id
+
+let depth t = List.length t.stack
+let frame_alive t id = id = 0 || Hashtbl.mem t.live id
+
+let func_of_frame t id =
+  match Hashtbl.find_opt t.live id with
+  | Some f -> f.func
+  | None -> invalid_arg "Memory.func_of_frame: dead frame"
+
+let active_frame t =
+  match t.stack with
+  | [] -> invalid_arg "Memory.active_frame: empty stack"
+  | frame :: _ -> frame.id
+
+let cells t ~frame (v : Mir.Var.t) =
+  if frame = 0 then Hashtbl.find_opt t.globals v.id
+  else
+    match Hashtbl.find_opt t.live frame with
+    | None -> None
+    | Some fr -> Hashtbl.find_opt fr.slots v.id
+
+let load t ~frame v index =
+  match cells t ~frame v with
+  | None -> None
+  | Some arr -> Some arr.(Ipds_alias.Access.wrap_index v index)
+
+let store t ~frame v index value =
+  match cells t ~frame v with
+  | None -> false
+  | Some arr ->
+      arr.(Ipds_alias.Access.wrap_index v index) <- value;
+      true
+
+let address t ~frame v index =
+  let index = Ipds_alias.Access.wrap_index v index in
+  if frame = 0 then Data_layout.global_address t.program v index
+  else
+    match Hashtbl.find_opt t.live frame with
+    | Some fr -> fr.base + Data_layout.local_offset fr.func v index
+    | None -> 0xdead0000 + (index * Data_layout.cell_bytes)
+
+let live_cells t ~scope =
+  let frame_cells (fr : frame) =
+    List.concat_map
+      (fun (v : Mir.Var.t) -> List.init v.size (fun i -> (fr.id, v, i)))
+      fr.func.locals
+  in
+  match scope, t.stack with
+  | `Active_locals, fr :: _ -> frame_cells fr
+  | `Active_locals, [] -> []
+  | `Anywhere, stack ->
+      let globals =
+        Hashtbl.fold
+          (fun _id v acc -> List.init v.Mir.Var.size (fun i -> (0, v, i)) @ acc)
+          t.global_vars []
+      in
+      globals @ List.concat_map frame_cells stack

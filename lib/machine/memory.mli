@@ -1,0 +1,36 @@
+(** Program memory: a global segment plus a stack of frames, each holding
+    its function's local variables.  Cells store {!Value.t}, so memory can
+    hold pointers (and attacks can corrupt them).  Dangling-frame
+    dereferences are detected and fault. *)
+
+type t
+
+val create : Ipds_mir.Program.t -> t
+
+val push_frame : t -> Ipds_mir.Func.t -> int
+(** Returns the new frame's id (> 0). *)
+
+val pop_frame : t -> unit
+val depth : t -> int
+val frame_alive : t -> int -> bool
+val func_of_frame : t -> int -> Ipds_mir.Func.t
+val active_frame : t -> int
+(** Id of the innermost frame; raises if none. *)
+
+val load : t -> frame:int -> Ipds_mir.Var.t -> int -> Value.t option
+(** [None] when the frame is dead or the variable absent; the index is
+    wrapped into bounds. *)
+
+val store : t -> frame:int -> Ipds_mir.Var.t -> int -> Value.t -> bool
+(** [false] on a dead frame / absent variable. *)
+
+val address : t -> frame:int -> Ipds_mir.Var.t -> int -> int
+(** Numeric address of the cell (for the cache model and pointer
+    degradation).  Dead frames still have a (stale) address. *)
+
+val live_cells :
+  t -> scope:[ `Active_locals | `Anywhere ] -> (int * Ipds_mir.Var.t * int) list
+(** Candidate victim cells for tampering: [(frame, var, index)].
+    [`Active_locals] restricts to the innermost frame's locals (the
+    buffer-overflow attack model); [`Anywhere] also includes globals and
+    outer frames (the format-string model). *)

@@ -1,0 +1,48 @@
+module Mir = Ipds_mir
+
+type model =
+  | Stack_overflow
+  | Arbitrary_write
+
+type plan = {
+  at_step : int;
+  model : model;
+  seed : int;
+  value : int;
+}
+
+type injection = {
+  frame : int;
+  var : Mir.Var.t;
+  index : int;
+  old_value : Value.t;
+  new_value : Value.t;
+}
+
+let pp_injection ppf i =
+  Format.fprintf ppf "tamper %s[%d]@f%d: %a -> %a" i.var.Mir.Var.name i.index
+    i.frame Value.pp i.old_value Value.pp i.new_value
+
+let inject plan memory =
+  let scope =
+    match plan.model with
+    | Stack_overflow -> `Active_locals
+    | Arbitrary_write -> `Anywhere
+  in
+  match Memory.live_cells memory ~scope with
+  | [] -> None
+  | candidates -> (
+      let state = Random.State.make [| plan.seed |] in
+      let frame, var, index =
+        List.nth candidates (Random.State.int state (List.length candidates))
+      in
+      match Memory.load memory ~frame var index with
+      | None -> None
+      | Some old_value ->
+          let new_value = Value.Int plan.value in
+          if old_value = new_value then None
+          else begin
+            let stored = Memory.store memory ~frame var index new_value in
+            assert stored;
+            Some { frame; var; index; old_value; new_value }
+          end)

@@ -1,0 +1,38 @@
+(** Memory-tampering attack injection (paper §6 methodology).
+
+    An attack flips exactly one memory cell at a chosen dynamic step.  The
+    two models mirror the paper's vulnerability classes:
+
+    - [Stack_overflow] — a buffer overflow can reach only local stack data
+      of the function that is executing when the tamper lands;
+    - [Arbitrary_write] — a format-string bug can tamper any live memory
+      location.
+
+    Victim selection is deterministic in the plan's seed, making every
+    attack experiment reproducible. *)
+
+type model =
+  | Stack_overflow
+  | Arbitrary_write
+
+type plan = {
+  at_step : int;  (** inject after this many executed instructions *)
+  model : model;
+  seed : int;
+  value : int;  (** the attacker-chosen replacement value *)
+}
+
+type injection = {
+  frame : int;
+  var : Ipds_mir.Var.t;
+  index : int;
+  old_value : Value.t;
+  new_value : Value.t;
+}
+
+val pp_injection : Format.formatter -> injection -> unit
+
+val inject : plan -> Memory.t -> injection option
+(** Pick a victim cell under the plan's model and overwrite it.  [None]
+    when no eligible cell exists or the chosen value equals the old one
+    (the "attack" would be a no-op). *)

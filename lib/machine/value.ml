@@ -1,0 +1,20 @@
+type pointer = {
+  frame : int;
+  var : Ipds_mir.Var.t;
+  index : int;
+}
+
+type t =
+  | Int of int
+  | Ptr of pointer
+
+let zero = Int 0
+
+let truthy = function
+  | Int 0 -> false
+  | Int _ | Ptr _ -> true
+
+let pp ppf = function
+  | Int n -> Format.fprintf ppf "%d" n
+  | Ptr p ->
+      Format.fprintf ppf "&%s[%d]@f%d" p.var.Ipds_mir.Var.name p.index p.frame

@@ -1,0 +1,63 @@
+(** Abstract syntax of MiniC, the small C-like language the workloads are
+    written in.
+
+    The language is deliberately C89-shaped: scalar [int]s, fixed-size
+    [int] arrays, pointers obtained with [&], dereference with [*],
+    functions, [if]/[while]/[for], and calls to the extern runtime
+    ([read_line], [recv], [strcmp], …).  Every variable is memory-resident
+    (compiled without register promotion), matching the machine model the
+    paper analyses. *)
+
+type unop =
+  | Neg
+  | Not  (** logical: [!e] is [e == 0] *)
+  | Deref
+
+type binop =
+  | Arith of Ipds_mir.Binop.t
+  | Cmp of Ipds_mir.Cmp.t
+  | And  (** short-circuit *)
+  | Or
+
+type expr =
+  | Int_lit of int
+  | Var of string
+  | Index of string * expr  (** [a\[e\]] *)
+  | Addr_of of string * expr option  (** [&v] or [&a\[e\]] *)
+  | Unary of unop * expr
+  | Binary of binop * expr * expr
+  | Call of string * expr list
+  | Input of int  (** [input(ch)] *)
+
+type lvalue =
+  | Lvar of string
+  | Lindex of string * expr
+  | Lderef of expr
+
+type stmt =
+  | Assign of lvalue * expr
+  | Expr of expr  (** evaluated for effect (calls) *)
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | For of stmt option * expr option * stmt option * stmt list
+  | Return of expr option
+  | Output of expr
+  | Break
+  | Continue
+
+type decl = {
+  d_name : string;
+  d_size : int option;  (** [Some n] for arrays *)
+}
+
+type func = {
+  f_name : string;
+  f_params : string list;  (** scalar int / pointer parameters *)
+  f_locals : decl list;
+  f_body : stmt list;
+}
+
+type program = {
+  p_globals : decl list;
+  p_funcs : func list;
+}

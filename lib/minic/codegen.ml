@@ -1,0 +1,299 @@
+module Mir = Ipds_mir
+module B = Mir.Builder
+
+exception Error of string
+
+let err fmt = Printf.ksprintf (fun m -> raise (Error m)) fmt
+
+type env = {
+  fb : B.fb;
+  globals : (string, Mir.Var.t) Hashtbl.t;
+  locals : (string, Mir.Var.t) Hashtbl.t;
+  (* names declared with [n]: indexing means array cells, not pointer
+     arithmetic (a size-1 array is still an array) *)
+  array_names : (string, unit) Hashtbl.t;
+  funcs : (string, int) Hashtbl.t;  (* name -> arity *)
+  (* (break target, continue target) stack *)
+  mutable loop_stack : (B.label * B.label) list;
+  mutable fresh_labels : int;
+}
+
+let is_array env name = Hashtbl.mem env.array_names name
+
+let lookup_var env name =
+  match Hashtbl.find_opt env.locals name with
+  | Some v -> Some v
+  | None -> Hashtbl.find_opt env.globals name
+
+let var env name =
+  match lookup_var env name with
+  | Some v -> v
+  | None -> err "unknown variable %s" name
+
+let new_label env hint =
+  env.fresh_labels <- env.fresh_labels + 1;
+  B.new_label env.fb (Printf.sprintf "%s%d" hint env.fresh_labels)
+
+(* If the previous statement terminated the block (return/break), open an
+   unreachable continuation block so that straggling code still compiles. *)
+let ensure_open env =
+  if not (B.in_block env.fb) then B.set_block env.fb (new_label env "dead")
+
+let rec gen_expr env (e : Ast.expr) : Mir.Operand.t =
+  match e with
+  | Ast.Int_lit n -> Mir.Operand.imm n
+  | Ast.Var name ->
+      let v = var env name in
+      Mir.Operand.reg (B.load env.fb (Mir.Addr.Direct v))
+  | Ast.Index (name, idx) ->
+      let v = var env name in
+      let i = gen_expr env idx in
+      if is_array env name then
+        Mir.Operand.reg (B.load env.fb (Mir.Addr.Index (v, i)))
+      else begin
+        (* C pointer indexing: p[i] is *(p + i) for pointer-valued p *)
+        let p = B.load env.fb (Mir.Addr.Direct v) in
+        let addr = B.binop env.fb Mir.Binop.Add (Mir.Operand.reg p) i in
+        Mir.Operand.reg (B.load env.fb (Mir.Addr.Indirect addr))
+      end
+  | Ast.Addr_of (name, idx) ->
+      let v = var env name in
+      let i =
+        match idx with
+        | Some e -> gen_expr env e
+        | None -> Mir.Operand.imm 0
+      in
+      if (not (is_array env name)) && idx <> None then begin
+        (* &p[i] on a pointer-valued scalar is p + i *)
+        let p = B.load env.fb (Mir.Addr.Direct v) in
+        Mir.Operand.reg (B.binop env.fb Mir.Binop.Add (Mir.Operand.reg p) i)
+      end
+      else Mir.Operand.reg (B.addr_of env.fb v i)
+  | Ast.Unary (Ast.Neg, e) ->
+      Mir.Operand.reg (B.binop env.fb Mir.Binop.Sub (Mir.Operand.imm 0) (gen_expr env e))
+  | Ast.Unary (Ast.Not, _) | Ast.Binary ((Ast.Cmp _ | Ast.And | Ast.Or), _, _) ->
+      gen_bool env e
+  | Ast.Unary (Ast.Deref, e) -> (
+      match gen_expr env e with
+      | Mir.Operand.Reg r -> Mir.Operand.reg (B.load env.fb (Mir.Addr.Indirect r))
+      | Mir.Operand.Imm _ -> err "dereference of integer literal")
+  | Ast.Binary (Ast.Arith op, a, bx) ->
+      let va = gen_expr env a in
+      let vb = gen_expr env bx in
+      Mir.Operand.reg (B.binop env.fb op va vb)
+  | Ast.Call (name, args) -> Mir.Operand.reg (gen_call env name args)
+  | Ast.Input ch -> Mir.Operand.reg (B.input env.fb ch)
+
+and gen_call env name args =
+  (match Hashtbl.find_opt env.funcs name with
+  | Some arity ->
+      if arity <> List.length args then
+        err "call %s: expected %d arguments, got %d" name arity (List.length args)
+  | None ->
+      if not (List.mem_assoc name Mir.Extern.default_table) then
+        err "call to unknown function %s" name);
+  let argv = List.map (gen_expr env) args in
+  B.call env.fb name argv
+
+(* Materialise a boolean expression as 0/1 through control flow. *)
+and gen_bool env e =
+  let fb = env.fb in
+  let true_l = new_label env "btrue" in
+  let false_l = new_label env "bfalse" in
+  let join_l = new_label env "bjoin" in
+  let r = B.fresh fb in
+  gen_cond env e true_l false_l;
+  B.set_block fb true_l;
+  B.emit fb (Mir.Op.Const (r, 1));
+  B.jump fb join_l;
+  B.set_block fb false_l;
+  B.emit fb (Mir.Op.Const (r, 0));
+  B.jump fb join_l;
+  B.set_block fb join_l;
+  Mir.Operand.reg r
+
+(* Branch to [tl] when the condition holds, [fl] otherwise.  Comparisons
+   compile into single conditional branches, which is what gives IPDS its
+   range information. *)
+and gen_cond env (e : Ast.expr) tl fl =
+  let fb = env.fb in
+  match e with
+  | Ast.Binary (Ast.Cmp cmp, a, bx) ->
+      let va = gen_expr env a in
+      let vb = gen_expr env bx in
+      let ra =
+        match va with
+        | Mir.Operand.Reg r -> r
+        | Mir.Operand.Imm n -> B.const fb n
+      in
+      B.branch fb cmp ra vb tl fl
+  | Ast.Unary (Ast.Not, inner) -> gen_cond env inner fl tl
+  | Ast.Binary (Ast.And, a, bx) ->
+      let mid = new_label env "and" in
+      gen_cond env a mid fl;
+      B.set_block fb mid;
+      gen_cond env bx tl fl
+  | Ast.Binary (Ast.Or, a, bx) ->
+      let mid = new_label env "or" in
+      gen_cond env a tl mid;
+      B.set_block fb mid;
+      gen_cond env bx tl fl
+  | Ast.Int_lit _ | Ast.Var _ | Ast.Index _ | Ast.Addr_of _
+  | Ast.Unary ((Ast.Neg | Ast.Deref), _)
+  | Ast.Binary (Ast.Arith _, _, _)
+  | Ast.Call _ | Ast.Input _ ->
+      let v = gen_expr env e in
+      let r =
+        match v with
+        | Mir.Operand.Reg r -> r
+        | Mir.Operand.Imm n -> B.const fb n
+      in
+      B.branch fb Mir.Cmp.Ne r (Mir.Operand.imm 0) tl fl
+
+let gen_assign env (lv : Ast.lvalue) rhs_op =
+  match lv with
+  | Ast.Lvar name -> B.store env.fb (Mir.Addr.Direct (var env name)) rhs_op
+  | Ast.Lindex (name, idx) ->
+      let v = var env name in
+      let i = gen_expr env idx in
+      if is_array env name then B.store env.fb (Mir.Addr.Index (v, i)) rhs_op
+      else begin
+        let p = B.load env.fb (Mir.Addr.Direct v) in
+        let addr = B.binop env.fb Mir.Binop.Add (Mir.Operand.reg p) i in
+        B.store env.fb (Mir.Addr.Indirect addr) rhs_op
+      end
+  | Ast.Lderef e -> (
+      match gen_expr env e with
+      | Mir.Operand.Reg r -> B.store env.fb (Mir.Addr.Indirect r) rhs_op
+      | Mir.Operand.Imm _ -> err "dereference of integer literal")
+
+let rec gen_stmt env (s : Ast.stmt) =
+  ensure_open env;
+  let fb = env.fb in
+  match s with
+  | Ast.Assign (lv, e) ->
+      let rhs = gen_expr env e in
+      gen_assign env lv rhs
+  | Ast.Expr e -> ignore (gen_expr env e)
+  | Ast.Output e -> B.output fb (gen_expr env e)
+  | Ast.Return e ->
+      let v =
+        match e with
+        | Some e -> gen_expr env e
+        | None -> Mir.Operand.imm 0
+      in
+      B.ret fb (Some v)
+  | Ast.If (c, then_b, else_b) ->
+      let tl = new_label env "then" in
+      let el = new_label env "else" in
+      let join = new_label env "join" in
+      gen_cond env c tl el;
+      B.set_block fb tl;
+      gen_stmts env then_b;
+      if B.in_block fb then B.jump fb join;
+      B.set_block fb el;
+      gen_stmts env else_b;
+      if B.in_block fb then B.jump fb join;
+      B.set_block fb join
+  | Ast.While (c, body) ->
+      let head = new_label env "while" in
+      let body_l = new_label env "body" in
+      let exit_l = new_label env "endwhile" in
+      B.jump fb head;
+      B.set_block fb head;
+      gen_cond env c body_l exit_l;
+      B.set_block fb body_l;
+      env.loop_stack <- (exit_l, head) :: env.loop_stack;
+      gen_stmts env body;
+      env.loop_stack <- List.tl env.loop_stack;
+      if B.in_block fb then B.jump fb head;
+      B.set_block fb exit_l
+  | Ast.For (init, cond, step, body) ->
+      Option.iter (gen_stmt env) init;
+      ensure_open env;
+      let head = new_label env "for" in
+      let body_l = new_label env "forbody" in
+      let step_l = new_label env "forstep" in
+      let exit_l = new_label env "endfor" in
+      B.jump fb head;
+      B.set_block fb head;
+      (match cond with
+      | Some c -> gen_cond env c body_l exit_l
+      | None -> B.jump fb body_l);
+      B.set_block fb body_l;
+      env.loop_stack <- (exit_l, step_l) :: env.loop_stack;
+      gen_stmts env body;
+      env.loop_stack <- List.tl env.loop_stack;
+      if B.in_block fb then B.jump fb step_l;
+      B.set_block fb step_l;
+      Option.iter (gen_stmt env) step;
+      ensure_open env;
+      B.jump fb head;
+      B.set_block fb exit_l
+  | Ast.Break -> (
+      match env.loop_stack with
+      | (exit_l, _) :: _ -> B.jump fb exit_l
+      | [] -> err "break outside loop")
+  | Ast.Continue -> (
+      match env.loop_stack with
+      | (_, cont_l) :: _ -> B.jump fb cont_l
+      | [] -> err "continue outside loop")
+
+and gen_stmts env stmts = List.iter (gen_stmt env) stmts
+
+let compile (p : Ast.program) =
+  let b = B.create () in
+  B.declare_default_externs b;
+  let globals = Hashtbl.create 16 in
+  let global_arrays = Hashtbl.create 16 in
+  List.iter
+    (fun (d : Ast.decl) ->
+      if Hashtbl.mem globals d.d_name then err "duplicate global %s" d.d_name;
+      if d.d_size <> None then Hashtbl.replace global_arrays d.d_name ();
+      Hashtbl.replace globals d.d_name (B.global b ?size:d.d_size d.d_name))
+    p.p_globals;
+  let funcs = Hashtbl.create 16 in
+  List.iter
+    (fun (f : Ast.func) ->
+      if Hashtbl.mem funcs f.f_name then err "duplicate function %s" f.f_name;
+      if List.mem_assoc f.f_name Mir.Extern.default_table then
+        err "function %s shadows a runtime external" f.f_name;
+      Hashtbl.replace funcs f.f_name (List.length f.f_params))
+    p.p_funcs;
+  List.iter
+    (fun (f : Ast.func) ->
+      B.func b f.f_name ~nparams:(List.length f.f_params) (fun fb params ->
+          let env =
+            {
+              fb;
+              globals;
+              locals = Hashtbl.create 16;
+              array_names = Hashtbl.copy global_arrays;
+              funcs;
+              loop_stack = [];
+              fresh_labels = 0;
+            }
+          in
+          (* Parameters spill to memory at entry: -O0 style. *)
+          List.iter2
+            (fun name r ->
+              if Hashtbl.mem env.locals name then err "duplicate parameter %s" name;
+              let v = B.local fb name in
+              Hashtbl.replace env.locals name v;
+              Hashtbl.remove env.array_names name;
+              B.store fb (Mir.Addr.Direct v) (Mir.Operand.reg r))
+            f.f_params params;
+          List.iter
+            (fun (d : Ast.decl) ->
+              if Hashtbl.mem env.locals d.d_name then
+                err "duplicate local %s" d.d_name;
+              (* a local declaration shadows any same-named global *)
+              if d.d_size <> None then Hashtbl.replace env.array_names d.d_name ()
+              else Hashtbl.remove env.array_names d.d_name;
+              Hashtbl.replace env.locals d.d_name
+                (B.local fb ?size:d.d_size d.d_name))
+            f.f_locals;
+          gen_stmts env f.f_body;
+          if B.in_block fb then B.ret fb (Some (Mir.Operand.imm 0))))
+    p.p_funcs;
+  B.finish b

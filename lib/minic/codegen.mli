@@ -1,0 +1,17 @@
+(** MiniC → MIR code generation.
+
+    Compilation is deliberately -O0 shaped: every MiniC variable
+    (parameters included) is a memory-resident MIR variable, read with a
+    fresh load at each use and written with a store at each assignment.
+    That makes the security-relevant branches of the workloads test
+    freshly loaded memory values — the code shape the paper's SUIF-level
+    analysis sees before register promotion.
+
+    Runtime externals used by the source are declared automatically from
+    {!Ipds_mir.Extern.default_table}. *)
+
+exception Error of string
+
+val compile : Ast.program -> Ipds_mir.Program.t
+(** Raises {!Error} on scope/arity violations, [Invalid_argument] if the
+    generated program fails validation (a codegen bug). *)

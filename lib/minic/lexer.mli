@@ -1,0 +1,51 @@
+(** MiniC tokens and lexer. *)
+
+type token =
+  | IDENT of string
+  | INT of int
+  | KW_INT
+  | KW_IF
+  | KW_ELSE
+  | KW_WHILE
+  | KW_FOR
+  | KW_RETURN
+  | KW_BREAK
+  | KW_CONTINUE
+  | KW_OUTPUT
+  | KW_INPUT
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | LBRACE
+  | RBRACE
+  | SEMI
+  | COMMA
+  | ASSIGN  (** = *)
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | AMP
+  | PIPE
+  | CARET
+  | SHL
+  | SHR
+  | LT
+  | LE
+  | GT
+  | GE
+  | EQ
+  | NE
+  | ANDAND
+  | OROR
+  | BANG
+  | EOF
+
+exception Error of string
+
+val tokens : string -> (token * int) array
+(** Token stream with line numbers.  Comments are [// …] and [/* … */]. *)
+
+val describe : token -> string

@@ -1,0 +1,9 @@
+exception Error of string
+
+let parse src =
+  try Parser.parse src with
+  | Lexer.Error m | Parser.Error m -> raise (Error m)
+
+let compile src =
+  try Codegen.compile (parse src) with
+  | Codegen.Error m -> raise (Error m)

@@ -1,0 +1,18 @@
+(** Recursive-descent parser for MiniC.
+
+    Grammar sketch:
+    {v
+    program := top*
+    top     := "int" "*"? ident ("[" INT "]")? ";"            (global)
+             | "int" ident "(" params? ")" "{" decls stmts "}" (function)
+    params  := "int" "*"? ident ("," "int" "*"? ident)*
+    decls   := ("int" "*"? ident ("[" INT "]")? ";")*
+    stmt    := lvalue "=" expr ";" | expr ";" | "if" | "while" | "for"
+             | "return" expr? ";" | "output" "(" expr ")" ";"
+             | "break" ";" | "continue" ";"
+    v}
+    Operator precedence follows C.  [input(n)] reads input channel [n]. *)
+
+exception Error of string
+
+val parse : string -> Ast.program

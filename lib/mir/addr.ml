@@ -1,0 +1,18 @@
+type t =
+  | Direct of Var.t
+  | Index of Var.t * Operand.t
+  | Indirect of Reg.t
+
+let base_var = function
+  | Direct v | Index (v, _) -> Some v
+  | Indirect _ -> None
+
+let regs = function
+  | Direct _ -> []
+  | Index (_, i) -> Operand.regs i
+  | Indirect r -> [ r ]
+
+let pp ppf = function
+  | Direct v -> Format.fprintf ppf "%s" v.Var.name
+  | Index (v, i) -> Format.fprintf ppf "%s[%a]" v.Var.name Operand.pp i
+  | Indirect r -> Format.fprintf ppf "[%a]" Reg.pp r

@@ -1,0 +1,40 @@
+type summary =
+  | Pure
+  | Writes_args of int list
+  | Writes_anything
+
+let equal a b =
+  match a, b with
+  | Pure, Pure | Writes_anything, Writes_anything -> true
+  | Writes_args xs, Writes_args ys -> List.equal Int.equal xs ys
+  | (Pure | Writes_args _ | Writes_anything), _ -> false
+
+let pp ppf = function
+  | Pure -> Format.pp_print_string ppf "pure"
+  | Writes_args args ->
+      Format.fprintf ppf "writes(%a)"
+        Format.(pp_print_list ~pp_sep:(fun f () -> pp_print_string f ",") pp_print_int)
+        args
+  | Writes_anything -> Format.pp_print_string ppf "writes_all"
+
+(* The interpreter in Ipds_machine.Interp gives these executable semantics;
+   the summaries here are what the correlation analysis relies on. *)
+let default_table =
+  [
+    ("memset", Writes_args [ 0 ]);
+    ("memcpy", Writes_args [ 0 ]);
+    ("strcmp", Pure);
+    ("strlen", Pure);
+    ("checksum", Pure);
+    ("log_msg", Pure);
+    ("send", Pure);
+    ("recv", Writes_args [ 0 ]);
+    ("read_line", Writes_args [ 0 ]);
+    ("hash_pw", Pure);
+    ("syscall", Writes_anything);
+  ]
+
+let lookup table name =
+  match List.assoc_opt name table with
+  | Some s -> s
+  | None -> Writes_anything

@@ -1,0 +1,35 @@
+(** Functions: a CFG of basic blocks plus local declarations.
+
+    Instruction ids [0 .. instr_count - 1] cover every body instruction and
+    every terminator, densely.  Use {!instr_at}/{!location} to map between
+    ids and (block, position) coordinates. *)
+
+type location =
+  | Body of int * int  (** block index, position in [body] *)
+  | Term of int  (** terminator of block *)
+
+type t = {
+  name : string;
+  params : Reg.t list;
+  locals : Var.t list;
+  blocks : Block.t array;
+  reg_count : int;  (** registers are numbered [0 .. reg_count - 1] *)
+  instr_count : int;
+}
+
+val entry : t -> Block.t
+val location : t -> int -> location
+(** [location f iid] finds where instruction [iid] lives.
+    Raises [Not_found] for an out-of-range id. *)
+
+val op_at : t -> int -> Op.t option
+(** The payload at [iid], or [None] if [iid] is a terminator. *)
+
+val branches : t -> (int * Block.t) list
+(** All conditional branches as [(term_iid, block)], in block order. *)
+
+val iter_instrs : t -> (int -> Op.t -> unit) -> unit
+(** Iterate body instructions (not terminators) in block order. *)
+
+val label_of_block : t -> int -> string
+val pp : Format.formatter -> t -> unit

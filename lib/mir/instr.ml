@@ -1,0 +1,6 @@
+type t = {
+  iid : int;
+  op : Op.t;
+}
+
+let pp ppf t = Op.pp ppf t.op

@@ -1,0 +1,28 @@
+(** Synthetic code layout: maps every instruction (and terminator) to a PC.
+
+    Functions are laid out in program order starting at {!base_address},
+    one 4-byte slot per instruction id, each function aligned to 64 bytes.
+    Branch PCs are the keys hashed into the BSV/BCV/BAT tables, exactly as
+    the paper indexes its per-function hash tables by branch address. *)
+
+type t
+
+val instr_bytes : int
+(** 4 — bytes per instruction slot. *)
+
+val base_address : int
+(** 0x1000 — PC of the first function's first instruction. *)
+
+val make : Program.t -> t
+val pc : t -> fname:string -> iid:int -> int
+(** Raises [Invalid_argument] for unknown functions or out-of-range ids. *)
+
+val func_base : t -> string -> int
+val func_of_pc : t -> int -> (string * int) option
+(** [(fname, iid)] of the slot containing the PC, if any. *)
+
+val code_bytes : t -> int
+(** Total laid-out code size in bytes. *)
+
+val branch_pcs : t -> Func.t -> int list
+(** PCs of the conditional branches of a function, ascending. *)

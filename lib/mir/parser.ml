@@ -1,0 +1,431 @@
+exception Parse_error of string
+
+type token =
+  | IDENT of string
+  | INT of int
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | LBRACE
+  | RBRACE
+  | COMMA
+  | COLON
+  | EQUALS
+  | EOF
+
+let pp_token = function
+  | IDENT s -> s
+  | INT n -> string_of_int n
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | LBRACKET -> "["
+  | RBRACKET -> "]"
+  | LBRACE -> "{"
+  | RBRACE -> "}"
+  | COMMA -> ","
+  | COLON -> ":"
+  | EQUALS -> "="
+  | EOF -> "<eof>"
+
+(* ---------- Lexer ---------- *)
+
+let lex src =
+  let n = String.length src in
+  let toks = ref [] in
+  let line = ref 1 in
+  let i = ref 0 in
+  let push t = toks := (t, !line) :: !toks in
+  let is_ident_char c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_'
+  in
+  let is_digit c = c >= '0' && c <= '9' in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '\n' then begin
+      incr line;
+      incr i
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '#' then
+      while !i < n && src.[!i] <> '\n' do
+        incr i
+      done
+    else if is_digit c || (c = '-' && !i + 1 < n && is_digit src.[!i + 1]) then begin
+      let start = !i in
+      if c = '-' then incr i;
+      while !i < n && is_digit src.[!i] do
+        incr i
+      done;
+      push (INT (int_of_string (String.sub src start (!i - start))))
+    end
+    else if is_ident_char c then begin
+      let start = !i in
+      while !i < n && is_ident_char src.[!i] do
+        incr i
+      done;
+      push (IDENT (String.sub src start (!i - start)))
+    end
+    else begin
+      (match c with
+      | '(' -> push LPAREN
+      | ')' -> push RPAREN
+      | '[' -> push LBRACKET
+      | ']' -> push RBRACKET
+      | '{' -> push LBRACE
+      | '}' -> push RBRACE
+      | ',' -> push COMMA
+      | ':' -> push COLON
+      | '=' -> push EQUALS
+      | _ -> raise (Parse_error (Printf.sprintf "line %d: bad character %c" !line c)));
+      incr i
+    end
+  done;
+  push EOF;
+  Array.of_list (List.rev !toks)
+
+(* ---------- Token stream ---------- *)
+
+type stream = {
+  toks : (token * int) array;
+  mutable pos : int;
+}
+
+let peek s = fst s.toks.(s.pos)
+let peek2 s = if s.pos + 1 < Array.length s.toks then fst s.toks.(s.pos + 1) else EOF
+let cur_line s = snd s.toks.(s.pos)
+
+let fail s fmt =
+  Printf.ksprintf (fun m -> raise (Parse_error (Printf.sprintf "line %d: %s" (cur_line s) m))) fmt
+
+let next s =
+  let t = peek s in
+  if t <> EOF then s.pos <- s.pos + 1;
+  t
+
+let expect s t =
+  let got = next s in
+  if got <> t then
+    raise
+      (Parse_error
+         (Printf.sprintf "line %d: expected %s, got %s"
+            (snd s.toks.(s.pos - 1))
+            (pp_token t) (pp_token got)))
+
+let ident s =
+  match next s with
+  | IDENT name -> name
+  | t -> fail s "expected identifier, got %s" (pp_token t)
+
+let int_lit s =
+  match next s with
+  | INT n -> n
+  | t -> fail s "expected integer, got %s" (pp_token t)
+
+let reg_of_ident name =
+  let len = String.length name in
+  if len >= 2 && name.[0] = 'r' then
+    match int_of_string_opt (String.sub name 1 (len - 1)) with
+    | Some n when n >= 0 -> Some (Reg.make n)
+    | Some _ | None -> None
+  else None
+
+let reg s =
+  match next s with
+  | IDENT name -> (
+      match reg_of_ident name with
+      | Some r -> r
+      | None -> fail s "expected register, got %s" name)
+  | t -> fail s "expected register, got %s" (pp_token t)
+
+(* ---------- Parser proper ---------- *)
+
+type fstate = {
+  fb : Builder.fb;
+  locals : (string, Var.t) Hashtbl.t;
+  labels : (string, Builder.label) Hashtbl.t;
+}
+
+let touch_reg fs r = Builder.reserve_regs fs.fb (Reg.index r + 1)
+
+let operand fs s =
+  match next s with
+  | INT n -> Operand.imm n
+  | IDENT name -> (
+      match reg_of_ident name with
+      | Some r ->
+          touch_reg fs r;
+          Operand.reg r
+      | None -> fail s "expected operand, got %s" name)
+  | t -> fail s "expected operand, got %s" (pp_token t)
+
+let find_var globals fs s name =
+  match Hashtbl.find_opt fs.locals name with
+  | Some v -> v
+  | None -> (
+      match Hashtbl.find_opt globals name with
+      | Some v -> v
+      | None -> fail s "unknown variable %s" name)
+
+let addr globals fs s =
+  match peek s with
+  | LBRACKET ->
+      expect s LBRACKET;
+      let r = reg s in
+      touch_reg fs r;
+      expect s RBRACKET;
+      Addr.Indirect r
+  | IDENT name ->
+      ignore (next s);
+      let v = find_var globals fs s name in
+      if peek s = LBRACKET then begin
+        expect s LBRACKET;
+        let idx = operand fs s in
+        expect s RBRACKET;
+        Addr.Index (v, idx)
+      end
+      else Addr.Direct v
+  | t -> fail s "expected address, got %s" (pp_token t)
+
+let call_args fs s =
+  expect s LPAREN;
+  if peek s = RPAREN then begin
+    expect s RPAREN;
+    []
+  end
+  else begin
+    let args = ref [ operand fs s ] in
+    while peek s = COMMA do
+      expect s COMMA;
+      args := operand fs s :: !args
+    done;
+    expect s RPAREN;
+    List.rev !args
+  end
+
+let lookup_label fs name =
+  match Hashtbl.find_opt fs.labels name with
+  | Some l -> l
+  | None ->
+      let l = Builder.new_label fs.fb name in
+      Hashtbl.add fs.labels name l;
+      l
+
+(* Parses one instruction or terminator.  Returns [true] when the block was
+   terminated. *)
+let instr globals fs s =
+  let fb = fs.fb in
+  match next s with
+  | IDENT "store" ->
+      let a = addr globals fs s in
+      expect s COMMA;
+      let o = operand fs s in
+      Builder.emit fb (Op.Store (a, o));
+      false
+  | IDENT "output" ->
+      let o = operand fs s in
+      Builder.emit fb (Op.Output o);
+      false
+  | IDENT "nop" ->
+      Builder.emit fb Op.Nop;
+      false
+  | IDENT "call" ->
+      let callee = ident s in
+      let args = call_args fs s in
+      Builder.emit fb (Op.Call { dst = None; callee; args });
+      false
+  | IDENT "jmp" ->
+      Builder.jump fb (lookup_label fs (ident s));
+      true
+  | IDENT "br" ->
+      let c =
+        match Cmp.of_string (ident s) with
+        | Some c -> c
+        | None -> fail s "bad comparison"
+      in
+      let lhs = reg s in
+      touch_reg fs lhs;
+      expect s COMMA;
+      let rhs = operand fs s in
+      expect s COMMA;
+      let if_true = lookup_label fs (ident s) in
+      expect s COMMA;
+      let if_false = lookup_label fs (ident s) in
+      Builder.branch fb c lhs rhs if_true if_false;
+      true
+  | IDENT "ret" ->
+      let o =
+        match peek s with
+        | INT _ -> Some (operand fs s)
+        | IDENT name when reg_of_ident name <> None -> Some (operand fs s)
+        | IDENT _ | LPAREN | RPAREN | LBRACKET | RBRACKET | LBRACE | RBRACE
+        | COMMA | COLON | EQUALS | EOF ->
+            None
+      in
+      Builder.ret fb o;
+      true
+  | IDENT "halt" ->
+      Builder.halt fb;
+      true
+  | IDENT name -> (
+      match reg_of_ident name with
+      | None -> fail s "unexpected %s" name
+      | Some r -> (
+          touch_reg fs r;
+          expect s EQUALS;
+          match next s with
+          | INT n ->
+              Builder.emit fb (Op.Const (r, n));
+              false
+          | IDENT "load" ->
+              Builder.emit fb (Op.Load (r, addr globals fs s));
+              false
+          | IDENT "addr" ->
+              let v = find_var globals fs s (ident s) in
+              expect s LBRACKET;
+              let idx = operand fs s in
+              expect s RBRACKET;
+              Builder.emit fb (Op.Addr_of (r, v, idx));
+              false
+          | IDENT "call" ->
+              let callee = ident s in
+              let args = call_args fs s in
+              Builder.emit fb (Op.Call { dst = Some r; callee; args });
+              false
+          | IDENT "input" ->
+              Builder.emit fb (Op.Input (r, int_lit s));
+              false
+          | IDENT rhs -> (
+              match reg_of_ident rhs with
+              | Some src ->
+                  touch_reg fs src;
+                  Builder.emit fb (Op.Move (r, Operand.reg src));
+                  false
+              | None -> (
+                  match Binop.of_string rhs with
+                  | Some op ->
+                      let a = operand fs s in
+                      expect s COMMA;
+                      let b = operand fs s in
+                      Builder.emit fb (Op.Binop (r, op, a, b));
+                      false
+                  | None -> fail s "unknown instruction %s" rhs))
+          | t -> fail s "bad right-hand side %s" (pp_token t)))
+  | t -> fail s "unexpected %s" (pp_token t)
+
+let func_body globals fs s =
+  (* Leading "var" declarations. *)
+  let continue_vars = ref true in
+  while !continue_vars do
+    match peek s with
+    | IDENT "var" when peek2 s <> COLON ->
+        ignore (next s);
+        let name = ident s in
+        let size =
+          if peek s = LBRACKET then begin
+            expect s LBRACKET;
+            let n = int_lit s in
+            expect s RBRACKET;
+            Some n
+          end
+          else None
+        in
+        Hashtbl.replace fs.locals name (Builder.local fs.fb ?size name)
+    | IDENT _ | INT _ | LPAREN | RPAREN | LBRACKET | RBRACKET | LBRACE | RBRACE
+    | COMMA | COLON | EQUALS | EOF ->
+        continue_vars := false
+  done;
+  (* Pre-scan the body for label definitions (IDENT ':') so block indices
+     follow definition order, keeping print/parse round trips stable. *)
+  let rec prescan i first =
+    match fst s.toks.(i) with
+    | RBRACE | EOF -> ()
+    | IDENT name when i + 1 < Array.length s.toks && fst s.toks.(i + 1) = COLON ->
+        if first then
+          Hashtbl.replace fs.labels name (Builder.entry_label fs.fb)
+        else if not (Hashtbl.mem fs.labels name) then
+          Hashtbl.replace fs.labels name (Builder.new_label fs.fb name);
+        prescan (i + 2) false
+    | IDENT _ | INT _ | LPAREN | RPAREN | LBRACKET | RBRACKET | LBRACE | COMMA
+    | COLON | EQUALS ->
+        prescan (i + 1) first
+  in
+  prescan s.pos true;
+  (* First block: bound to the implicit entry label. *)
+  let first = ident s in
+  expect s COLON;
+  Hashtbl.replace fs.labels first (Builder.entry_label fs.fb);
+  let parse_block_body () =
+    let terminated = ref false in
+    while not !terminated do
+      terminated := instr globals fs s
+    done
+  in
+  parse_block_body ();
+  while peek s <> RBRACE do
+    let name = ident s in
+    expect s COLON;
+    Builder.set_block fs.fb (lookup_label fs name);
+    parse_block_body ()
+  done;
+  expect s RBRACE
+
+let effect s =
+  match ident s with
+  | "pure" -> Extern.Pure
+  | "writes_all" -> Extern.Writes_anything
+  | "writes" ->
+      expect s LPAREN;
+      let args = ref [ int_lit s ] in
+      while peek s = COMMA do
+        expect s COMMA;
+        args := int_lit s :: !args
+      done;
+      expect s RPAREN;
+      Extern.Writes_args (List.rev !args)
+  | e -> fail s "unknown effect %s" e
+
+let program_of_string src =
+  let s = { toks = lex src; pos = 0 } in
+  let b = Builder.create () in
+  let globals = Hashtbl.create 16 in
+  let finished = ref false in
+  while not !finished do
+    match next s with
+    | EOF -> finished := true
+    | IDENT "global" ->
+        let name = ident s in
+        let size =
+          if peek s = LBRACKET then begin
+            expect s LBRACKET;
+            let n = int_lit s in
+            expect s RBRACKET;
+            Some n
+          end
+          else None
+        in
+        Hashtbl.replace globals name (Builder.global b ?size name)
+    | IDENT "extern" ->
+        let name = ident s in
+        Builder.declare_extern b name (effect s)
+    | IDENT "func" ->
+        let name = ident s in
+        expect s LPAREN;
+        let nparams = ref 0 in
+        if peek s <> RPAREN then begin
+          let _ = reg s in
+          incr nparams;
+          while peek s = COMMA do
+            expect s COMMA;
+            let _ = reg s in
+            incr nparams
+          done
+        end;
+        expect s RPAREN;
+        expect s LBRACE;
+        Builder.func b name ~nparams:!nparams (fun fb _params ->
+            let fs = { fb; locals = Hashtbl.create 16; labels = Hashtbl.create 16 } in
+            func_body globals fs s)
+    | t -> fail s "expected declaration, got %s" (pp_token t)
+  done;
+  Builder.finish b

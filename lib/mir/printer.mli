@@ -1,0 +1,4 @@
+(** Textual rendering of MIR, parseable back by {!Parser}. *)
+
+val program_to_string : Program.t -> string
+val func_to_string : Func.t -> string

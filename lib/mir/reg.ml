@@ -1,0 +1,12 @@
+type t = int
+
+let make i =
+  if i < 0 then invalid_arg "Reg.make: negative index";
+  i
+
+let index t = t
+let equal = Int.equal
+let compare = Int.compare
+let hash t = t
+let pp ppf t = Format.fprintf ppf "r%d" t
+let to_string t = Printf.sprintf "r%d" t

@@ -1,0 +1,34 @@
+type t =
+  | Jump of int
+  | Branch of {
+      cmp : Cmp.t;
+      lhs : Reg.t;
+      rhs : Operand.t;
+      if_true : int;
+      if_false : int;
+    }
+  | Return of Operand.t option
+  | Halt
+
+let successors = function
+  | Jump b -> [ b ]
+  | Branch { if_true; if_false; _ } -> [ if_true; if_false ]
+  | Return _ | Halt -> []
+
+let uses = function
+  | Jump _ | Halt | Return None -> []
+  | Return (Some o) -> Operand.regs o
+  | Branch { lhs; rhs; _ } -> lhs :: Operand.regs rhs
+
+let is_branch = function
+  | Branch _ -> true
+  | Jump _ | Return _ | Halt -> false
+
+let pp ~labels ppf = function
+  | Jump b -> Format.fprintf ppf "jmp %s" (labels b)
+  | Branch { cmp; lhs; rhs; if_true; if_false } ->
+      Format.fprintf ppf "br %a %a, %a, %s, %s" Cmp.pp cmp Reg.pp lhs
+        Operand.pp rhs (labels if_true) (labels if_false)
+  | Return None -> Format.pp_print_string ppf "ret"
+  | Return (Some o) -> Format.fprintf ppf "ret %a" Operand.pp o
+  | Halt -> Format.pp_print_string ppf "halt"

@@ -1,0 +1,17 @@
+(** Structural well-formedness checks for programs. *)
+
+type error = {
+  context : string;  (** function name or "program" *)
+  message : string;
+}
+
+val pp_error : Format.formatter -> error -> unit
+
+val check : Program.t -> error list
+(** All violations found: dangling block indices, non-dense instruction
+    ids, out-of-range registers, variables used outside their scope,
+    calls to names that are neither defined nor declared, duplicate or
+    missing [main], blocks with out-of-range entry. *)
+
+val check_exn : Program.t -> unit
+(** Raises [Invalid_argument] with the first error rendered. *)

@@ -1,0 +1,87 @@
+module Mir = Ipds_mir
+
+(* A local is promotable when it is a scalar, its address is never taken
+   anywhere in the program, and every access to it anywhere is a direct
+   load or store.  (Indexed accesses to scalars are legal MIR, so they are
+   checked for rather than assumed away.) *)
+
+let disqualified (p : Mir.Program.t) =
+  let bad = Hashtbl.create 16 in
+  let disqualify (v : Mir.Var.t) = Hashtbl.replace bad v.id () in
+  let check_addr = function
+    | Mir.Addr.Direct _ -> ()
+    | Mir.Addr.Index (v, _) -> disqualify v
+    | Mir.Addr.Indirect _ -> ()
+  in
+  List.iter
+    (fun (f : Mir.Func.t) ->
+      Mir.Func.iter_instrs f (fun _ op ->
+          match op with
+          | Mir.Op.Addr_of (_, v, _) -> disqualify v
+          | Mir.Op.Load (_, a) | Mir.Op.Store (a, _) -> check_addr a
+          | Mir.Op.Const _ | Mir.Op.Move _ | Mir.Op.Binop _ | Mir.Op.Call _
+          | Mir.Op.Input _ | Mir.Op.Output _ | Mir.Op.Nop ->
+              ()))
+    p.funcs;
+  bad
+
+let promotable p (f : Mir.Func.t) =
+  let bad = disqualified p in
+  List.filter
+    (fun (v : Mir.Var.t) -> Mir.Var.is_scalar v && not (Hashtbl.mem bad v.id))
+    f.locals
+
+let promote_func p (f : Mir.Func.t) =
+  let victims = promotable p f in
+  if victims = [] then f
+  else begin
+    let reg_of = Hashtbl.create 8 in
+    let next = ref f.reg_count in
+    List.iter
+      (fun (v : Mir.Var.t) ->
+        Hashtbl.replace reg_of v.id (Mir.Reg.make !next);
+        incr next)
+      victims;
+    let rewrite (op : Mir.Op.t) =
+      match op with
+      | Mir.Op.Load (r, Mir.Addr.Direct v) -> (
+          match Hashtbl.find_opt reg_of v.Mir.Var.id with
+          | Some rv -> Mir.Op.Move (r, Mir.Operand.reg rv)
+          | None -> op)
+      | Mir.Op.Store (Mir.Addr.Direct v, o) -> (
+          match Hashtbl.find_opt reg_of v.Mir.Var.id with
+          | Some rv -> Mir.Op.Move (rv, o)
+          | None -> op)
+      | Mir.Op.Const _ | Mir.Op.Move _ | Mir.Op.Binop _ | Mir.Op.Load _
+      | Mir.Op.Store _ | Mir.Op.Addr_of _ | Mir.Op.Call _ | Mir.Op.Input _
+      | Mir.Op.Output _ | Mir.Op.Nop ->
+          op
+    in
+    let blocks =
+      Array.map
+        (fun (b : Mir.Block.t) ->
+          {
+            b with
+            Mir.Block.body =
+              Array.map
+                (fun (i : Mir.Instr.t) -> { i with Mir.Instr.op = rewrite i.op })
+                b.body;
+          })
+        f.blocks
+    in
+    let keep (v : Mir.Var.t) = not (Hashtbl.mem reg_of v.id) in
+    {
+      f with
+      Mir.Func.blocks;
+      locals = List.filter keep f.locals;
+      reg_count = !next;
+    }
+  end
+
+let program (p : Mir.Program.t) =
+  let promoted = { p with Mir.Program.funcs = List.map (promote_func p) p.funcs } in
+  Mir.Validate.check_exn promoted;
+  promoted
+
+let promoted_vars (p : Mir.Program.t) =
+  List.concat_map (fun f -> promotable p f) p.funcs

@@ -1,0 +1,22 @@
+module Mir = Ipds_mir
+
+let func (f : Mir.Func.t) ~body_of ~term_of =
+  let next = ref 0 in
+  let blocks =
+    Array.map
+      (fun (b : Mir.Block.t) ->
+        let body =
+          Array.of_list
+            (List.map
+               (fun op ->
+                 let iid = !next in
+                 incr next;
+                 { Mir.Instr.iid; op })
+               (body_of b.index))
+        in
+        let term_iid = !next in
+        incr next;
+        { b with Mir.Block.body; term = term_of b.index; term_iid })
+      f.blocks
+  in
+  { f with Mir.Func.blocks; instr_count = !next }

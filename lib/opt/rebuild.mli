@@ -1,0 +1,11 @@
+(** Rebuild a function from edited block contents, renumbering instruction
+    ids densely (the invariant every analysis relies on). *)
+
+val func :
+  Ipds_mir.Func.t ->
+  body_of:(int -> Ipds_mir.Op.t list) ->
+  term_of:(int -> Ipds_mir.Terminator.t) ->
+  Ipds_mir.Func.t
+(** [func f ~body_of ~term_of] — block [b] gets body [body_of b] and
+    terminator [term_of b]; labels, params, locals and register count are
+    preserved. *)

@@ -1,0 +1,56 @@
+type t = {
+  sets : int;
+  assoc : int;
+  block_bytes : int;
+  tags : int array array;  (* [set].[way]; -1 = invalid *)
+  stamps : int array array;
+  mutable tick : int;
+  mutable accesses : int;
+  mutable misses : int;
+}
+
+let create (p : Config.cache_params) =
+  let sets = max 1 (p.size_bytes / (p.block_bytes * p.assoc)) in
+  {
+    sets;
+    assoc = p.assoc;
+    block_bytes = p.block_bytes;
+    tags = Array.init sets (fun _ -> Array.make p.assoc (-1));
+    stamps = Array.init sets (fun _ -> Array.make p.assoc 0);
+    tick = 0;
+    accesses = 0;
+    misses = 0;
+  }
+
+let access t addr =
+  t.tick <- t.tick + 1;
+  t.accesses <- t.accesses + 1;
+  let block = addr / t.block_bytes in
+  let set = block mod t.sets in
+  let tag = block / t.sets in
+  let tags = t.tags.(set) and stamps = t.stamps.(set) in
+  let hit = ref false in
+  for way = 0 to t.assoc - 1 do
+    if tags.(way) = tag then begin
+      hit := true;
+      stamps.(way) <- t.tick
+    end
+  done;
+  if not !hit then begin
+    t.misses <- t.misses + 1;
+    (* evict LRU way *)
+    let victim = ref 0 in
+    for way = 1 to t.assoc - 1 do
+      if stamps.(way) < stamps.(!victim) then victim := way
+    done;
+    tags.(!victim) <- tag;
+    stamps.(!victim) <- t.tick
+  end;
+  !hit
+
+let accesses t = t.accesses
+let misses t = t.misses
+
+let reset_stats t =
+  t.accesses <- 0;
+  t.misses <- 0

@@ -1,0 +1,11 @@
+(** Set-associative LRU cache model. *)
+
+type t
+
+val create : Config.cache_params -> t
+val access : t -> int -> bool
+(** [access t addr] — true on hit; on miss the block is filled. *)
+
+val accesses : t -> int
+val misses : t -> int
+val reset_stats : t -> unit

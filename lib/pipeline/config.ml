@@ -1,0 +1,84 @@
+type cache_params = {
+  size_bytes : int;
+  assoc : int;
+  block_bytes : int;
+  hit_latency : int;
+}
+
+type t = {
+  clock_mhz : int;
+  fetch_queue : int;
+  decode_width : int;
+  issue_width : int;
+  commit_width : int;
+  ruu_size : int;
+  lsq_size : int;
+  l1i : cache_params;
+  l1d : cache_params;
+  l2 : cache_params;
+  memory_first_chunk : int;
+  memory_inter_chunk : int;
+  tlb_miss : int;
+  predictor_history_bits : int;
+  mispredict_penalty : int;
+  bsv_stack_bits : int;
+  bcv_stack_bits : int;
+  bat_stack_bits : int;
+  ipds_queue_entries : int;
+  ipds_table_latency : int;
+  ipds_dispatch_latency : int;
+  ctx_swap_bits : int;
+  memory_overlap : float;
+}
+
+let default =
+  {
+    clock_mhz = 1000;
+    fetch_queue = 32;
+    decode_width = 8;
+    issue_width = 8;
+    commit_width = 8;
+    ruu_size = 128;
+    lsq_size = 64;
+    l1i = { size_bytes = 64 * 1024; assoc = 2; block_bytes = 32; hit_latency = 2 };
+    l1d = { size_bytes = 64 * 1024; assoc = 2; block_bytes = 32; hit_latency = 2 };
+    l2 = { size_bytes = 512 * 1024; assoc = 4; block_bytes = 32; hit_latency = 10 };
+    memory_first_chunk = 80;
+    memory_inter_chunk = 5;
+    tlb_miss = 30;
+    predictor_history_bits = 12;
+    mispredict_penalty = 14;
+    bsv_stack_bits = 2 * 1024;
+    bcv_stack_bits = 1024;
+    bat_stack_bits = 32 * 1024;
+    ipds_queue_entries = 32;
+    ipds_table_latency = 1;
+    ipds_dispatch_latency = 4;
+    ctx_swap_bits = 1024;
+    memory_overlap = 0.6;
+  }
+
+let pp ppf c =
+  let row l v l2 v2 = Format.fprintf ppf "| %-18s | %-12s | %-16s | %-26s |@," l v l2 v2 in
+  Format.fprintf ppf "@[<v>";
+  row "Clock frequency" (Printf.sprintf "%d MHz" c.clock_mhz) "L1 I/D"
+    (Printf.sprintf "%dK, %d way, %d cycle, %dB block" (c.l1i.size_bytes / 1024)
+       c.l1i.assoc c.l1i.hit_latency c.l1i.block_bytes);
+  row "Fetch queue"
+    (Printf.sprintf "%d entries" c.fetch_queue)
+    "Unified L2"
+    (Printf.sprintf "%dK, %dway, %dB block, lat %d" (c.l2.size_bytes / 1024)
+       c.l2.assoc c.l2.block_bytes c.l2.hit_latency);
+  row "Decode width" (string_of_int c.decode_width) "Memory latency"
+    (Printf.sprintf "first %d, inter %d" c.memory_first_chunk c.memory_inter_chunk);
+  row "Issue width" (string_of_int c.issue_width) "TLB miss"
+    (Printf.sprintf "%d cycles" c.tlb_miss);
+  row "Commit width" (string_of_int c.commit_width) "BSV stack"
+    (Printf.sprintf "%d bits" c.bsv_stack_bits);
+  row "RUU size" (string_of_int c.ruu_size) "BCV stack"
+    (Printf.sprintf "%d bits" c.bcv_stack_bits);
+  row "LSQ size" (string_of_int c.lsq_size) "BAT stack"
+    (Printf.sprintf "%d bits" c.bat_stack_bits);
+  row "Branch predictor" "2 Level" "IPDS queue"
+    (Printf.sprintf "%d entries" c.ipds_queue_entries);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,47 @@
+(** Simulated processor parameters — Table 1 of the paper. *)
+
+type cache_params = {
+  size_bytes : int;
+  assoc : int;
+  block_bytes : int;
+  hit_latency : int;
+}
+
+type t = {
+  clock_mhz : int;
+  fetch_queue : int;
+  decode_width : int;
+  issue_width : int;
+  commit_width : int;
+  ruu_size : int;
+  lsq_size : int;
+  l1i : cache_params;
+  l1d : cache_params;
+  l2 : cache_params;
+  memory_first_chunk : int;  (** cycles *)
+  memory_inter_chunk : int;
+  tlb_miss : int;
+  predictor_history_bits : int;  (** 2-level predictor history length *)
+  mispredict_penalty : int;
+  (* IPDS hardware *)
+  bsv_stack_bits : int;
+  bcv_stack_bits : int;
+  bat_stack_bits : int;
+  ipds_queue_entries : int;
+  ipds_table_latency : int;  (** per table access, cycles *)
+  ipds_dispatch_latency : int;
+      (** commit-to-IPDS transfer + arbitration, cycles *)
+  ctx_swap_bits : int;
+      (** table bits swapped synchronously on a context switch (paper:
+          "swap the top of BSV and BAT stacks (around 1K bits) first and
+          let the new process start") *)
+  memory_overlap : float;
+      (** fraction of miss latency hidden by out-of-order execution *)
+}
+
+val default : t
+(** The Table 1 configuration: 1 GHz, 8-wide, RUU 128, LSQ 64, 64K 2-way
+    L1s, 512K 4-way L2, 80/5-cycle memory, 2K/1K/32K-bit IPDS stacks. *)
+
+val pp : Format.formatter -> t -> unit
+(** Renders the Table 1 rows. *)

@@ -1,0 +1,39 @@
+type t = {
+  history_bits : int;
+  mutable history : int;
+  counters : int array;  (* 2-bit saturating *)
+  mutable lookups : int;
+  mutable mispredicts : int;
+}
+
+let create ~history_bits =
+  {
+    history_bits;
+    history = 0;
+    counters = Array.make (1 lsl history_bits) 2;
+    lookups = 0;
+    mispredicts = 0;
+  }
+
+let index t ~pc =
+  let mask = (1 lsl t.history_bits) - 1 in
+  ((pc lsr 2) lxor t.history) land mask
+
+let predict t ~pc = t.counters.(index t ~pc) >= 2
+
+let update t ~pc ~taken =
+  let i = index t ~pc in
+  let c = t.counters.(i) in
+  t.counters.(i) <- (if taken then min 3 (c + 1) else max 0 (c - 1));
+  let mask = (1 lsl t.history_bits) - 1 in
+  t.history <- ((t.history lsl 1) lor if taken then 1 else 0) land mask
+
+let observe t ~pc ~taken =
+  t.lookups <- t.lookups + 1;
+  let correct = Bool.equal (predict t ~pc) taken in
+  if not correct then t.mispredicts <- t.mispredicts + 1;
+  update t ~pc ~taken;
+  correct
+
+let lookups t = t.lookups
+let mispredicts t = t.mispredicts

@@ -1,0 +1,82 @@
+module Mir = Ipds_mir
+
+type affine = {
+  scale : int;
+  offset : int;
+}
+
+let identity = { scale = 1; offset = 0 }
+let compose_add a k = { a with offset = a.offset + k }
+let compose_sub_from k a = { scale = -a.scale; offset = k - a.offset }
+let compose_neg a = compose_sub_from 0 a
+
+let max_scale = 1 lsl 20
+
+let compose_mul a k =
+  if k = 0 || abs (a.scale * k) > max_scale || abs (a.offset * k) > (1 lsl 40) then
+    None
+  else Some { scale = a.scale * k; offset = a.offset * k }
+
+let compose_shl a k =
+  if k < 0 || k > 32 then None else compose_mul a (1 lsl k)
+
+(* Floor/ceil division for possibly negative operands. *)
+let fdiv a b =
+  let q = a / b and r = a mod b in
+  if r <> 0 && r lxor b < 0 then q - 1 else q
+
+let cdiv a b =
+  let q = a / b and r = a mod b in
+  if r <> 0 && r lxor b >= 0 then q + 1 else q
+
+(* Predicate on the tested register [w] itself. *)
+let tested_pred (cmp : Mir.Cmp.t) k ~taken =
+  let c = if taken then cmp else Mir.Cmp.negate cmp in
+  match c with
+  | Mir.Cmp.Lt -> Pred.In (Interval.at_most (k - 1))
+  | Mir.Cmp.Le -> Pred.In (Interval.at_most k)
+  | Mir.Cmp.Gt -> Pred.In (Interval.at_least (k + 1))
+  | Mir.Cmp.Ge -> Pred.In (Interval.at_least k)
+  | Mir.Cmp.Eq -> Pred.In (Interval.point k)
+  | Mir.Cmp.Ne -> Pred.Except k
+
+(* Exact inverse image: the set of x with [scale * x + offset] in [p]. *)
+let to_underlying a (p : Pred.t) =
+  let k = a.scale and b = a.offset in
+  assert (k <> 0);
+  match p with
+  | Pred.Never -> Pred.Never
+  | Pred.Except c ->
+      (* kx + b <> c: constrains x only when k divides c - b *)
+      if (c - b) mod k = 0 then Pred.Except ((c - b) / k) else Pred.top
+  | Pred.In i ->
+      (* lo <= kx + b <= hi *)
+      let bound v = Option.map (fun n -> n - b) v in
+      let lo = bound i.Interval.lo and hi = bound i.Interval.hi in
+      let lo', hi' =
+        if k > 0 then (Option.map (fun n -> cdiv n k) lo, Option.map (fun n -> fdiv n k) hi)
+        else (Option.map (fun n -> cdiv n k) hi, Option.map (fun n -> fdiv n k) lo)
+      in
+      Pred.of_interval (Interval.make ~lo:lo' ~hi:hi')
+
+(* Forward hull: exact for |scale| = 1, interval hull otherwise. *)
+let apply a (p : Pred.t) =
+  let k = a.scale and b = a.offset in
+  match p with
+  | Pred.Never -> Pred.Never
+  | Pred.Except c ->
+      if abs k = 1 then Pred.Except ((k * c) + b) else Pred.top
+  | Pred.In i ->
+      let map v = Option.map (fun n -> (k * n) + b) v in
+      let lo, hi =
+        if k > 0 then (map i.Interval.lo, map i.Interval.hi)
+        else (map i.Interval.hi, map i.Interval.lo)
+      in
+      Pred.of_interval (Interval.make ~lo ~hi)
+
+let value_pred a cmp k ~taken = to_underlying a (tested_pred cmp k ~taken)
+
+let forced_direction a cmp k fact =
+  if Pred.subset fact (value_pred a cmp k ~taken:true) then Some true
+  else if Pred.subset fact (value_pred a cmp k ~taken:false) then Some false
+  else None

@@ -1,0 +1,44 @@
+type t = {
+  lo : int option;
+  hi : int option;
+}
+
+let make ~lo ~hi =
+  match lo, hi with
+  | Some l, Some h when l > h -> None
+  | (Some _ | None), (Some _ | None) -> Some { lo; hi }
+
+let top = { lo = None; hi = None }
+let point n = { lo = Some n; hi = Some n }
+let at_most n = { lo = None; hi = Some n }
+let at_least n = { lo = Some n; hi = None }
+let is_top t = t.lo = None && t.hi = None
+
+let mem n t =
+  (match t.lo with Some l -> n >= l | None -> true)
+  && match t.hi with Some h -> n <= h | None -> true
+
+let subset a b =
+  let lo_ok =
+    match b.lo with
+    | None -> true
+    | Some bl -> ( match a.lo with Some al -> al >= bl | None -> false)
+  in
+  let hi_ok =
+    match b.hi with
+    | None -> true
+    | Some bh -> ( match a.hi with Some ah -> ah <= bh | None -> false)
+  in
+  lo_ok && hi_ok
+
+let shift t k =
+  { lo = Option.map (fun l -> l + k) t.lo; hi = Option.map (fun h -> h + k) t.hi }
+
+let neg t =
+  { lo = Option.map (fun h -> -h) t.hi; hi = Option.map (fun l -> -l) t.lo }
+
+let equal a b = a.lo = b.lo && a.hi = b.hi
+
+let pp ppf t =
+  let b = function Some n -> string_of_int n | None -> "" in
+  Format.fprintf ppf "[%s..%s]" (b t.lo) (b t.hi)

@@ -1,0 +1,29 @@
+(** Integer intervals with open ends, the ranges of §4 of the paper
+    ("range \[0, 5\] subsumes range \[0, 10\]"). *)
+
+type t = private {
+  lo : int option;  (** [None] is -inf *)
+  hi : int option;  (** [None] is +inf *)
+}
+(** Invariant: non-empty ([lo <= hi] when both are finite). *)
+
+val make : lo:int option -> hi:int option -> t option
+(** [None] if the interval would be empty. *)
+
+val top : t
+val point : int -> t
+val at_most : int -> t
+val at_least : int -> t
+val is_top : t -> bool
+val mem : int -> t -> bool
+val subset : t -> t -> bool
+(** [subset a b] — every member of [a] is in [b] ("b subsumes a"). *)
+
+val shift : t -> int -> t
+(** [shift t k] adds [k] to both ends (saturating at infinities). *)
+
+val neg : t -> t
+(** Pointwise negation: \[lo, hi\] becomes \[-hi, -lo\]. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

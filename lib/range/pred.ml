@@ -1,0 +1,51 @@
+type t =
+  | In of Interval.t
+  | Except of int
+  | Never
+
+let top = In Interval.top
+
+let is_top = function
+  | In i -> Interval.is_top i
+  | Except _ | Never -> false
+
+let mem n = function
+  | In i -> Interval.mem n i
+  | Except c -> n <> c
+  | Never -> false
+
+let subset a b =
+  match a, b with
+  | Never, _ -> true
+  | _, Never -> false
+  | In ia, In ib -> Interval.subset ia ib
+  | In ia, Except c -> not (Interval.mem c ia)
+  | Except _, In ib -> Interval.is_top ib
+  | Except c, Except c' -> c = c'
+
+let shift t k =
+  match t with
+  | In i -> In (Interval.shift i k)
+  | Except c -> Except (c + k)
+  | Never -> Never
+
+let neg = function
+  | In i -> In (Interval.neg i)
+  | Except c -> Except (-c)
+  | Never -> Never
+
+let of_interval = function
+  | Some i -> In i
+  | None -> Never
+
+let equal a b =
+  match a, b with
+  | In ia, In ib -> Interval.equal ia ib
+  | Except c, Except c' -> c = c'
+  | Never, Never -> true
+  | (In _ | Except _ | Never), _ -> false
+
+let pp ppf = function
+  | In i -> Interval.pp ppf i
+  | Except c -> Format.fprintf ppf "!=%d" c
+  | Never -> Format.pp_print_string ppf "never"

@@ -1,0 +1,24 @@
+(** Value predicates: the sets of integers a branch direction can pin a
+    value into.  Besides intervals, disequality constraints ([Ne] taken /
+    [Eq] not-taken) give punctured lines, and inverse affine images can be
+    empty ([Never]: the direction is impossible for any underlying
+    value — only a tampered run can take it). *)
+
+type t =
+  | In of Interval.t
+  | Except of int  (** every integer except this one *)
+  | Never  (** no integer at all *)
+
+val top : t
+val is_top : t -> bool
+val mem : int -> t -> bool
+val subset : t -> t -> bool
+(** [subset a b] — [a]'s set is contained in [b]'s ([b] subsumes [a]). *)
+
+val shift : t -> int -> t
+val neg : t -> t
+val of_interval : Interval.t option -> t
+(** [None] (an empty interval) becomes [Never]. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

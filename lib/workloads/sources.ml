@@ -1,0 +1,757 @@
+(* MiniC sources for the ten synthetic server programs (paper §6).  Each
+   mirrors the dispatch/authentication/configuration structure of the real
+   server it stands in for.
+
+   Layout convention: session/configuration state lives in small arrays
+   indexed by constant "field" offsets — the MiniC rendering of the C
+   structs real servers keep their state in.  Arrays are memory-resident
+   (register promotion only lifts scalars), so this is exactly the data a
+   buffer overflow or format-string write can corrupt.  Loop counters and
+   command words are plain scalars: the register allocator promotes them,
+   as it did in the binaries the paper attacked.
+
+   Channel 0 feeds commands and lines ([read_line]); channel 1 feeds
+   network payloads ([recv]). *)
+
+let telnetd =
+  {|
+// telnetd: password login, then a command shell with privileged commands.
+// sess[0]=authed  sess[1]=failed  sess[2]=echo_on  sess[3]=priv_uses
+int check_pw(int *buf, int n) {
+  int h;
+  h = hash_pw(buf, n);
+  if (h == 4660) { return 1; }
+  return 0;
+}
+
+int main() {
+  int sess[4];
+  int pw[4];
+  int line[4];
+  int term[4];
+  int nreq;
+  int i;
+  int c;
+  int ok;
+  read_line(&term[0], 4);
+  sess[0] = 0;
+  sess[1] = 0;
+  sess[2] = 1;
+  sess[3] = 0;
+  nreq = input(0) % 12 + 6;
+  i = 0;
+  while (i < nreq) {
+    // connection keep-alive audit: runs every request
+    if (sess[0]) { output(7); } else { output(6); }
+    // negotiated terminal options steer echo/paging behaviour
+    if (term[0] > 100) { output(77); }
+    if (term[1] > 100) { output(78); }
+    if (term[2] > 100) { output(79); }
+    if (term[3] != 0) { output(84); }
+    c = input(0) % 5;
+    if (c == 0) {
+      read_line(&pw[0], 4);
+      ok = check_pw(&pw[0], 4);
+      if (ok == 1) { sess[0] = 1; output(1); }
+      else { sess[1] = sess[1] + 1; output(0); }
+    }
+    if (c == 1) {
+      read_line(&line[0], 4);
+      if (sess[2]) { send(&line[0], 4); }
+    }
+    if (c == 2) {
+      if (sess[0]) { output(100); } else { output(101); }
+    }
+    if (c == 3) {
+      if (sess[0]) { sess[3] = sess[3] + 1; output(999); }
+      else { output(403); }
+    }
+    if (c == 4) {
+      if (sess[1] > 3) { output(429); sess[0] = 0; } else { output(200); }
+    }
+    i = i + 1;
+  }
+  output(sess[3]);
+  return 0;
+}
+|}
+
+let wu_ftpd =
+  {|
+// wu-ftpd: session with user levels (0 anon, 1 user, 2 admin) and
+// level-gated file commands.
+// sess[0]=level  sess[1]=quota  sess[2]=logged_in  sess[3]=xfers
+int parse_path(int *buf, int n) {
+  int i;
+  int depth;
+  depth = 0;
+  for (i = 0; i < n; i = i + 1) {
+    if (buf[i] == 47) { depth = depth + 1; }
+    if (buf[i] == 46) { depth = depth - 1; }
+  }
+  return depth;
+}
+
+int main() {
+  int sess[4];
+  int path[4];
+  int cwd[4];
+  int nreq;
+  int i;
+  int cmd;
+  int depth;
+  read_line(&cwd[0], 4);
+  sess[0] = 0;
+  sess[1] = 5;
+  sess[2] = 0;
+  sess[3] = 0;
+  nreq = input(0) % 14 + 6;
+  i = 0;
+  while (i < nreq) {
+    if (sess[2]) { output(8); } else { output(9); }
+    if (cwd[0] > 100) { output(57); }
+    if (cwd[1] > 100) { output(58); }
+    if (cwd[2] > 100) { output(56); }
+    if (cwd[3] != 0) { output(53); }
+    cmd = input(0) % 6;
+    if (cmd == 0) {
+      sess[0] = input(0) % 3;
+      sess[2] = 1;
+      output(230);
+    }
+    if (cmd == 1) {
+      read_line(&path[0], 4);
+      depth = parse_path(&path[0], 4);
+      if (depth < 0) { output(550); } else { output(150); }
+    }
+    if (cmd == 2) {
+      if (sess[0] >= 1) {
+        if (sess[1] > 0) { sess[1] = sess[1] - 1; sess[3] = sess[3] + 1; output(226); }
+        else { output(452); }
+      } else { output(530); }
+    }
+    if (cmd == 3) {
+      if (sess[0] >= 2) { output(250); } else { output(550); }
+    }
+    if (cmd == 4) {
+      if (sess[0] >= 2) { output(257); } else { output(550); }
+    }
+    if (cmd == 5) {
+      if (sess[2]) { sess[2] = 0; output(221); } else { output(421); }
+    }
+    i = i + 1;
+  }
+  output(sess[3]);
+  return 0;
+}
+|}
+
+let xinetd =
+  {|
+// xinetd: super-server consulting an in-memory service table for
+// enabled flags and per-service connection limits.  The table is process
+// state: globals, as in the real daemon.
+// enabled[s], count[s] per service; cfg[0]=hard_cap  cfg[1]=strict
+int enabled[4];
+int count[4];
+int cfg[2];
+
+// access control: scan the client banner for forbidden bytes; the local
+// verdict flag is set then re-checked (activation-local correlation).
+int access_ok(int *banner, int n) {
+  int verdict[1];
+  int i;
+  verdict[0] = 1;
+  for (i = 0; i < n; i = i + 1) {
+    if (banner[i] == 0) { return verdict[0]; }
+    if (banner[i] > 250) { verdict[0] = 0; }
+  }
+  if (verdict[0]) { return 1; }
+  return 0;
+}
+
+int main() {
+  int banner[4];
+  int nconn;
+  int i;
+  int svc;
+  int total;
+  read_line(&banner[0], 4);
+  enabled[0] = 1;
+  enabled[1] = input(0) % 2;
+  enabled[2] = 1;
+  enabled[3] = 0;
+  count[0] = 0;
+  count[1] = 0;
+  count[2] = 0;
+  count[3] = 0;
+  cfg[0] = 8;
+  cfg[1] = 1;
+  nconn = input(0) % 16 + 8;
+  i = 0;
+  while (i < nconn) {
+    if (cfg[1]) { output(5); } else { output(4); }
+    if (banner[0] > 100) { output(59); }
+    if (banner[1] > 100) { output(51); }
+    if (access_ok(&banner[0], 4) == 0) { output(495); }
+    if (banner[2] > 100) { output(52); }
+    if (banner[3] != 0) { output(49); }
+    svc = input(0) % 4;
+    if (svc == 0) {
+      if (enabled[0]) {
+        if (count[0] < 3) { count[0] = count[0] + 1; output(10); }
+        else { output(11); }
+      } else { output(12); }
+    }
+    if (svc == 1) {
+      if (enabled[1]) {
+        if (count[1] < 2) { count[1] = count[1] + 1; output(20); }
+        else { output(21); }
+      } else { output(22); }
+    }
+    if (svc == 2) {
+      if (enabled[2]) {
+        if (count[2] < 4) { count[2] = count[2] + 1; output(30); }
+        else { output(31); }
+      } else { output(32); }
+    }
+    if (svc == 3) {
+      if (enabled[3]) { output(40); } else { output(42); }
+    }
+    total = count[0] + count[1] + count[2];
+    if (total > cfg[0]) { output(503); }
+    i = i + 1;
+  }
+  return 0;
+}
+|}
+
+let crond =
+  {|
+// crond: periodic job runner with per-job privilege flags.
+// job[0..2]=next run tick; cfg[0]=uid  cfg[1]=allow_priv
+
+// crontab field matcher: star (0) matches everything, otherwise modulo
+int match_spec(int *spec, int tick) {
+  int hit[1];
+  hit[0] = 0;
+  if (spec[0] == 0) { hit[0] = 1; }
+  if (spec[0] > 0) {
+    if (tick % (spec[0] % 7 + 1) == 0) { hit[0] = 1; }
+  }
+  if (hit[0]) { return 1; }
+  return 0;
+}
+
+int main() {
+  int job[3];
+  int cfg[2];
+  int spec[4];
+  int tick;
+  int horizon;
+  read_line(&spec[0], 4);
+  job[0] = 2;
+  job[1] = 3;
+  job[2] = 5;
+  cfg[0] = input(0) % 2;
+  cfg[1] = 1;
+  horizon = input(0) % 12 + 8;
+  tick = 0;
+  while (tick < horizon) {
+    if (cfg[0] == 0) { output(1); } else { output(2); }
+    if (spec[0] > 100) { output(61); }
+    if (spec[1] > 100) { output(62); }
+    if (match_spec(&spec[0], tick)) { output(60); }
+    if (spec[2] > 100) { output(48); }
+    if (spec[3] != 0) { output(47); }
+    if (job[0] == tick) {
+      output(100);
+      job[0] = tick + 2;
+    }
+    if (job[1] == tick) {
+      if (cfg[1]) {
+        if (cfg[0] == 0) { output(111); } else { output(113); }
+      } else { output(112); }
+      job[1] = tick + 3;
+    }
+    if (job[2] == tick) {
+      output(120);
+      job[2] = tick + 5;
+    }
+    tick = tick + 1;
+  }
+  return 0;
+}
+|}
+
+let sysklogd =
+  {|
+// sysklogd: syslog daemon with a priority threshold and rate limiting.
+// cfg[0]=threshold  cfg[1]=burst  cfg[2]=dropped  cfg[3]=panic_mode
+
+// RFC3164-ish tag classifier over the raw message bytes
+int classify(int *msg, int n) {
+  int kind[1];
+  int i;
+  kind[0] = 0;
+  for (i = 0; i < n; i = i + 1) {
+    if (msg[i] > 200) { kind[0] = 2; }
+    if (msg[i] == 0) {
+      if (kind[0] == 0) { kind[0] = 1; }
+      return kind[0];
+    }
+  }
+  return kind[0];
+}
+
+int main() {
+  int cfg[4];
+  int msg[4];
+  int filt[4];
+  int nmsg;
+  int i;
+  int prio;
+  read_line(&filt[0], 4);
+  cfg[0] = 4;
+  cfg[1] = 0;
+  cfg[2] = 0;
+  cfg[3] = 0;
+  nmsg = input(0) % 20 + 8;
+  i = 0;
+  while (i < nmsg) {
+    if (cfg[3]) { output(991); } else { output(990); }
+    if (filt[0] > 100) { output(63); }
+    if (filt[1] > 100) { output(64); }
+    if (filt[2] > 100) { output(46); }
+    if (filt[3] != 0) { output(43); }
+    prio = input(0) % 8;
+    recv(&msg[0], 4);
+    if (classify(&msg[0], 4) == 2) { output(302); }
+    if (prio <= 4) {
+      if (cfg[1] < 5) {
+        cfg[1] = cfg[1] + 1;
+        send(&msg[0], 4);
+        output(prio);
+      } else {
+        cfg[2] = cfg[2] + 1;
+        output(300);
+      }
+    } else {
+      output(301);
+    }
+    if (prio == 0) {
+      output(911);
+      cfg[1] = 0;
+      cfg[3] = 1;
+    }
+    if (cfg[2] > 6) { output(514); }
+    i = i + 1;
+  }
+  output(cfg[2]);
+  return 0;
+}
+|}
+
+let atftpd =
+  {|
+// atftpd: TFTP server; read-only mode gates writes, block counter drives
+// the transfer loop.
+// cfg[0]=readonly  cfg[1]=xfer_count  cfg[2]=error_count
+
+// verify a data block: the sequence byte must match and the body must
+// not be empty; the verdict is accumulated activation-locally
+int block_ok(int *payload, int expected) {
+  int st[1];
+  st[0] = 1;
+  if (payload[0] % 8 != expected % 8) { st[0] = 0; }
+  if (payload[1] == 0) {
+    if (payload[2] == 0) { st[0] = 0; }
+  }
+  if (st[0]) { return 1; }
+  return 0;
+}
+
+int main() {
+  int cfg[3];
+  int payload[4];
+  int mode[4];
+  int nreq;
+  int i;
+  int op;
+  int blocks;
+  int b;
+  read_line(&mode[0], 4);
+  cfg[0] = 1;
+  cfg[1] = 0;
+  cfg[2] = 0;
+  nreq = input(0) % 10 + 4;
+  i = 0;
+  while (i < nreq) {
+    if (cfg[0]) { output(71); } else { output(70); }
+    if (mode[0] > 100) { output(65); }
+    if (mode[1] > 100) { output(66); }
+    if (mode[2] > 100) { output(39); }
+    if (mode[3] != 0) { output(38); }
+    op = input(0) % 3;
+    if (op == 0) {
+      blocks = input(0) % 6 + 1;
+      b = 0;
+      while (b < blocks) {
+        recv(&payload[0], 4);
+        if (block_ok(&payload[0], b)) { send(&payload[0], 4); }
+        else { output(501); }
+        b = b + 1;
+      }
+      cfg[1] = cfg[1] + 1;
+      output(200);
+    }
+    if (op == 1) {
+      if (cfg[0]) { cfg[2] = cfg[2] + 1; output(403); }
+      else {
+        recv(&payload[0], 4);
+        cfg[1] = cfg[1] + 1;
+        output(201);
+      }
+    }
+    if (op == 2) {
+      if (cfg[0]) { output(1); } else { output(0); }
+    }
+    if (cfg[2] > 5) { output(599); }
+    i = i + 1;
+  }
+  output(cfg[1]);
+  return 0;
+}
+|}
+
+let httpd =
+  {|
+// httpd: request loop with method dispatch, an authorization flag set by
+// a token check, and a keep-alive budget.
+// sess[0]=authz  sess[1]=keepalive  sess[2]=served  sess[3]=tls
+int check_token(int *buf, int n) {
+  int s;
+  s = checksum(buf, n);
+  if (s == 510) { return 1; }
+  return 0;
+}
+
+// chunked response writer: its own activation-local state (st[0]=chunks
+// remaining, st[1]=error flag) is checked every iteration.
+int send_chunks(int *body, int n) {
+  int st[2];
+  int i;
+  st[0] = n;
+  st[1] = 0;
+  i = 0;
+  while (st[0] > 0) {
+    if (st[1]) { return 0 - 1; }
+    send(body, 4);
+    st[0] = st[0] - 1;
+    if (body[0] > 250) { st[1] = 1; }
+    i = i + 1;
+  }
+  if (st[1]) { return 0 - 1; }
+  return i;
+}
+
+int main() {
+  int sess[4];
+  int hdr[4];
+  int body[4];
+  int host[4];
+  int nreq;
+  int i;
+  int method;
+  read_line(&host[0], 4);
+  sess[0] = 0;
+  sess[1] = 10;
+  sess[2] = 0;
+  sess[3] = input(0) % 2;
+  nreq = input(0) % 14 + 6;
+  i = 0;
+  while (i < nreq) {
+    if (sess[3]) { output(443); } else { output(80); }
+    if (host[0] > 100) { output(67); }
+    if (host[1] > 100) { output(68); }
+    if (host[2] > 100) { output(37); }
+    if (host[3] != 0) { output(36); }
+    if (sess[1] <= 0) { output(408); }
+    method = input(0) % 4;
+    if (method == 0) {
+      read_line(&hdr[0], 4);
+      sess[0] = check_token(&hdr[0], 4);
+      if (sess[0]) { output(204); } else { output(401); }
+    }
+    if (method == 1) {
+      sess[2] = sess[2] + 1;
+      output(200);
+      output(send_chunks(&body[0], 3));
+    }
+    if (method == 2) {
+      if (sess[0]) {
+        recv(&body[0], 4);
+        sess[2] = sess[2] + 1;
+        output(201);
+      } else { output(401); }
+    }
+    if (method == 3) {
+      if (sess[0]) { output(202); } else { output(403); }
+    }
+    sess[1] = sess[1] - 1;
+    i = i + 1;
+  }
+  output(sess[2]);
+  return 0;
+}
+|}
+
+let sendmail =
+  {|
+// sendmail: envelope processing with sender verification, relay policy
+// and recipient limits.
+// env[0]=verified  env[1]=relay_ok  env[2]=rcpts  env[3]=queued
+
+// address syntax: needs a separator byte (64 = '@') before the end
+int valid_addr(int *a, int n) {
+  int seen[1];
+  int i;
+  seen[0] = 0;
+  for (i = 0; i < n; i = i + 1) {
+    if (a[i] == 64) { seen[0] = 1; }
+    if (a[i] == 0) {
+      if (seen[0]) { return 1; }
+      return 0;
+    }
+  }
+  if (seen[0]) { return 1; }
+  return 0;
+}
+
+int main() {
+  int env[4];
+  int addr[4];
+  int helo[4];
+  int nmsg;
+  int i;
+  int phase;
+  read_line(&helo[0], 4);
+  env[0] = 0;
+  env[1] = 0;
+  env[2] = 0;
+  env[3] = 0;
+  nmsg = input(0) % 16 + 6;
+  i = 0;
+  while (i < nmsg) {
+    if (env[0]) { output(88); } else { output(87); }
+    if (helo[0] > 100) { output(69); }
+    if (helo[1] > 100) { output(72); }
+    if (helo[2] > 100) { output(35); }
+    if (helo[3] != 0) { output(34); }
+    phase = input(0) % 5;
+    if (phase == 0) {
+      read_line(&addr[0], 4);
+      if (valid_addr(&addr[0], 4)) { env[0] = 1; output(250); }
+      else {
+        if (strlen(&addr[0]) > 2) { env[0] = 1; output(250); }
+        else { env[0] = 0; output(550); }
+      }
+      env[2] = 0;
+    }
+    if (phase == 1) {
+      if (env[0]) {
+        if (env[2] < 4) { env[2] = env[2] + 1; output(251); }
+        else { output(452); }
+      } else { output(503); }
+    }
+    if (phase == 2) {
+      if (env[0]) {
+        if (env[1]) { env[3] = env[3] + 1; output(354); } else { output(550); }
+      } else { output(503); }
+    }
+    if (phase == 3) {
+      env[1] = input(0) % 2;
+      output(220);
+    }
+    if (phase == 4) {
+      if (env[2] > 0) {
+        if (env[0]) { env[3] = env[3] + 1; output(354); } else { output(503); }
+      } else { output(554); }
+    }
+    i = i + 1;
+  }
+  output(env[3]);
+  return 0;
+}
+|}
+
+let sshd =
+  {|
+// sshd: key exchange, bounded authentication attempts, then a channel
+// loop with privilege separation.
+// sess[0]=kex_done  sess[1]=authed  sess[2]=attempts  sess[3]=privlevel
+int kex(int *nonce, int n) {
+  int h;
+  h = hash_pw(nonce, n);
+  return h % 7;
+}
+
+// per-channel flow control: win[0]=window, win[1]=stalled flag; both are
+// re-checked within one activation, so IPDS guards them there.
+int drain_channel(int *data, int n) {
+  int win[2];
+  int sent;
+  win[0] = 4;
+  win[1] = 0;
+  sent = 0;
+  while (sent < n) {
+    if (win[1]) {
+      if (win[0] > 0) { win[1] = 0; } else { return sent; }
+    }
+    if (win[0] <= 0) { win[1] = 1; }
+    if (win[1] == 0) {
+      send(data, 1);
+      win[0] = win[0] - 1;
+      sent = sent + 1;
+    }
+    if (win[0] <= 2) { win[0] = win[0] + 2; }
+  }
+  return sent;
+}
+
+int main() {
+  int sess[4];
+  int nonce[4];
+  int chan[4];
+  int ver[4];
+  int nops;
+  int i;
+  int op;
+  read_line(&ver[0], 4);
+  sess[0] = 0;
+  sess[1] = 0;
+  sess[2] = 0;
+  sess[3] = 0;
+  nops = input(0) % 16 + 8;
+  i = 0;
+  while (i < nops) {
+    if (sess[1]) { output(45); } else { output(44); }
+    if (ver[0] > 100) { output(73); }
+    if (ver[1] > 100) { output(74); }
+    if (ver[2] > 100) { output(33); }
+    if (ver[3] != 0) { output(29); }
+    op = input(0) % 5;
+    if (op == 0) {
+      recv(&nonce[0], 4);
+      if (kex(&nonce[0], 4) != 0) { sess[0] = 1; output(21); }
+      else { output(20); }
+    }
+    if (op == 1) {
+      if (sess[0]) {
+        if (sess[2] < 3) {
+          sess[2] = sess[2] + 1;
+          read_line(&chan[0], 4);
+          if (checksum(&chan[0], 4) % 9 == 1) { sess[1] = 1; sess[3] = 1; output(30); }
+          else { output(31); }
+        } else { output(32); }
+      } else { output(33); }
+    }
+    if (op == 2) {
+      if (sess[1]) {
+        output(40);
+        output(drain_channel(&chan[0], 6));
+      } else { output(41); }
+    }
+    if (op == 3) {
+      if (sess[1]) {
+        if (sess[3] >= 1) { output(50); } else { output(51); }
+      } else { output(52); }
+    }
+    if (op == 4) {
+      if (sess[2] >= 3) {
+        if (sess[1]) { output(61); } else { output(60); }
+      } else { output(62); }
+    }
+    i = i + 1;
+  }
+  return 0;
+}
+|}
+
+let portmap =
+  {|
+// portmap: RPC program-to-port registry with privileged registration.
+// The registry is process state: globals, as in the real daemon.
+// prog[s]/port[s] registry; cfg[0]=owner_uid  cfg[1]=locked
+int prog[4];
+int port[4];
+int cfg[2];
+
+// AUTH_UNIX-ish credential check: all bytes must be in range and the
+// first must match the claimed uid parity
+int auth_ok(int *cred, int uid) {
+  int ok[1];
+  int i;
+  ok[0] = 1;
+  for (i = 0; i < 4; i = i + 1) {
+    if (cred[i] > 200) { ok[0] = 0; }
+  }
+  if (cred[0] % 2 != uid % 2) { ok[0] = 0; }
+  if (ok[0]) { return 1; }
+  return 0;
+}
+
+int main() {
+  int cred[4];
+  int nreq;
+  int i;
+  int op;
+  int target;
+  int slot;
+  int found;
+  read_line(&cred[0], 4);
+  prog[0] = 0; prog[1] = 0; prog[2] = 0; prog[3] = 0;
+  port[0] = 0; port[1] = 0; port[2] = 0; port[3] = 0;
+  cfg[0] = input(0) % 2;
+  cfg[1] = 0;
+  nreq = input(0) % 16 + 8;
+  i = 0;
+  while (i < nreq) {
+    if (cfg[1]) { output(55); } else { output(54); }
+    if (cred[0] > 100) { output(75); }
+    if (cred[1] > 100) { output(76); }
+    if (cred[2] > 100) { output(28); }
+    if (cred[3] != 0) { output(27); }
+    op = input(0) % 3;
+    target = input(0) % 8 + 1;
+    if (op == 0) {
+      if (cfg[0] == 0) {
+        if (auth_ok(&cred[0], cfg[0])) {
+          slot = target % 4;
+          prog[slot] = target;
+          port[slot] = 9000 + target;
+          output(1);
+        } else { output(14); }
+      } else { cfg[1] = 1; output(13); }
+    }
+    if (op == 1) {
+      found = 0;
+      slot = 0;
+      while (slot < 4) {
+        if (prog[slot] == target) { found = port[slot]; }
+        slot = slot + 1;
+      }
+      if (found > 0) { output(found); } else { output(0); }
+    }
+    if (op == 2) {
+      if (cfg[0] == 0) {
+        slot = target % 4;
+        if (prog[slot] == target) { prog[slot] = 0; port[slot] = 0; output(2); }
+        else { output(3); }
+      } else { cfg[1] = 1; output(13); }
+    }
+    i = i + 1;
+  }
+  return 0;
+}
+|}

@@ -1,0 +1,12 @@
+(** MiniC source text of the ten synthetic server programs. *)
+
+val telnetd : string
+val wu_ftpd : string
+val xinetd : string
+val crond : string
+val sysklogd : string
+val atftpd : string
+val httpd : string
+val sendmail : string
+val sshd : string
+val portmap : string

@@ -1,0 +1,92 @@
+type vulnerability =
+  | Buffer_overflow
+  | Format_string
+
+type t = {
+  name : string;
+  description : string;
+  source : string;
+  vulnerability : vulnerability;
+}
+
+let all =
+  [
+    {
+      name = "telnetd";
+      description = "remote shell: password login, privileged commands";
+      source = Sources.telnetd;
+      vulnerability = Buffer_overflow;
+    };
+    {
+      name = "wu-ftpd";
+      description = "FTP server: user levels, quota, path parsing";
+      source = Sources.wu_ftpd;
+      vulnerability = Format_string;
+    };
+    {
+      name = "xinetd";
+      description = "super-server: service table, connection limits";
+      source = Sources.xinetd;
+      vulnerability = Buffer_overflow;
+    };
+    {
+      name = "crond";
+      description = "periodic jobs with privilege flags";
+      source = Sources.crond;
+      vulnerability = Buffer_overflow;
+    };
+    {
+      name = "sysklogd";
+      description = "log daemon: priority threshold, rate limiting";
+      source = Sources.sysklogd;
+      vulnerability = Format_string;
+    };
+    {
+      name = "atftpd";
+      description = "TFTP: read-only enforcement, block transfer loop";
+      source = Sources.atftpd;
+      vulnerability = Buffer_overflow;
+    };
+    {
+      name = "httpd";
+      description = "HTTP: method dispatch, authorization, keep-alive";
+      source = Sources.httpd;
+      vulnerability = Buffer_overflow;
+    };
+    {
+      name = "sendmail";
+      description = "SMTP: sender verification, relay policy, limits";
+      source = Sources.sendmail;
+      vulnerability = Buffer_overflow;
+    };
+    {
+      name = "sshd";
+      description = "SSH: key exchange, bounded auth, privilege levels";
+      source = Sources.sshd;
+      vulnerability = Buffer_overflow;
+    };
+    {
+      name = "portmap";
+      description = "RPC registry: privileged registration, lookups";
+      source = Sources.portmap;
+      vulnerability = Buffer_overflow;
+    };
+  ]
+
+let find name = List.find (fun w -> String.equal w.name name) all
+
+let cache : (string * bool, Ipds_mir.Program.t) Hashtbl.t = Hashtbl.create 10
+
+let program ?(promote = true) w =
+  match Hashtbl.find_opt cache (w.name, promote) with
+  | Some p -> p
+  | None ->
+      let p = Ipds_minic.Minic.compile w.source in
+      let p = if promote then Ipds_opt.Promote.program p else p in
+      Hashtbl.replace cache (w.name, promote) p;
+      p
+
+let tamper_model w =
+  match w.vulnerability with
+  | Buffer_overflow -> `Stack_overflow
+  | Format_string -> `Arbitrary_write

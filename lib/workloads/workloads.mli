@@ -1,0 +1,28 @@
+(** The benchmark suite: ten synthetic servers mirroring the programs the
+    paper attacks (telnetd, wu-ftpd, xinetd, crond, sysklogd, atftpd,
+    httpd, sendmail, sshd, portmap), each with its original vulnerability
+    class. *)
+
+type vulnerability =
+  | Buffer_overflow  (** tampers local stack data of the running function *)
+  | Format_string  (** arbitrary-write: tampers any live memory *)
+
+type t = {
+  name : string;
+  description : string;
+  source : string;  (** MiniC *)
+  vulnerability : vulnerability;
+}
+
+val all : t list
+(** The ten servers, in the paper's order. *)
+
+val find : string -> t
+(** Raises [Not_found]. *)
+
+val program : ?promote:bool -> t -> Ipds_mir.Program.t
+(** Compiled MIR (memoised).  [promote] (default true) applies
+    register promotion ({!Ipds_opt.Promote}), matching the paper's
+    register-allocated binaries; pass [false] for the -O0 ablation. *)
+
+val tamper_model : t -> [ `Stack_overflow | `Arbitrary_write ]

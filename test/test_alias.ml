@@ -1,0 +1,322 @@
+(* Tests for the alias subsystem: points-to, effect summaries, and access
+   classification. *)
+
+module Mir = Ipds_mir
+module A = Ipds_alias
+
+let check = Alcotest.(check bool)
+
+let program src = Mir.Parser.program_of_string src
+
+let ctx_of src =
+  let p = program src in
+  let pw = Ipds_correlation.Context.prepare p in
+  (p, pw)
+
+let test_cell () =
+  let v = Mir.Var.make ~id:0 ~name:"a" ~size:4 ~storage:Mir.Var.Local in
+  let c = A.Cell.make v 2 in
+  check "cell equal" true (A.Cell.equal c (A.Cell.make v 2));
+  check "cell differs by index" false (A.Cell.equal c (A.Cell.make v 1));
+  Alcotest.check_raises "out of bounds"
+    (Invalid_argument "Cell.make: index 7 out of bounds for a") (fun () ->
+      ignore (A.Cell.make v 7));
+  let s = Mir.Var.make ~id:1 ~name:"s" ~size:1 ~storage:Mir.Var.Local in
+  check "of_scalar" true (A.Cell.equal (A.Cell.of_scalar s) (A.Cell.make s 0))
+
+let test_wrap_index () =
+  let v = Mir.Var.make ~id:0 ~name:"a" ~size:4 ~storage:Mir.Var.Local in
+  Alcotest.(check int) "in range" 2 (A.Access.wrap_index v 2);
+  Alcotest.(check int) "wraps" 1 (A.Access.wrap_index v 5);
+  Alcotest.(check int) "negative wraps" 3 (A.Access.wrap_index v (-1))
+
+let test_points_to_basics () =
+  let src =
+    {|
+func main() {
+ var x
+ var buf[4]
+entry:
+  r0 = addr buf[0]
+  r1 = add r0, 1
+  store [r1], 5
+  r2 = load x
+  ret r2
+}
+|}
+  in
+  let p = program src in
+  let pt = A.Points_to.compute p in
+  let pts0 = A.Points_to.reg pt ~fname:"main" (Mir.Reg.make 0) in
+  check "addr_of points to buf" true
+    (Mir.Var.Set.exists (fun v -> String.equal v.Mir.Var.name "buf") pts0.A.Pt_set.vars);
+  let pts1 = A.Points_to.reg pt ~fname:"main" (Mir.Reg.make 1) in
+  check "pointer arithmetic preserves target" true
+    (Mir.Var.Set.exists (fun v -> String.equal v.Mir.Var.name "buf") pts1.A.Pt_set.vars);
+  let pts2 = A.Points_to.reg pt ~fname:"main" (Mir.Reg.make 2) in
+  check "data load yields no pointer (nothing escapes)" true (A.Pt_set.is_empty pts2);
+  check "address-taken is just buf" true
+    (Mir.Var.Set.for_all
+       (fun v -> String.equal v.Mir.Var.name "buf")
+       (A.Points_to.address_taken pt))
+
+let test_escape_through_memory () =
+  let src =
+    {|
+func main() {
+ var slot
+ var buf[4]
+entry:
+  r0 = addr buf[0]
+  store slot, r0
+  r1 = load slot
+  store [r1], 9
+  ret
+}
+|}
+  in
+  let p = program src in
+  let pt = A.Points_to.compute p in
+  check "escaped set includes buf" true
+    (Mir.Var.Set.exists
+       (fun v -> String.equal v.Mir.Var.name "buf")
+       (A.Points_to.escaped pt).A.Pt_set.vars);
+  let pts1 = A.Points_to.reg pt ~fname:"main" (Mir.Reg.make 1) in
+  check "loaded pointer may point to buf" true
+    (Mir.Var.Set.exists (fun v -> String.equal v.Mir.Var.name "buf") pts1.A.Pt_set.vars)
+
+let test_summaries () =
+  let src =
+    {|
+global cfg
+extern strcmp pure
+extern recv writes(0)
+func pure_helper(r0) {
+start:
+  r1 = add r0, 1
+  ret r1
+}
+func writes_param(r0) {
+start:
+  store [r0], 7
+  ret
+}
+func writes_global() {
+start:
+  store cfg, 1
+  ret
+}
+func main() {
+ var buf[4]
+entry:
+  r0 = addr buf[0]
+  r1 = call pure_helper(3)
+  call writes_param(r0)
+  call writes_global()
+  ret
+}
+|}
+  in
+  let p = program src in
+  let pt = A.Points_to.compute p in
+  let faithful = A.Summary.compute p pt ~mode:`Faithful in
+  check "pure helper is pure" true (A.Summary.is_pure (faithful "pure_helper"));
+  let wp = faithful "writes_param" in
+  check "param writer writes arg0" true (A.Pt_set.Int_set.mem 0 wp.A.Summary.args);
+  check "param writer is not 'any'" false wp.A.Summary.any;
+  check "global writer degrades to any (faithful)" true (faithful "writes_global").A.Summary.any;
+  let precise = A.Summary.compute p pt ~mode:`Precise_globals in
+  let wg = precise "writes_global" in
+  check "precise mode keeps the global set" false wg.A.Summary.any;
+  check "precise mode records cfg" true
+    (Mir.Var.Set.exists (fun v -> String.equal v.Mir.Var.name "cfg") wg.A.Summary.globals);
+  check "extern pure" true (A.Summary.is_pure (faithful "strcmp"));
+  check "extern writes(0)" true
+    (A.Pt_set.Int_set.mem 0 (faithful "recv").A.Summary.args);
+  check "unknown extern is any" true (faithful "nonsense").A.Summary.any
+
+let test_transitive_summary () =
+  let src =
+    {|
+global cfg
+func inner() {
+start:
+  store cfg, 1
+  ret
+}
+func outer() {
+start:
+  call inner()
+  ret
+}
+func main() {
+entry:
+  call outer()
+  ret
+}
+|}
+  in
+  let p, pw = ctx_of src in
+  ignore p;
+  check "global write propagates through call chain" true
+    (pw.Ipds_correlation.Context.summaries "outer").A.Summary.any
+
+let test_access_targets () =
+  let src =
+    {|
+extern recv writes(0)
+func main() {
+ var x
+ var buf[4]
+entry:
+  r0 = load x
+  r1 = load buf[2]
+  r2 = load buf[r0]
+  r3 = addr buf[0]
+  r4 = call recv(r3, 4)
+  store x, 1
+  ret
+}
+|}
+  in
+  let p, pw = ctx_of src in
+  let f = Mir.Program.find_func_exn p "main" in
+  let ctx = Ipds_correlation.Context.for_func pw f in
+  let acc = ctx.Ipds_correlation.Context.access in
+  let x = List.find (fun (v : Mir.Var.t) -> v.name = "x") f.Mir.Func.locals in
+  let buf = List.find (fun (v : Mir.Var.t) -> v.name = "buf") f.Mir.Func.locals in
+  (match A.Access.addr_target acc (Mir.Addr.Direct x) with
+  | A.Access.Exact c -> check "direct is exact" true (A.Cell.equal c (A.Cell.of_scalar x))
+  | A.Access.No_target | A.Access.Within _ -> Alcotest.fail "direct should be exact");
+  (match A.Access.addr_target acc (Mir.Addr.Index (buf, Mir.Operand.imm 2)) with
+  | A.Access.Exact c -> check "const index exact" true (c.A.Cell.index = 2)
+  | A.Access.No_target | A.Access.Within _ -> Alcotest.fail "const index should be exact");
+  (match A.Access.addr_target acc (Mir.Addr.Index (buf, Mir.Operand.reg (Mir.Reg.make 0))) with
+  | A.Access.Within vs -> check "var index within buf" true (Mir.Var.Set.mem buf vs)
+  | A.Access.No_target | A.Access.Exact _ -> Alcotest.fail "var index should be within");
+  (* the recv call writes through its pointer arg into buf *)
+  let recv_call =
+    let found = ref None in
+    Mir.Func.iter_instrs f (fun _ op ->
+        match op with
+        | Mir.Op.Call _ -> found := Some op
+        | _ -> ());
+    Option.get !found
+  in
+  (match A.Access.may_defs acc recv_call with
+  | A.Access.Within vs -> check "recv writes within buf" true (Mir.Var.Set.mem buf vs)
+  | A.Access.Exact c -> check "recv writes a buf cell" true (Mir.Var.equal c.A.Cell.var buf)
+  | A.Access.No_target -> Alcotest.fail "recv should write its buffer");
+  (* may_touch *)
+  check "exact touches its cell" true
+    (A.Access.may_touch (A.Access.Exact (A.Cell.of_scalar x)) (A.Cell.of_scalar x));
+  check "exact misses other cells" false
+    (A.Access.may_touch (A.Access.Exact (A.Cell.make buf 0)) (A.Cell.make buf 1));
+  check "within touches all cells of var" true
+    (A.Access.may_touch (A.Access.Within (Mir.Var.Set.singleton buf)) (A.Cell.make buf 3));
+  check "no_target touches nothing" false
+    (A.Access.may_touch A.Access.No_target (A.Cell.of_scalar x))
+
+let test_recursive_summary_conservative () =
+  (* mutual recursion converges and stays sound *)
+  let p =
+    program
+      {|
+global g
+func ping(r0) {
+s:
+  br le r0, 0, stop, go
+stop:
+  ret 0
+go:
+  store g, r0
+  r1 = sub r0, 1
+  r2 = call pong(r1)
+  ret r2
+}
+func pong(r0) {
+s:
+  r1 = call ping(r0)
+  ret r1
+}
+func main() {
+entry:
+  r0 = call ping(3)
+  ret r0
+}
+|}
+  in
+  let pt = A.Points_to.compute p in
+  let faithful = A.Summary.compute p pt ~mode:`Faithful in
+  check "recursive global writer is any" true (faithful "ping").A.Summary.any;
+  check "transitively through pong" true (faithful "pong").A.Summary.any;
+  let precise = A.Summary.compute p pt ~mode:`Precise_globals in
+  check "precise keeps g for ping" true
+    (Mir.Var.Set.exists
+       (fun v -> String.equal v.Mir.Var.name "g")
+       (precise "ping").A.Summary.globals)
+
+let test_param_pointer_effect () =
+  (* writing through a parameter pointer is an args effect, not 'any' *)
+  let p =
+    program
+      {|
+func fill(r0, r1) {
+s:
+  store [r0], r1
+  ret
+}
+func main() {
+ var buf[4]
+entry:
+  r0 = addr buf[0]
+  call fill(r0, 9)
+  ret
+}
+|}
+  in
+  let pt = A.Points_to.compute p in
+  let faithful = A.Summary.compute p pt ~mode:`Faithful in
+  let s = faithful "fill" in
+  check "fill is arg writer" true (A.Pt_set.Int_set.mem 0 s.A.Summary.args);
+  check "fill is not any" false s.A.Summary.any
+
+let test_pt_set_algebra () =
+  let v = Mir.Var.make ~id:0 ~name:"v" ~size:1 ~storage:Mir.Var.Local in
+  let a = A.Pt_set.of_var v in
+  let b = A.Pt_set.of_param 2 in
+  let u = A.Pt_set.union a b in
+  check "union has var" true (Mir.Var.Set.mem v u.A.Pt_set.vars);
+  check "union has param" true (A.Pt_set.Int_set.mem 2 u.A.Pt_set.params);
+  check "empty is empty" true (A.Pt_set.is_empty A.Pt_set.empty);
+  check "union not empty" false (A.Pt_set.is_empty u);
+  check "params subsume anything" true (A.Pt_set.subsumes_anything u);
+  check "plain var does not" false (A.Pt_set.subsumes_anything a);
+  check "unknown does" true (A.Pt_set.subsumes_anything A.Pt_set.unknown)
+
+let () =
+  Alcotest.run "alias"
+    [
+      ( "cells",
+        [
+          Alcotest.test_case "cell basics" `Quick test_cell;
+          Alcotest.test_case "wrap index" `Quick test_wrap_index;
+        ] );
+      ( "points-to",
+        [
+          Alcotest.test_case "basics" `Quick test_points_to_basics;
+          Alcotest.test_case "escape through memory" `Quick test_escape_through_memory;
+        ] );
+      ( "summaries",
+        [
+          Alcotest.test_case "modes" `Quick test_summaries;
+          Alcotest.test_case "transitive" `Quick test_transitive_summary;
+        ] );
+      ("access", [ Alcotest.test_case "targets" `Quick test_access_targets ]);
+      ( "edge-cases",
+        [
+          Alcotest.test_case "recursive summaries" `Quick test_recursive_summary_conservative;
+          Alcotest.test_case "param pointer effect" `Quick test_param_pointer_effect;
+          Alcotest.test_case "pt-set algebra" `Quick test_pt_set_algebra;
+        ] );
+    ]

@@ -1,0 +1,556 @@
+(* Tests for the IPDS core: collision-free hashing, table encoding and
+   sizes, and the runtime checker's verify/update semantics. *)
+
+module Mir = Ipds_mir
+module Core = Ipds_core
+module Corr = Ipds_correlation
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ---------- hash ---------- *)
+
+let test_hash_empty () =
+  let p = Core.Hash.find [] in
+  check_int "empty space is one slot" 1 (Core.Hash.space p)
+
+let test_hash_collision_free_known () =
+  let pcs = List.init 13 (fun i -> 0x1000 + (4 * i * 3)) in
+  let p = Core.Hash.find pcs in
+  let slots = List.map (Core.Hash.apply p) pcs in
+  check_int "no collisions" (List.length pcs)
+    (List.length (List.sort_uniq compare slots));
+  check "slots in range" true
+    (List.for_all (fun s -> s >= 0 && s < Core.Hash.space p) slots)
+
+let prop_hash_collision_free =
+  let gen =
+    QCheck2.Gen.(
+      map
+        (fun idxs ->
+          List.sort_uniq compare (List.map (fun i -> 0x1000 + (4 * i)) idxs))
+        (list_size (int_range 1 40) (int_range 0 2000)))
+  in
+  QCheck2.Test.make ~name:"hash search always collision-free" ~count:200 gen
+    (fun pcs ->
+      let p = Core.Hash.find pcs in
+      let slots = List.map (Core.Hash.apply p) pcs in
+      List.length (List.sort_uniq compare slots) = List.length pcs)
+
+(* ---------- tables & sizes ---------- *)
+
+let figure4_system () =
+  Core.System.build
+    (Mir.Parser.program_of_string
+       {|
+func main() {
+ var x
+ var y
+entry:
+  r0 = input 0
+  store y, r0
+  r1 = input 0
+  store x, r1
+  jmp loop
+loop:
+  r2 = load y
+  br lt r2, 5, bb2, bb5
+bb2:
+  r3 = load x
+  br gt r3, 10, bb3, bb5
+bb3:
+  r4 = input 0
+  store x, r4
+  jmp bb5
+bb5:
+  r5 = load y
+  br lt r5, 10, loop, exit
+exit:
+  ret 0
+}
+|})
+
+let test_tables_structure () =
+  let sys = figure4_system () in
+  let t = Core.System.tables sys "main" in
+  check_int "three branches" 3 t.Core.Tables.n_branches;
+  check "bcv marks three slots" true
+    (Array.to_list t.Core.Tables.bcv |> List.filter (fun b -> b) |> List.length = 3);
+  (* every BAT target slot must be BCV-marked (pruning invariant) *)
+  check "bat targets all checked" true
+    (Array.for_all
+       (fun row ->
+         List.for_all (fun (e : Core.Tables.bat_entry) -> t.Core.Tables.bcv.(e.target_slot)) row)
+       t.Core.Tables.bat)
+
+let test_sizes () =
+  let sys = figure4_system () in
+  let t = Core.System.tables sys "main" in
+  let s = Core.Tables.sizes t in
+  let space = Core.Hash.space t.Core.Tables.hash in
+  check_int "bsv is 2 bits per slot" (2 * space) s.Core.Tables.bsv_bits;
+  check_int "bcv is 1 bit per slot" space s.Core.Tables.bcv_bits;
+  check "bat counts headers and nodes" true (s.Core.Tables.bat_bits > 0);
+  let stats = Core.System.size_stats sys in
+  check "avg matches single function" true
+    (int_of_float stats.Core.System.avg_bsv_bits = s.Core.Tables.bsv_bits)
+
+(* ---------- checker semantics ---------- *)
+
+(* Build a tiny tables value by hand to drive the checker precisely. *)
+let hand_tables () =
+  let prog =
+    Mir.Parser.program_of_string
+      {|
+func main() {
+ var y
+entry:
+  r0 = load y
+  br lt r0, 5, a, b
+a:
+  r1 = load y
+  br lt r1, 10, c, d
+b:
+  ret 0
+c:
+  ret 1
+d:
+  ret 2
+}
+|}
+  in
+  Core.System.build prog
+
+let test_checker_verify_update () =
+  let sys = hand_tables () in
+  let layout = sys.Core.System.layout in
+  let pc iid = Mir.Layout.pc layout ~fname:"main" ~iid in
+  (* iids: entry: 0 load,1 br; a: 2 load,3 br *)
+  let checker = Core.System.new_checker sys in
+  ignore (Core.Checker.on_call checker "main");
+  check_int "depth 1" 1 (Core.Checker.depth checker);
+  (* First branch taken: unknown matches anything, then BAT pins both. *)
+  let i1 = Core.Checker.on_branch checker ~pc:(pc 1) ~taken:true in
+  check "first check passes" true (i1.Core.Checker.alarm = None);
+  check "branch was checked" true i1.Core.Checker.was_checked;
+  (* Second branch: y < 5 implies y < 10, expected taken.  Violate it. *)
+  let i2 = Core.Checker.on_branch checker ~pc:(pc 3) ~taken:false in
+  (match i2.Core.Checker.alarm with
+  | Some a ->
+      check "alarm expected taken" true (Core.Status.equal a.Core.Checker.expected Core.Status.Taken);
+      check "alarm actual not taken" false a.Core.Checker.actual_taken
+  | None -> Alcotest.fail "subsumption violation must alarm");
+  check_int "alarm recorded" 1 (List.length (Core.Checker.alarms checker));
+  Core.Checker.on_return checker;
+  check_int "depth 0" 0 (Core.Checker.depth checker)
+
+let test_checker_consistent_run_clean () =
+  let sys = hand_tables () in
+  let layout = sys.Core.System.layout in
+  let pc iid = Mir.Layout.pc layout ~fname:"main" ~iid in
+  let checker = Core.System.new_checker sys in
+  ignore (Core.Checker.on_call checker "main");
+  ignore (Core.Checker.on_branch checker ~pc:(pc 1) ~taken:true);
+  let i = Core.Checker.on_branch checker ~pc:(pc 3) ~taken:true in
+  check "consistent directions pass" true (i.Core.Checker.alarm = None);
+  check_int "no alarms" 0 (List.length (Core.Checker.alarms checker))
+
+let test_checker_fresh_frame_per_call () =
+  let sys = hand_tables () in
+  let layout = sys.Core.System.layout in
+  let pc iid = Mir.Layout.pc layout ~fname:"main" ~iid in
+  let checker = Core.System.new_checker sys in
+  ignore (Core.Checker.on_call checker "main");
+  ignore (Core.Checker.on_branch checker ~pc:(pc 1) ~taken:true);
+  (* A nested activation must not see the caller's statuses. *)
+  ignore (Core.Checker.on_call checker "main");
+  let i = Core.Checker.on_branch checker ~pc:(pc 3) ~taken:false in
+  check "fresh frame starts unknown" true (i.Core.Checker.alarm = None);
+  Core.Checker.on_return checker;
+  (* Back in the caller: the pinned status is still armed. *)
+  let i2 = Core.Checker.on_branch checker ~pc:(pc 3) ~taken:false in
+  check "caller status survived the call" true (i2.Core.Checker.alarm <> None)
+
+let test_checker_unknown_matches_all () =
+  check "unknown matches taken" true (Core.Status.matches Core.Status.Unknown true);
+  check "unknown matches not-taken" true (Core.Status.matches Core.Status.Unknown false);
+  check "taken matches taken" true (Core.Status.matches Core.Status.Taken true);
+  check "taken rejects not-taken" false (Core.Status.matches Core.Status.Taken false);
+  check "not-taken rejects taken" false (Core.Status.matches Core.Status.Not_taken true)
+
+let test_checker_empty_stack_errors () =
+  let sys = hand_tables () in
+  let checker = Core.System.new_checker sys in
+  check "return on empty stack raises" true
+    (try
+       Core.Checker.on_return checker;
+       false
+     with Invalid_argument _ -> true)
+
+let test_checker_misc () =
+  let sys = hand_tables () in
+  let layout = sys.Core.System.layout in
+  let pc iid = Mir.Layout.pc layout ~fname:"main" ~iid in
+  let checker = Core.System.new_checker sys in
+  ignore (Core.Checker.on_call checker "main");
+  check_int "no branches seen" 0 (Core.Checker.branches_seen checker);
+  ignore (Core.Checker.on_branch checker ~pc:(pc 1) ~taken:true);
+  check_int "one branch seen" 1 (Core.Checker.branches_seen checker);
+  let statuses = Core.Checker.current_statuses checker in
+  check "some status is pinned" true
+    (List.exists (fun (_, s) -> not (Core.Status.equal s Core.Status.Unknown)) statuses);
+  (* alarm sequence numbers are commit indices *)
+  let i = Core.Checker.on_branch checker ~pc:(pc 3) ~taken:false in
+  (match i.Core.Checker.alarm with
+  | Some a -> check_int "sequence is second commit" 1 a.Core.Checker.sequence
+  | None -> Alcotest.fail "expected alarm")
+
+let test_hash_dense_pcs () =
+  (* consecutive branch PCs (every 4 bytes) are the worst case for weak
+     mixing: the search must still succeed quickly *)
+  let pcs = List.init 64 (fun i -> 0x4000 + (4 * i)) in
+  let p = Core.Hash.find pcs in
+  let slots = List.map (Core.Hash.apply p) pcs in
+  check_int "dense pcs collision free" 64 (List.length (List.sort_uniq compare slots));
+  check "attempts counted" true (Core.Hash.attempts_for pcs >= 1)
+
+(* ---------- bitstream & binary images ---------- *)
+
+let prop_bitstream_roundtrip =
+  let gen =
+    QCheck2.Gen.(
+      list_size (int_range 1 60) (tup2 (int_range 1 24) (int_bound 0xffffff)))
+  in
+  QCheck2.Test.make ~name:"bitstream round trip" ~count:300 gen (fun fields ->
+      let fields = List.map (fun (w, v) -> (w, v land ((1 lsl w) - 1))) fields in
+      let w = Core.Bitstream.Writer.create () in
+      List.iter (fun (width, v) -> Core.Bitstream.Writer.push w ~width v) fields;
+      let r = Core.Bitstream.Reader.of_bytes (Core.Bitstream.Writer.contents w) in
+      List.for_all (fun (width, v) -> Core.Bitstream.Reader.pull r ~width = v) fields)
+
+let strip_debug (t : Core.Tables.t) = { t with Core.Tables.slot_of_iid = [] }
+
+let test_encode_roundtrip_workloads () =
+  List.iter
+    (fun w ->
+      let sys = Core.System.build (Ipds_workloads.Workloads.program w) in
+      List.iter
+        (fun (_, (info : Core.System.func_info)) ->
+          let img = Core.Encode.function_image ~entry_pc:info.entry_pc info.tables in
+          let entry_pc, decoded = Core.Encode.decode_function img in
+          check "entry pc survives" true (entry_pc = info.entry_pc);
+          check "tables survive" true (decoded = strip_debug info.tables))
+        sys.Core.System.funcs)
+    Ipds_workloads.Workloads.all
+
+let test_payload_matches_size_accounting () =
+  List.iter
+    (fun w ->
+      let sys = Core.System.build (Ipds_workloads.Workloads.program w) in
+      List.iter
+        (fun (_, (info : Core.System.func_info)) ->
+          let s = Core.Tables.sizes info.tables in
+          check_int
+            (w.Ipds_workloads.Workloads.name ^ " payload bits")
+            (s.Core.Tables.bcv_bits + s.Core.Tables.bat_bits)
+            (Core.Encode.payload_bits info.tables))
+        sys.Core.System.funcs)
+    Ipds_workloads.Workloads.all
+
+let test_checker_from_image () =
+  (* A checker running on reloaded tables must behave identically. *)
+  let w = Ipds_workloads.Workloads.find "telnetd" in
+  let program = Ipds_workloads.Workloads.program w in
+  let sys = Core.System.build program in
+  let image = Core.Encode.program_image sys in
+  let loaded = Core.Encode.load_program image in
+  let lookup name = snd (List.assoc name loaded) in
+  let run checker =
+    (Ipds_machine.Interp.run program
+       {
+         Ipds_machine.Interp.default_config with
+         inputs = Ipds_machine.Input_script.random ~seed:4 ();
+         checker = Some checker;
+         tamper =
+           Some
+             {
+               Ipds_machine.Tamper.at_step = 120;
+               model = Ipds_machine.Tamper.Stack_overflow;
+               seed = 9;
+               value = 1;
+             };
+       })
+      .Ipds_machine.Interp.alarms
+  in
+  let from_memory = run (Core.System.new_checker sys) in
+  let from_image = run (Core.Checker.create ~lookup) in
+  check "identical alarms" true (from_memory = from_image)
+
+let test_trace_log () =
+  let sys = hand_tables () in
+  let layout = sys.Core.System.layout in
+  let pc iid = Mir.Layout.pc layout ~fname:"main" ~iid in
+  let lines = ref [] in
+  let log =
+    Core.Trace_log.create
+      ~lookup:(Core.System.tables sys)
+      ~out:(fun l -> lines := l :: !lines)
+  in
+  Core.Trace_log.on_call log "main";
+  ignore (Core.Trace_log.on_branch log ~pc:(pc 1) ~taken:true);
+  ignore (Core.Trace_log.on_branch log ~pc:(pc 3) ~taken:false);
+  Core.Trace_log.on_return log;
+  let text = String.concat "\n" (List.rev !lines) in
+  let contains needle =
+    let nh = String.length text and nn = String.length needle in
+    let rec go i =
+      i + nn <= nh && (String.equal (String.sub text i nn) needle || go (i + 1))
+    in
+    go 0
+  in
+  check "logs the call" true (contains "call main");
+  check "logs the alarm" true (contains "ALARM");
+  check "logs expected status" true (contains "expected=T");
+  check "logs the return" true (contains "ret  main");
+  check_int "alarm recorded in underlying checker" 1
+    (List.length (Core.Checker.alarms (Core.Trace_log.checker log)))
+
+let test_encode_malformed () =
+  check "truncated image rejected" true
+    (try
+       ignore (Core.Encode.decode_function (Bytes.make 2 '\255'));
+       false
+     with Invalid_argument _ -> true);
+  check "empty image rejected" true
+    (try
+       ignore (Core.Encode.decode_function Bytes.empty);
+       false
+     with Invalid_argument _ -> true)
+
+(* ---------- oracle equivalence ----------
+
+   A reference checker interpreting Analysis.result directly (keyed by
+   instruction ids, no hashing, no bit packing, no table pruning beyond
+   what the result carries).  The production path (Tables + Hash +
+   Checker) must produce the same alarm sequence on any run, tampered or
+   not. *)
+
+module Oracle = struct
+  module Corr = Ipds_correlation
+
+  type frame = {
+    result : Corr.Analysis.result;
+    status : (int, Core.Status.t) Hashtbl.t;
+  }
+
+  type t = {
+    results : (string * Corr.Analysis.result) list;
+    layout : Mir.Layout.t;
+    mutable stack : frame list;
+    mutable alarms : int list;  (* commit indices *)
+    mutable commits : int;
+  }
+
+  let create program =
+    {
+      results = Corr.Analysis.analyze_program program;
+      layout = Mir.Layout.make program;
+      stack = [];
+      alarms = [];
+      commits = 0;
+    }
+
+  let apply frame actions =
+    List.iter
+      (fun (tgt, a) -> Hashtbl.replace frame.status tgt (Core.Status.of_action a))
+      actions
+
+  let on_call t callee =
+    match List.assoc_opt callee t.results with
+    | None -> ()
+    | Some result ->
+        let frame = { result; status = Hashtbl.create 8 } in
+        apply frame result.Corr.Analysis.entry_actions;
+        t.stack <- frame :: t.stack
+
+  let on_return t =
+    match t.stack with
+    | [] -> ()
+    | _ :: rest -> t.stack <- rest
+
+  let on_branch t ~pc ~taken =
+    match t.stack with
+    | [] -> ()
+    | frame :: _ ->
+        let iid =
+          match Mir.Layout.func_of_pc t.layout pc with
+          | Some (_, iid) -> iid
+          | None -> -1
+        in
+        let seq = t.commits in
+        t.commits <- t.commits + 1;
+        (if List.mem iid frame.result.Corr.Analysis.checked then
+           let expected =
+             Option.value
+               (Hashtbl.find_opt frame.status iid)
+               ~default:Core.Status.Unknown
+           in
+           if not (Core.Status.matches expected taken) then
+             t.alarms <- seq :: t.alarms);
+        apply frame (Corr.Analysis.actions_for frame.result (iid, taken))
+end
+
+let prop_encode_roundtrip_random =
+  QCheck2.Test.make ~name:"binary image round trips on arbitrary programs"
+    ~count:80 Gen.mir_program (fun p ->
+      let sys = Core.System.build p in
+      let image = Core.Encode.program_image sys in
+      let loaded = Core.Encode.load_program image in
+      List.for_all
+        (fun (name, (info : Core.System.func_info)) ->
+          match List.assoc_opt name loaded with
+          | Some (pc, tables) ->
+              pc = info.entry_pc && tables = strip_debug info.tables
+          | None -> false)
+        sys.Core.System.funcs)
+
+let prop_checker_matches_oracle =
+  QCheck2.Test.make ~name:"table-driven checker matches the analysis oracle"
+    ~count:120
+    QCheck2.Gen.(tup3 Gen.minic_program (int_bound 1000) (int_bound 100000))
+    (fun (program, seed, attack_bits) ->
+      let sys = Core.System.build program in
+      let tamper =
+        if attack_bits mod 3 = 0 then None
+        else
+          Some
+            {
+              Ipds_machine.Tamper.at_step = 1 + (attack_bits mod 400);
+              model = Ipds_machine.Tamper.Arbitrary_write;
+              seed = attack_bits;
+              value = attack_bits mod 256;
+            }
+      in
+      (* production run *)
+      let checker = Core.System.new_checker sys in
+      let o1 =
+        Ipds_machine.Interp.run program
+          {
+            Ipds_machine.Interp.default_config with
+            max_steps = 3000;
+            inputs = Ipds_machine.Input_script.random ~seed ();
+            checker = Some checker;
+          }
+      in
+      ignore o1;
+      let o1_alarms =
+        List.map (fun (a : Core.Checker.alarm) -> a.sequence) (Core.Checker.alarms checker)
+      in
+      (* oracle run, driven by events *)
+      let oracle = Oracle.create program in
+      let observer (e : Ipds_machine.Event.t) =
+        match e.Ipds_machine.Event.kind with
+        | Ipds_machine.Event.Call { callee } ->
+            if Mir.Program.is_defined program callee then Oracle.on_call oracle callee
+        | Ipds_machine.Event.Ret -> Oracle.on_return oracle
+        | Ipds_machine.Event.Branch { taken; _ } ->
+            Oracle.on_branch oracle ~pc:e.Ipds_machine.Event.pc ~taken
+        | Ipds_machine.Event.Alu | Ipds_machine.Event.Load _
+        | Ipds_machine.Event.Store _ | Ipds_machine.Event.Jump _
+        | Ipds_machine.Event.Input_read | Ipds_machine.Event.Output_write _ ->
+            ()
+      in
+      let _o2 =
+        Ipds_machine.Interp.run program
+          {
+            Ipds_machine.Interp.default_config with
+            max_steps = 3000;
+            inputs = Ipds_machine.Input_script.random ~seed ();
+            observer = Some observer;
+          }
+      in
+      ignore tamper;
+      (* both runs above were benign; now the tampered pair *)
+      match tamper with
+      | None -> o1_alarms = List.rev oracle.Oracle.alarms
+      | Some plan ->
+          let checker2 = Core.System.new_checker sys in
+          let _ =
+            Ipds_machine.Interp.run program
+              {
+                Ipds_machine.Interp.default_config with
+                max_steps = 3000;
+                inputs = Ipds_machine.Input_script.random ~seed ();
+                checker = Some checker2;
+                tamper = Some plan;
+              }
+          in
+          let prod =
+            List.map
+              (fun (a : Core.Checker.alarm) -> a.sequence)
+              (Core.Checker.alarms checker2)
+          in
+          let oracle2 = Oracle.create program in
+          let observer2 (e : Ipds_machine.Event.t) =
+            match e.Ipds_machine.Event.kind with
+            | Ipds_machine.Event.Call { callee } ->
+                if Mir.Program.is_defined program callee then
+                  Oracle.on_call oracle2 callee
+            | Ipds_machine.Event.Ret -> Oracle.on_return oracle2
+            | Ipds_machine.Event.Branch { taken; _ } ->
+                Oracle.on_branch oracle2 ~pc:e.Ipds_machine.Event.pc ~taken
+            | Ipds_machine.Event.Alu | Ipds_machine.Event.Load _
+            | Ipds_machine.Event.Store _ | Ipds_machine.Event.Jump _
+            | Ipds_machine.Event.Input_read | Ipds_machine.Event.Output_write _ ->
+                ()
+          in
+          let _ =
+            Ipds_machine.Interp.run program
+              {
+                Ipds_machine.Interp.default_config with
+                max_steps = 3000;
+                inputs = Ipds_machine.Input_script.random ~seed ();
+                observer = Some observer2;
+                tamper = Some plan;
+              }
+          in
+          prod = List.rev oracle2.Oracle.alarms)
+
+let () =
+  Alcotest.run "core"
+    [
+      ( "hash",
+        [
+          Alcotest.test_case "empty" `Quick test_hash_empty;
+          Alcotest.test_case "collision free" `Quick test_hash_collision_free_known;
+          QCheck_alcotest.to_alcotest prop_hash_collision_free;
+        ] );
+      ( "tables",
+        [
+          Alcotest.test_case "structure" `Quick test_tables_structure;
+          Alcotest.test_case "sizes" `Quick test_sizes;
+        ] );
+      ( "encode",
+        [
+          QCheck_alcotest.to_alcotest prop_bitstream_roundtrip;
+          Alcotest.test_case "workload tables round trip" `Quick
+            test_encode_roundtrip_workloads;
+          Alcotest.test_case "payload matches size accounting" `Quick
+            test_payload_matches_size_accounting;
+          Alcotest.test_case "checker from image" `Quick test_checker_from_image;
+          QCheck_alcotest.to_alcotest prop_checker_matches_oracle;
+          QCheck_alcotest.to_alcotest prop_encode_roundtrip_random;
+          Alcotest.test_case "trace log" `Quick test_trace_log;
+          Alcotest.test_case "malformed image" `Quick test_encode_malformed;
+        ] );
+      ( "checker",
+        [
+          Alcotest.test_case "verify/update" `Quick test_checker_verify_update;
+          Alcotest.test_case "consistent run" `Quick test_checker_consistent_run_clean;
+          Alcotest.test_case "fresh frame" `Quick test_checker_fresh_frame_per_call;
+          Alcotest.test_case "status matching" `Quick test_checker_unknown_matches_all;
+          Alcotest.test_case "empty stack" `Quick test_checker_empty_stack_errors;
+          Alcotest.test_case "misc accessors" `Quick test_checker_misc;
+          Alcotest.test_case "dense pcs" `Quick test_hash_dense_pcs;
+        ] );
+    ]

@@ -1,0 +1,517 @@
+(* Tests for the branch-correlation analysis against the paper's own
+   examples (§4 Figure 3, §5.1 Figure 4) and targeted corner cases. *)
+
+module Mir = Ipds_mir
+module Corr = Ipds_correlation
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let analyze src =
+  let p = Mir.Parser.program_of_string src in
+  List.assoc "main" (Corr.Analysis.analyze_program p)
+
+let actions_on r edge = Corr.Analysis.actions_for r edge
+
+let has_action r edge target action =
+  List.exists
+    (fun (t, a) -> t = target && Corr.Action.equal a action)
+    (actions_on r edge)
+
+(* Figure 4's loop: y checked at BR1 (<5) and BR5 (<10); x checked and
+   conditionally redefined at BR2. *)
+let figure4 =
+  {|
+func main() {
+ var x
+ var y
+entry:
+  r0 = input 0
+  store y, r0
+  r1 = input 0
+  store x, r1
+  jmp loop
+loop:
+  r2 = load y
+  br lt r2, 5, bb2, bb5
+bb2:
+  r3 = load x
+  br gt r3, 10, bb3, bb5
+bb3:
+  r4 = input 0
+  store x, r4
+  jmp bb5
+bb5:
+  r5 = load y
+  br lt r5, 10, loop, exit
+exit:
+  ret 0
+}
+|}
+
+(* iids follow definition order: entry 0..4; loop: load y=5, br1=6;
+   bb2: load x=7, br2=8; bb3: input=9, store x=10, jmp=11;
+   bb5: load y=12, br5=13; exit: ret=14. *)
+let br1 = 6
+let br2 = 8
+let br5 = 13
+
+let test_figure4_depends () =
+  let r = analyze figure4 in
+  check_int "three dependent branches" 3 (List.length r.Corr.Analysis.depends);
+  check "all three checked" true (List.sort compare r.Corr.Analysis.checked = [ br1; br2; br5 ])
+
+let test_figure4_subsumption () =
+  let r = analyze figure4 in
+  (* BR1 taken: y < 5 subsumes y < 10, so BR5 expects taken; BR1 expects
+     taken again (scenario 2). *)
+  check "BR1 taken sets BR5 taken" true (has_action r (br1, true) br5 Corr.Action.Set_taken);
+  check "BR1 taken sets itself taken" true (has_action r (br1, true) br1 Corr.Action.Set_taken);
+  (* BR1 not-taken: y >= 5 says nothing about y < 10. *)
+  check "BR1 not-taken leaves BR5 alone" false
+    (List.mem_assoc br5 (actions_on r (br1, false)));
+  check "BR1 not-taken pins itself" true
+    (has_action r (br1, false) br1 Corr.Action.Set_not_taken);
+  (* BR5 not-taken: y >= 10 subsumes y >= 5: BR1 must be not-taken. *)
+  check "BR5 not-taken sets BR1 not-taken" true
+    (has_action r (br5, false) br1 Corr.Action.Set_not_taken)
+
+let test_figure4_redefinition () =
+  let r = analyze figure4 in
+  (* BR2 taken enters bb3 which redefines x: its own status becomes
+     unknown (the Figure 4 walkthrough). *)
+  check "BR2 taken sets itself unknown" true
+    (has_action r (br2, true) br2 Corr.Action.Set_unknown);
+  (* BR2 not-taken: x <= 10 pins it not-taken for the next iteration. *)
+  check "BR2 not-taken pins itself" true
+    (has_action r (br2, false) br2 Corr.Action.Set_not_taken)
+
+(* Store–load correlation (Figure 3.b/3.c): the branch tests the value a
+   store put in memory, plus affine adjustment through a subtraction. *)
+let test_store_load_affine () =
+  let r =
+    analyze
+      {|
+func main() {
+ var y
+entry:
+  r0 = input 0
+  store y, r0
+  br lt r0, 5, small, big
+small:
+  r1 = load y
+  r2 = sub r1, 1
+  br lt r2, 10, hit, miss
+big:
+  ret 0
+hit:
+  ret 1
+miss:
+  ret 2
+}
+|}
+  in
+  (* iids: input=0 store=1 br_s=2; small: load=3 sub=4 br_t=5 *)
+  check "store-test pins the dependent branch" true (has_action r (2, true) 5 Corr.Action.Set_taken);
+  check "dependent branch is checked" true (List.mem 5 r.Corr.Analysis.checked)
+
+(* A constant store inside a region forces later branch directions. *)
+let test_const_store_region_fact () =
+  let r =
+    analyze
+      {|
+func main() {
+ var flag
+entry:
+  r0 = input 0
+  br lt r0, 0, neg, pos
+neg:
+  store flag, 1
+  jmp check
+pos:
+  store flag, 1
+  jmp check
+check:
+  r1 = load flag
+  br eq r1, 1, yes, no
+yes:
+  ret 1
+no:
+  ret 0
+}
+|}
+  in
+  (* iids: entry: 0,1; neg: 2,3; pos: 4,5; check: 6,7 *)
+  check "const store on taken edge pins check" true (has_action r (1, true) 7 Corr.Action.Set_taken);
+  check "const store on fallthrough edge pins check" true
+    (has_action r (1, false) 7 Corr.Action.Set_taken)
+
+(* A call that may write the variable must reset the status. *)
+let test_call_kill () =
+  let r =
+    analyze
+      {|
+extern syscall writes_all
+func main() {
+ var flag
+entry:
+  store flag, 1
+  jmp loop
+loop:
+  r0 = load flag
+  br eq r0, 1, body, exit
+body:
+  call syscall(0)
+  jmp loop
+exit:
+  ret 0
+}
+|}
+  in
+  (* iids: entry: 0(store),1(jmp); loop: 2(load),3(br); body: 4(call),5(jmp); exit: 6 *)
+  check "flag branch is checked (entry fact)" true (List.mem 3 r.Corr.Analysis.checked);
+  check "entry const store pins the check" true
+    (List.exists
+       (fun (t, a) -> t = 3 && Corr.Action.equal a Corr.Action.Set_taken)
+       r.Corr.Analysis.entry_actions);
+  check "the wild call resets the status" true (has_action r (3, true) 3 Corr.Action.Set_unknown)
+
+(* A pure call must NOT reset the status. *)
+let test_pure_call_preserves () =
+  let r =
+    analyze
+      {|
+extern strcmp pure
+func main() {
+ var flag
+ var buf[4]
+entry:
+  store flag, 1
+  jmp loop
+loop:
+  r0 = load flag
+  br eq r0, 1, body, exit
+body:
+  r1 = addr buf[0]
+  r2 = call strcmp(r1, r1)
+  jmp loop
+exit:
+  ret 0
+}
+|}
+  in
+  check "branch still checked" true (List.mem 3 r.Corr.Analysis.checked);
+  check "pure call does not reset" false (has_action r (3, true) 3 Corr.Action.Set_unknown);
+  check "self-correlation persists" true (has_action r (3, true) 3 Corr.Action.Set_taken)
+
+(* Writing through a may-alias pointer kills every cell of the target. *)
+let test_pointer_store_kill () =
+  let r =
+    analyze
+      {|
+func main() {
+ var tab[4]
+entry:
+  store tab[0], 1
+  jmp loop
+loop:
+  r0 = load tab[0]
+  br eq r0, 1, body, exit
+body:
+  r1 = input 0
+  r2 = addr tab[0]
+  r3 = add r2, r1
+  store [r3], 9
+  jmp loop
+exit:
+  ret 0
+}
+|}
+  in
+  (* loop branch iid: entry 0,1; loop 2,3 *)
+  check "indexed pointer store kills the fact" true
+    (has_action r (3, true) 3 Corr.Action.Set_unknown)
+
+(* Multi-aliased loads are excluded from checking (paper §5.1). *)
+let test_multi_alias_load_excluded () =
+  let r =
+    analyze
+      {|
+func main() {
+ var tab[4]
+entry:
+  r0 = input 0
+  r1 = load tab[r0]
+  br eq r1, 1, a, b
+a:
+  ret 1
+b:
+  ret 0
+}
+|}
+  in
+  check_int "no depends through variable index" 0 (List.length r.Corr.Analysis.depends);
+  check_int "nothing checked" 0 (List.length r.Corr.Analysis.checked)
+
+(* Branches on registers that never touch memory are not checked. *)
+let test_register_branch_unchecked () =
+  let r =
+    analyze
+      {|
+func main() {
+entry:
+  r0 = input 0
+  br lt r0, 5, a, b
+a:
+  ret 1
+b:
+  ret 0
+}
+|}
+  in
+  check_int "input-driven branch has no depend" 0 (List.length r.Corr.Analysis.depends)
+
+(* Affine tracing through multiplication and shifts (beyond the paper's
+   add/sub example in Figure 3.c). *)
+let test_mul_shift_affine () =
+  let r =
+    analyze
+      {|
+func main() {
+ var y
+entry:
+  r0 = input 0
+  store y, r0
+  br lt r0, 4, small, big
+small:
+  r1 = load y
+  r2 = mul r1, 4
+  r3 = shl r2, 1
+  br lt r3, 100, hit, miss
+big:
+  ret 0
+hit:
+  ret 1
+miss:
+  ret 2
+}
+|}
+  in
+  (* y < 4 pins y*8 < 32 < 100: the dependent branch must be taken.
+     iids: entry: 0,1,2(br); small: 3(load),4(mul),5(shl),6(br) *)
+  check "mul/shl chain pins dependent branch" true
+    (has_action r (2, true) 6 Corr.Action.Set_taken);
+  check "scaled branch is checked" true (List.mem 6 r.Corr.Analysis.checked)
+
+(* Trace through swapped operands: constant on the left. *)
+let test_swapped_compare () =
+  let r =
+    analyze
+      {|
+func main() {
+ var y
+entry:
+  r0 = input 0
+  store y, r0
+  jmp loop
+loop:
+  r1 = load y
+  r2 = 8
+  br lt r2, r1, big, small
+big:
+  jmp loop2
+small:
+  jmp loop2
+loop2:
+  r3 = load y
+  br gt r3, 8, big2, small2
+big2:
+  ret 1
+small2:
+  ret 0
+}
+|}
+  in
+  (* 8 < y  ≡  y > 8: both branches depend on y with the same predicate:
+     iids: entry 0,1,2; loop: 3(load),4(const),5(br); big 6; small 7;
+     loop2: 8(load),9(br) *)
+  check "swapped compare correlates with canonical form" true
+    (has_action r (5, true) 9 Corr.Action.Set_taken);
+  check "and not-taken direction too" true
+    (has_action r (5, false) 9 Corr.Action.Set_not_taken)
+
+(* Stale-register hazard: the target branch tests a register loaded BEFORE
+   the store that establishes the fact; no action may be emitted that
+   would mispredict it (this is the soundness condition (i)/(ii)). *)
+let test_stale_register_no_false_pin () =
+  let r =
+    analyze
+      {|
+func main() {
+ var c
+entry:
+  r0 = input 0
+  store c, r0
+  r1 = load c
+  br lt r0, 100, mid, fin
+mid:
+  store c, 5
+  br eq r1, 5, yes, no
+yes:
+  ret 1
+no:
+  ret 2
+fin:
+  ret 0
+}
+|}
+  in
+  (* iids: entry: 0 input,1 store,2 load,3 br; mid: 4 store,5 br *)
+  (* The store c,5 must not pin br@5 to taken: r1 holds the OLD value. *)
+  check "no unsound SET on stale register" false
+    (has_action r (3, true) 5 Corr.Action.Set_taken)
+
+(* Dispatch chains: c == 2 taken pins c == 3 not-taken (Eq gives a point
+   range; the point misses the other literal). *)
+let test_dispatch_chain () =
+  let r =
+    analyze
+      {|
+func main() {
+ var c
+entry:
+  r0 = input 0
+  store c, r0
+  jmp d1
+d1:
+  r1 = load c
+  br eq r1, 2, h2, d2
+d2:
+  r2 = load c
+  br eq r2, 3, h3, fin
+h2:
+  jmp d2
+h3:
+  ret 3
+fin:
+  ret 0
+}
+|}
+  in
+  (* iids: entry 0,1,2; d1: 3,4; d2: 5,6 *)
+  check "c==2 taken forces c==3 not-taken" true
+    (has_action r (4, true) 6 Corr.Action.Set_not_taken);
+  (* c==2 NOT taken says c != 2: neither direction of c==3 is forced *)
+  check "c!=2 forces nothing on c==3" false (List.mem_assoc 6 (actions_on r (4, false)));
+  (* but c != 2 pins c==2 itself not-taken for re-execution *)
+  check "self Except pin" true (has_action r (4, false) 4 Corr.Action.Set_not_taken)
+
+(* Option toggles, checked at the unit level on the Figure 4 program. *)
+let test_options_toggle () =
+  let p = Mir.Parser.program_of_string figure4 in
+  let with_opts options =
+    List.assoc "main" (Corr.Analysis.analyze_program ~options p)
+  in
+  let base = Corr.Analysis.default_options in
+  let no_ll = with_opts { base with Corr.Analysis.load_load = false } in
+  check "no load-load kills subsumption pins" false
+    (List.exists
+       (fun (t, a) -> t = br5 && Corr.Action.equal a Corr.Action.Set_taken)
+       (actions_on no_ll (br1, true)));
+  let no_affine = with_opts { base with Corr.Analysis.affine_tracing = false } in
+  (* figure4's depends are all offset-0 loads: unaffected *)
+  check_int "identity chains survive no-affine" 3
+    (List.length no_affine.Corr.Analysis.depends)
+
+(* A region fact must be overridden by a later kill in the same region. *)
+let test_region_fact_then_kill () =
+  let r =
+    analyze
+      {|
+extern syscall writes_all
+func main() {
+ var flag
+entry:
+  r0 = input 0
+  br lt r0, 0, a, b
+a:
+  store flag, 1
+  call syscall(0)
+  jmp check
+b:
+  jmp check
+check:
+  r1 = load flag
+  br eq r1, 1, yes, no
+yes:
+  ret 1
+no:
+  ret 0
+}
+|}
+  in
+  (* iids: entry 0,1; a: 2(store),3(call),4(jmp); b: 5(jmp);
+     check: 6(load),7(br) *)
+  check "kill after const store wins" false
+    (has_action r (1, true) 7 Corr.Action.Set_taken);
+  check "and resets instead" true (has_action r (1, true) 7 Corr.Action.Set_unknown)
+
+(* The reverse order: kill then const store ends with the fact. *)
+let test_region_kill_then_fact () =
+  let r =
+    analyze
+      {|
+extern syscall writes_all
+func main() {
+ var flag
+entry:
+  r0 = input 0
+  br lt r0, 0, a, b
+a:
+  call syscall(0)
+  store flag, 1
+  jmp check
+b:
+  jmp check
+check:
+  r1 = load flag
+  br eq r1, 1, yes, no
+yes:
+  ret 1
+no:
+  ret 0
+}
+|}
+  in
+  check "const store after kill pins" true (has_action r (1, true) 7 Corr.Action.Set_taken)
+
+let () =
+  Alcotest.run "correlation"
+    [
+      ( "figure4",
+        [
+          Alcotest.test_case "depends" `Quick test_figure4_depends;
+          Alcotest.test_case "subsumption" `Quick test_figure4_subsumption;
+          Alcotest.test_case "redefinition" `Quick test_figure4_redefinition;
+        ] );
+      ( "facts",
+        [
+          Alcotest.test_case "store-load with affine" `Quick test_store_load_affine;
+          Alcotest.test_case "const store region fact" `Quick test_const_store_region_fact;
+          Alcotest.test_case "call kill" `Quick test_call_kill;
+          Alcotest.test_case "pure call preserves" `Quick test_pure_call_preserves;
+          Alcotest.test_case "pointer store kill" `Quick test_pointer_store_kill;
+        ] );
+      ( "exclusions",
+        [
+          Alcotest.test_case "multi-alias load" `Quick test_multi_alias_load_excluded;
+          Alcotest.test_case "register branch" `Quick test_register_branch_unchecked;
+          Alcotest.test_case "swapped compare" `Quick test_swapped_compare;
+          Alcotest.test_case "mul/shl affine" `Quick test_mul_shift_affine;
+          Alcotest.test_case "dispatch chain" `Quick test_dispatch_chain;
+          Alcotest.test_case "option toggles" `Quick test_options_toggle;
+          Alcotest.test_case "region fact then kill" `Quick test_region_fact_then_kill;
+          Alcotest.test_case "region kill then fact" `Quick test_region_kill_then_fact;
+          Alcotest.test_case "stale register" `Quick test_stale_register_no_false_pin;
+        ] );
+    ]

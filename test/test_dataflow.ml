@@ -1,0 +1,232 @@
+(* Tests for the dataflow framework instantiations: register reaching
+   definitions and liveness. *)
+
+module Mir = Ipds_mir
+module Cfg = Ipds_cfg.Cfg
+module Rd = Ipds_dataflow.Reaching_defs
+module Live = Ipds_dataflow.Liveness
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let func_of src = Mir.Program.find_func_exn (Mir.Parser.program_of_string src) "main"
+
+(* r0 defined twice on different paths, merged at join. *)
+let merge_func () =
+  func_of
+    {|
+func main() {
+ var x
+entry:
+  r1 = load x
+  br lt r1, 5, a, b
+a:
+  r0 = 1
+  jmp join
+b:
+  r0 = 2
+  jmp join
+join:
+  output r0
+  ret
+}
+|}
+
+let test_unique_defs () =
+  let f = merge_func () in
+  let rd = Rd.compute (Cfg.make f) in
+  (* At the branch (iid 1), r1's unique def is the load (iid 0). *)
+  (match Rd.unique_def rd ~iid:1 (Mir.Reg.make 1) with
+  | Some (Rd.At 0) -> ()
+  | Some _ | None -> Alcotest.fail "r1 should have the load as unique def");
+  (* At the output (iid 6), r0 has two reaching defs. *)
+  check "merged register has no unique def" true
+    (Rd.unique_def rd ~iid:6 (Mir.Reg.make 0) = None);
+  check_int "exactly two defs reach" 2
+    (Rd.Def_set.cardinal (Rd.before rd ~iid:6 (Mir.Reg.make 0)))
+
+let test_entry_def () =
+  let f = merge_func () in
+  let rd = Rd.compute (Cfg.make f) in
+  (* r2 is never defined: only the Entry pseudo-definition reaches. *)
+  check "undefined register comes from entry" true
+    (Rd.unique_def rd ~iid:0 (Mir.Reg.make 0) = Some Rd.Entry)
+
+let test_def_killed_in_block () =
+  let f =
+    func_of
+      {|
+func main() {
+entry:
+  r0 = 1
+  r0 = 2
+  output r0
+  ret
+}
+|}
+  in
+  let rd = Rd.compute (Cfg.make f) in
+  (match Rd.unique_def rd ~iid:2 (Mir.Reg.make 0) with
+  | Some (Rd.At 1) -> ()
+  | Some _ | None -> Alcotest.fail "second def should kill the first")
+
+let test_loop_carried () =
+  let f =
+    func_of
+      {|
+func main() {
+entry:
+  r0 = 0
+  jmp loop
+loop:
+  r1 = add r0, 1
+  r0 = r1
+  r2 = 5
+  br lt r1, 10, loop, exit
+exit:
+  ret
+}
+|}
+  in
+  ignore f;
+  (* r0 at the add (iid 2) is reached by both the init and the copy. *)
+  let rd = Rd.compute (Cfg.make f) in
+  check "loop-carried value has two defs" true
+    (Rd.unique_def rd ~iid:2 (Mir.Reg.make 0) = None)
+
+(* ---------- the generic framework, driven directly ---------- *)
+
+(* Forward must-constant analysis over one integer "register": join is
+   agreement-or-top, transfer adds the block's body length (a toy
+   monotone function) — checks fixpoints converge on loops. *)
+module Toy = struct
+  type t =
+    | Bot
+    | Known of int
+    | Top
+
+  let equal = ( = )
+
+  let join a b =
+    match a, b with
+    | Bot, x | x, Bot -> x
+    | Known m, Known n when m = n -> Known m
+    | Known _, Known _ -> Top
+    | Top, _ | _, Top -> Top
+end
+
+let test_framework_forward_loop () =
+  let f =
+    func_of
+      {|
+func main() {
+entry:
+  nop
+  jmp loop
+loop:
+  nop
+  nop
+  br lt r0, 5, loop, exit
+exit:
+  ret
+}
+|}
+  in
+  let cfg = Cfg.make f in
+  let module Solver = Ipds_dataflow.Framework.Forward (Toy) in
+  (* transfer: entry produces Known 1; a loop that re-adds the same value
+     stays Known; the merged fixpoint must be reached (no infinite loop) *)
+  let transfer b d =
+    match d with
+    | Toy.Bot -> Toy.Bot
+    | Toy.Top -> Toy.Top
+    | Toy.Known n -> if b = 0 then Toy.Known (n + 1) else Toy.Known n
+  in
+  let block_in, block_out =
+    Solver.solve cfg ~entry:(Toy.Known 0) ~bottom:Toy.Bot ~transfer
+  in
+  check "entry in" true (block_in.(0) = Toy.Known 0);
+  check "loop reaches stable fixpoint" true (block_in.(1) = Toy.Known 1);
+  check "exit sees loop out" true (block_out.(2) = Toy.Known 1)
+
+let test_framework_forward_conflict () =
+  (* two paths producing different constants must merge to Top *)
+  let f =
+    func_of
+      {|
+func main() {
+entry:
+  br lt r0, 5, a, b
+a:
+  jmp join
+b:
+  jmp join
+join:
+  ret
+}
+|}
+  in
+  let cfg = Cfg.make f in
+  let module Solver = Ipds_dataflow.Framework.Forward (Toy) in
+  let transfer b d =
+    match b, d with
+    | 1, _ -> Toy.Known 10
+    | 2, _ -> Toy.Known 20
+    | _, d -> d
+  in
+  let block_in, _ =
+    Solver.solve cfg ~entry:(Toy.Known 0) ~bottom:Toy.Bot ~transfer
+  in
+  check "conflicting paths merge to top" true (block_in.(3) = Toy.Top)
+
+let test_framework_backward () =
+  let f =
+    func_of
+      {|
+func main() {
+entry:
+  br lt r0, 5, a, b
+a:
+  ret
+b:
+  ret
+}
+|}
+  in
+  let cfg = Cfg.make f in
+  let module Solver = Ipds_dataflow.Framework.Backward (Toy) in
+  let transfer _ d = d in
+  let block_in, _ = Solver.solve cfg ~exit:(Toy.Known 9) ~bottom:Toy.Bot ~transfer in
+  check "exit value propagates backwards" true (block_in.(0) = Toy.Known 9)
+
+let test_liveness () =
+  let f = merge_func () in
+  let live = Live.compute (Cfg.make f) in
+  (* r0 is live at the start of join (used by output). *)
+  check "r0 live into join" true (Live.live_in live 3 (Mir.Reg.make 0));
+  (* r1 is dead after the entry branch. *)
+  check "r1 dead in a" false (Live.live_in live 1 (Mir.Reg.make 1));
+  (* r1 is live before the branch. *)
+  check "r1 live before branch" true (Live.live_before live ~iid:1 (Mir.Reg.make 1));
+  (* r1 is dead after... i.e. live_before of block a's first instr *)
+  check "r0 dead before its def in a" false
+    (Live.live_before live ~iid:0 (Mir.Reg.make 0))
+
+let () =
+  Alcotest.run "dataflow"
+    [
+      ( "reaching-defs",
+        [
+          Alcotest.test_case "unique defs" `Quick test_unique_defs;
+          Alcotest.test_case "entry def" `Quick test_entry_def;
+          Alcotest.test_case "intra-block kill" `Quick test_def_killed_in_block;
+          Alcotest.test_case "loop carried" `Quick test_loop_carried;
+        ] );
+      ("liveness", [ Alcotest.test_case "liveness" `Quick test_liveness ]);
+      ( "framework",
+        [
+          Alcotest.test_case "forward loop fixpoint" `Quick test_framework_forward_loop;
+          Alcotest.test_case "forward merge conflict" `Quick test_framework_forward_conflict;
+          Alcotest.test_case "backward" `Quick test_framework_backward;
+        ] );
+    ]

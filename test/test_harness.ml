@@ -1,0 +1,123 @@
+(* Tests for the experiment harness: table rendering, experiment rows,
+   and the statistics they report. *)
+
+module H = Ipds_harness
+module W = Ipds_workloads.Workloads
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.equal (String.sub haystack i nn) needle || go (i + 1)) in
+  go 0
+
+let test_stats () =
+  check "mean" true (abs_float (H.Stats.mean [ 1.; 2.; 3. ] -. 2.) < 1e-9);
+  check "mean empty" true (H.Stats.mean [] = 0.);
+  check "stddev of constant" true (H.Stats.stddev [ 5.; 5.; 5. ] = 0.);
+  check "stddev" true (abs_float (H.Stats.stddev [ 1.; 2.; 3. ] -. 1.) < 1e-9);
+  check "stddev singleton" true (H.Stats.stddev [ 4. ] = 0.);
+  check "min/max" true (H.Stats.minimum [ 3.; 1.; 2. ] = 1. && H.Stats.maximum [ 3.; 1.; 2. ] = 3.);
+  check "mean_sd renders" true (String.length (H.Stats.mean_sd [ 0.5; 0.6 ]) > 0)
+
+let test_table_render () =
+  let s = H.Table.render ~header:[ "a"; "bb" ] [ [ "1"; "2" ]; [ "333"; "" ] ] in
+  check "has header" true (contains s "a");
+  check "pads columns" true (contains s "| 1   | 2  |");
+  check "pct" true (String.equal (H.Table.pct 0.493) "49.3%");
+  check "f1" true (String.equal (H.Table.f1 1.25) "1.2" || String.equal (H.Table.f1 1.25) "1.3")
+
+let test_attack_experiment_row () =
+  let row = H.Attack_experiment.run ~attacks:15 (W.find "telnetd") in
+  check_int "requested attacks injected" 15 row.H.Attack_experiment.attacks;
+  check "detected <= cf_changed is not required, but detected <= attacks" true
+    (row.H.Attack_experiment.detected <= row.H.Attack_experiment.attacks);
+  check "cf_changed <= attacks" true
+    (row.H.Attack_experiment.cf_changed <= row.H.Attack_experiment.attacks);
+  (* Detection implies control-flow change (no-FP corollary). *)
+  check "detected <= cf_changed" true
+    (row.H.Attack_experiment.detected <= row.H.Attack_experiment.cf_changed)
+
+let test_attack_experiment_deterministic () =
+  let r1 = H.Attack_experiment.run ~attacks:10 ~seed:5 (W.find "crond") in
+  let r2 = H.Attack_experiment.run ~attacks:10 ~seed:5 (W.find "crond") in
+  check "same seed same results" true (r1 = r2)
+
+let test_summarize () =
+  let rows =
+    [
+      { H.Attack_experiment.workload = "a"; attacks = 10; cf_changed = 5; detected = 4 };
+      { H.Attack_experiment.workload = "b"; attacks = 10; cf_changed = 10; detected = 5 };
+    ]
+  in
+  let s = H.Attack_experiment.summarize rows in
+  check "avg cf" true (abs_float (s.H.Attack_experiment.avg_cf_changed -. 0.75) < 1e-9);
+  check "avg detected" true (abs_float (s.H.Attack_experiment.avg_detected -. 0.45) < 1e-9);
+  check "detected|cf" true (abs_float (s.H.Attack_experiment.detected_given_cf -. 0.65) < 1e-9);
+  let rendered = H.Attack_experiment.render s in
+  check "renders average row" true (contains rendered "AVERAGE")
+
+let test_size_census () =
+  let row = H.Size_census.run (W.find "sysklogd") in
+  check "bsv positive" true (row.H.Size_census.avg_bsv_bits > 0.);
+  check "bsv = 2 * bcv" true
+    (abs_float (row.H.Size_census.avg_bsv_bits -. (2. *. row.H.Size_census.avg_bcv_bits)) < 1e-9);
+  check "bat biggest" true (row.H.Size_census.avg_bat_bits > row.H.Size_census.avg_bsv_bits)
+
+let test_perf_experiment () =
+  let row = H.Perf_experiment.run ~repeats:2 (W.find "atftpd") in
+  check "baseline cycles positive" true (row.H.Perf_experiment.base_cycles > 0.);
+  check "normalized >= 1" true (row.H.Perf_experiment.normalized >= 1.0);
+  check "normalized < 1.25 (overhead is small)" true (row.H.Perf_experiment.normalized < 1.25);
+  check "latency positive" true (row.H.Perf_experiment.avg_detection_latency > 0.)
+
+let test_compile_time () =
+  let row = H.Compile_time.run (W.find "httpd") in
+  check "compile under a second" true (row.H.Compile_time.seconds < 1.0);
+  check "hash search did some work" true (row.H.Compile_time.hash_attempts > 0)
+
+let test_ablation_variants () =
+  check_int "five variants" 5 (List.length H.Ablation.variants);
+  let labels = List.map (fun (v : H.Ablation.variant) -> v.H.Ablation.label) H.Ablation.variants in
+  check "has full" true (List.mem "full" labels);
+  check "has no-affine" true (List.mem "no-affine" labels)
+
+let test_ablation_monotonic () =
+  (* Disabling correlation families cannot check MORE branches. *)
+  let full = List.find (fun (v : H.Ablation.variant) -> v.H.Ablation.label = "full") H.Ablation.variants in
+  let noll = List.find (fun (v : H.Ablation.variant) -> v.H.Ablation.label = "no-load-load") H.Ablation.variants in
+  let count options =
+    List.fold_left
+      (fun acc w ->
+        acc
+        + Ipds_core.System.checked_branch_count
+            (Ipds_core.System.build ~options (W.program w)))
+      0 W.all
+  in
+  check "fewer checks without load-load" true
+    (count noll.H.Ablation.options <= count full.H.Ablation.options)
+
+let () =
+  Alcotest.run "harness"
+    [
+      ("table",
+        [
+          Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "stats" `Quick test_stats;
+        ] );
+      ( "attack",
+        [
+          Alcotest.test_case "row invariants" `Slow test_attack_experiment_row;
+          Alcotest.test_case "deterministic" `Slow test_attack_experiment_deterministic;
+          Alcotest.test_case "summarize" `Quick test_summarize;
+        ] );
+      ( "others",
+        [
+          Alcotest.test_case "size census" `Quick test_size_census;
+          Alcotest.test_case "perf" `Slow test_perf_experiment;
+          Alcotest.test_case "compile time" `Quick test_compile_time;
+          Alcotest.test_case "ablation variants" `Quick test_ablation_variants;
+          Alcotest.test_case "ablation monotonic" `Slow test_ablation_monotonic;
+        ] );
+    ]

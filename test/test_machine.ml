@@ -1,0 +1,561 @@
+(* Tests for the machine: interpreter semantics, pointer provenance,
+   externals, faults, input scripts, and tamper injection. *)
+
+module Mir = Ipds_mir
+module M = Ipds_machine
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let run ?(inputs = M.Input_script.constant 0) ?tamper src =
+  M.Interp.run
+    (Mir.Parser.program_of_string src)
+    { M.Interp.default_config with inputs; tamper }
+
+let outputs o = o.M.Interp.outputs
+
+let exit_code o =
+  match o.M.Interp.reason with
+  | M.Interp.Exited (M.Value.Int n) -> Some n
+  | M.Interp.Exited (M.Value.Ptr _) | M.Interp.Halted | M.Interp.Fault _
+  | M.Interp.Out_of_steps | M.Interp.Trapped _ ->
+      None
+
+let test_arithmetic () =
+  let o =
+    run
+      {|
+func main() {
+entry:
+  r0 = 6
+  r1 = mul r0, 7
+  r2 = sub r1, 2
+  r3 = div r2, 4
+  output r3
+  r4 = rem r2, 7
+  output r4
+  ret r3
+}
+|}
+  in
+  check "outputs" true (outputs o = [ 10; 5 ]);
+  check "exit" true (exit_code o = Some 10)
+
+let test_memory_and_arrays () =
+  let o =
+    run
+      {|
+func main() {
+ var x
+ var a[3]
+entry:
+  store x, 42
+  store a[0], 1
+  store a[1], 2
+  store a[2], 3
+  r0 = load x
+  output r0
+  r1 = load a[1]
+  output r1
+  r2 = load a[4]
+  output r2
+  ret 0
+}
+|}
+  in
+  (* index 4 wraps to 1 *)
+  check "memory semantics" true (outputs o = [ 42; 2; 2 ])
+
+let test_pointers () =
+  let o =
+    run
+      {|
+func main() {
+ var a[4]
+entry:
+  store a[2], 99
+  r0 = addr a[0]
+  r1 = add r0, 2
+  r2 = load [r1]
+  output r2
+  r3 = sub r1, r0
+  output r3
+  ret 0
+}
+|}
+  in
+  check "pointer arithmetic and deref" true (outputs o = [ 99; 2 ])
+
+let test_deref_non_pointer_faults () =
+  let o =
+    run
+      {|
+func main() {
+entry:
+  r0 = 12345
+  r1 = load [r0]
+  ret r1
+}
+|}
+  in
+  (match o.M.Interp.reason with
+  | M.Interp.Fault _ -> ()
+  | M.Interp.Exited _ | M.Interp.Halted | M.Interp.Out_of_steps
+  | M.Interp.Trapped _ ->
+      Alcotest.fail "integer deref must fault")
+
+let test_dangling_pointer_faults () =
+  let o =
+    run
+      {|
+func leak() {
+ var local
+start:
+  r0 = addr local[0]
+  ret r0
+}
+func main() {
+entry:
+  r0 = call leak()
+  r1 = load [r0]
+  ret r1
+}
+|}
+  in
+  (match o.M.Interp.reason with
+  | M.Interp.Fault _ -> ()
+  | M.Interp.Exited _ | M.Interp.Halted | M.Interp.Out_of_steps
+  | M.Interp.Trapped _ ->
+      Alcotest.fail "dangling deref must fault")
+
+let test_calls_and_recursion () =
+  let o =
+    run
+      {|
+func fact(r0) {
+start:
+  br le r0, 1, base, rec
+base:
+  ret 1
+rec:
+  r1 = sub r0, 1
+  r2 = call fact(r1)
+  r3 = mul r0, r2
+  ret r3
+}
+func main() {
+entry:
+  r0 = call fact(6)
+  output r0
+  ret 0
+}
+|}
+  in
+  check "recursion" true (outputs o = [ 720 ])
+
+let test_out_of_steps () =
+  let p =
+    Mir.Parser.program_of_string
+      {|
+func main() {
+entry:
+  jmp entry
+}
+|}
+  in
+  let o = M.Interp.run p { M.Interp.default_config with max_steps = 100 } in
+  check "spin is capped" true (o.M.Interp.reason = M.Interp.Out_of_steps);
+  check_int "exact cap" 100 o.M.Interp.steps
+
+let test_halt () =
+  let o = run {|
+func main() {
+entry:
+  halt
+}
+|} in
+  check "halt" true (o.M.Interp.reason = M.Interp.Halted)
+
+let test_externs () =
+  let o =
+    run
+      ~inputs:(M.Input_script.of_lists [ (0, [ 5; 6 ]); (1, [ 7; 8; 9 ]) ])
+      {|
+extern memset writes(0)
+extern memcpy writes(0)
+extern strlen pure
+extern checksum pure
+extern recv writes(0)
+extern read_line writes(0)
+func main() {
+ var a[4]
+ var b[4]
+entry:
+  r0 = addr a[0]
+  r1 = call memset(r0, 3, 4)
+  r2 = call checksum(r0, 4)
+  output r2
+  store a[2], 0
+  r3 = call strlen(r0)
+  output r3
+  r4 = addr b[0]
+  r5 = call memcpy(r4, r0, 4)
+  r6 = load b[1]
+  output r6
+  r7 = call recv(r4, 2)
+  output r7
+  r8 = load b[0]
+  output r8
+  r9 = call read_line(r4, 1)
+  r10 = load b[0]
+  output r10
+  ret 0
+}
+|}
+  in
+  (* memset a = [3;3;3;3] -> checksum 12; a[2]=0 -> strlen 2; memcpy b=a;
+     b[1]=3; recv fills b[0..1] from channel 1 -> 7, returns 2; read_line
+     fills b[0] from channel 0 -> 5 *)
+  check "extern semantics" true (outputs o = [ 12; 2; 3; 2; 7; 5 ])
+
+let test_strcmp () =
+  let o =
+    run
+      {|
+extern strcmp pure
+func main() {
+ var a[3]
+ var b[3]
+entry:
+  store a[0], 5
+  store a[1], 0
+  store b[0], 5
+  store b[1], 0
+  r0 = addr a[0]
+  r1 = addr b[0]
+  r2 = call strcmp(r0, r1)
+  output r2
+  store b[0], 9
+  r3 = call strcmp(r0, r1)
+  output r3
+  ret 0
+}
+|}
+  in
+  check "strcmp equal then less" true (outputs o = [ 0; -1 ])
+
+let test_input_script () =
+  let s = M.Input_script.of_lists [ (0, [ 1; 2 ]); (3, [ 9 ]) ] in
+  check_int "channel order" 1 (M.Input_script.next s ~channel:0);
+  check_int "channel order 2" 2 (M.Input_script.next s ~channel:0);
+  check_int "exhausted pads zero" 0 (M.Input_script.next s ~channel:0);
+  check_int "other channel" 9 (M.Input_script.next s ~channel:3);
+  check_int "unknown channel" 0 (M.Input_script.next s ~channel:7);
+  let r1 = M.Input_script.random ~seed:5 () in
+  let r2 = M.Input_script.random ~seed:5 () in
+  check "random is deterministic per seed" true
+    (List.init 10 (fun _ -> M.Input_script.next r1 ~channel:0)
+    = List.init 10 (fun _ -> M.Input_script.next r2 ~channel:0))
+
+let tamper_src =
+  {|
+func main() {
+ var flag
+ var pad[3]
+entry:
+  store flag, 1
+  jmp spin
+spin:
+  r0 = load flag
+  output r0
+  br eq r0, 1, spin2, exit
+spin2:
+  r1 = load flag
+  output r1
+  br eq r1, 1, fin, exit
+fin:
+  ret 0
+exit:
+  ret 9
+}
+|}
+
+let test_tamper_deterministic () =
+  let plan = { M.Tamper.at_step = 3; model = M.Tamper.Stack_overflow; seed = 11; value = 77 } in
+  let o1 = run ~tamper:plan tamper_src in
+  let o2 = run ~tamper:plan tamper_src in
+  check "same plan, same injection" true (o1.M.Interp.injection = o2.M.Interp.injection);
+  check "same outputs" true (outputs o1 = outputs o2)
+
+let test_tamper_noop_when_same_value () =
+  (* value 1 written over flag=1 is a no-op: injection must be None when
+     the chosen victim already holds the value; sweep seeds to find a
+     flag hit. *)
+  let hit = ref false in
+  for seed = 0 to 40 do
+    let plan = { M.Tamper.at_step = 3; model = M.Tamper.Stack_overflow; seed; value = 1 } in
+    let o = run ~tamper:plan tamper_src in
+    match o.M.Interp.injection with
+    | Some i when String.equal i.M.Tamper.var.Mir.Var.name "flag" -> hit := true
+    | Some _ | None -> ()
+  done;
+  check "tampering flag with its own value never counts" false !hit
+
+let test_tamper_changes_behavior () =
+  (* find a seed that flips flag and watch the control flow change *)
+  let benign = run tamper_src in
+  let flipped = ref false in
+  for seed = 0 to 40 do
+    if not !flipped then begin
+      let plan = { M.Tamper.at_step = 3; model = M.Tamper.Stack_overflow; seed; value = 0 } in
+      let o = run ~tamper:plan tamper_src in
+      match o.M.Interp.injection with
+      | Some i when String.equal i.M.Tamper.var.Mir.Var.name "flag" ->
+          flipped := true;
+          check "exit code changed" true (exit_code o = Some 9);
+          check "control flow changed" true (M.Interp.control_flow_changed benign o)
+      | Some _ | None -> ()
+    end
+  done;
+  check "found a flag hit" true !flipped
+
+let test_trace_recording () =
+  let o = run tamper_src in
+  check_int "two branches committed" 2 (List.length o.M.Interp.branch_trace);
+  check_int "branch counter agrees" 2 o.M.Interp.branches
+
+(* ---------- memory module ---------- *)
+
+let memory_program () =
+  Mir.Parser.program_of_string
+    {|
+global g
+global garr[3]
+func callee() {
+ var inner
+start:
+  ret
+}
+func main() {
+ var x
+ var buf[2]
+entry:
+  ret
+}
+|}
+
+let test_memory_frames () =
+  let p = memory_program () in
+  let mem = M.Memory.create p in
+  check_int "no frames yet" 0 (M.Memory.depth mem);
+  let main = Mir.Program.find_func_exn p "main" in
+  let callee = Mir.Program.find_func_exn p "callee" in
+  let f1 = M.Memory.push_frame mem main in
+  let f2 = M.Memory.push_frame mem callee in
+  check_int "two frames" 2 (M.Memory.depth mem);
+  check "both alive" true (M.Memory.frame_alive mem f1 && M.Memory.frame_alive mem f2);
+  check_int "innermost is callee" f2 (M.Memory.active_frame mem);
+  M.Memory.pop_frame mem;
+  check "popped frame dead" false (M.Memory.frame_alive mem f2);
+  check "outer frame alive" true (M.Memory.frame_alive mem f1);
+  check "globals pseudo-frame always alive" true (M.Memory.frame_alive mem 0)
+
+let test_memory_load_store () =
+  let p = memory_program () in
+  let mem = M.Memory.create p in
+  let main = Mir.Program.find_func_exn p "main" in
+  let fid = M.Memory.push_frame mem main in
+  let x = List.find (fun (v : Mir.Var.t) -> v.name = "x") main.Mir.Func.locals in
+  let g = List.find (fun (v : Mir.Var.t) -> v.name = "g") p.Mir.Program.globals in
+  check "store local" true (M.Memory.store mem ~frame:fid x 0 (M.Value.Int 42));
+  check "load local" true (M.Memory.load mem ~frame:fid x 0 = Some (M.Value.Int 42));
+  check "store global" true (M.Memory.store mem ~frame:0 g 0 (M.Value.Int 7));
+  check "load global" true (M.Memory.load mem ~frame:0 g 0 = Some (M.Value.Int 7));
+  (* globals are not in frames, locals not in the global segment *)
+  check "global var unknown in frame" true (M.Memory.load mem ~frame:fid g 0 = None);
+  check "local var unknown in globals" true (M.Memory.load mem ~frame:0 x 0 = None);
+  M.Memory.pop_frame mem;
+  check "load from dead frame" true (M.Memory.load mem ~frame:fid x 0 = None);
+  check "store to dead frame" false (M.Memory.store mem ~frame:fid x 0 M.Value.zero)
+
+let test_memory_live_cells () =
+  let p = memory_program () in
+  let mem = M.Memory.create p in
+  let main = Mir.Program.find_func_exn p "main" in
+  let callee = Mir.Program.find_func_exn p "callee" in
+  ignore (M.Memory.push_frame mem main);
+  ignore (M.Memory.push_frame mem callee);
+  let actives = M.Memory.live_cells mem ~scope:`Active_locals in
+  check_int "active frame has one cell (inner)" 1 (List.length actives);
+  let anywhere = M.Memory.live_cells mem ~scope:`Anywhere in
+  (* g(1) + garr(3) + inner(1) + x(1) + buf(2) = 8 *)
+  check_int "anywhere covers globals and both frames" 8 (List.length anywhere)
+
+let test_addresses_disjoint () =
+  let p = memory_program () in
+  let mem = M.Memory.create p in
+  let main = Mir.Program.find_func_exn p "main" in
+  let fid = M.Memory.push_frame mem main in
+  let cells = M.Memory.live_cells mem ~scope:`Anywhere in
+  let addrs =
+    List.map (fun (frame, v, i) -> M.Memory.address mem ~frame v i) cells
+  in
+  check_int "addresses all distinct" (List.length cells)
+    (List.length (List.sort_uniq compare addrs));
+  ignore fid
+
+let test_recursion_frames_isolated () =
+  (* each recursive activation gets its own locals *)
+  let p =
+    Mir.Parser.program_of_string
+      {|
+func rec(r0) {
+ var depth
+start:
+  store depth, r0
+  br le r0, 0, base, deeper
+deeper:
+  r1 = sub r0, 1
+  r2 = call rec(r1)
+  r3 = load depth
+  output r3
+  ret r3
+base:
+  r9 = load depth
+  output r9
+  ret 0
+}
+func main() {
+entry:
+  r0 = call rec(3)
+  ret r0
+}
+|}
+  in
+  let o = M.Interp.run p M.Interp.default_config in
+  (* outputs: depth values as frames unwind: 0 (base), then 1, 2, 3 *)
+  check "recursion isolates frames" true (outputs o = [ 0; 1; 2; 3 ])
+
+let test_trap_on_alarm () =
+  let p =
+    Mir.Parser.program_of_string
+      {|
+func main() {
+ var flag
+entry:
+  store flag, 1
+  jmp first
+first:
+  r0 = load flag
+  br eq r0, 1, second, bad
+second:
+  r1 = load flag
+  br eq r1, 1, good, bad
+good:
+  output 1
+  ret 0
+bad:
+  output 2
+  ret 1
+}
+|}
+  in
+  let system = Ipds_core.System.build p in
+  let rec attack seed =
+    if seed > 20 then Alcotest.fail "no seed hit flag"
+    else begin
+      let checker = Ipds_core.System.new_checker system in
+      let o =
+        M.Interp.run p
+          {
+            M.Interp.default_config with
+            checker = Some checker;
+            trap_on_alarm = true;
+            tamper =
+              Some
+                { M.Tamper.at_step = 4; model = M.Tamper.Stack_overflow; seed; value = 0 };
+          }
+      in
+      match o.M.Interp.injection with
+      | Some _ -> o
+      | None -> attack (seed + 1)
+    end
+  in
+  let o = attack 0 in
+  (match o.M.Interp.reason with
+  | M.Interp.Trapped a -> check "trap carries the alarm" true (a.Ipds_core.Checker.sequence >= 0)
+  | M.Interp.Exited _ | M.Interp.Halted | M.Interp.Fault _ | M.Interp.Out_of_steps ->
+      Alcotest.fail "expected an IPDS trap");
+  (* trapped before the tainted path could produce output *)
+  check "no output after trap" true (o.M.Interp.outputs = [])
+
+let test_printers () =
+  let show pp v = Format.asprintf "%a" pp v in
+  check "int value pp" true (String.equal (show M.Value.pp (M.Value.Int 3)) "3");
+  let v = Mir.Var.make ~id:0 ~name:"buf" ~size:4 ~storage:Mir.Var.Local in
+  let p = M.Value.Ptr { M.Value.frame = 2; var = v; index = 1 } in
+  check "ptr value pp mentions var" true
+    (let s = show M.Value.pp p in
+     String.length s > 3 && String.sub s 0 4 = "&buf");
+  check "truthy" true (M.Value.truthy p && M.Value.truthy (M.Value.Int 1));
+  check "zero falsy" false (M.Value.truthy M.Value.zero);
+  let e =
+    { M.Event.fname = "f"; iid = 3; pc = 0x1010; kind = M.Event.Branch { taken = true; target_pc = 0x1000 } }
+  in
+  check "event pp mentions branch" true
+    (let s = show M.Event.pp e in
+     let rec has i = i + 6 <= String.length s && (String.sub s i 6 = "branch" || has (i + 1)) in
+     has 0)
+
+let prop_random_programs_run =
+  QCheck2.Test.make ~name:"random MIR programs run without crashing the host"
+    ~count:150 Gen.mir_program (fun p ->
+      let o =
+        M.Interp.run p
+          {
+            M.Interp.default_config with
+            max_steps = 2000;
+            inputs = M.Input_script.random ~seed:1 ();
+          }
+      in
+      o.M.Interp.steps <= 2000)
+
+let () =
+  Alcotest.run "machine"
+    [
+      ( "interp",
+        [
+          Alcotest.test_case "arithmetic" `Quick test_arithmetic;
+          Alcotest.test_case "memory/arrays" `Quick test_memory_and_arrays;
+          Alcotest.test_case "pointers" `Quick test_pointers;
+          Alcotest.test_case "deref non-pointer" `Quick test_deref_non_pointer_faults;
+          Alcotest.test_case "dangling pointer" `Quick test_dangling_pointer_faults;
+          Alcotest.test_case "calls/recursion" `Quick test_calls_and_recursion;
+          Alcotest.test_case "out of steps" `Quick test_out_of_steps;
+          Alcotest.test_case "halt" `Quick test_halt;
+          QCheck_alcotest.to_alcotest prop_random_programs_run;
+        ] );
+      ( "memory",
+        [
+          Alcotest.test_case "frames" `Quick test_memory_frames;
+          Alcotest.test_case "load/store" `Quick test_memory_load_store;
+          Alcotest.test_case "live cells" `Quick test_memory_live_cells;
+          Alcotest.test_case "addresses disjoint" `Quick test_addresses_disjoint;
+          Alcotest.test_case "recursion isolation" `Quick test_recursion_frames_isolated;
+        ] );
+      ( "externs",
+        [
+          Alcotest.test_case "memory externs" `Quick test_externs;
+          Alcotest.test_case "strcmp" `Quick test_strcmp;
+        ] );
+      ("inputs", [ Alcotest.test_case "scripts" `Quick test_input_script ]);
+      ( "tamper",
+        [
+          Alcotest.test_case "deterministic" `Quick test_tamper_deterministic;
+          Alcotest.test_case "no-op value" `Quick test_tamper_noop_when_same_value;
+          Alcotest.test_case "changes behavior" `Quick test_tamper_changes_behavior;
+          Alcotest.test_case "trace recording" `Quick test_trace_recording;
+          Alcotest.test_case "trap on alarm" `Quick test_trap_on_alarm;
+          Alcotest.test_case "printers" `Quick test_printers;
+        ] );
+    ]

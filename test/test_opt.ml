@@ -1,0 +1,358 @@
+(* Tests for register promotion: eligibility rules and semantic
+   preservation (promoted and unpromoted programs behave identically). *)
+
+module Mir = Ipds_mir
+module M = Ipds_machine
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_eligibility () =
+  let p =
+    Ipds_minic.Minic.compile
+      {|
+int main() {
+  int plain;
+  int taken;
+  int arr[3];
+  plain = 1;
+  taken = 2;
+  arr[0] = plain + taken;
+  read_line(&taken, 1);
+  output(arr[0]);
+  return 0;
+}
+|}
+  in
+  let names = List.map (fun (v : Mir.Var.t) -> v.name) (Ipds_opt.Promote.promoted_vars p) in
+  check "plain scalar promoted" true (List.mem "plain" names);
+  check "address-taken scalar kept in memory" false (List.mem "taken" names);
+  check "array kept in memory" false (List.mem "arr" names)
+
+let test_promoted_program_shape () =
+  let p =
+    Ipds_minic.Minic.compile
+      {| int main() { int a; a = 5; output(a + 1); return 0; } |}
+  in
+  let q = Ipds_opt.Promote.program p in
+  let f = Mir.Program.find_func_exn q "main" in
+  check_int "no locals left" 0 (List.length f.Mir.Func.locals);
+  (* No loads or stores remain. *)
+  let has_mem = ref false in
+  Mir.Func.iter_instrs f (fun _ op ->
+      match op with
+      | Mir.Op.Load _ | Mir.Op.Store _ -> has_mem := true
+      | Mir.Op.Const _ | Mir.Op.Move _ | Mir.Op.Binop _ | Mir.Op.Addr_of _
+      | Mir.Op.Call _ | Mir.Op.Input _ | Mir.Op.Output _ | Mir.Op.Nop ->
+          ());
+  check "no memory traffic" false !has_mem;
+  check_int "instruction count preserved"
+    (Mir.Program.find_func_exn p "main").Mir.Func.instr_count f.Mir.Func.instr_count
+
+let same_behavior p =
+  let q = Ipds_opt.Promote.program p in
+  let run prog =
+    let o =
+      M.Interp.run prog
+        {
+          M.Interp.default_config with
+          max_steps = 5000;
+          inputs = M.Input_script.random ~seed:7 ();
+        }
+    in
+    (o.M.Interp.outputs, o.M.Interp.steps <= 5000)
+  in
+  let out_p, ok_p = run p in
+  let out_q, ok_q = run q in
+  ok_p && ok_q && out_p = out_q
+
+let prop_promotion_preserves_minic =
+  QCheck2.Test.make ~name:"promotion preserves MiniC semantics" ~count:120
+    Gen.minic_program same_behavior
+
+let prop_promotion_preserves_mir =
+  QCheck2.Test.make ~name:"promotion preserves raw MIR semantics" ~count:120
+    Gen.mir_program same_behavior
+
+let test_workload_behavior_preserved () =
+  List.iter
+    (fun w ->
+      let raw = Ipds_workloads.Workloads.program ~promote:false w in
+      let promoted = Ipds_workloads.Workloads.program ~promote:true w in
+      let run prog =
+        (M.Interp.run prog
+           {
+             M.Interp.default_config with
+             inputs = M.Input_script.random ~seed:99 ();
+           })
+          .M.Interp.outputs
+      in
+      check (w.Ipds_workloads.Workloads.name ^ " outputs equal") true
+        (run raw = run promoted))
+    Ipds_workloads.Workloads.all
+
+(* ---------- optimization passes ---------- *)
+
+let outputs_of p =
+  (M.Interp.run p
+     {
+       M.Interp.default_config with
+       max_steps = 5000;
+       inputs = M.Input_script.random ~seed:13 ();
+     })
+    .M.Interp.outputs
+
+let test_const_prop_folds () =
+  let p =
+    Mir.Parser.program_of_string
+      {|
+func main() {
+entry:
+  r0 = 4
+  r1 = add r0, 6
+  r2 = mul r1, r1
+  output r2
+  br lt r1, 100, a, b
+a:
+  ret 1
+b:
+  ret 2
+}
+|}
+  in
+  let q = Ipds_opt.Passes.const_prop p in
+  let f = Mir.Program.find_func_exn q "main" in
+  (* r2 = mul r1, r1 must fold to a constant, the branch to a jump *)
+  let folded = ref false in
+  Mir.Func.iter_instrs f (fun _ op ->
+      match op with
+      | Mir.Op.Const (_, 100) -> folded := true
+      | _ -> ());
+  check "mul folded to 100" true !folded;
+  (match (Mir.Func.entry f).Mir.Block.term with
+  | Mir.Terminator.Jump _ -> ()
+  | _ -> Alcotest.fail "constant branch should fold to jump");
+  check "behavior preserved" true (outputs_of p = outputs_of q)
+
+let test_dce_removes_dead_load () =
+  let p =
+    Mir.Parser.program_of_string
+      {|
+func main() {
+ var x
+entry:
+  r0 = load x
+  r1 = 7
+  output r1
+  ret 0
+}
+|}
+  in
+  let q = Ipds_opt.Passes.dce p in
+  let f = Mir.Program.find_func_exn q "main" in
+  let loads = ref 0 in
+  Mir.Func.iter_instrs f (fun _ op ->
+      match op with
+      | Mir.Op.Load _ -> incr loads
+      | _ -> ());
+  Alcotest.(check int) "dead load removed" 0 !loads;
+  check "behavior preserved" true (outputs_of p = outputs_of q)
+
+let test_rle_forwards () =
+  let p =
+    Mir.Parser.program_of_string
+      {|
+func main() {
+ var x
+entry:
+  r0 = input 0
+  store x, r0
+  r1 = load x
+  output r1
+  r2 = load x
+  output r2
+  ret 0
+}
+|}
+  in
+  let q = Ipds_opt.Passes.redundant_load_elim p in
+  let f = Mir.Program.find_func_exn q "main" in
+  let loads = ref 0 in
+  Mir.Func.iter_instrs f (fun _ op ->
+      match op with
+      | Mir.Op.Load _ -> incr loads
+      | _ -> ());
+  (* store-to-load forwarding removes BOTH loads *)
+  Alcotest.(check int) "loads forwarded" 0 !loads;
+  check "behavior preserved" true (outputs_of p = outputs_of q)
+
+let test_rle_respects_kills () =
+  let p =
+    Mir.Parser.program_of_string
+      {|
+extern syscall writes_all
+func main() {
+ var x
+entry:
+  r0 = load x
+  call syscall(0)
+  r1 = load x
+  output r1
+  ret 0
+}
+|}
+  in
+  let q = Ipds_opt.Passes.redundant_load_elim p in
+  let f = Mir.Program.find_func_exn q "main" in
+  let loads = ref 0 in
+  Mir.Func.iter_instrs f (fun _ op ->
+      match op with
+      | Mir.Op.Load _ -> incr loads
+      | _ -> ());
+  Alcotest.(check int) "call kills availability" 2 !loads
+
+(* The paper's remark, demonstrated: eliminating the second load of a
+   twice-checked flag removes the correlation IPDS relied on, and the
+   Figure-1-style tamper becomes undetectable. *)
+let test_rle_removes_correlation () =
+  let src =
+    {|
+func main() {
+ var flag
+ var pad[3]
+entry:
+  store flag, 1
+  r0 = load flag
+  br eq r0, 1, second, bad
+second:
+  r1 = load flag
+  br eq r1, 1, good, bad
+good:
+  ret 0
+bad:
+  ret 1
+}
+|}
+  in
+  let p = Mir.Parser.program_of_string src in
+  let q = Ipds_opt.Passes.redundant_load_elim p in
+  (* after RLE the second branch reuses the register, so tampering flag
+     between the checks no longer flips it: the attack achieves nothing
+     and nothing is (or needs to be) detected *)
+  let attack prog =
+    let system = Ipds_core.System.build prog in
+    let rec go seed =
+      if seed > 30 then (false, false)
+      else begin
+        let checker = Ipds_core.System.new_checker system in
+        let o =
+          M.Interp.run prog
+            {
+              M.Interp.default_config with
+              checker = Some checker;
+              tamper =
+                Some
+                  { M.Tamper.at_step = 3; model = M.Tamper.Stack_overflow; seed; value = 0 };
+            }
+        in
+        match o.M.Interp.injection with
+        | Some inj when String.equal inj.M.Tamper.var.Mir.Var.name "flag" ->
+            (true, o.M.Interp.alarms <> [])
+        | Some _ | None -> go (seed + 1)
+      end
+    in
+    go 0
+  in
+  let hit_p, detected_p = attack p in
+  let hit_q, detected_q = attack q in
+  check "tamper landed on both" true (hit_p && hit_q);
+  check "detected without optimization" true detected_p;
+  check "nothing to detect after load elimination" false detected_q;
+  (* and the second load really is gone *)
+  let loads prog =
+    let f = Mir.Program.find_func_exn prog "main" in
+    let n = ref 0 in
+    Mir.Func.iter_instrs f (fun _ op ->
+        match op with
+        | Mir.Op.Load _ -> incr n
+        | _ -> ());
+    !n
+  in
+  check "a load was eliminated" true (loads q < loads p)
+
+let rec is_prefix a b =
+  match a, b with
+  | [], _ -> true
+  | _, [] -> false
+  | x :: a', y :: b' -> x = y && is_prefix a' b'
+
+let same_behavior_optimized p =
+  let q = Ipds_opt.Passes.optimize p in
+  let run prog =
+    let o =
+      M.Interp.run prog
+        {
+          M.Interp.default_config with
+          max_steps = 5000;
+          inputs = M.Input_script.random ~seed:7 ();
+        }
+    in
+    (o.M.Interp.outputs, o.M.Interp.reason = M.Interp.Out_of_steps)
+  in
+  let out_p, trunc_p = run p in
+  let out_q, trunc_q = run q in
+  (* Optimization shrinks the instruction stream, so a step-capped run
+     makes more semantic progress after optimization; outputs of a
+     truncated run are only comparable as prefixes. *)
+  if trunc_p || trunc_q then is_prefix out_p out_q || is_prefix out_q out_p
+  else out_p = out_q
+
+let prop_optimize_preserves_minic =
+  QCheck2.Test.make ~name:"optimize preserves MiniC semantics" ~count:120
+    Gen.minic_program same_behavior_optimized
+
+let prop_optimize_preserves_mir =
+  QCheck2.Test.make ~name:"optimize preserves raw MIR semantics" ~count:120
+    Gen.mir_program same_behavior_optimized
+
+let prop_optimized_still_sound =
+  QCheck2.Test.make ~name:"zero false positives on optimized programs" ~count:120
+    QCheck2.Gen.(tup2 Gen.minic_program (int_bound 1000))
+    (fun (p, seed) ->
+      let q = Ipds_opt.Promote.program (Ipds_opt.Passes.optimize p) in
+      let system = Ipds_core.System.build q in
+      let checker = Ipds_core.System.new_checker system in
+      let o =
+        M.Interp.run q
+          {
+            M.Interp.default_config with
+            max_steps = 5000;
+            inputs = M.Input_script.random ~seed ();
+            checker = Some checker;
+          }
+      in
+      o.M.Interp.alarms = [])
+
+let () =
+  Alcotest.run "opt"
+    [
+      ( "passes",
+        [
+          Alcotest.test_case "const prop folds" `Quick test_const_prop_folds;
+          Alcotest.test_case "dce removes dead load" `Quick test_dce_removes_dead_load;
+          Alcotest.test_case "rle forwards" `Quick test_rle_forwards;
+          Alcotest.test_case "rle respects kills" `Quick test_rle_respects_kills;
+          Alcotest.test_case "rle removes correlation" `Quick test_rle_removes_correlation;
+          QCheck_alcotest.to_alcotest prop_optimize_preserves_minic;
+          QCheck_alcotest.to_alcotest prop_optimize_preserves_mir;
+          QCheck_alcotest.to_alcotest prop_optimized_still_sound;
+        ] );
+      ( "promote",
+        [
+          Alcotest.test_case "eligibility" `Quick test_eligibility;
+          Alcotest.test_case "program shape" `Quick test_promoted_program_shape;
+          Alcotest.test_case "workload behavior" `Quick test_workload_behavior_preserved;
+          QCheck_alcotest.to_alcotest prop_promotion_preserves_minic;
+          QCheck_alcotest.to_alcotest prop_promotion_preserves_mir;
+        ] );
+    ]

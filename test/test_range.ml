@@ -1,0 +1,232 @@
+(* Unit and property tests for the interval/predicate algebra and the
+   branch-condition semantics.  The properties pin the algebra to its
+   membership semantics: subset/shift/neg must agree with pointwise
+   evaluation. *)
+
+module Mir = Ipds_mir
+module R = Ipds_range
+
+let check = Alcotest.(check bool)
+
+let test_interval_basics () =
+  check "make empty" true (R.Interval.make ~lo:(Some 3) ~hi:(Some 2) = None);
+  check "point mem" true (R.Interval.mem 5 (R.Interval.point 5));
+  check "point not mem" false (R.Interval.mem 4 (R.Interval.point 5));
+  check "at_most" true (R.Interval.mem (-100) (R.Interval.at_most 0));
+  check "at_least" false (R.Interval.mem (-100) (R.Interval.at_least 0));
+  check "top is top" true (R.Interval.is_top R.Interval.top);
+  check "point is not top" false (R.Interval.is_top (R.Interval.point 0))
+
+let test_interval_subset () =
+  let i a b = Option.get (R.Interval.make ~lo:(Some a) ~hi:(Some b)) in
+  check "paper example: [0,5] subsumed by [0,10]" true
+    (R.Interval.subset (i 0 5) (i 0 10));
+  check "[0,10] not inside [0,5]" false (R.Interval.subset (i 0 10) (i 0 5));
+  check "anything inside top" true (R.Interval.subset (i (-9) 9) R.Interval.top);
+  check "top only inside top" false (R.Interval.subset R.Interval.top (i 0 1));
+  check "half line inside half line" true
+    (R.Interval.subset (R.Interval.at_most 4) (R.Interval.at_most 10))
+
+let test_interval_shift_neg () =
+  let i a b = Option.get (R.Interval.make ~lo:(Some a) ~hi:(Some b)) in
+  check "shift" true (R.Interval.equal (R.Interval.shift (i 1 3) 2) (i 3 5));
+  check "neg" true (R.Interval.equal (R.Interval.neg (i 1 3)) (i (-3) (-1)));
+  check "neg half line" true
+    (R.Interval.equal (R.Interval.neg (R.Interval.at_most 4)) (R.Interval.at_least (-4)))
+
+let test_pred () =
+  check "except mem" true (R.Pred.mem 3 (R.Pred.Except 5));
+  check "except not mem" false (R.Pred.mem 5 (R.Pred.Except 5));
+  check "interval inside except" true
+    (R.Pred.subset (R.Pred.In (R.Interval.point 3)) (R.Pred.Except 5));
+  check "interval containing the hole not inside except" false
+    (R.Pred.subset
+       (R.Pred.In (Option.get (R.Interval.make ~lo:(Some 3) ~hi:(Some 7))))
+       (R.Pred.Except 5));
+  check "except inside top interval" true
+    (R.Pred.subset (R.Pred.Except 5) (R.Pred.In R.Interval.top));
+  check "except only inside same except" false
+    (R.Pred.subset (R.Pred.Except 5) (R.Pred.Except 6));
+  check "shift except" true (R.Pred.equal (R.Pred.shift (R.Pred.Except 5) 2) (R.Pred.Except 7))
+
+(* value_pred correctness: direction taken at runtime implies membership. *)
+let prop_value_pred_sound =
+  let gen =
+    QCheck2.Gen.(
+      tup4 (int_range (-20) 20) (int_range (-20) 20)
+        (oneofl Mir.Cmp.[ Eq; Ne; Lt; Le; Gt; Ge ])
+        (tup2 (oneofl [ 1; -1; 2; -2; 3; 5; -4 ]) (int_range (-5) 5)))
+  in
+  QCheck2.Test.make ~name:"value_pred agrees with execution" ~count:1000 gen
+    (fun (x, k, cmp, (scale, offset)) ->
+      let affine = { R.Cond.scale; offset } in
+      let w = (scale * x) + offset in
+      let taken = Mir.Cmp.eval cmp w k in
+      R.Pred.mem x (R.Cond.value_pred affine cmp k ~taken))
+
+(* forced_direction correctness: if the analysis forces a direction for
+   every member of a fact, execution must agree. *)
+let prop_forced_direction_sound =
+  let gen =
+    QCheck2.Gen.(
+      tup4
+        (tup2 (int_range (-10) 10) (int_range 0 6))
+        (int_range (-20) 20)
+        (oneofl Mir.Cmp.[ Eq; Ne; Lt; Le; Gt; Ge ])
+        (tup2 (oneofl [ 1; -1; 2; -2; 3; 5; -4 ]) (int_range (-5) 5)))
+  in
+  QCheck2.Test.make ~name:"forced_direction agrees with execution" ~count:1000 gen
+    (fun ((lo, width), k, cmp, (scale, offset)) ->
+      let fact = R.Pred.In (Option.get (R.Interval.make ~lo:(Some lo) ~hi:(Some (lo + width)))) in
+      let affine = { R.Cond.scale; offset } in
+      match R.Cond.forced_direction affine cmp k fact with
+      | None -> true
+      | Some dir ->
+          (* every x in the fact must branch in direction dir *)
+          let ok = ref true in
+          for x = lo to lo + width do
+            let w = (scale * x) + offset in
+            if Mir.Cmp.eval cmp w k <> dir then ok := false
+          done;
+          !ok)
+
+(* apply is the forward image: w = scale*x + offset lands in apply(pred). *)
+let prop_apply_forward_image =
+  let gen =
+    QCheck2.Gen.(
+      tup3 (int_range (-20) 20)
+        (tup2 (oneofl [ 1; -1; 2; -2; 3; 5; -4 ]) (int_range (-5) 5))
+        (oneof
+           [
+             map (fun (a, w) ->
+                 R.Pred.In (Option.get (R.Interval.make ~lo:(Some a) ~hi:(Some (a + w)))))
+               (tup2 (int_range (-10) 10) (int_range 0 5));
+             map (fun c -> R.Pred.Except c) (int_range (-10) 10);
+           ]))
+  in
+  QCheck2.Test.make ~name:"apply is the forward affine image" ~count:500 gen
+    (fun (x, (scale, offset), pred) ->
+      QCheck2.assume (R.Pred.mem x pred);
+      let affine = { R.Cond.scale; offset } in
+      R.Pred.mem ((scale * x) + offset) (R.Cond.apply affine pred))
+
+(* subset must be sound w.r.t. membership. *)
+let gen_pred =
+  QCheck2.Gen.(
+    oneof
+      [
+        return R.Pred.Never;
+        map (fun (a, w) ->
+            R.Pred.In (Option.get (R.Interval.make ~lo:(Some a) ~hi:(Some (a + w)))))
+          (tup2 (int_range (-10) 10) (int_range 0 8));
+        return (R.Pred.In R.Interval.top);
+        map (fun a -> R.Pred.In (R.Interval.at_most a)) (int_range (-10) 10);
+        map (fun a -> R.Pred.In (R.Interval.at_least a)) (int_range (-10) 10);
+        map (fun c -> R.Pred.Except c) (int_range (-10) 10);
+      ])
+
+let prop_subset_sound =
+  QCheck2.Test.make ~name:"subset sound w.r.t. membership" ~count:1000
+    QCheck2.Gen.(tup3 gen_pred gen_pred (int_range (-30) 30))
+    (fun (a, b, x) ->
+      if R.Pred.subset a b && R.Pred.mem x a then R.Pred.mem x b else true)
+
+(* value_pred must be EXACT: x outside the predicate must branch the
+   other way. *)
+let prop_value_pred_exact =
+  let gen =
+    QCheck2.Gen.(
+      tup4 (int_range (-30) 30) (int_range (-20) 20)
+        (oneofl Mir.Cmp.[ Eq; Ne; Lt; Le; Gt; Ge ])
+        (tup2 (oneofl [ 1; -1; 2; -2; 3; 5; -4 ]) (int_range (-5) 5)))
+  in
+  QCheck2.Test.make ~name:"value_pred is the exact inverse image" ~count:1000 gen
+    (fun (x, k, cmp, (scale, offset)) ->
+      let affine = { R.Cond.scale; offset } in
+      let w = (scale * x) + offset in
+      let taken = Mir.Cmp.eval cmp w k in
+      R.Pred.mem x (R.Cond.value_pred affine cmp k ~taken)
+      && not (R.Pred.mem x (R.Cond.value_pred affine cmp k ~taken:(not taken))))
+
+let test_never_pred () =
+  (* 2x == 3 has no integer solution: the taken direction is Never. *)
+  let affine = { R.Cond.scale = 2; offset = 0 } in
+  check "impossible eq is never" true
+    (R.Pred.equal (R.Cond.value_pred affine Mir.Cmp.Eq 3 ~taken:true) R.Pred.Never);
+  check "never is subset of all" true (R.Pred.subset R.Pred.Never (R.Pred.Except 0));
+  check "nothing inside never" false
+    (R.Pred.subset (R.Pred.In (R.Interval.point 0)) R.Pred.Never);
+  check "never has no members" false (R.Pred.mem 0 R.Pred.Never)
+
+let test_scaled_inverse_examples () =
+  (* w = 4x, w < 10 taken: x <= 2 *)
+  let a4 = { R.Cond.scale = 4; offset = 0 } in
+  check "4x < 10 means x <= 2" true
+    (R.Pred.equal
+       (R.Cond.value_pred a4 Mir.Cmp.Lt 10 ~taken:true)
+       (R.Pred.In (R.Interval.at_most 2)));
+  (* w = -2x + 1, w <= 5 taken: -2x <= 4, x >= -2 *)
+  let am2 = { R.Cond.scale = -2; offset = 1 } in
+  check "-2x+1 <= 5 means x >= -2" true
+    (R.Pred.equal
+       (R.Cond.value_pred am2 Mir.Cmp.Le 5 ~taken:true)
+       (R.Pred.In (R.Interval.at_least (-2))))
+
+let test_printers () =
+  let show pp v = Format.asprintf "%a" pp v in
+  check "interval pp" true (String.equal (show R.Interval.pp (R.Interval.point 5)) "[5..5]");
+  check "half line pp" true (String.equal (show R.Interval.pp (R.Interval.at_most 3)) "[..3]");
+  check "except pp" true (String.equal (show R.Pred.pp (R.Pred.Except 7)) "!=7");
+  check "never pp" true (String.equal (show R.Pred.pp R.Pred.Never) "never")
+
+let test_affine_composition () =
+  let a = R.Cond.identity in
+  let a1 = R.Cond.compose_add a 3 in
+  check "compose_add offset" true (a1.R.Cond.offset = 3 && a1.R.Cond.scale = 1);
+  let a2 = R.Cond.compose_sub_from 10 a1 in
+  (* w = 10 - (x + 3) = -x + 7 *)
+  check "compose_sub_from" true (a2.R.Cond.scale = -1 && a2.R.Cond.offset = 7);
+  let a3 = R.Cond.compose_neg a2 in
+  (* w = -(-x + 7) = x - 7 *)
+  check "compose_neg" true (a3.R.Cond.scale = 1 && a3.R.Cond.offset = -7)
+
+let test_forced_direction_examples () =
+  (* Figure 3.c: y < 5 known, branch tests (y - 1) < 10: must be taken. *)
+  let fact = R.Pred.In (R.Interval.at_most 4) in
+  let affine = { R.Cond.scale = 1; offset = -1 } in
+  check "figure 3.c forced taken" true
+    (R.Cond.forced_direction affine Mir.Cmp.Lt 10 fact = Some true);
+  (* y >= 10 known, branch tests y < 5: must be not-taken. *)
+  let fact2 = R.Pred.In (R.Interval.at_least 10) in
+  check "forced not-taken" true
+    (R.Cond.forced_direction R.Cond.identity Mir.Cmp.Lt 5 fact2 = Some false);
+  (* y < 10 known, branch tests y < 5: undetermined. *)
+  let fact3 = R.Pred.In (R.Interval.at_most 9) in
+  check "undetermined" true
+    (R.Cond.forced_direction R.Cond.identity Mir.Cmp.Lt 5 fact3 = None)
+
+let () =
+  Alcotest.run "range"
+    [
+      ( "interval",
+        [
+          Alcotest.test_case "basics" `Quick test_interval_basics;
+          Alcotest.test_case "subset" `Quick test_interval_subset;
+          Alcotest.test_case "shift/neg" `Quick test_interval_shift_neg;
+        ] );
+      ("pred", [ Alcotest.test_case "except" `Quick test_pred ]);
+      ( "cond",
+        [
+          Alcotest.test_case "affine composition" `Quick test_affine_composition;
+          Alcotest.test_case "forced direction examples" `Quick
+            test_forced_direction_examples;
+          QCheck_alcotest.to_alcotest prop_value_pred_sound;
+          QCheck_alcotest.to_alcotest prop_forced_direction_sound;
+          QCheck_alcotest.to_alcotest prop_apply_forward_image;
+          QCheck_alcotest.to_alcotest prop_subset_sound;
+          QCheck_alcotest.to_alcotest prop_value_pred_exact;
+          Alcotest.test_case "never predicate" `Quick test_never_pred;
+          Alcotest.test_case "scaled inverse examples" `Quick test_scaled_inverse_examples;
+          Alcotest.test_case "printers" `Quick test_printers;
+        ] );
+    ]

@@ -1,0 +1,170 @@
+(* THE invariant of the paper: zero false positives.
+
+   Any program, any inputs, no tampering => the IPDS checker never raises
+   an alarm.  Exercised over three program populations: structured MiniC,
+   raw arbitrary MIR, and the server workloads; plus the dual detection
+   properties (a detected attack always coincides with a control-flow
+   divergence). *)
+
+module Mir = Ipds_mir
+module Core = Ipds_core
+module M = Ipds_machine
+
+let check = Alcotest.(check bool)
+
+let no_alarms ?options ~seed p =
+  let system = Core.System.build ?options p in
+  let checker = Core.System.new_checker system in
+  let o =
+    M.Interp.run p
+      {
+        M.Interp.default_config with
+        max_steps = 5000;
+        inputs = M.Input_script.random ~seed ();
+        checker = Some checker;
+      }
+  in
+  o.M.Interp.alarms = []
+
+let prop_minic_no_false_positives =
+  QCheck2.Test.make ~name:"zero false positives on random MiniC" ~count:200
+    QCheck2.Gen.(tup2 Gen.minic_program (int_bound 1000))
+    (fun (p, seed) -> no_alarms ~seed p)
+
+let prop_mir_no_false_positives =
+  QCheck2.Test.make ~name:"zero false positives on arbitrary MIR" ~count:300
+    QCheck2.Gen.(tup2 Gen.mir_program (int_bound 1000))
+    (fun (p, seed) -> no_alarms ~seed p)
+
+let prop_mir_no_false_positives_precise_summaries =
+  let options =
+    {
+      Ipds_correlation.Analysis.default_options with
+      Ipds_correlation.Analysis.summary_mode = `Precise_globals;
+    }
+  in
+  QCheck2.Test.make ~name:"zero false positives with precise global summaries"
+    ~count:200
+    QCheck2.Gen.(tup2 Gen.mir_program (int_bound 1000))
+    (fun (p, seed) -> no_alarms ~options ~seed p)
+
+let prop_promoted_no_false_positives =
+  QCheck2.Test.make ~name:"zero false positives after register promotion"
+    ~count:150
+    QCheck2.Gen.(tup2 Gen.minic_program (int_bound 1000))
+    (fun (p, seed) -> no_alarms ~seed (Ipds_opt.Promote.program p))
+
+let test_workloads_no_false_positives () =
+  List.iter
+    (fun w ->
+      let p = Ipds_workloads.Workloads.program w in
+      for seed = 0 to 14 do
+        check
+          (Printf.sprintf "%s seed %d clean" w.Ipds_workloads.Workloads.name seed)
+          true (no_alarms ~seed p)
+      done)
+    Ipds_workloads.Workloads.all
+
+(* Detection sanity: every alarm coincides with an actual control-flow
+   divergence from the untampered run. *)
+let prop_alarm_implies_divergence =
+  QCheck2.Test.make ~name:"alarms imply control-flow divergence" ~count:150
+    QCheck2.Gen.(tup3 Gen.minic_program (int_bound 1000) (int_bound 10000))
+    (fun (p, seed, attack_bits) ->
+      let system = Core.System.build p in
+      let run ~tamper =
+        let checker = Core.System.new_checker system in
+        M.Interp.run p
+          {
+            M.Interp.default_config with
+            max_steps = 5000;
+            inputs = M.Input_script.random ~seed ();
+            checker = Some checker;
+            tamper;
+          }
+      in
+      let benign = run ~tamper:None in
+      QCheck2.assume (benign.M.Interp.steps > 2);
+      let tamper =
+        {
+          M.Tamper.at_step = 1 + (attack_bits mod (benign.M.Interp.steps - 1));
+          model = M.Tamper.Arbitrary_write;
+          seed = attack_bits;
+          value = attack_bits mod 256;
+        }
+      in
+      let attacked = run ~tamper:(Some tamper) in
+      match attacked.M.Interp.injection with
+      | None -> true
+      | Some _ ->
+          if attacked.M.Interp.alarms <> [] then
+            M.Interp.control_flow_changed benign attacked
+          else true)
+
+(* A canonical attack that MUST be detected: flag pinned by a check, then
+   flipped, then re-checked. *)
+let test_canonical_detection () =
+  let p =
+    Mir.Parser.program_of_string
+      {|
+func main() {
+ var flag
+entry:
+  store flag, 1
+  jmp first
+first:
+  r0 = load flag
+  br eq r0, 1, second, bad
+second:
+  r1 = load flag
+  br eq r1, 1, good, bad
+good:
+  ret 0
+bad:
+  ret 1
+}
+|}
+  in
+  let system = Core.System.build p in
+  (* Tamper flag right between the two checks (after step 4: store,jmp,
+     load,branch have executed). *)
+  let found = ref false in
+  for seed = 0 to 20 do
+    if not !found then begin
+      let checker = Core.System.new_checker system in
+      let o =
+        M.Interp.run p
+          {
+            M.Interp.default_config with
+            checker = Some checker;
+            tamper =
+              Some
+                { M.Tamper.at_step = 4; model = M.Tamper.Stack_overflow; seed; value = 0 };
+          }
+      in
+      match o.M.Interp.injection with
+      | Some _ ->
+          found := true;
+          check "tamper detected" true (o.M.Interp.alarms <> [])
+      | None -> ()
+    end
+  done;
+  check "tamper landed" true !found
+
+let () =
+  Alcotest.run "soundness"
+    [
+      ( "zero-false-positives",
+        [
+          QCheck_alcotest.to_alcotest prop_minic_no_false_positives;
+          QCheck_alcotest.to_alcotest prop_mir_no_false_positives;
+          QCheck_alcotest.to_alcotest prop_mir_no_false_positives_precise_summaries;
+          QCheck_alcotest.to_alcotest prop_promoted_no_false_positives;
+          Alcotest.test_case "workloads clean" `Quick test_workloads_no_false_positives;
+        ] );
+      ( "detection",
+        [
+          QCheck_alcotest.to_alcotest prop_alarm_implies_divergence;
+          Alcotest.test_case "canonical attack detected" `Quick test_canonical_detection;
+        ] );
+    ]
