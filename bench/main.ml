@@ -10,19 +10,57 @@
      dune exec bench/main.exe -- latency -- detection latency (paper §6)
      dune exec bench/main.exe -- compile-time
      dune exec bench/main.exe -- ablation
-     dune exec bench/main.exe -- micro   -- bechamel microbenchmarks *)
+     dune exec bench/main.exe -- micro   -- bechamel microbenchmarks
+     dune exec bench/main.exe -- smoke   -- tiny campaign + invariant checks
+
+   Flags (defaults preserve the historical sizes):
+
+     --attacks N   attacks per server for the campaign experiments
+     --seed S      base PRNG seed (default 2006)
+     --jobs N      worker domains (default: recommended cores - 1, or
+                   IPDS_JOBS; --jobs 1 is strictly sequential and
+                   bit-identical to any other job count)
+     --json FILE   write a machine-readable report of everything that
+                   ran (rates, sizes, slowdown, latency, wall-clock per
+                   phase) — e.g. --json BENCH_$(date +%F).json *)
 
 module H = Ipds_harness
 module W = Ipds_workloads.Workloads
+module Pool = Ipds_parallel.Pool
+module J = H.Json
 
 let section title = Printf.printf "\n=== %s ===\n%!" title
 
-let fig7 ~attacks () =
+(* ---------- experiment phases; each prints its table and returns the
+   same numbers as JSON ---------- *)
+
+let attack_summary_json (s : H.Attack_experiment.summary) =
+  J.Obj
+    [
+      ( "rows",
+        J.List
+          (List.map
+             (fun (r : H.Attack_experiment.row) ->
+               J.Obj
+                 [
+                   ("workload", J.String r.workload);
+                   ("attacks", J.Int r.attacks);
+                   ("cf_changed", J.Int r.cf_changed);
+                   ("detected", J.Int r.detected);
+                 ])
+             s.H.Attack_experiment.rows) );
+      ("avg_cf_changed", J.Float s.H.Attack_experiment.avg_cf_changed);
+      ("avg_detected", J.Float s.H.Attack_experiment.avg_detected);
+      ("detected_given_cf", J.Float s.H.Attack_experiment.detected_given_cf);
+    ]
+
+let fig7 ~attacks ~seed ?pool () =
   section (Printf.sprintf "Figure 7: detection rate (%d attacks/server)" attacks);
   (* three independent campaigns: the first is the reported table, the
      spread across seeds quantifies sampling noise *)
+  let seeds = if seed = 2006 then [ 2006; 7; 99 ] else [ seed; seed + 1; seed + 2 ] in
   let summaries =
-    List.map (fun seed -> H.Attack_experiment.run_all ~attacks ~seed ()) [ 2006; 7; 99 ]
+    List.map (fun seed -> H.Attack_experiment.run_all ~attacks ~seed ?pool ()) seeds
   in
   let s = List.hd summaries in
   print_endline (H.Attack_experiment.render s);
@@ -34,25 +72,61 @@ let fig7 ~attacks () =
     (H.Stats.mean_sd (series (fun s -> s.H.Attack_experiment.detected_given_cf)));
   print_endline
     "paper: 49.4% of tamperings change control flow; 29.3% detected overall; \
-     59.3% of control-flow-changing detected"
+     59.3% of control-flow-changing detected";
+  J.Obj
+    (List.map2
+       (fun seed s -> (Printf.sprintf "seed_%d" seed, attack_summary_json s))
+       seeds summaries)
 
 let fig8 () =
   section "Figure 8: average table sizes (bits)";
-  print_endline (H.Size_census.render (H.Size_census.run_all ()));
-  print_endline "paper averages: BSV 34, BCV 17, BAT 393"
+  let rows = H.Size_census.run_all () in
+  print_endline (H.Size_census.render rows);
+  print_endline "paper averages: BSV 34, BCV 17, BAT 393";
+  J.List
+    (List.map
+       (fun (r : H.Size_census.row) ->
+         J.Obj
+           [
+             ("workload", J.String r.workload);
+             ("functions", J.Int r.functions);
+             ("avg_bsv_bits", J.Float r.avg_bsv_bits);
+             ("avg_bcv_bits", J.Float r.avg_bcv_bits);
+             ("avg_bat_bits", J.Float r.avg_bat_bits);
+           ])
+       rows)
 
-let fig9 () =
+let perf_rows_json rows =
+  J.List
+    (List.map
+       (fun (r : H.Perf_experiment.row) ->
+         J.Obj
+           [
+             ("workload", J.String r.workload);
+             ("instructions", J.Int r.instructions);
+             ("base_cycles", J.Float r.base_cycles);
+             ("ipds_cycles", J.Float r.ipds_cycles);
+             ("normalized", J.Float r.normalized);
+             ("avg_detection_latency", J.Float r.avg_detection_latency);
+             ("spills", J.Int r.spills);
+           ])
+       rows)
+
+let fig9 ?pool () =
   section "Figure 9: performance normalized to no-IPDS baseline";
-  print_endline (H.Perf_experiment.render (H.Perf_experiment.run_all ()));
-  print_endline "paper: average degradation 0.79%"
+  let rows = H.Perf_experiment.run_all ?pool () in
+  print_endline (H.Perf_experiment.render rows);
+  print_endline "paper: average degradation 0.79%";
+  perf_rows_json rows
 
 let table1 () =
   section "Table 1: simulated processor parameters";
-  Format.printf "%a@." Ipds_pipeline.Config.pp Ipds_pipeline.Config.default
+  Format.printf "%a@." Ipds_pipeline.Config.pp Ipds_pipeline.Config.default;
+  J.Null
 
-let latency () =
+let latency ?pool () =
   section "Detection latency (cycles from branch commit to IPDS verdict)";
-  let rows = H.Perf_experiment.run_all () in
+  let rows = H.Perf_experiment.run_all ?pool () in
   List.iter
     (fun (r : H.Perf_experiment.row) ->
       Printf.printf "%-10s %6.1f cycles\n" r.workload r.avg_detection_latency)
@@ -63,43 +137,105 @@ let latency () =
       0. rows
     /. float_of_int (max 1 (List.length rows))
   in
-  Printf.printf "AVERAGE    %6.1f cycles   (paper: 11.7)\n" avg
+  Printf.printf "AVERAGE    %6.1f cycles   (paper: 11.7)\n" avg;
+  J.Obj
+    [
+      ("avg_detection_latency", J.Float avg);
+      ( "per_workload",
+        J.Obj
+          (List.map
+             (fun (r : H.Perf_experiment.row) ->
+               (r.workload, J.Float r.avg_detection_latency))
+             rows) );
+    ]
 
 let compile_time () =
   section "Compile time per benchmark (paper: up to a few seconds)";
-  print_endline (H.Compile_time.render (H.Compile_time.run_all ()))
+  let rows = H.Compile_time.run_all () in
+  print_endline (H.Compile_time.render rows);
+  J.List
+    (List.map
+       (fun (r : H.Compile_time.row) ->
+         J.Obj
+           [
+             ("workload", J.String r.workload);
+             ("seconds", J.Float r.seconds);
+             ("hash_attempts", J.Int r.hash_attempts);
+           ])
+       rows)
 
-let ablation ~attacks () =
+let ablation ~attacks ?pool () =
   section (Printf.sprintf "Ablation (%d attacks/server)" attacks);
-  print_endline (H.Ablation.render (H.Ablation.run_all ~attacks ()))
+  let rows = H.Ablation.run_all ~attacks ?pool () in
+  print_endline (H.Ablation.render rows);
+  J.List
+    (List.map
+       (fun (r : H.Ablation.row) ->
+         J.Obj
+           [
+             ("variant", J.String r.label);
+             ("avg_detected", J.Float r.avg_detected);
+             ("detected_given_cf", J.Float r.detected_given_cf);
+             ("checked_branches", J.Int r.checked_branches);
+             ("avg_bat_bits", J.Float r.avg_bat_bits);
+           ])
+       rows)
 
-let baseline ~attacks () =
+let baseline ~attacks ?pool () =
   section
     (Printf.sprintf
        "Baseline comparison: 3-gram syscall-trace detector vs IPDS (%d \
         attacks/server)"
        attacks);
-  print_endline
-    (H.Baseline_experiment.render (H.Baseline_experiment.run_all ~attacks ()))
+  let rows = H.Baseline_experiment.run_all ~attacks ?pool () in
+  print_endline (H.Baseline_experiment.render rows);
+  J.List
+    (List.map
+       (fun (r : H.Baseline_experiment.row) ->
+         J.Obj
+           [
+             ("workload", J.String r.workload);
+             ("ngram_fp", J.Float r.ngram_fp);
+             ("ngram_detected", J.Int r.ngram_detected);
+             ("ipds_detected", J.Int r.ipds_detected);
+             ("cf_changed", J.Int r.cf_changed);
+             ("attacks", J.Int r.attacks);
+           ])
+       rows)
 
-let models ~attacks () =
+let models ~attacks ?pool () =
   section
     (Printf.sprintf "Attack models (paper §3): overflow vs arbitrary write (%d \
                      attacks/server)" attacks);
-  print_endline (H.Model_experiment.render (H.Model_experiment.run_all ~attacks ()))
+  let rows = H.Model_experiment.run_all ~attacks ?pool () in
+  print_endline (H.Model_experiment.render rows);
+  J.List
+    (List.map
+       (fun (r : H.Model_experiment.row) ->
+         J.Obj
+           [
+             ("workload", J.String r.workload);
+             ("overflow_cf", J.Float r.overflow_cf);
+             ("overflow_detected", J.Float r.overflow_detected);
+             ("arbitrary_cf", J.Float r.arbitrary_cf);
+             ("arbitrary_detected", J.Float r.arbitrary_detected);
+           ])
+       rows)
 
 let ctx () =
   section "Context switches: save/restore cost vs switch period (sshd)";
-  print_endline
-    (H.Ctx_experiment.render (H.Ctx_experiment.run (W.find "sshd")))
-
-let opt_levels ~attacks () =
-  section
-    (Printf.sprintf
-       "Optimization levels (paper: \"compiler optimizations can remove some \
-        correlations\"; %d attacks/server)"
-       attacks);
-  print_endline (H.Opt_experiment.render (H.Opt_experiment.run_all ~attacks ()))
+  let rows = H.Ctx_experiment.run (W.find "sshd") in
+  print_endline (H.Ctx_experiment.render rows);
+  J.List
+    (List.map
+       (fun (r : H.Ctx_experiment.row) ->
+         J.Obj
+           [
+             ("period_cycles", J.Int r.period_cycles);
+             ("switches", J.Int r.switches);
+             ("overhead", J.Float r.overhead);
+           ])
+       rows)
 
 (* ---------- bechamel microbenchmarks ---------- *)
 
@@ -108,7 +244,8 @@ let micro () =
   let open Bechamel in
   let telnetd = W.find "telnetd" in
   let program = W.program telnetd in
-  let system = Ipds_core.System.build program in
+  let system = Ipds_core.System.cached_build program in
+  let estimates = ref [] in
   let tests =
     [
       Test.make ~name:"minic-compile:telnetd"
@@ -152,52 +289,200 @@ let micro () =
       Hashtbl.iter
         (fun name result ->
           match Analyze.OLS.estimates result with
-          | Some (est :: _) -> Printf.printf "%-28s %12.0f ns/run\n" name est
+          | Some (est :: _) ->
+              estimates := (name, est) :: !estimates;
+              Printf.printf "%-28s %12.0f ns/run\n" name est
           | Some [] | None -> Printf.printf "%-28s (no estimate)\n" name)
         ols)
-    tests
+    tests;
+  J.Obj (List.rev_map (fun (name, est) -> (name, J.Float est)) !estimates)
+
+(* ---------- smoke: tiny campaign + the harness's own invariants ---------- *)
+
+let smoke ~attacks ~seed ~jobs () =
+  section
+    (Printf.sprintf "Smoke: %d attacks/server, seed %d, jobs %d" attacks seed
+       jobs);
+  let fail fmt =
+    Printf.ksprintf
+      (fun msg ->
+        Printf.eprintf "SMOKE FAIL: %s\n%!" msg;
+        exit 1)
+      fmt
+  in
+  let parallel = H.Attack_experiment.run_all ~attacks ~seed ~jobs () in
+  let sequential = H.Attack_experiment.run_all ~attacks ~seed ~jobs:1 () in
+  if parallel <> sequential then
+    fail "jobs=%d and jobs=1 summaries differ for the same seed" jobs;
+  let workloads = List.length W.all in
+  let compiles = W.compile_count () in
+  let builds = Ipds_core.System.build_count () in
+  (* Both run_alls used one configuration per workload; the caches must
+     have collapsed them to exactly one compile and one build each. *)
+  if compiles > workloads then
+    fail "%d minic compiles for %d workload configurations" compiles workloads;
+  if builds > workloads then
+    fail "%d system builds for %d workload configurations" builds workloads;
+  print_endline (H.Attack_experiment.render parallel);
+  Printf.printf
+    "smoke OK: deterministic across jobs; %d compiles / %d builds for %d \
+     workloads\n"
+    compiles builds workloads;
+  J.Obj
+    [
+      ("summary", attack_summary_json parallel);
+      ("compiles", J.Int compiles);
+      ("builds", J.Int builds);
+    ]
+
+(* ---------- driver ---------- *)
+
+type opts = {
+  attacks : int option;  (* None: per-target historical default *)
+  seed : int;
+  jobs : int;
+  json : string option;
+}
+
+let report = ref []  (* (target, wall seconds, data), reverse order *)
+
+let timed name f =
+  let t0 = Unix.gettimeofday () in
+  let data = f () in
+  let dt = Unix.gettimeofday () -. t0 in
+  report := (name, dt, data) :: !report
+
+let run_target opts pool name =
+  let att default = Option.value opts.attacks ~default in
+  let seed = opts.seed in
+  let go = timed name in
+  match name with
+  | "fig7" -> go (fig7 ~attacks:(att 100) ~seed ?pool)
+  | "fig8" -> go fig8
+  | "fig9" -> go (fig9 ?pool)
+  | "table1" -> go table1
+  | "latency" -> go (latency ?pool)
+  | "compile-time" -> go compile_time
+  | "ablation" -> go (ablation ~attacks:(att 40) ?pool)
+  | "opt-levels" ->
+      go (fun () ->
+          section
+            (Printf.sprintf
+               "Optimization levels (paper: \"compiler optimizations can remove \
+                some correlations\"; %d attacks/server)"
+               (att 40));
+          let rows = H.Opt_experiment.run_all ~attacks:(att 40) ~seed ?pool () in
+          print_endline (H.Opt_experiment.render rows);
+          J.List
+            (List.map
+               (fun (r : H.Opt_experiment.row) ->
+                 J.Obj
+                   [
+                     ("level", J.String r.level);
+                     ("avg_detected", J.Float r.avg_detected);
+                     ("detected_given_cf", J.Float r.detected_given_cf);
+                     ("avg_cf_changed", J.Float r.avg_cf_changed);
+                     ("checked_branches", J.Int r.checked_branches);
+                     ("total_branches", J.Int r.total_branches);
+                   ])
+               rows))
+  | "baseline" -> go (baseline ~attacks:(att 100) ?pool)
+  | "ctx" -> go ctx
+  | "models" -> go (models ~attacks:(att 100) ?pool)
+  | "micro" -> go micro
+  | "smoke" -> go (smoke ~attacks:(att 5) ~seed ~jobs:opts.jobs)
+  | other ->
+      Printf.eprintf "unknown bench target: %s\n" other;
+      exit 2
+
+let default_targets =
+  [
+    "table1"; "fig8"; "fig7"; "fig9"; "latency"; "compile-time"; "ablation";
+    "opt-levels"; "baseline"; "models"; "ctx";
+  ]
+
+let full_targets = default_targets @ [ "micro" ]
+
+let write_report opts ~targets ~total_seconds path =
+  let tm = Unix.localtime (Unix.time ()) in
+  let date =
+    Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02d" (tm.Unix.tm_year + 1900)
+      (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+      tm.Unix.tm_sec
+  in
+  let phases =
+    List.rev_map
+      (fun (name, dt, data) ->
+        J.Obj
+          [ ("name", J.String name); ("wall_seconds", J.Float dt); ("data", data) ])
+      !report
+  in
+  J.write_file path
+    (J.Obj
+       [
+         ("date", J.String date);
+         ("targets", J.List (List.map (fun t -> J.String t) targets));
+         ( "attacks",
+           match opts.attacks with Some n -> J.Int n | None -> J.Null );
+         ("seed", J.Int opts.seed);
+         ("jobs", J.Int opts.jobs);
+         ("total_wall_seconds", J.Float total_seconds);
+         ("minic_compiles", J.Int (W.compile_count ()));
+         ("system_builds", J.Int (Ipds_core.System.build_count ()));
+         ("phases", J.List phases);
+       ]);
+  Printf.printf "\nwrote %s\n" path
 
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
-  let args = List.filter (fun a -> not (String.equal a "--")) args in
-  match args with
-  | [] ->
-      table1 ();
-      fig8 ();
-      fig7 ~attacks:100 ();
-      fig9 ();
-      latency ();
-      compile_time ();
-      ablation ~attacks:40 ();
-      opt_levels ~attacks:40 ();
-      baseline ~attacks:40 ();
-      models ~attacks:40 ();
-      ctx ()
-  | [ "fig7" ] -> fig7 ~attacks:100 ()
-  | [ "fig8" ] -> fig8 ()
-  | [ "fig9" ] -> fig9 ()
-  | [ "table1" ] -> table1 ()
-  | [ "latency" ] -> latency ()
-  | [ "compile-time" ] -> compile_time ()
-  | [ "ablation" ] -> ablation ~attacks:40 ()
-  | [ "opt-levels" ] -> opt_levels ~attacks:40 ()
-  | [ "baseline" ] -> baseline ~attacks:100 ()
-  | [ "ctx" ] -> ctx ()
-  | [ "models" ] -> models ~attacks:100 ()
-  | [ "micro" ] -> micro ()
-  | [ "full" ] ->
-      table1 ();
-      fig8 ();
-      fig7 ~attacks:100 ();
-      fig9 ();
-      latency ();
-      compile_time ();
-      ablation ~attacks:100 ();
-      opt_levels ~attacks:100 ();
-      baseline ~attacks:100 ();
-      models ~attacks:100 ();
-      ctx ();
-      micro ()
-  | other ->
-      Printf.eprintf "unknown bench target: %s\n" (String.concat " " other);
+  let attacks = ref None in
+  let seed = ref 2006 in
+  let jobs = ref (Pool.default_jobs ()) in
+  let json = ref None in
+  let targets_rev = ref [] in
+  let spec =
+    Arg.align
+      [
+        ( "--attacks",
+          Arg.Int (fun n -> attacks := Some n),
+          "N Attacks per server (default: per-target, 100 or 40)" );
+        ("--seed", Arg.Set_int seed, "S Base PRNG seed (default 2006)");
+        ( "--jobs",
+          Arg.Set_int jobs,
+          "N Worker domains (default: cores - 1 or IPDS_JOBS; 1 = sequential)" );
+        ( "--json",
+          Arg.String (fun f -> json := Some f),
+          "FILE Write a machine-readable report" );
+      ]
+  in
+  let usage = "bench/main.exe [flags] [targets...]   (see source header)" in
+  let argv =
+    Array.of_list
+      (Sys.executable_name
+      :: List.filter
+           (fun a -> not (String.equal a "--"))
+           (List.tl (Array.to_list Sys.argv)))
+  in
+  (try Arg.parse_argv argv spec (fun t -> targets_rev := t :: !targets_rev) usage
+   with
+  | Arg.Bad msg ->
+      prerr_string msg;
       exit 2
+  | Arg.Help msg ->
+      print_string msg;
+      exit 0);
+  let opts =
+    { attacks = !attacks; seed = !seed; jobs = max 1 !jobs; json = !json }
+  in
+  let targets =
+    match List.rev !targets_rev with
+    | [] -> default_targets
+    | [ "full" ] -> full_targets
+    | ts -> ts
+  in
+  let pool = if opts.jobs = 1 then None else Some (Pool.create ~jobs:opts.jobs ()) in
+  let t0 = Unix.gettimeofday () in
+  Fun.protect
+    ~finally:(fun () -> Option.iter Pool.shutdown pool)
+    (fun () -> List.iter (run_target opts pool) targets);
+  let total_seconds = Unix.gettimeofday () -. t0 in
+  Option.iter (write_report opts ~targets ~total_seconds) opts.json

@@ -109,7 +109,7 @@ let run_cmd =
 
 let attack_cmd =
   let attacks_arg =
-    Arg.(value & opt int 100 & info [ "n"; "attacks" ] ~doc:"Number of independent attacks.")
+    Arg.(value & opt int 100 & info [ "n"; "attacks" ] ~doc:"Number of injected attacks.")
   in
   let model_arg =
     Arg.(
@@ -117,54 +117,41 @@ let attack_cmd =
       & opt (enum [ ("overflow", `Overflow); ("arbitrary", `Arbitrary) ]) `Arbitrary
       & info [ "model" ] ~doc:"Tamper model: overflow (active frame) or arbitrary.")
   in
-  let run file seed attacks model =
+  let jobs_arg =
+    Arg.(
+      value
+      & opt int (Ipds_parallel.Pool.default_jobs ())
+      & info [ "j"; "jobs" ]
+          ~doc:
+            "Worker domains for the campaign (default: cores - 1, or the \
+             IPDS_JOBS environment variable); 1 is strictly sequential.  \
+             Results are identical for any value.")
+  in
+  let run file seed attacks model jobs =
     let program = load_program file in
-    let system = Core.System.build program in
     let model =
       match model with
-      | `Overflow -> M.Tamper.Stack_overflow
-      | `Arbitrary -> M.Tamper.Arbitrary_write
+      | `Overflow -> `Stack_overflow
+      | `Arbitrary -> `Arbitrary_write
     in
-    let rng = Random.State.make [| seed |] in
-    let injected = ref 0 and cf = ref 0 and det = ref 0 in
-    for _ = 1 to attacks do
-      let input_seed = Random.State.bits rng land 0xffffff in
-      let run_once ~tamper =
-        let checker = Core.System.new_checker system in
-        M.Interp.run program
-          {
-            M.Interp.default_config with
-            inputs = M.Input_script.random ~seed:input_seed ();
-            checker = Some checker;
-            tamper;
-          }
-      in
-      let benign = run_once ~tamper:None in
-      if benign.M.Interp.steps > 2 then begin
-        let plan =
-          {
-            M.Tamper.at_step = 1 + Random.State.int rng (benign.M.Interp.steps - 1);
-            model;
-            seed = Random.State.bits rng land 0xffffff;
-            value = Random.State.int rng 256;
-          }
-        in
-        let o = run_once ~tamper:(Some plan) in
-        match o.M.Interp.injection with
-        | None -> ()
-        | Some _ ->
-            incr injected;
-            if M.Interp.control_flow_changed benign o then incr cf;
-            if o.M.Interp.alarms <> [] then incr det
-      end
-    done;
-    Format.printf "attacks injected: %d@." !injected;
-    Format.printf "changed control flow: %d@." !cf;
-    Format.printf "detected by IPDS: %d@." !det
+    match
+      Ipds_parallel.Pool.with_opt ~jobs (fun pool ->
+          Ipds_harness.Attack_experiment.campaign ?pool ~attacks ~seed ~model
+            ~name:file program)
+    with
+    | row ->
+        Format.printf "attacks injected: %d@." row.Ipds_harness.Attack_experiment.attacks;
+        Format.printf "changed control flow: %d@."
+          row.Ipds_harness.Attack_experiment.cf_changed;
+        Format.printf "detected by IPDS: %d@."
+          row.Ipds_harness.Attack_experiment.detected
+    | exception Ipds_harness.Attack_experiment.False_positive msg ->
+        Format.eprintf "FALSE POSITIVE (soundness violation): %s@." msg;
+        exit 1
   in
   Cmd.v
     (Cmd.info "attack" ~doc:"Run a randomized memory-tampering campaign against the program.")
-    Term.(const run $ file_arg $ seed_arg $ attacks_arg $ model_arg)
+    Term.(const run $ file_arg $ seed_arg $ attacks_arg $ model_arg $ jobs_arg)
 
 (* ---------- perf ---------- *)
 

@@ -13,7 +13,11 @@ type t = {
   funcs : (string * func_info) list;
 }
 
+let builds = Atomic.make 0
+let build_count () = Atomic.get builds
+
 let build ?options program =
+  Atomic.incr builds;
   let layout = Mir.Layout.make program in
   let results = Corr.Analysis.analyze_program ?options program in
   let funcs =
@@ -24,6 +28,17 @@ let build ?options program =
       results
   in
   { program; layout; funcs }
+
+(* Programs are pure data, so structural keys are safe; workload
+   programs are themselves memoised, so in practice lookups hit the
+   physical-equality fast path of [Hashtbl]'s structural compare. *)
+let cache : (Mir.Program.t * Corr.Analysis.options, t) Ipds_parallel.Memo.t =
+  Ipds_parallel.Memo.create ()
+
+let cached_build ?options program =
+  let options = Option.value options ~default:Corr.Analysis.default_options in
+  Ipds_parallel.Memo.find_or_add cache (program, options) (fun () ->
+      build ~options program)
 
 let info t name =
   match List.assoc_opt name t.funcs with

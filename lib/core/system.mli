@@ -16,6 +16,16 @@ type t = {
 val build :
   ?options:Ipds_correlation.Analysis.options -> Ipds_mir.Program.t -> t
 
+val cached_build :
+  ?options:Ipds_correlation.Analysis.options -> Ipds_mir.Program.t -> t
+(** Like {!build} but memoised per [(program, options)] — domain-safe
+    and exactly-once, so every experiment in a bench run shares one
+    analysis + table construction per configuration.  Omitted [options]
+    and explicit default options share a cache entry. *)
+
+val build_count : unit -> int
+(** How many (non-cached) builds have actually run in this process. *)
+
 val tables : t -> string -> Tables.t
 (** Raises [Invalid_argument] for unknown functions. *)
 

@@ -1,6 +1,7 @@
 module Corr = Ipds_correlation
 module Core = Ipds_core
 module W = Ipds_workloads.Workloads
+module Pool = Ipds_parallel.Pool
 
 type variant = {
   label : string;
@@ -35,17 +36,20 @@ type row = {
   avg_bat_bits : float;
 }
 
-let run_variant ?attacks ?seed v =
-  let summary = Attack_experiment.run_all ~options:v.options ?attacks ?seed () in
+let run_variant ?attacks ?seed ?pool v =
+  let summary =
+    Attack_experiment.run_all ~options:v.options ?attacks ?seed ?pool ()
+  in
   let checked, bat_sum, bat_n =
-    List.fold_left
-      (fun (c, s, n) w ->
-        let system = Core.System.build ~options:v.options (W.program w) in
+    Pool.map' pool
+      (fun w ->
+        let system = Core.System.cached_build ~options:v.options (W.program w) in
         let stats = Core.System.size_stats system in
-        ( c + Core.System.checked_branch_count system,
-          s +. stats.Core.System.avg_bat_bits,
-          n + 1 ))
-      (0, 0., 0) W.all
+        (Core.System.checked_branch_count system, stats.Core.System.avg_bat_bits))
+      W.all
+    |> List.fold_left
+         (fun (c, s, n) (checked, bat) -> (c + checked, s +. bat, n + 1))
+         (0, 0., 0)
   in
   {
     label = v.label;
@@ -55,7 +59,9 @@ let run_variant ?attacks ?seed v =
     avg_bat_bits = (if bat_n = 0 then 0. else bat_sum /. float_of_int bat_n);
   }
 
-let run_all ?attacks ?seed () = List.map (run_variant ?attacks ?seed) variants
+let run_all ?attacks ?seed ?jobs ?pool () =
+  Pool.with_opt ?jobs ?pool (fun pool ->
+      List.map (run_variant ?attacks ?seed ?pool) variants)
 
 let render rows =
   Table.render

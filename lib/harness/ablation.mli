@@ -19,5 +19,7 @@ type row = {
   avg_bat_bits : float;
 }
 
-val run_all : ?attacks:int -> ?seed:int -> unit -> row list
+val run_all :
+  ?attacks:int -> ?seed:int -> ?jobs:int -> ?pool:Ipds_parallel.Pool.t ->
+  unit -> row list
 val render : row list -> string

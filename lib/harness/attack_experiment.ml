@@ -1,6 +1,7 @@
 module M = Ipds_machine
 module Core = Ipds_core
 module W = Ipds_workloads.Workloads
+module Pool = Ipds_parallel.Pool
 
 type row = {
   workload : string;
@@ -18,80 +19,127 @@ type summary = {
 
 exception False_positive of string
 
-let campaign ?options ?(prepare = fun w -> W.program w) ?(attacks = 100)
-    ?(seed = 2006) ~model (w : W.t) =
-  let program = prepare w in
-  let system = Core.System.build ?options program in
+(* Splittable seeding: every attempt owns an RNG derived from
+   (campaign seed, workload name, attempt index), so attempts are
+   independent tasks and the campaign is bit-for-bit deterministic
+   regardless of domain count or scheduling. *)
+let attempt_rng ~seed ~name ~attempt =
+  Random.State.make [| seed; Hashtbl.hash name; attempt; 0x6a09e667 |]
+
+type attempt_outcome =
+  | Benign_alarm
+  | Too_short  (* benign run too short to place an attack window *)
+  | No_injection  (* the tamper picked a victim whose value didn't change *)
+  | Injected of {
+      changed : bool;
+      alarmed : bool;
+    }
+
+let run_attempt ~system ~program ~model ~seed ~name attempt =
+  let rng = attempt_rng ~seed ~name ~attempt in
+  let input_seed = Random.State.bits rng land 0xffffff in
+  let run_once ~tamper ~checker =
+    M.Interp.run program
+      {
+        M.Interp.default_config with
+        inputs = M.Input_script.random ~seed:input_seed ();
+        checker;
+        tamper;
+        (* control_flow_changed compares trace digests, so neither run
+           needs to materialize its O(steps) branch trace *)
+        record_trace = false;
+      }
+  in
+  let benign_checker = Core.System.new_checker system in
+  let benign = run_once ~tamper:None ~checker:(Some benign_checker) in
+  if benign.M.Interp.alarms <> [] then Benign_alarm
+  else if benign.M.Interp.steps <= 2 then Too_short
+  else begin
+    (* The vulnerability fires on attacker input, i.e. once the session
+       is up: strike in the [20%, 100%) window of the benign run. *)
+    let lo = max 1 (benign.M.Interp.steps / 5) in
+    let at_step = lo + Random.State.int rng (max 1 (benign.M.Interp.steps - lo)) in
+    (* Attackers pick meaningful values: small protocol constants about
+       half the time, arbitrary bytes otherwise. *)
+    let value =
+      if Random.State.bool rng then Random.State.int rng 8
+      else Random.State.int rng 256
+    in
+    let tamper_seed = Random.State.bits rng land 0xffffff in
+    let checker = Core.System.new_checker system in
+    let attacked =
+      run_once
+        ~tamper:(Some { M.Tamper.at_step; model; seed = tamper_seed; value })
+        ~checker:(Some checker)
+    in
+    match attacked.M.Interp.injection with
+    | None -> No_injection
+    | Some _ ->
+        Injected
+          {
+            changed = M.Interp.control_flow_changed benign attacked;
+            alarmed = attacked.M.Interp.alarms <> [];
+          }
+  end
+
+let campaign ?options ?pool ?(attacks = 100) ?(seed = 2006) ~model ~name
+    program =
+  let system = Core.System.cached_build ?options program in
   let model =
     match model with
     | `Stack_overflow -> M.Tamper.Stack_overflow
     | `Arbitrary_write -> M.Tamper.Arbitrary_write
   in
-  let rng = Random.State.make [| seed; Hashtbl.hash w.W.name |] in
+  (* Some attempts pick a victim whose old value equals the attack value
+     (no-op); keep evaluating fresh attempts until [attacks] real
+     injections have happened, within a bounded number of attempts.
+     Attempts are evaluated in fixed-size chunks (fanned out across the
+     pool) and folded in attempt order, so the chunk schedule — and
+     therefore the result — does not depend on the job count. *)
+  let max_attempts = attacks * 4 in
+  let chunk = max 1 attacks in
   let injected = ref 0 in
   let cf_changed = ref 0 in
   let detected = ref 0 in
-  let attempt = ref 0 in
-  (* Some attempts pick a victim whose old value equals the attack value
-     (no-op); retry with fresh randomness until [attacks] real injections
-     have happened, within a bounded number of attempts. *)
-  while !injected < attacks && !attempt < attacks * 4 do
-    incr attempt;
-    let input_seed = Random.State.bits rng land 0xffffff in
-    let run_once ~tamper ~checker =
-      M.Interp.run program
-        {
-          M.Interp.default_config with
-          inputs = M.Input_script.random ~seed:input_seed ();
-          checker;
-          tamper;
-          record_trace = true;
-        }
+  let next = ref 0 in
+  while !injected < attacks && !next < max_attempts do
+    let hi = min max_attempts (!next + chunk) in
+    let indices = List.init (hi - !next) (fun i -> !next + i) in
+    let outcomes =
+      Pool.map' pool (run_attempt ~system ~program ~model ~seed ~name) indices
     in
-    let benign_checker = Core.System.new_checker system in
-    let benign = run_once ~tamper:None ~checker:(Some benign_checker) in
-    if benign.M.Interp.alarms <> [] then
-      raise (False_positive (Printf.sprintf "%s: alarm on benign run" w.W.name));
-    if benign.M.Interp.steps > 2 then begin
-      (* The vulnerability fires on attacker input, i.e. once the session
-         is up: strike in the [20%, 100%) window of the benign run. *)
-      let lo = max 1 (benign.M.Interp.steps / 5) in
-      let at_step = lo + Random.State.int rng (max 1 (benign.M.Interp.steps - lo)) in
-      (* Attackers pick meaningful values: small protocol constants about
-         half the time, arbitrary bytes otherwise. *)
-      let value =
-        if Random.State.bool rng then Random.State.int rng 8
-        else Random.State.int rng 256
-      in
-      let tamper_seed = Random.State.bits rng land 0xffffff in
-      let checker = Core.System.new_checker system in
-      let attacked =
-        run_once
-          ~tamper:(Some { M.Tamper.at_step; model; seed = tamper_seed; value })
-          ~checker:(Some checker)
-      in
-      match attacked.M.Interp.injection with
-      | None -> ()
-      | Some _ ->
-          incr injected;
-          let changed = M.Interp.control_flow_changed benign attacked in
-          if changed then incr cf_changed;
-          if attacked.M.Interp.alarms <> [] then begin
-            incr detected;
+    List.iter
+      (fun outcome ->
+        (* Soundness checks apply to every evaluated attempt, even past
+           the cutoff — a false positive must never be masked by the
+           chunk boundary. *)
+        (match outcome with
+        | Benign_alarm ->
+            raise (False_positive (Printf.sprintf "%s: alarm on benign run" name))
+        | Injected { changed = false; alarmed = true } ->
             (* An alarm without a control-flow divergence would be a
                false positive in disguise. *)
-            if not changed then
-              raise
-                (False_positive
-                   (Printf.sprintf "%s: alarm without control-flow change" w.W.name))
-          end
-    end
+            raise
+              (False_positive
+                 (Printf.sprintf "%s: alarm without control-flow change" name))
+        | Too_short | No_injection | Injected _ -> ());
+        if !injected < attacks then
+          match outcome with
+          | Injected { changed; alarmed } ->
+              incr injected;
+              if changed then incr cf_changed;
+              if alarmed then incr detected
+          | Benign_alarm | Too_short | No_injection -> ())
+      outcomes;
+    next := hi
   done;
-  { workload = w.W.name; attacks = !injected; cf_changed = !cf_changed;
+  { workload = name; attacks = !injected; cf_changed = !cf_changed;
     detected = !detected }
 
-let run ?options ?prepare ?attacks ?seed (w : W.t) =
-  campaign ?options ?prepare ?attacks ?seed ~model:(W.tamper_model w) w
+let run ?options ?pool ?(prepare = fun w -> W.program w) ?attacks ?seed
+    (w : W.t) =
+  campaign ?options ?pool ?attacks ?seed ~model:(W.tamper_model w)
+    ~name:w.W.name (prepare w)
 
 let summarize rows =
   let frac num den = if den = 0 then 0. else float_of_int num /. float_of_int den in
@@ -109,8 +157,10 @@ let summarize rows =
     detected_given_cf = mean (fun r -> frac r.detected (max 1 r.cf_changed));
   }
 
-let run_all ?options ?prepare ?attacks ?seed () =
-  summarize (List.map (run ?options ?prepare ?attacks ?seed) W.all)
+let run_all ?options ?prepare ?attacks ?seed ?jobs ?pool () =
+  Pool.with_opt ?jobs ?pool (fun pool ->
+      summarize
+        (Pool.map' pool (run ?options ?pool ?prepare ?attacks ?seed) W.all))
 
 let render s =
   let rows =

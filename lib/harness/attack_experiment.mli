@@ -11,7 +11,14 @@
     - how many IPDS detected (at least one alarm).
 
     The benign run doubles as the zero-false-positive check: an alarm
-    there fails the experiment. *)
+    there fails the experiment.
+
+    {b Parallelism and determinism.}  Every attempt derives its RNG from
+    [(seed, workload, attempt index)] (splittable seeding, not
+    sequential draws from one state), so attempts are independent tasks;
+    campaigns fan them out across an {!Ipds_parallel.Pool} and fold the
+    outcomes in attempt order.  Results are bit-for-bit identical for
+    any [jobs] value, including [~jobs:1] (no domains spawned). *)
 
 type row = {
   workload : string;
@@ -32,16 +39,20 @@ exception False_positive of string
 
 val campaign :
   ?options:Ipds_correlation.Analysis.options ->
-  ?prepare:(Ipds_workloads.Workloads.t -> Ipds_mir.Program.t) ->
+  ?pool:Ipds_parallel.Pool.t ->
   ?attacks:int ->
   ?seed:int ->
   model:[ `Stack_overflow | `Arbitrary_write ] ->
-  Ipds_workloads.Workloads.t ->
+  name:string ->
+  Ipds_mir.Program.t ->
   row
-(** Attack campaign under an explicit tamper model. *)
+(** Attack campaign against an explicit program under an explicit tamper
+    model.  [name] labels the row and salts the attack RNG.  The
+    program's IPDS tables come from {!Ipds_core.System.cached_build}. *)
 
 val run :
   ?options:Ipds_correlation.Analysis.options ->
+  ?pool:Ipds_parallel.Pool.t ->
   ?prepare:(Ipds_workloads.Workloads.t -> Ipds_mir.Program.t) ->
   ?attacks:int ->
   ?seed:int ->
@@ -56,8 +67,15 @@ val run_all :
   ?prepare:(Ipds_workloads.Workloads.t -> Ipds_mir.Program.t) ->
   ?attacks:int ->
   ?seed:int ->
+  ?jobs:int ->
+  ?pool:Ipds_parallel.Pool.t ->
   unit ->
   summary
+(** Fans the ten workloads out across domains; each workload's attack
+    attempts fan out in turn (the waiting parent helps, see
+    {!Ipds_parallel.Pool}).  [pool] reuses a caller's pool; otherwise a
+    pool of [jobs] (default {!Ipds_parallel.Pool.default_jobs}) is
+    created for the call.  [~jobs:1] is strictly sequential. *)
 
 val summarize : row list -> summary
 val render : summary -> string

@@ -2,6 +2,7 @@ module M = Ipds_machine
 module Core = Ipds_core
 module B = Ipds_baseline
 module W = Ipds_workloads.Workloads
+module Pool = Ipds_parallel.Pool
 
 type row = {
   workload : string;
@@ -18,12 +19,14 @@ let config_for ?checker ?tamper ~input_seed () =
     inputs = M.Input_script.random ~seed:input_seed ();
     checker;
     tamper;
+    (* control-flow comparison uses trace digests; don't materialize traces *)
+    record_trace = false;
   }
 
 let run ?(n = 3) ?(train_runs = 40) ?(holdout_runs = 50) ?(attacks = 100)
     ?(seed = 2006) (w : W.t) =
   let program = W.program w in
-  let system = Core.System.build program in
+  let system = Core.System.cached_build program in
   (* train on benign sessions *)
   let benign_trace input_seed =
     B.Syscall_trace.collect program ~config:(config_for ~input_seed ())
@@ -117,8 +120,12 @@ let run ?(n = 3) ?(train_runs = 40) ?(holdout_runs = 50) ?(attacks = 100)
     attacks = !injected;
   }
 
-let run_all ?n ?train_runs ?holdout_runs ?attacks ?seed () =
-  List.map (run ?n ?train_runs ?holdout_runs ?attacks ?seed) W.all
+(* Each workload's campaign draws from its own (seed, name)-salted RNG,
+   so fanning whole workloads out across domains keeps run_all
+   deterministic for any job count. *)
+let run_all ?n ?train_runs ?holdout_runs ?attacks ?seed ?jobs ?pool () =
+  Pool.with_opt ?jobs ?pool (fun pool ->
+      Pool.map' pool (run ?n ?train_runs ?holdout_runs ?attacks ?seed) W.all)
 
 let render rows =
   let mean f =

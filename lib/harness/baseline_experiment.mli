@@ -33,6 +33,8 @@ val run_all :
   ?holdout_runs:int ->
   ?attacks:int ->
   ?seed:int ->
+  ?jobs:int ->
+  ?pool:Ipds_parallel.Pool.t ->
   unit ->
   row list
 

@@ -1,0 +1,17 @@
+(** Just enough JSON to emit machine-readable bench results without a
+    new dependency.  Serialization only. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?indent:int -> t -> string
+(** Pretty-printed with [indent] spaces per level (default 2).
+    Non-finite floats serialize as [null]. *)
+
+val write_file : string -> t -> unit

@@ -1,4 +1,5 @@
 module W = Ipds_workloads.Workloads
+module Pool = Ipds_parallel.Pool
 
 type row = {
   workload : string;
@@ -10,9 +11,16 @@ type row = {
 
 let frac a b = if b = 0 then 0. else float_of_int a /. float_of_int b
 
-let run ?attacks ?seed (w : W.t) =
-  let o = Attack_experiment.campaign ?attacks ?seed ~model:`Stack_overflow w in
-  let a = Attack_experiment.campaign ?attacks ?seed ~model:`Arbitrary_write w in
+let run ?attacks ?seed ?pool (w : W.t) =
+  let program = W.program w in
+  let o =
+    Attack_experiment.campaign ?attacks ?seed ?pool ~model:`Stack_overflow
+      ~name:w.W.name program
+  in
+  let a =
+    Attack_experiment.campaign ?attacks ?seed ?pool ~model:`Arbitrary_write
+      ~name:w.W.name program
+  in
   {
     workload = w.W.name;
     overflow_cf = frac o.Attack_experiment.cf_changed o.Attack_experiment.attacks;
@@ -21,7 +29,9 @@ let run ?attacks ?seed (w : W.t) =
     arbitrary_detected = frac a.Attack_experiment.detected a.Attack_experiment.attacks;
   }
 
-let run_all ?attacks ?seed () = List.map (run ?attacks ?seed) W.all
+let run_all ?attacks ?seed ?jobs ?pool () =
+  Pool.with_opt ?jobs ?pool (fun pool ->
+      Pool.map' pool (run ?attacks ?seed ?pool) W.all)
 
 let render rows =
   let mean f = Stats.mean (List.map f rows) in

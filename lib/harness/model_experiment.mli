@@ -16,6 +16,11 @@ type row = {
   arbitrary_detected : float;
 }
 
-val run : ?attacks:int -> ?seed:int -> Ipds_workloads.Workloads.t -> row
-val run_all : ?attacks:int -> ?seed:int -> unit -> row list
+val run :
+  ?attacks:int -> ?seed:int -> ?pool:Ipds_parallel.Pool.t ->
+  Ipds_workloads.Workloads.t -> row
+
+val run_all :
+  ?attacks:int -> ?seed:int -> ?jobs:int -> ?pool:Ipds_parallel.Pool.t ->
+  unit -> row list
 val render : row list -> string

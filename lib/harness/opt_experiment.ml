@@ -1,5 +1,6 @@
 module Core = Ipds_core
 module W = Ipds_workloads.Workloads
+module Pool = Ipds_parallel.Pool
 
 type level =
   | O0
@@ -11,11 +12,19 @@ let label = function
   | O1 -> "O1 (promotion)"
   | O2 -> "O2 (opt+promotion)"
 
+(* O0/O1 are memoised by Workloads; the O2 pipeline is memoised here so
+   the optimization passes also run once per workload per process. *)
+let o2_cache : (string, Ipds_mir.Program.t) Ipds_parallel.Memo.t =
+  Ipds_parallel.Memo.create ()
+
 let compile level w =
   match level with
   | O0 -> W.program ~promote:false w
   | O1 -> W.program w
-  | O2 -> Ipds_opt.Promote.program (Ipds_opt.Passes.optimize (W.program ~promote:false w))
+  | O2 ->
+      Ipds_parallel.Memo.find_or_add o2_cache w.W.name (fun () ->
+          Ipds_opt.Promote.program
+            (Ipds_opt.Passes.optimize (W.program ~promote:false w)))
 
 type row = {
   level : string;
@@ -26,16 +35,17 @@ type row = {
   total_branches : int;
 }
 
-let run_level ?attacks ?seed level =
+let run_level ?attacks ?seed ?pool level =
   let prepare = compile level in
-  let summary = Attack_experiment.run_all ~prepare ?attacks ?seed () in
+  let summary = Attack_experiment.run_all ~prepare ?attacks ?seed ?pool () in
   let checked, total =
-    List.fold_left
-      (fun (c, t) w ->
-        let system = Core.System.build (prepare w) in
-        ( c + Core.System.checked_branch_count system,
-          t + Core.System.total_branch_count system ))
-      (0, 0) W.all
+    Pool.map' pool
+      (fun w ->
+        let system = Core.System.cached_build (prepare w) in
+        ( Core.System.checked_branch_count system,
+          Core.System.total_branch_count system ))
+      W.all
+    |> List.fold_left (fun (c, t) (checked, tot) -> (c + checked, t + tot)) (0, 0)
   in
   {
     level = label level;
@@ -46,7 +56,9 @@ let run_level ?attacks ?seed level =
     total_branches = total;
   }
 
-let run_all ?attacks ?seed () = List.map (run_level ?attacks ?seed) [ O0; O1; O2 ]
+let run_all ?attacks ?seed ?jobs ?pool () =
+  Pool.with_opt ?jobs ?pool (fun pool ->
+      List.map (run_level ?attacks ?seed ?pool) [ O0; O1; O2 ])
 
 let render rows =
   Table.render

@@ -23,5 +23,7 @@ type row = {
   total_branches : int;
 }
 
-val run_all : ?attacks:int -> ?seed:int -> unit -> row list
+val run_all :
+  ?attacks:int -> ?seed:int -> ?jobs:int -> ?pool:Ipds_parallel.Pool.t ->
+  unit -> row list
 val render : row list -> string

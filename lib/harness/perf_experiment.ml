@@ -2,6 +2,7 @@ module M = Ipds_machine
 module P = Ipds_pipeline
 module Core = Ipds_core
 module W = Ipds_workloads.Workloads
+module Pool = Ipds_parallel.Pool
 
 type row = {
   workload : string;
@@ -16,7 +17,7 @@ type row = {
 
 let run ?(config = P.Config.default) ?(seed = 42) ?(repeats = 5) (w : W.t) =
   let program = W.program w in
-  let system = Core.System.build program in
+  let system = Core.System.cached_build program in
   let base_cpu = P.Cpu.create ~config ~system:None () in
   let ipds_cpu = P.Cpu.create ~config ~system:(Some system) () in
   for i = 0 to repeats - 1 do
@@ -53,7 +54,11 @@ let run ?(config = P.Config.default) ?(seed = 42) ?(repeats = 5) (w : W.t) =
     stall_cycles = stats.P.Cpu.stall_cycles;
   }
 
-let run_all ?config ?seed ?repeats () = List.map (run ?config ?seed ?repeats) W.all
+(* Simulated cycle counts are deterministic per workload, so the fan-out
+   is safe for any job count. *)
+let run_all ?config ?seed ?repeats ?jobs ?pool () =
+  Pool.with_opt ?jobs ?pool (fun pool ->
+      Pool.map' pool (run ?config ?seed ?repeats) W.all)
 
 let render rows =
   let mean f =

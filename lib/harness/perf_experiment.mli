@@ -23,6 +23,12 @@ val run :
     (default 5) to smooth the timing. *)
 
 val run_all :
-  ?config:Ipds_pipeline.Config.t -> ?seed:int -> ?repeats:int -> unit -> row list
+  ?config:Ipds_pipeline.Config.t ->
+  ?seed:int ->
+  ?repeats:int ->
+  ?jobs:int ->
+  ?pool:Ipds_parallel.Pool.t ->
+  unit ->
+  row list
 
 val render : row list -> string

@@ -13,6 +13,7 @@ type outcome = {
   branches : int;
   outputs : int list;
   branch_trace : (int * bool) list;
+  trace_digest : int;
   alarms : Ipds_core.Checker.alarm list;
   injection : Tamper.injection option;
 }
@@ -59,9 +60,17 @@ type state = {
   mutable branches : int;
   mutable outputs_rev : int list;
   mutable trace_rev : (int * bool) list;
+  mutable trace_digest : int;
   mutable injection : Tamper.injection option;
   mutable stop : stop_reason option;
 }
+
+(* A multiplicative rolling hash over the (pc, taken) sequence.  Kept
+   unconditionally — one multiply and xor per committed branch — so
+   control-flow comparisons do not need [record_trace] and campaigns can
+   skip materializing O(steps) trace lists. *)
+let digest_branch digest ~pc ~taken =
+  (digest * 1_000_003) lxor ((pc lsl 1) lor Bool.to_int taken)
 
 let max_call_depth = 4096
 
@@ -341,6 +350,7 @@ let step st =
             let target = if taken then if_true else if_false in
             let pc = Mir.Layout.pc st.layout ~fname:a.func.Mir.Func.name ~iid in
             st.branches <- st.branches + 1;
+            st.trace_digest <- digest_branch st.trace_digest ~pc ~taken;
             if st.config.record_trace then
               st.trace_rev <- (pc, taken) :: st.trace_rev;
             emit st a iid
@@ -385,6 +395,7 @@ let run program config =
       branches = 0;
       outputs_rev = [];
       trace_rev = [];
+      trace_digest = 0;
       injection = None;
       stop = None;
     }
@@ -396,6 +407,7 @@ let run program config =
       branches = st.branches;
       outputs = List.rev st.outputs_rev;
       branch_trace = List.rev st.trace_rev;
+      trace_digest = st.trace_digest;
       alarms =
         (match config.checker with
         | Some c -> Ipds_core.Checker.alarms c
@@ -441,7 +453,7 @@ let run program config =
     | None -> result Out_of_steps)
   with Machine_fault msg -> result (Fault msg)
 
-let control_flow_changed a b =
+let control_flow_changed (a : outcome) (b : outcome) =
   let reason_tag = function
     | Exited v -> Printf.sprintf "exit:%d" (match v with Value.Int n -> n | Value.Ptr _ -> -1)
     | Halted -> "halt"
@@ -449,5 +461,6 @@ let control_flow_changed a b =
     | Out_of_steps -> "steps"
     | Trapped _ -> "trap"
   in
-  a.branch_trace <> b.branch_trace
+  a.trace_digest <> b.trace_digest
+  || a.branches <> b.branches
   || not (String.equal (reason_tag a.reason) (reason_tag b.reason))

@@ -20,6 +20,10 @@ type outcome = {
   outputs : int list;  (** in emission order *)
   branch_trace : (int * bool) list;
       (** (pc, taken) per committed branch, if recording was on *)
+  trace_digest : int;
+      (** rolling hash of the full (pc, taken) sequence, always
+          computed — lets {!control_flow_changed} work without
+          [record_trace] *)
   alarms : Ipds_core.Checker.alarm list;
   injection : Tamper.injection option;
 }
@@ -45,4 +49,5 @@ val run : Ipds_mir.Program.t -> config -> outcome
 
 val control_flow_changed : outcome -> outcome -> bool
 (** Do two runs differ in their committed-branch traces (or stop
-    reasons)?  Both must have been recorded. *)
+    reasons)?  Compared via [trace_digest], so it works whether or not
+    the traces were recorded. *)

@@ -1,0 +1,55 @@
+type 'v state =
+  | Pending
+  | Ready of 'v
+
+type ('k, 'v) t = {
+  mutex : Mutex.t;
+  cond : Condition.t;
+  tbl : ('k, 'v state) Hashtbl.t;
+  mutable computed : int;
+}
+
+let create () =
+  {
+    mutex = Mutex.create ();
+    cond = Condition.create ();
+    tbl = Hashtbl.create 16;
+    computed = 0;
+  }
+
+let find_or_add t k compute =
+  Mutex.lock t.mutex;
+  let rec get () =
+    match Hashtbl.find_opt t.tbl k with
+    | Some (Ready v) ->
+        Mutex.unlock t.mutex;
+        v
+    | Some Pending ->
+        Condition.wait t.cond t.mutex;
+        get ()
+    | None -> (
+        Hashtbl.replace t.tbl k Pending;
+        Mutex.unlock t.mutex;
+        match compute () with
+        | v ->
+            Mutex.lock t.mutex;
+            Hashtbl.replace t.tbl k (Ready v);
+            t.computed <- t.computed + 1;
+            Condition.broadcast t.cond;
+            Mutex.unlock t.mutex;
+            v
+        | exception e ->
+            let bt = Printexc.get_raw_backtrace () in
+            Mutex.lock t.mutex;
+            Hashtbl.remove t.tbl k;
+            Condition.broadcast t.cond;
+            Mutex.unlock t.mutex;
+            Printexc.raise_with_backtrace e bt)
+  in
+  get ()
+
+let computed t =
+  Mutex.lock t.mutex;
+  let n = t.computed in
+  Mutex.unlock t.mutex;
+  n

@@ -1,0 +1,18 @@
+(** Domain-safe, exactly-once memoization keyed structurally.
+
+    Concurrent callers of {!find_or_add} with the same key block until
+    the single in-flight computation finishes; distinct keys compute in
+    parallel (the lock is not held while computing).  If the
+    computation raises, the key is released and the exception
+    propagates to the caller that ran it; blocked callers then race to
+    retry. *)
+
+type ('k, 'v) t
+
+val create : unit -> ('k, 'v) t
+
+val find_or_add : ('k, 'v) t -> 'k -> (unit -> 'v) -> 'v
+
+val computed : ('k, 'v) t -> int
+(** How many computations actually ran to completion — the harness's
+    "compiled/built at most once per configuration" counters. *)

@@ -75,16 +75,16 @@ let all =
 
 let find name = List.find (fun w -> String.equal w.name name) all
 
-let cache : (string * bool, Ipds_mir.Program.t) Hashtbl.t = Hashtbl.create 10
+let cache : (string * bool, Ipds_mir.Program.t) Ipds_parallel.Memo.t =
+  Ipds_parallel.Memo.create ()
 
-let program ?(promote = true) w =
-  match Hashtbl.find_opt cache (w.name, promote) with
-  | Some p -> p
-  | None ->
+let compiled ?(promote = true) w =
+  Ipds_parallel.Memo.find_or_add cache (w.name, promote) (fun () ->
       let p = Ipds_minic.Minic.compile w.source in
-      let p = if promote then Ipds_opt.Promote.program p else p in
-      Hashtbl.replace cache (w.name, promote) p;
-      p
+      if promote then Ipds_opt.Promote.program p else p)
+
+let program = compiled
+let compile_count () = Ipds_parallel.Memo.computed cache
 
 let tamper_model w =
   match w.vulnerability with

@@ -20,9 +20,18 @@ val all : t list
 val find : string -> t
 (** Raises [Not_found]. *)
 
-val program : ?promote:bool -> t -> Ipds_mir.Program.t
-(** Compiled MIR (memoised).  [promote] (default true) applies
+val compiled : ?promote:bool -> t -> Ipds_mir.Program.t
+(** Compiled MIR, memoised per [(workload, promote)] — domain-safe and
+    exactly-once: concurrent callers for the same configuration block on
+    the single in-flight compile.  [promote] (default true) applies
     register promotion ({!Ipds_opt.Promote}), matching the paper's
     register-allocated binaries; pass [false] for the -O0 ablation. *)
+
+val program : ?promote:bool -> t -> Ipds_mir.Program.t
+(** Alias of {!compiled} (historical name). *)
+
+val compile_count : unit -> int
+(** How many MiniC compiles have actually run in this process — the
+    bench smoke test asserts it stays at one per configuration. *)
 
 val tamper_model : t -> [ `Stack_overflow | `Arbitrary_write ]

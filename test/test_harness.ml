@@ -44,6 +44,13 @@ let test_attack_experiment_deterministic () =
   let r2 = H.Attack_experiment.run ~attacks:10 ~seed:5 (W.find "crond") in
   check "same seed same results" true (r1 = r2)
 
+let test_run_all_jobs_deterministic () =
+  (* The tentpole guarantee: per-attempt splittable seeding makes the
+     campaign bit-for-bit identical for any domain count. *)
+  let sequential = H.Attack_experiment.run_all ~attacks:5 ~seed:11 ~jobs:1 () in
+  let parallel = H.Attack_experiment.run_all ~attacks:5 ~seed:11 ~jobs:4 () in
+  check "jobs=1 equals jobs=4" true (sequential = parallel)
+
 let test_summarize () =
   let rows =
     [
@@ -110,6 +117,8 @@ let () =
         [
           Alcotest.test_case "row invariants" `Slow test_attack_experiment_row;
           Alcotest.test_case "deterministic" `Slow test_attack_experiment_deterministic;
+          Alcotest.test_case "deterministic across jobs" `Slow
+            test_run_all_jobs_deterministic;
           Alcotest.test_case "summarize" `Quick test_summarize;
         ] );
       ( "others",

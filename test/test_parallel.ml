@@ -1,0 +1,110 @@
+(* Tests for the domain pool and the exactly-once memo the parallel
+   harness is built on. *)
+
+module Pool = Ipds_parallel.Pool
+module Memo = Ipds_parallel.Memo
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_map_order_and_values () =
+  Pool.with_pool ~jobs:4 (fun p ->
+      let xs = List.init 100 Fun.id in
+      check "squares in order" true
+        (Pool.map p (fun x -> x * x) xs = List.map (fun x -> x * x) xs))
+
+let test_edge_inputs () =
+  Pool.with_pool ~jobs:3 (fun p ->
+      check "empty input" true (Pool.map p (fun x -> x + 1) [] = []);
+      check "singleton input" true (Pool.map p string_of_int [ 7 ] = [ "7" ]))
+
+let test_jobs_one_spawns_nothing () =
+  (* jobs:1 must work purely on the calling domain *)
+  Pool.with_pool ~jobs:1 (fun p ->
+      check_int "jobs" 1 (Pool.jobs p);
+      check "map works" true (Pool.map p succ [ 1; 2; 3 ] = [ 2; 3; 4 ]))
+
+exception Boom of int
+
+let test_exception_propagation () =
+  Pool.with_pool ~jobs:4 (fun p ->
+      (match
+         Pool.map p
+           (fun x -> if x mod 3 = 0 then raise (Boom x) else x)
+           (List.init 20 (fun i -> i + 1))
+       with
+      | _ -> Alcotest.fail "expected Boom"
+      | exception Boom n ->
+          (* smallest failing index wins, independent of scheduling *)
+          check_int "first failing element" 3 n);
+      (* the pool survives a failed map *)
+      check "pool still usable" true (Pool.map p succ [ 1; 2 ] = [ 2; 3 ]))
+
+let test_nested_map () =
+  (* the harness nests: workloads fan out, each workload's attempts fan
+     out on the same pool; the waiting parent must help, not deadlock *)
+  Pool.with_pool ~jobs:2 (fun p ->
+      let result =
+        Pool.map p
+          (fun i -> List.fold_left ( + ) 0 (Pool.map p (fun j -> (10 * i) + j) [ 1; 2; 3 ]))
+          [ 1; 2; 3; 4 ]
+      in
+      check "nested sums" true (result = [ 36; 66; 96; 126 ]))
+
+let test_map' () =
+  check "map' None is List.map" true (Pool.map' None succ [ 1; 2 ] = [ 2; 3 ]);
+  Pool.with_pool ~jobs:2 (fun p ->
+      check "map' Some uses the pool" true (Pool.map' (Some p) succ [ 1; 2 ] = [ 2; 3 ]))
+
+let test_default_jobs_positive () =
+  check "default_jobs >= 1" true (Pool.default_jobs () >= 1)
+
+let test_memo_exactly_once () =
+  let memo : (string, int) Memo.t = Memo.create () in
+  let runs = Atomic.make 0 in
+  let compute () =
+    Atomic.incr runs;
+    (* widen the race window so concurrent callers really do overlap *)
+    Unix.sleepf 0.02;
+    42
+  in
+  Pool.with_pool ~jobs:4 (fun p ->
+      let vs = Pool.map p (fun _ -> Memo.find_or_add memo "k" compute) (List.init 16 Fun.id) in
+      check "all callers see the value" true (List.for_all (( = ) 42) vs));
+  check_int "computed once" 1 (Atomic.get runs);
+  check_int "memo counts it" 1 (Memo.computed memo)
+
+let test_memo_exception_releases_key () =
+  let memo : (string, int) Memo.t = Memo.create () in
+  let attempts = ref 0 in
+  let compute () =
+    incr attempts;
+    if !attempts = 1 then failwith "transient" else 7
+  in
+  (match Memo.find_or_add memo "k" compute with
+  | _ -> Alcotest.fail "expected Failure"
+  | exception Failure _ -> ());
+  check_int "key released, recomputed" 7 (Memo.find_or_add memo "k" compute);
+  check_int "two attempts ran" 2 !attempts;
+  check_int "only the success counted" 1 (Memo.computed memo)
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "map order/values" `Quick test_map_order_and_values;
+          Alcotest.test_case "edge inputs" `Quick test_edge_inputs;
+          Alcotest.test_case "jobs=1" `Quick test_jobs_one_spawns_nothing;
+          Alcotest.test_case "exceptions" `Quick test_exception_propagation;
+          Alcotest.test_case "nested map" `Quick test_nested_map;
+          Alcotest.test_case "map'" `Quick test_map';
+          Alcotest.test_case "default_jobs" `Quick test_default_jobs_positive;
+        ] );
+      ( "memo",
+        [
+          Alcotest.test_case "exactly once" `Quick test_memo_exactly_once;
+          Alcotest.test_case "exception releases key" `Quick
+            test_memo_exception_releases_key;
+        ] );
+    ]
