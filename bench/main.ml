@@ -22,7 +22,13 @@
                    bit-identical to any other job count)
      --json FILE   write a machine-readable report of everything that
                    ran (rates, sizes, slowdown, latency, wall-clock per
-                   phase) — e.g. --json BENCH_$(date +%F).json *)
+                   phase, artifact-cache counters) — e.g.
+                   --json BENCH_$(date +%F).json
+     --cache-dir D two-tier artifact cache: load prebuilt .ipds objects
+                   from D (populating it on misses) instead of
+                   recompiling and re-analyzing; defaults to
+                   IPDS_CACHE_DIR when set
+     --no-cache    ignore IPDS_CACHE_DIR and run everything in memory *)
 
 module H = Ipds_harness
 module W = Ipds_workloads.Workloads
@@ -403,6 +409,24 @@ let default_targets =
 
 let full_targets = default_targets @ [ "micro" ]
 
+let cache_json () =
+  match Ipds_artifact.Store.ambient () with
+  | None -> J.Obj [ ("enabled", J.Bool false) ]
+  | Some store ->
+      let c = Ipds_artifact.Store.counters () in
+      J.Obj
+        [
+          ("enabled", J.Bool true);
+          ("dir", J.String (Ipds_artifact.Store.dir store));
+          ("artifact_hits", J.Int c.Ipds_artifact.Store.hits);
+          ("artifact_misses", J.Int c.Ipds_artifact.Store.misses);
+          ("corrupt_entries", J.Int c.Ipds_artifact.Store.corrupt);
+          ("bytes_read", J.Int c.Ipds_artifact.Store.bytes_read);
+          ("bytes_written", J.Int c.Ipds_artifact.Store.bytes_written);
+          ("load_wall_seconds", J.Float c.Ipds_artifact.Store.load_seconds);
+          ("store_wall_seconds", J.Float c.Ipds_artifact.Store.store_seconds);
+        ]
+
 let write_report opts ~targets ~total_seconds path =
   let tm = Unix.localtime (Unix.time ()) in
   let date =
@@ -429,6 +453,7 @@ let write_report opts ~targets ~total_seconds path =
          ("total_wall_seconds", J.Float total_seconds);
          ("minic_compiles", J.Int (W.compile_count ()));
          ("system_builds", J.Int (Ipds_core.System.build_count ()));
+         ("cache", cache_json ());
          ("phases", J.List phases);
        ]);
   Printf.printf "\nwrote %s\n" path
@@ -452,6 +477,14 @@ let () =
         ( "--json",
           Arg.String (fun f -> json := Some f),
           "FILE Write a machine-readable report" );
+        ( "--cache-dir",
+          Arg.String
+            (fun d -> Ipds_artifact.Store.set_ambient_dir (Some d)),
+          "DIR Load/publish prebuilt .ipds artifacts under DIR (default: \
+           IPDS_CACHE_DIR)" );
+        ( "--no-cache",
+          Arg.Unit (fun () -> Ipds_artifact.Store.set_ambient_dir None),
+          " Disable the artifact cache, ignoring IPDS_CACHE_DIR" );
       ]
   in
   let usage = "bench/main.exe [flags] [targets...]   (see source header)" in
@@ -485,4 +518,17 @@ let () =
     ~finally:(fun () -> Option.iter Pool.shutdown pool)
     (fun () -> List.iter (run_target opts pool) targets);
   let total_seconds = Unix.gettimeofday () -. t0 in
+  (match Ipds_artifact.Store.ambient () with
+  | None -> ()
+  | Some store ->
+      let c = Ipds_artifact.Store.counters () in
+      Printf.printf
+        "\nartifact cache %s: %d hits, %d misses (%d corrupt), %d KiB read, \
+         %d KiB written, load %.3fs, store %.3fs\n"
+        (Ipds_artifact.Store.dir store)
+        c.Ipds_artifact.Store.hits c.Ipds_artifact.Store.misses
+        c.Ipds_artifact.Store.corrupt
+        (c.Ipds_artifact.Store.bytes_read / 1024)
+        (c.Ipds_artifact.Store.bytes_written / 1024)
+        c.Ipds_artifact.Store.load_seconds c.Ipds_artifact.Store.store_seconds);
   Option.iter (write_report opts ~targets ~total_seconds) opts.json

@@ -5,36 +5,89 @@
      ipds run      FILE          execute under the checker
      ipds attack   FILE          run a tamper campaign
      ipds perf     FILE          timing model, baseline vs IPDS
+     ipds compile  FILE -o F     analyze and save a .ipds object file
+     ipds inspect  FILE          section/CRC report of a .ipds file or image
      ipds servers                list the built-in server workloads
 
-   FILE ending in .c/.mc is treated as MiniC, anything else as textual
-   MIR.  Built-in workloads can be named with '@name' (e.g. @telnetd). *)
+   FILE ending in .c/.mc is treated as MiniC, a file starting with the
+   IPDS object magic as a prebuilt artifact (analysis skipped), anything
+   else as textual MIR.  Built-in workloads can be named with '@name'
+   (e.g. @telnetd).  --cache-dir/--no-cache control the content-addressed
+   artifact cache (default: IPDS_CACHE_DIR). *)
 
 module Mir = Ipds_mir
 module Core = Ipds_core
 module M = Ipds_machine
 module P = Ipds_pipeline
 module W = Ipds_workloads.Workloads
+module A = Ipds_artifact.Artifact
+module Store = Ipds_artifact.Store
 open Cmdliner
 
-let load_program path =
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let src = really_input_string ic n in
+  close_in ic;
+  src
+
+(* Every source of programs resolves to a full system: built-in
+   workloads ride the artifact-aware Workloads.system path, .ipds files
+   are loaded directly (no front end, no analysis), and plain sources
+   are compiled and analyzed here. *)
+let load_system path =
   if String.length path > 1 && path.[0] = '@' then
-    W.program (W.find (String.sub path 1 (String.length path - 1)))
+    W.system (W.find (String.sub path 1 (String.length path - 1)))
+  else if A.is_artifact_file path then begin
+    try A.load_file path
+    with A.Corrupt msg ->
+      Format.eprintf
+        "ipds: %s: corrupt artifact (%s); re-create it with 'ipds compile'@."
+        path msg;
+      exit 1
+  end
   else begin
-    let ic = open_in path in
-    let n = in_channel_length ic in
-    let src = really_input_string ic n in
-    close_in ic;
-    if Filename.check_suffix path ".c" || Filename.check_suffix path ".mc" then
-      Ipds_minic.Minic.compile src
-    else Mir.Parser.program_of_string src
+    let src = read_file path in
+    let program =
+      if Filename.check_suffix path ".c" || Filename.check_suffix path ".mc"
+      then Ipds_minic.Minic.compile src
+      else Mir.Parser.program_of_string src
+    in
+    Core.System.cached_build program
   end
 
 let file_arg =
   Arg.(
     required
     & pos 0 (some string) None
-    & info [] ~docv:"FILE" ~doc:"Program file (.c/.mc MiniC, else MIR), or @name for a built-in server.")
+    & info [] ~docv:"FILE"
+        ~doc:
+          "Program file (.c/.mc MiniC, .ipds prebuilt artifact, else MIR), or \
+           @name for a built-in server.")
+
+(* Evaluated before any command body runs, so the ambient store is
+   configured by the time load_system consults it. *)
+let cache_term =
+  let cache_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache-dir" ] ~docv:"DIR"
+          ~doc:
+            "Load and publish prebuilt .ipds artifacts under $(docv) \
+             (default: the IPDS_CACHE_DIR environment variable).")
+  in
+  let no_cache =
+    Arg.(
+      value & flag
+      & info [ "no-cache" ]
+          ~doc:"Disable the artifact cache, ignoring IPDS_CACHE_DIR.")
+  in
+  let apply dir off =
+    if off then Store.set_ambient_dir None
+    else Option.iter (fun d -> Store.set_ambient_dir (Some d)) dir
+  in
+  Term.(const apply $ cache_dir $ no_cache)
 
 let seed_arg =
   Arg.(value & opt int 2006 & info [ "seed" ] ~doc:"PRNG seed for inputs/attacks.")
@@ -45,9 +98,8 @@ let steps_arg =
 (* ---------- analyze ---------- *)
 
 let analyze_cmd =
-  let run file =
-    let program = load_program file in
-    let system = Core.System.build program in
+  let run () file =
+    let system = load_system file in
     List.iter
       (fun (_, (i : Core.System.func_info)) ->
         Format.printf "%a@.%a@.@."
@@ -62,14 +114,14 @@ let analyze_cmd =
   in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Run the compile-side correlation analysis and show the tables.")
-    Term.(const run $ file_arg)
+    Term.(const run $ cache_term $ file_arg)
 
 (* ---------- run ---------- *)
 
 let run_cmd =
-  let run file seed max_steps =
-    let program = load_program file in
-    let system = Core.System.build program in
+  let run () file seed max_steps =
+    let system = load_system file in
+    let program = system.Core.System.program in
     let checker = Core.System.new_checker system in
     let o =
       M.Interp.run program
@@ -103,7 +155,7 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Execute the program under the IPDS runtime checker.")
-    Term.(const run $ file_arg $ seed_arg $ steps_arg)
+    Term.(const run $ cache_term $ file_arg $ seed_arg $ steps_arg)
 
 (* ---------- attack ---------- *)
 
@@ -127,8 +179,9 @@ let attack_cmd =
              IPDS_JOBS environment variable); 1 is strictly sequential.  \
              Results are identical for any value.")
   in
-  let run file seed attacks model jobs =
-    let program = load_program file in
+  let run () file seed attacks model jobs =
+    let system = load_system file in
+    let program = system.Core.System.program in
     let model =
       match model with
       | `Overflow -> `Stack_overflow
@@ -136,8 +189,8 @@ let attack_cmd =
     in
     match
       Ipds_parallel.Pool.with_opt ~jobs (fun pool ->
-          Ipds_harness.Attack_experiment.campaign ?pool ~attacks ~seed ~model
-            ~name:file program)
+          Ipds_harness.Attack_experiment.campaign ~system ?pool ~attacks ~seed
+            ~model ~name:file program)
     with
     | row ->
         Format.printf "attacks injected: %d@." row.Ipds_harness.Attack_experiment.attacks;
@@ -151,14 +204,16 @@ let attack_cmd =
   in
   Cmd.v
     (Cmd.info "attack" ~doc:"Run a randomized memory-tampering campaign against the program.")
-    Term.(const run $ file_arg $ seed_arg $ attacks_arg $ model_arg $ jobs_arg)
+    Term.(
+      const run $ cache_term $ file_arg $ seed_arg $ attacks_arg $ model_arg
+      $ jobs_arg)
 
 (* ---------- perf ---------- *)
 
 let perf_cmd =
-  let run file seed =
-    let program = load_program file in
-    let system = Core.System.build program in
+  let run () file seed =
+    let system = load_system file in
+    let program = system.Core.System.program in
     let drive cpu =
       ignore
         (M.Interp.run program
@@ -180,7 +235,7 @@ let perf_cmd =
   in
   Cmd.v
     (Cmd.info "perf" ~doc:"Compare cycle counts with and without the IPDS engine.")
-    Term.(const run $ file_arg $ seed_arg)
+    Term.(const run $ cache_term $ file_arg $ seed_arg)
 
 (* ---------- trace ---------- *)
 
@@ -188,9 +243,9 @@ let trace_cmd =
   let limit_arg =
     Arg.(value & opt int 200 & info [ "limit" ] ~doc:"Maximum lines printed.")
   in
-  let run file seed limit =
-    let program = load_program file in
-    let system = Core.System.build program in
+  let run () file seed limit =
+    let system = load_system file in
+    let program = system.Core.System.program in
     let log_lines = ref 0 in
     let log =
       Core.Trace_log.create
@@ -225,17 +280,41 @@ let trace_cmd =
   Cmd.v
     (Cmd.info "trace"
        ~doc:"Run the program and log every IPDS verify/update decision.")
-    Term.(const run $ file_arg $ seed_arg $ limit_arg)
+    Term.(const run $ cache_term $ file_arg $ seed_arg $ limit_arg)
 
-(* ---------- encode / inspect ---------- *)
+(* ---------- compile / encode / inspect ---------- *)
+
+let compile_cmd =
+  let out_arg =
+    Arg.(
+      value & opt string "prog.ipds"
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output .ipds object file.")
+  in
+  let run () file out =
+    let system = load_system file in
+    A.save_file out system;
+    let bytes = (Unix.stat out).Unix.st_size in
+    Format.printf "wrote %d bytes (%d functions, %d/%d branches checked) to %s@."
+      bytes
+      (List.length system.Core.System.funcs)
+      (Core.System.checked_branch_count system)
+      (Core.System.total_branch_count system)
+      out
+  in
+  Cmd.v
+    (Cmd.info "compile"
+       ~doc:
+         "Analyze the program and save a checksummed .ipds object file; \
+          'ipds run/attack/perf' load it back without re-running the front \
+          end or the analysis.")
+    Term.(const run $ cache_term $ file_arg $ out_arg)
 
 let encode_cmd =
   let out_arg =
     Arg.(value & opt string "tables.img" & info [ "o"; "output" ] ~doc:"Output image file.")
   in
-  let run file out =
-    let program = load_program file in
-    let system = Core.System.build program in
+  let run () file out =
+    let system = load_system file in
     let image = Core.Encode.program_image system in
     let oc = open_out_bin out in
     output_bytes oc image;
@@ -248,29 +327,40 @@ let encode_cmd =
     (Cmd.info "encode"
        ~doc:"Serialize the BSV/BCV/BAT tables into the binary image the compiler \
              would attach to the executable.")
-    Term.(const run $ file_arg $ out_arg)
+    Term.(const run $ cache_term $ file_arg $ out_arg)
 
 let inspect_cmd =
   let image_arg =
-    Arg.(required & pos 0 (some string) None & info [] ~docv:"IMAGE" ~doc:"Table image file.")
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:".ipds object file or raw table image.")
   in
   let run path =
-    let ic = open_in_bin path in
-    let n = in_channel_length ic in
-    let image = Bytes.create n in
-    really_input ic image 0 n;
-    close_in ic;
-    List.iter
-      (fun (name, (entry_pc, tables)) ->
-        let s = Core.Tables.sizes tables in
-        Format.printf "%-16s entry 0x%x  %a  %d branches  BSV %d / BCV %d / BAT %d bits@."
-          name entry_pc Core.Hash.pp tables.Core.Tables.hash
-          tables.Core.Tables.n_branches s.Core.Tables.bsv_bits s.Core.Tables.bcv_bits
-          s.Core.Tables.bat_bits)
-      (Core.Encode.load_program image)
+    if A.is_artifact_file path then
+      Format.printf "%a@." A.pp_inspection (A.inspect_file path)
+    else begin
+      let ic = open_in_bin path in
+      let n = in_channel_length ic in
+      let image = Bytes.create n in
+      really_input ic image 0 n;
+      close_in ic;
+      List.iter
+        (fun (name, (entry_pc, tables)) ->
+          let s = Core.Tables.sizes tables in
+          Format.printf "%-16s entry 0x%x  %a  %d branches  BSV %d / BCV %d / BAT %d bits@."
+            name entry_pc Core.Hash.pp tables.Core.Tables.hash
+            tables.Core.Tables.n_branches s.Core.Tables.bsv_bits s.Core.Tables.bcv_bits
+            s.Core.Tables.bat_bits)
+        (Core.Encode.load_program image)
+    end
   in
   Cmd.v
-    (Cmd.info "inspect" ~doc:"Print the function information table of an encoded image.")
+    (Cmd.info "inspect"
+       ~doc:
+         "Print the section/CRC report of a .ipds object file (flagging any \
+          corruption), or the function information table of a raw encoded \
+          image.")
     Term.(const run $ image_arg)
 
 (* ---------- servers ---------- *)
@@ -292,4 +382,17 @@ let servers_cmd =
 
 let () =
   let doc = "Infeasible Path Detection System (MICRO 2006) toolchain" in
-  exit (Cmd.eval (Cmd.group (Cmd.info "ipds" ~doc) [ analyze_cmd; run_cmd; attack_cmd; perf_cmd; trace_cmd; encode_cmd; inspect_cmd; servers_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "ipds" ~doc)
+          [
+            analyze_cmd;
+            run_cmd;
+            attack_cmd;
+            perf_cmd;
+            trace_cmd;
+            compile_cmd;
+            encode_cmd;
+            inspect_cmd;
+            servers_cmd;
+          ]))

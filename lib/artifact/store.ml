@@ -1,0 +1,147 @@
+module Corr = Ipds_correlation
+
+type t = { dir : string }
+
+let create ~dir = { dir }
+let dir t = t.dir
+
+(* ---------- counters ---------- *)
+
+type counters = {
+  hits : int;
+  misses : int;
+  corrupt : int;
+  bytes_read : int;
+  bytes_written : int;
+  load_seconds : float;
+  store_seconds : float;
+}
+
+let zero =
+  {
+    hits = 0;
+    misses = 0;
+    corrupt = 0;
+    bytes_read = 0;
+    bytes_written = 0;
+    load_seconds = 0.;
+    store_seconds = 0.;
+  }
+
+let counters_mutex = Mutex.create ()
+let state = ref zero
+
+let tally f =
+  Mutex.lock counters_mutex;
+  state := f !state;
+  Mutex.unlock counters_mutex
+
+let counters () =
+  Mutex.lock counters_mutex;
+  let c = !state in
+  Mutex.unlock counters_mutex;
+  c
+
+let reset_counters () = tally (fun _ -> zero)
+
+(* ---------- keys & paths ---------- *)
+
+let options_fingerprint (o : Corr.Analysis.options) =
+  Printf.sprintf "store_load=%b;load_load=%b;affine=%b;summary=%s"
+    o.Corr.Analysis.store_load o.Corr.Analysis.load_load
+    o.Corr.Analysis.affine_tracing
+    (match o.Corr.Analysis.summary_mode with
+    | `Faithful -> "faithful"
+    | `Precise_globals -> "precise-globals")
+
+let key ~source ~promote ~options =
+  Digest.to_hex
+    (Digest.string
+       (String.concat "\x00"
+          [
+            "ipds-artifact";
+            string_of_int Object_file.format_version;
+            Printf.sprintf "promote=%b" promote;
+            options_fingerprint options;
+            source;
+          ]))
+
+let path_of_key t key =
+  Filename.concat t.dir (Filename.concat (String.sub key 0 2) (key ^ ".ipds"))
+
+let rec mkdirs dir =
+  if not (Sys.file_exists dir) then begin
+    mkdirs (Filename.dirname dir);
+    try Sys.mkdir dir 0o755
+    with Sys_error _ when Sys.file_exists dir -> ()  (* lost a race: fine *)
+  end
+
+(* ---------- load / publish ---------- *)
+
+let load_system t key =
+  let path = path_of_key t key in
+  let t0 = Unix.gettimeofday () in
+  match Object_file.read_file path with
+  | exception Sys_error _ ->
+      tally (fun c -> { c with misses = c.misses + 1 });
+      None
+  | bytes -> (
+      match Artifact.of_bytes bytes with
+      | sys ->
+          tally (fun c ->
+              {
+                c with
+                hits = c.hits + 1;
+                bytes_read = c.bytes_read + Bytes.length bytes;
+                load_seconds = c.load_seconds +. Unix.gettimeofday () -. t0;
+              });
+          Some sys
+      | exception Artifact.Corrupt _ ->
+          tally (fun c ->
+              { c with misses = c.misses + 1; corrupt = c.corrupt + 1 });
+          None)
+
+let publish_system t key sys =
+  let t0 = Unix.gettimeofday () in
+  let path = path_of_key t key in
+  match
+    mkdirs (Filename.dirname path);
+    let bytes = Artifact.to_bytes sys in
+    Object_file.write_file_atomic path bytes;
+    Bytes.length bytes
+  with
+  | written ->
+      tally (fun c ->
+          {
+            c with
+            bytes_written = c.bytes_written + written;
+            store_seconds = c.store_seconds +. Unix.gettimeofday () -. t0;
+          })
+  | exception Sys_error _ -> ()  (* read-only or full cache dir: skip *)
+
+(* ---------- ambient store ---------- *)
+
+let ambient_mutex = Mutex.create ()
+let ambient_state : t option option ref = ref None  (* None = uninitialised *)
+
+let set_ambient_dir d =
+  Mutex.lock ambient_mutex;
+  ambient_state := Some (Option.map (fun dir -> create ~dir) d);
+  Mutex.unlock ambient_mutex
+
+let ambient () =
+  Mutex.lock ambient_mutex;
+  let v =
+    match !ambient_state with
+    | Some v -> v
+    | None ->
+        let v =
+          match Sys.getenv_opt "IPDS_CACHE_DIR" with
+          | Some dir when dir <> "" -> Some (create ~dir)
+          | _ -> None
+        in
+        ambient_state := Some v;
+        v
+  in
+  Mutex.unlock ambient_mutex;
+  v

@@ -1,0 +1,69 @@
+(** Content-addressed on-disk cache of IPDS artifacts.
+
+    Entries are keyed by the MD5 digest of (MiniC/MIR source text,
+    compile options, analysis options, artifact format version) and live
+    at [<dir>/<k₀k₁>/<key>.ipds].  Publishing is atomic (temp file +
+    rename), so concurrent processes sharing a directory can only ever
+    observe complete files; a truncated, CRC-mismatched or
+    version-skewed entry is treated as a miss and rebuilt, never a
+    crash.
+
+    The {e ambient} store is process-global configuration consulted by
+    {!Ipds_workloads.Workloads.system}: it defaults to the
+    [IPDS_CACHE_DIR] environment variable and is overridden by the
+    [--cache-dir] / [--no-cache] CLI flags.
+
+    All counters are process-wide and domain-safe — the bench harness
+    reports them in its [--json] output and the cache smoke test asserts
+    a warm run is all hits. *)
+
+type t
+
+val create : dir:string -> t
+(** The directory is created lazily on first publish. *)
+
+val dir : t -> string
+
+val key :
+  source:string ->
+  promote:bool ->
+  options:Ipds_correlation.Analysis.options ->
+  string
+(** Hex digest naming the artifact for this configuration; changes
+    whenever the source, the compile options, the analysis options or
+    {!Object_file.format_version} change. *)
+
+val path_of_key : t -> string -> string
+
+val load_system : t -> string -> Ipds_core.System.t option
+(** [None] on absent, truncated, corrupt or version-skewed entries
+    (counted as misses); never raises on bad cache contents. *)
+
+val publish_system : t -> string -> Ipds_core.System.t -> unit
+(** Atomic; IO errors (read-only dir, disk full) are swallowed — the
+    cache is an optimisation, not a correctness dependency. *)
+
+(** {2 Ambient store} *)
+
+val set_ambient_dir : string option -> unit
+(** [Some dir] enables the ambient store at [dir]; [None] disables it,
+    overriding [IPDS_CACHE_DIR]. *)
+
+val ambient : unit -> t option
+(** The configured store, initialised from [IPDS_CACHE_DIR] on first
+    use unless {!set_ambient_dir} was called. *)
+
+(** {2 Counters} *)
+
+type counters = {
+  hits : int;
+  misses : int;  (** absent entries and corrupt/skewed entries alike *)
+  corrupt : int;  (** the subset of misses caused by damaged entries *)
+  bytes_read : int;
+  bytes_written : int;
+  load_seconds : float;  (** wall-clock spent loading artifacts (warm path) *)
+  store_seconds : float;  (** wall-clock spent encoding + publishing *)
+}
+
+val counters : unit -> counters
+val reset_counters : unit -> unit

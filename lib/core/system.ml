@@ -40,6 +40,10 @@ let cached_build ?options program =
   Ipds_parallel.Memo.find_or_add cache (program, options) (fun () ->
       build ~options program)
 
+let seed_cache ?options program t =
+  let options = Option.value options ~default:Corr.Analysis.default_options in
+  ignore (Ipds_parallel.Memo.find_or_add cache (program, options) (fun () -> t))
+
 let info t name =
   match List.assoc_opt name t.funcs with
   | Some i -> i

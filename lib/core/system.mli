@@ -26,6 +26,14 @@ val cached_build :
 val build_count : unit -> int
 (** How many (non-cached) builds have actually run in this process. *)
 
+val seed_cache :
+  ?options:Ipds_correlation.Analysis.options -> Ipds_mir.Program.t -> t -> unit
+(** Pre-populate the {!cached_build} memo with a system obtained
+    elsewhere (an on-disk artifact), so later [cached_build] calls for
+    the same [(program, options)] return it without analyzing.  A
+    no-op when an entry already exists; does not bump
+    {!build_count}. *)
+
 val tables : t -> string -> Tables.t
 (** Raises [Invalid_argument] for unknown functions. *)
 

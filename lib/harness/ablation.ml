@@ -43,7 +43,7 @@ let run_variant ?attacks ?seed ?pool v =
   let checked, bat_sum, bat_n =
     Pool.map' pool
       (fun w ->
-        let system = Core.System.cached_build ~options:v.options (W.program w) in
+        let system = W.system ~options:v.options w in
         let stats = Core.System.size_stats system in
         (Core.System.checked_branch_count system, stats.Core.System.avg_bat_bits))
       W.all

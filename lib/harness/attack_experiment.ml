@@ -82,9 +82,13 @@ let run_attempt ~system ~program ~model ~seed ~name attempt =
           }
   end
 
-let campaign ?options ?pool ?(attacks = 100) ?(seed = 2006) ~model ~name
-    program =
-  let system = Core.System.cached_build ?options program in
+let campaign ?options ?system ?pool ?(attacks = 100) ?(seed = 2006) ~model
+    ~name program =
+  let system =
+    match system with
+    | Some s -> s
+    | None -> Core.System.cached_build ?options program
+  in
   let model =
     match model with
     | `Stack_overflow -> M.Tamper.Stack_overflow
@@ -136,10 +140,16 @@ let campaign ?options ?pool ?(attacks = 100) ?(seed = 2006) ~model ~name
   { workload = name; attacks = !injected; cf_changed = !cf_changed;
     detected = !detected }
 
-let run ?options ?pool ?(prepare = fun w -> W.program w) ?attacks ?seed
-    (w : W.t) =
-  campaign ?options ?pool ?attacks ?seed ~model:(W.tamper_model w)
-    ~name:w.W.name (prepare w)
+let run ?options ?promote ?pool ?prepare ?attacks ?seed (w : W.t) =
+  let model = W.tamper_model w in
+  match prepare with
+  | Some prepare ->
+      campaign ?options ?pool ?attacks ?seed ~model ~name:w.W.name (prepare w)
+  | None ->
+      (* artifact-aware: on a warm cache this skips compile + analysis *)
+      let system = W.system ?promote ?options w in
+      campaign ?options ~system ?pool ?attacks ?seed ~model ~name:w.W.name
+        system.Core.System.program
 
 let summarize rows =
   let frac num den = if den = 0 then 0. else float_of_int num /. float_of_int den in
@@ -157,10 +167,12 @@ let summarize rows =
     detected_given_cf = mean (fun r -> frac r.detected (max 1 r.cf_changed));
   }
 
-let run_all ?options ?prepare ?attacks ?seed ?jobs ?pool () =
+let run_all ?options ?promote ?prepare ?attacks ?seed ?jobs ?pool () =
   Pool.with_opt ?jobs ?pool (fun pool ->
       summarize
-        (Pool.map' pool (run ?options ?pool ?prepare ?attacks ?seed) W.all))
+        (Pool.map' pool
+           (run ?options ?promote ?pool ?prepare ?attacks ?seed)
+           W.all))
 
 let render s =
   let rows =

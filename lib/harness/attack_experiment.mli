@@ -39,6 +39,7 @@ exception False_positive of string
 
 val campaign :
   ?options:Ipds_correlation.Analysis.options ->
+  ?system:Ipds_core.System.t ->
   ?pool:Ipds_parallel.Pool.t ->
   ?attacks:int ->
   ?seed:int ->
@@ -48,22 +49,29 @@ val campaign :
   row
 (** Attack campaign against an explicit program under an explicit tamper
     model.  [name] labels the row and salts the attack RNG.  The
-    program's IPDS tables come from {!Ipds_core.System.cached_build}. *)
+    program's IPDS tables come from [system] when given (e.g. loaded
+    from an on-disk artifact) and {!Ipds_core.System.cached_build}
+    otherwise. *)
 
 val run :
   ?options:Ipds_correlation.Analysis.options ->
+  ?promote:bool ->
   ?pool:Ipds_parallel.Pool.t ->
   ?prepare:(Ipds_workloads.Workloads.t -> Ipds_mir.Program.t) ->
   ?attacks:int ->
   ?seed:int ->
   Ipds_workloads.Workloads.t ->
   row
-(** [prepare] compiles the workload (default: {!Ipds_workloads.Workloads.program}
-    with register promotion); override it to study other compilation
-    pipelines. *)
+(** By default the program and tables come from
+    {!Ipds_workloads.Workloads.system} — two-tier cached, so a warm
+    process skips both the MiniC compile and the analysis.  [promote]
+    (default true) selects register promotion on that path.  [prepare]
+    overrides the compilation pipeline entirely (the tables then come
+    from {!Ipds_core.System.cached_build} and [promote] is ignored). *)
 
 val run_all :
   ?options:Ipds_correlation.Analysis.options ->
+  ?promote:bool ->
   ?prepare:(Ipds_workloads.Workloads.t -> Ipds_mir.Program.t) ->
   ?attacks:int ->
   ?seed:int ->

@@ -25,8 +25,8 @@ let config_for ?checker ?tamper ~input_seed () =
 
 let run ?(n = 3) ?(train_runs = 40) ?(holdout_runs = 50) ?(attacks = 100)
     ?(seed = 2006) (w : W.t) =
-  let program = W.program w in
-  let system = Core.System.cached_build program in
+  let system = W.system w in
+  let program = system.Core.System.program in
   (* train on benign sessions *)
   let benign_trace input_seed =
     B.Syscall_trace.collect program ~config:(config_for ~input_seed ())

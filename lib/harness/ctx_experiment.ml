@@ -13,8 +13,8 @@ type row = {
 
 let run ?(config = P.Config.default) ?(seed = 42)
     ?(periods = [ 2_000; 5_000; 10_000; 25_000 ]) (w : W.t) =
-  let program = W.program w in
-  let system = Core.System.cached_build program in
+  let system = W.system w in
+  let program = system.Core.System.program in
   let measure ?ctx_switch_period () =
     let cpu = P.Cpu.create ~config ?ctx_switch_period ~system:(Some system) () in
     for i = 0 to 39 do

@@ -73,10 +73,20 @@ let to_string ?(indent = 2) t =
   go 0 t;
   Buffer.contents buf
 
+(* Atomic: a crash mid-write leaves at worst a stale .tmp file, never a
+   truncated report at [path]. *)
 let write_file path t =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
-      output_string oc (to_string t);
-      output_char oc '\n')
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  (match
+     Fun.protect
+       ~finally:(fun () -> close_out oc)
+       (fun () ->
+         output_string oc (to_string t);
+         output_char oc '\n')
+   with
+  | () -> ()
+  | exception e ->
+      (try Sys.remove tmp with Sys_error _ -> ());
+      raise e);
+  Sys.rename tmp path

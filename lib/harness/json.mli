@@ -15,3 +15,5 @@ val to_string : ?indent:int -> t -> string
     Non-finite floats serialize as [null]. *)
 
 val write_file : string -> t -> unit
+(** Atomic: writes [path ^ ".tmp"], then renames over [path], so a
+    crash mid-write cannot leave a truncated report. *)

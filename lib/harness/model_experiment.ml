@@ -12,14 +12,15 @@ type row = {
 let frac a b = if b = 0 then 0. else float_of_int a /. float_of_int b
 
 let run ?attacks ?seed ?pool (w : W.t) =
-  let program = W.program w in
+  let system = W.system w in
+  let program = system.Ipds_core.System.program in
   let o =
-    Attack_experiment.campaign ?attacks ?seed ?pool ~model:`Stack_overflow
-      ~name:w.W.name program
+    Attack_experiment.campaign ~system ?attacks ?seed ?pool
+      ~model:`Stack_overflow ~name:w.W.name program
   in
   let a =
-    Attack_experiment.campaign ?attacks ?seed ?pool ~model:`Arbitrary_write
-      ~name:w.W.name program
+    Attack_experiment.campaign ~system ?attacks ?seed ?pool
+      ~model:`Arbitrary_write ~name:w.W.name program
   in
   {
     workload = w.W.name;

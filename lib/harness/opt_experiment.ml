@@ -36,12 +36,25 @@ type row = {
 }
 
 let run_level ?attacks ?seed ?pool level =
-  let prepare = compile level in
-  let summary = Attack_experiment.run_all ~prepare ?attacks ?seed ?pool () in
+  (* O0/O1 ride the artifact-aware workload path; the O2 pipeline is
+     process-local, so its tables come from the in-memory memo only. *)
+  let summary =
+    match level with
+    | O0 -> Attack_experiment.run_all ~promote:false ?attacks ?seed ?pool ()
+    | O1 -> Attack_experiment.run_all ?attacks ?seed ?pool ()
+    | O2 ->
+        Attack_experiment.run_all ~prepare:(compile O2) ?attacks ?seed ?pool ()
+  in
+  let system_of w =
+    match level with
+    | O0 -> W.system ~promote:false w
+    | O1 -> W.system w
+    | O2 -> Core.System.cached_build (compile O2 w)
+  in
   let checked, total =
     Pool.map' pool
       (fun w ->
-        let system = Core.System.cached_build (prepare w) in
+        let system = system_of w in
         ( Core.System.checked_branch_count system,
           Core.System.total_branch_count system ))
       W.all

@@ -16,8 +16,8 @@ type row = {
 }
 
 let run ?(config = P.Config.default) ?(seed = 42) ?(repeats = 5) (w : W.t) =
-  let program = W.program w in
-  let system = Core.System.cached_build program in
+  let system = W.system w in
+  let program = system.Core.System.program in
   let base_cpu = P.Cpu.create ~config ~system:None () in
   let ipds_cpu = P.Cpu.create ~config ~system:(Some system) () in
   for i = 0 to repeats - 1 do

@@ -10,7 +10,7 @@ type row = {
 }
 
 let run ?options (w : W.t) =
-  let system = Core.System.cached_build ?options (W.program w) in
+  let system = W.system ?options w in
   let stats = Core.System.size_stats system in
   {
     workload = w.W.name;

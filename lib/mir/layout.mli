@@ -24,5 +24,15 @@ val func_of_pc : t -> int -> (string * int) option
 val code_bytes : t -> int
 (** Total laid-out code size in bytes. *)
 
+val entries : t -> (string * int * int) list
+(** [(name, base_pc, instr_count)] per function, in layout order — the
+    serializable image of the layout for artifact files. *)
+
+val of_entries : (string * int * int) list -> t
+(** Inverse of {!entries}.  Raises [Invalid_argument] on a malformed
+    list (duplicate names, bases below {!base_address}, overlapping or
+    out-of-order slots) so a corrupted layout section cannot produce a
+    layout that disagrees with its own invariants. *)
+
 val branch_pcs : t -> Func.t -> int list
 (** PCs of the conditional branches of a function, ascending. *)

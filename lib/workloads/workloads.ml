@@ -78,13 +78,56 @@ let find name = List.find (fun w -> String.equal w.name name) all
 let cache : (string * bool, Ipds_mir.Program.t) Ipds_parallel.Memo.t =
   Ipds_parallel.Memo.create ()
 
+let compiles = Atomic.make 0
+
 let compiled ?(promote = true) w =
   Ipds_parallel.Memo.find_or_add cache (w.name, promote) (fun () ->
+      Atomic.incr compiles;
       let p = Ipds_minic.Minic.compile w.source in
       if promote then Ipds_opt.Promote.program p else p)
 
 let program = compiled
-let compile_count () = Ipds_parallel.Memo.computed cache
+let compile_count () = Atomic.get compiles
+
+(* Two-tier system cache: the in-memory memo collapses repeats within a
+   process; on a miss, the ambient artifact store (IPDS_CACHE_DIR /
+   --cache-dir) is consulted before compiling and analyzing anything.
+   A disk hit seeds both the program memo above and the System memo, so
+   every later [program]/[cached_build] lookup for this configuration
+   stays in memory and the whole warm process performs zero MiniC
+   compiles and zero analyses. *)
+let systems :
+    ( string * bool * Ipds_correlation.Analysis.options,
+      Ipds_core.System.t )
+    Ipds_parallel.Memo.t =
+  Ipds_parallel.Memo.create ()
+
+let system ?(promote = true) ?options w =
+  let options =
+    Option.value options ~default:Ipds_correlation.Analysis.default_options
+  in
+  Ipds_parallel.Memo.find_or_add systems (w.name, promote, options) (fun () ->
+      let store = Ipds_artifact.Store.ambient () in
+      let key () =
+        Ipds_artifact.Store.key ~source:w.source ~promote ~options
+      in
+      match
+        Option.bind store (fun s ->
+            Ipds_artifact.Store.load_system s (key ()))
+      with
+      | Some sys ->
+          ignore
+            (Ipds_parallel.Memo.find_or_add cache (w.name, promote) (fun () ->
+                 sys.Ipds_core.System.program));
+          Ipds_core.System.seed_cache ~options sys.Ipds_core.System.program sys;
+          sys
+      | None ->
+          let p = compiled ~promote w in
+          let sys = Ipds_core.System.cached_build ~options p in
+          Option.iter
+            (fun s -> Ipds_artifact.Store.publish_system s (key ()) sys)
+            store;
+          sys)
 
 let tamper_model w =
   match w.vulnerability with

@@ -32,6 +32,22 @@ val program : ?promote:bool -> t -> Ipds_mir.Program.t
 
 val compile_count : unit -> int
 (** How many MiniC compiles have actually run in this process — the
-    bench smoke test asserts it stays at one per configuration. *)
+    bench smoke test asserts it stays at one per configuration, and the
+    cache smoke test asserts it stays at zero on a warm run (artifact
+    loads do not count). *)
+
+val system :
+  ?promote:bool ->
+  ?options:Ipds_correlation.Analysis.options ->
+  t ->
+  Ipds_core.System.t
+(** The compiled tables for a workload, through the two-tier cache:
+    in-memory memo first, then the ambient artifact store
+    ({!Ipds_artifact.Store.ambient}), then a real compile + analysis
+    (which is published back to the store).  A disk hit also seeds
+    {!compiled} and {!Ipds_core.System.cached_build}, so a warm process
+    performs zero MiniC compiles and zero analyses for cached
+    configurations.  Exactly-once and domain-safe per
+    [(workload, promote, options)]. *)
 
 val tamper_model : t -> [ `Stack_overflow | `Arbitrary_write ]

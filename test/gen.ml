@@ -154,6 +154,28 @@ let minic_ast : Ipds_minic.Ast.program Q.t =
 let minic_program : Mir.Program.t Q.t =
   Q.map Ipds_minic.Codegen.compile minic_ast
 
+(* ---------- bitstream op generator ---------- *)
+
+(* A serialization schedule for Core.Bitstream: fields of any legal
+   width (0–62 inclusive, both endpoints weighted so every run hits
+   them) interleaved with byte-alignment points.  The reader must replay
+   the same schedule, which is how the artifact codecs use the API. *)
+type bits_op =
+  | Bits_field of int * int  (* width, value fitting in width *)
+  | Bits_align
+
+let bitstream_ops : bits_op list Q.t =
+  let field =
+    let* width = Q.oneof [ Q.return 0; Q.return 62; Q.int_range 0 62 ] in
+    (* two chunks so high bits of wide fields are exercised *)
+    let* lo = Q.int_bound 0x3FFFFFFF in
+    let* hi = Q.int_bound 0xFFFFFFFF in
+    let mask = if width = 0 then 0 else (1 lsl width) - 1 in
+    Q.return (Bits_field (width, (lo lor (hi lsl 30)) land mask))
+  in
+  Q.list_size (Q.int_range 1 80)
+    (Q.frequency [ (8, field); (2, Q.return Bits_align) ])
+
 (* ---------- raw MIR generator ---------- *)
 
 type mir_plan = {

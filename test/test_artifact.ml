@@ -1,0 +1,251 @@
+(* The artifact subsystem: object-file round trips, corruption
+   detection (every single byte is guarded), and the content-addressed
+   store.  The save→load equivalence here is structural; the cache
+   smoke test (test/cache_smoke.ml) additionally checks end-to-end
+   Fig. 7/Fig. 8 equality across processes. *)
+
+module Core = Ipds_core
+module M = Ipds_machine
+module A = Ipds_artifact.Artifact
+module Obj = Ipds_artifact.Object_file
+module Store = Ipds_artifact.Store
+module W = Ipds_workloads.Workloads
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+(* Build without touching the ambient store so these tests are
+   insensitive to IPDS_CACHE_DIR in the environment. *)
+let system_of w = Core.System.cached_build (W.program w)
+
+let with_temp_dir f =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ipds-test-%d-%d" (Unix.getpid ()) (Random.bits ()))
+  in
+  Unix.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote dir))))
+    (fun () -> f dir)
+
+(* ---------- round trip ---------- *)
+
+(* The reconstructed [result.func] belongs to the re-parsed program
+   (canonical text form) and action lists are rebuilt in table order, so
+   results are compared as: same checked set, same action maps.
+   [depends] is documented as lossy. *)
+let norm_actions l =
+  List.sort compare (List.map (fun (e, acts) -> (e, List.sort compare acts)) l)
+
+let same_result (r1 : Ipds_correlation.Analysis.result)
+    (r2 : Ipds_correlation.Analysis.result) =
+  r1.Ipds_correlation.Analysis.checked = r2.Ipds_correlation.Analysis.checked
+  && norm_actions r1.Ipds_correlation.Analysis.edge_actions
+     = norm_actions r2.Ipds_correlation.Analysis.edge_actions
+  && List.sort compare r1.Ipds_correlation.Analysis.entry_actions
+     = List.sort compare r2.Ipds_correlation.Analysis.entry_actions
+
+let test_roundtrip_all_workloads () =
+  List.iter
+    (fun w ->
+      let sys = system_of w in
+      let sys2 = A.of_bytes (A.to_bytes sys) in
+      check_str "program text survives"
+        (Ipds_mir.Printer.program_to_string sys.Core.System.program)
+        (Ipds_mir.Printer.program_to_string sys2.Core.System.program);
+      check "layout survives" true
+        (Ipds_mir.Layout.entries sys.Core.System.layout
+        = Ipds_mir.Layout.entries sys2.Core.System.layout);
+      check_int "function count"
+        (List.length sys.Core.System.funcs)
+        (List.length sys2.Core.System.funcs);
+      List.iter2
+        (fun (n1, (i1 : Core.System.func_info)) (n2, (i2 : Core.System.func_info)) ->
+          check_str "function name" n1 n2;
+          check_int "entry pc" i1.entry_pc i2.entry_pc;
+          (* Fig. 8 invariant: bit-identical table sizes *)
+          check "table sizes bit-identical" true
+            (Core.Tables.sizes i1.tables = Core.Tables.sizes i2.tables);
+          check "tables identical" true
+            ({ i1.tables with Core.Tables.slot_of_iid = [] }
+            = { i2.tables with Core.Tables.slot_of_iid = [] });
+          check "slot map identical" true
+            (List.sort compare i1.tables.Core.Tables.slot_of_iid
+            = List.sort compare i2.tables.Core.Tables.slot_of_iid);
+          check "analysis result survives (minus provenance)" true
+            (same_result i1.result i2.result))
+        sys.Core.System.funcs sys2.Core.System.funcs)
+    W.all
+
+(* Checker equivalence: the same execution trace under a loaded system
+   produces the same verdicts as under the built one. *)
+let test_checker_equivalence () =
+  List.iter
+    (fun w ->
+      let sys = system_of w in
+      let sys2 = A.of_bytes (A.to_bytes sys) in
+      let drive sys =
+        let checker = Core.System.new_checker sys in
+        let o =
+          M.Interp.run sys.Core.System.program
+            {
+              M.Interp.default_config with
+              max_steps = 30_000;
+              inputs = M.Input_script.random ~seed:7 ();
+              checker = Some checker;
+            }
+        in
+        ( o.M.Interp.steps,
+          o.M.Interp.branches,
+          o.M.Interp.outputs,
+          List.length o.M.Interp.alarms )
+      in
+      check (w.W.name ^ " same verdicts") true (drive sys = drive sys2))
+    [ W.find "telnetd"; W.find "httpd" ]
+
+(* ---------- corruption ---------- *)
+
+let test_every_byte_flip_detected () =
+  let sys = system_of (W.find "telnetd") in
+  let good = A.to_bytes sys in
+  let undetected = ref [] in
+  for i = 0 to Bytes.length good - 1 do
+    let bad = Bytes.copy good in
+    Bytes.set bad i (Char.chr (Char.code (Bytes.get bad i) lxor 0x40));
+    match A.of_bytes bad with
+    | _ -> undetected := i :: !undetected
+    | exception A.Corrupt _ -> ()
+    (* decoding must never escape with anything but Corrupt *)
+    | exception e ->
+        Alcotest.failf "byte %d: unexpected exception %s" i (Printexc.to_string e)
+  done;
+  check "every byte flip detected" true (!undetected = [])
+
+let test_truncation_detected () =
+  let sys = system_of (W.find "crond") in
+  let good = A.to_bytes sys in
+  List.iter
+    (fun len ->
+      let bad = Bytes.sub good 0 len in
+      check
+        (Printf.sprintf "truncation to %d detected" len)
+        true
+        (match A.of_bytes bad with
+        | _ -> false
+        | exception A.Corrupt _ -> true))
+    [ 0; 4; Obj.header_bytes - 1; Obj.header_bytes; Bytes.length good - 1 ]
+
+let test_inspect_reports_damage () =
+  let sys = system_of (W.find "telnetd") in
+  let good = A.to_bytes sys in
+  let ins = A.inspect_bytes good in
+  check "digest ok on good file" true ins.A.file.Obj.digest_ok;
+  check "all section CRCs ok" true
+    (List.for_all (fun s -> s.Obj.s_crc_ok) ins.A.file.Obj.sections);
+  check "functions decodable" true (ins.A.funcs <> None);
+  (* flip one byte inside the first section's payload *)
+  let first = List.hd ins.A.file.Obj.sections in
+  let bad = Bytes.copy good in
+  let i = first.Obj.s_offset + (first.Obj.s_length / 2) in
+  Bytes.set bad i (Char.chr (Char.code (Bytes.get bad i) lxor 1));
+  let ins2 = A.inspect_bytes bad in
+  check "digest mismatch reported" false ins2.A.file.Obj.digest_ok;
+  check "bad CRC localized to the damaged section" true
+    (List.exists
+       (fun s -> s.Obj.s_name = first.Obj.s_name && not s.Obj.s_crc_ok)
+       ins2.A.file.Obj.sections)
+
+(* ---------- files and the store ---------- *)
+
+let test_file_roundtrip_and_sniff () =
+  with_temp_dir (fun dir ->
+      let sys = system_of (W.find "atftpd") in
+      let path = Filename.concat dir "a.ipds" in
+      A.save_file path sys;
+      check "magic sniffed" true (A.is_artifact_file path);
+      let sys2 = A.load_file path in
+      check "file round trip" true
+        (Core.System.size_stats sys2 = Core.System.size_stats sys);
+      let text = Filename.concat dir "not-an-artifact" in
+      let oc = open_out text in
+      output_string oc "just text\n";
+      close_out oc;
+      check "non-artifact rejected by sniff" false (A.is_artifact_file text);
+      check "missing file sniffs false" false
+        (A.is_artifact_file (Filename.concat dir "nope")))
+
+let test_store_hit_miss_corrupt () =
+  with_temp_dir (fun dir ->
+      Store.reset_counters ();
+      let store = Store.create ~dir in
+      let w = W.find "sysklogd" in
+      let sys = system_of w in
+      let key =
+        Store.key ~source:w.W.source ~promote:true
+          ~options:Ipds_correlation.Analysis.default_options
+      in
+      check "load before publish misses" true (Store.load_system store key = None);
+      Store.publish_system store key sys;
+      (match Store.load_system store key with
+      | None -> Alcotest.fail "expected a hit after publish"
+      | Some sys2 ->
+          check "stored system equivalent" true
+            (Core.System.size_stats sys2 = Core.System.size_stats sys));
+      (* flip a byte on disk: the entry must become a miss, not a crash *)
+      let path = Store.path_of_key store key in
+      let ic = open_in_bin path in
+      let n = in_channel_length ic in
+      let buf = Bytes.create n in
+      really_input ic buf 0 n;
+      close_in ic;
+      Bytes.set buf (n / 2) (Char.chr (Char.code (Bytes.get buf (n / 2)) lxor 0x10));
+      let oc = open_out_bin path in
+      output_bytes oc buf;
+      close_out oc;
+      check "corrupt entry is a miss" true (Store.load_system store key = None);
+      let c = Store.counters () in
+      check_int "hits" 1 c.Store.hits;
+      check_int "misses" 2 c.Store.misses;
+      check_int "corrupt misses" 1 c.Store.corrupt;
+      check "bytes accounted" true (c.Store.bytes_read > 0 && c.Store.bytes_written > 0))
+
+let test_key_sensitivity () =
+  let options = Ipds_correlation.Analysis.default_options in
+  let k = Store.key ~source:"int main() {}" ~promote:true ~options in
+  check "key is stable" true
+    (k = Store.key ~source:"int main() {}" ~promote:true ~options);
+  check "source changes the key" false
+    (k = Store.key ~source:"int main() { out(1); }" ~promote:true ~options);
+  check "promote changes the key" false
+    (k = Store.key ~source:"int main() {}" ~promote:false ~options);
+  check "options change the key" false
+    (k
+    = Store.key ~source:"int main() {}" ~promote:true
+        ~options:
+          { options with Ipds_correlation.Analysis.affine_tracing = false })
+
+let () =
+  Random.self_init ();
+  Alcotest.run "artifact"
+    [
+      ( "roundtrip",
+        [
+          Alcotest.test_case "all workloads" `Quick test_roundtrip_all_workloads;
+          Alcotest.test_case "checker equivalence" `Quick test_checker_equivalence;
+        ] );
+      ( "corruption",
+        [
+          Alcotest.test_case "every byte flip" `Quick test_every_byte_flip_detected;
+          Alcotest.test_case "truncation" `Quick test_truncation_detected;
+          Alcotest.test_case "inspect reports damage" `Quick test_inspect_reports_damage;
+        ] );
+      ( "store",
+        [
+          Alcotest.test_case "file round trip + sniff" `Quick test_file_roundtrip_and_sniff;
+          Alcotest.test_case "hit/miss/corrupt + counters" `Quick test_store_hit_miss_corrupt;
+          Alcotest.test_case "key sensitivity" `Quick test_key_sensitivity;
+        ] );
+    ]

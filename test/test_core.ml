@@ -217,16 +217,23 @@ let test_hash_dense_pcs () =
 (* ---------- bitstream & binary images ---------- *)
 
 let prop_bitstream_roundtrip =
-  let gen =
-    QCheck2.Gen.(
-      list_size (int_range 1 60) (tup2 (int_range 1 24) (int_bound 0xffffff)))
-  in
-  QCheck2.Test.make ~name:"bitstream round trip" ~count:300 gen (fun fields ->
-      let fields = List.map (fun (w, v) -> (w, v land ((1 lsl w) - 1))) fields in
+  QCheck2.Test.make ~name:"bitstream round trip (widths 0-62, byte aligns)"
+    ~count:400 Gen.bitstream_ops (fun ops ->
       let w = Core.Bitstream.Writer.create () in
-      List.iter (fun (width, v) -> Core.Bitstream.Writer.push w ~width v) fields;
+      List.iter
+        (function
+          | Gen.Bits_field (width, v) -> Core.Bitstream.Writer.push w ~width v
+          | Gen.Bits_align -> Core.Bitstream.Writer.align_byte w)
+        ops;
       let r = Core.Bitstream.Reader.of_bytes (Core.Bitstream.Writer.contents w) in
-      List.for_all (fun (width, v) -> Core.Bitstream.Reader.pull r ~width = v) fields)
+      List.for_all
+        (function
+          | Gen.Bits_field (width, v) ->
+              Core.Bitstream.Reader.pull r ~width = v
+          | Gen.Bits_align ->
+              Core.Bitstream.Reader.align_byte r;
+              true)
+        ops)
 
 let strip_debug (t : Core.Tables.t) = { t with Core.Tables.slot_of_iid = [] }
 

@@ -318,6 +318,60 @@ let prop_roundtrip_random =
       let s2 = Mir.Printer.program_to_string p2 in
       String.equal s1 s2)
 
+(* The artifact "code" section persists programs as printed text, so the
+   parser must rebuild the exact structure — not just stable text — up
+   to what the text can express: [r = <imm>] always parses as [Const],
+   so [Move (r, Imm n)] comes back as [Const (r, n)], and [reg_count]
+   (a builder reservation the printer has no syntax for) is inferred
+   from the registers actually mentioned. *)
+let canon_program (p : Mir.Program.t) =
+  let canon_op = function
+    | Mir.Op.Move (r, Mir.Operand.Imm n) -> Mir.Op.Const (r, n)
+    | op -> op
+  in
+  let canon_block (b : Mir.Block.t) =
+    {
+      b with
+      Mir.Block.body =
+        Array.map
+          (fun (i : Mir.Instr.t) -> { i with Mir.Instr.op = canon_op i.op })
+          b.Mir.Block.body;
+    }
+  in
+  let canon_func (f : Mir.Func.t) =
+    let count = ref 0 in
+    let see r = count := max !count (Mir.Reg.index r + 1) in
+    List.iter see f.Mir.Func.params;
+    Array.iter
+      (fun (b : Mir.Block.t) ->
+        Array.iter
+          (fun (i : Mir.Instr.t) ->
+            Option.iter see (Mir.Op.def i.op);
+            List.iter see (Mir.Op.uses i.op))
+          b.Mir.Block.body;
+        List.iter see (Mir.Terminator.uses b.Mir.Block.term))
+      f.Mir.Func.blocks;
+    {
+      f with
+      Mir.Func.blocks = Array.map canon_block f.Mir.Func.blocks;
+      Mir.Func.reg_count = !count;
+    }
+  in
+  { p with Mir.Program.funcs = List.map canon_func p.Mir.Program.funcs }
+
+let structural_roundtrip p =
+  Mir.Parser.program_of_string (Mir.Printer.program_to_string p)
+  = canon_program p
+
+let prop_roundtrip_structural =
+  QCheck2.Test.make ~name:"parser rebuilds the exact program (random MIR)"
+    ~count:100 Gen.mir_program structural_roundtrip
+
+let prop_roundtrip_structural_minic =
+  QCheck2.Test.make
+    ~name:"parser rebuilds the exact program (MiniC front end)" ~count:60
+    Gen.minic_program structural_roundtrip
+
 let prop_layout_inverse =
   QCheck2.Test.make ~name:"layout pc/func_of_pc are inverse" ~count:60
     Gen.mir_program (fun p ->
@@ -369,6 +423,8 @@ let () =
           Alcotest.test_case "round trip" `Quick test_parser_roundtrip;
           Alcotest.test_case "errors" `Quick test_parser_errors;
           QCheck_alcotest.to_alcotest prop_roundtrip_random;
+          QCheck_alcotest.to_alcotest prop_roundtrip_structural;
+          QCheck_alcotest.to_alcotest prop_roundtrip_structural_minic;
           QCheck_alcotest.to_alcotest prop_validate_random;
           QCheck_alcotest.to_alcotest prop_layout_inverse;
           Alcotest.test_case "negatives and empties" `Quick test_printer_negative_and_empty;
