@@ -28,7 +28,14 @@
                    from D (populating it on misses) instead of
                    recompiling and re-analyzing; defaults to
                    IPDS_CACHE_DIR when set
-     --no-cache    ignore IPDS_CACHE_DIR and run everything in memory *)
+     --no-cache    ignore IPDS_CACHE_DIR and run everything in memory
+     --events F    stream structured JSONL events (manifest first line)
+                   to F; defaults to IPDS_EVENTS when set
+
+   The --json report embeds the run manifest plus two metric sections:
+   "metrics" (stable counters/gauges/histograms — byte-identical across
+   --jobs values) and "runtime_metrics" (pool utilisation and span
+   timers, which legitimately vary). *)
 
 module H = Ipds_harness
 module W = Ipds_workloads.Workloads
@@ -138,15 +145,16 @@ let latency ?pool () =
       Printf.printf "%-10s %6.1f cycles\n" r.workload r.avg_detection_latency)
     rows;
   let avg =
-    List.fold_left
-      (fun a (r : H.Perf_experiment.row) -> a +. r.avg_detection_latency)
-      0. rows
-    /. float_of_int (max 1 (List.length rows))
+    H.Stats.mean
+      (List.map (fun (r : H.Perf_experiment.row) -> r.avg_detection_latency) rows)
   in
-  Printf.printf "AVERAGE    %6.1f cycles   (paper: 11.7)\n" avg;
+  (match avg with
+  | Some avg -> Printf.printf "AVERAGE    %6.1f cycles   (paper: 11.7)\n" avg
+  | None -> print_endline "AVERAGE    n/a (no workloads ran)");
   J.Obj
     [
-      ("avg_detection_latency", J.Float avg);
+      ( "avg_detection_latency",
+        match avg with Some avg -> J.Float avg | None -> J.Null );
       ( "per_workload",
         J.Obj
           (List.map
@@ -353,9 +361,18 @@ type opts = {
 let report = ref []  (* (target, wall seconds, data), reverse order *)
 
 let timed name f =
+  if Ipds_obs.Events.enabled () then
+    Ipds_obs.Events.emit ~kind:"bench.phase_start"
+      [ ("target", Ipds_obs.Json.String name) ];
   let t0 = Unix.gettimeofday () in
-  let data = f () in
+  let data = Ipds_obs.Span.time ("bench." ^ name) f in
   let dt = Unix.gettimeofday () -. t0 in
+  if Ipds_obs.Events.enabled () then
+    Ipds_obs.Events.emit ~kind:"bench.phase_end"
+      [
+        ("target", Ipds_obs.Json.String name);
+        ("wall_seconds", Ipds_obs.Json.Float dt);
+      ];
   report := (name, dt, data) :: !report
 
 let run_target opts pool name =
@@ -454,6 +471,11 @@ let write_report opts ~targets ~total_seconds path =
          ("minic_compiles", J.Int (W.compile_count ()));
          ("system_builds", J.Int (Ipds_core.System.build_count ()));
          ("cache", cache_json ());
+         ("manifest", H.Obs_report.manifest_json ());
+         (* deterministic: byte-identical across --jobs values *)
+         ("metrics", H.Obs_report.metrics_json ());
+         (* scheduling/wall-clock dependent: pool activity, span timers *)
+         ("runtime_metrics", H.Obs_report.runtime_json ());
          ("phases", J.List phases);
        ]);
   Printf.printf "\nwrote %s\n" path
@@ -463,6 +485,7 @@ let () =
   let seed = ref 2006 in
   let jobs = ref (Pool.default_jobs ()) in
   let json = ref None in
+  let events = ref (Sys.getenv_opt "IPDS_EVENTS") in
   let targets_rev = ref [] in
   let spec =
     Arg.align
@@ -477,6 +500,9 @@ let () =
         ( "--json",
           Arg.String (fun f -> json := Some f),
           "FILE Write a machine-readable report" );
+        ( "--events",
+          Arg.String (fun f -> events := Some f),
+          "FILE Stream structured JSONL events (default: IPDS_EVENTS)" );
         ( "--cache-dir",
           Arg.String
             (fun d -> Ipds_artifact.Store.set_ambient_dir (Some d)),
@@ -512,10 +538,26 @@ let () =
     | [ "full" ] -> full_targets
     | ts -> ts
   in
+  (* the manifest must be complete before the event sink opens: the
+     sink's first line embeds it *)
+  let module Manifest = Ipds_obs.Manifest in
+  Manifest.set_string "tool" "bench";
+  Manifest.set_int "seed" opts.seed;
+  Manifest.set_int "jobs" opts.jobs;
+  Manifest.set "attacks"
+    (match opts.attacks with
+    | Some n -> Ipds_obs.Json.Int n
+    | None -> Ipds_obs.Json.Null);
+  Manifest.set "targets"
+    (Ipds_obs.Json.List (List.map (fun t -> Ipds_obs.Json.String t) targets));
+  Manifest.set_int "artifact_format_version" Ipds_artifact.Object_file.format_version;
+  Ipds_obs.Events.set_path !events;
   let pool = if opts.jobs = 1 then None else Some (Pool.create ~jobs:opts.jobs ()) in
   let t0 = Unix.gettimeofday () in
   Fun.protect
-    ~finally:(fun () -> Option.iter Pool.shutdown pool)
+    ~finally:(fun () ->
+      Option.iter Pool.shutdown pool;
+      Ipds_obs.Events.close ())
     (fun () -> List.iter (run_target opts pool) targets);
   let total_seconds = Unix.gettimeofday () -. t0 in
   (match Ipds_artifact.Store.ambient () with

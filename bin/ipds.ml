@@ -13,7 +13,9 @@
    IPDS object magic as a prebuilt artifact (analysis skipped), anything
    else as textual MIR.  Built-in workloads can be named with '@name'
    (e.g. @telnetd).  --cache-dir/--no-cache control the content-addressed
-   artifact cache (default: IPDS_CACHE_DIR). *)
+   artifact cache (default: IPDS_CACHE_DIR).  --metrics-out FILE writes a
+   JSON {manifest, metrics, runtime} summary on exit; --events FILE (or
+   IPDS_EVENTS) streams structured JSONL events. *)
 
 module Mir = Ipds_mir
 module Core = Ipds_core
@@ -89,6 +91,72 @@ let cache_term =
   in
   Term.(const apply $ cache_dir $ no_cache)
 
+(* ---------- observability ---------- *)
+
+module Obs = Ipds_obs
+
+type obs_opts = { metrics_out : string option; events : string option }
+
+let obs_term =
+  let metrics_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:
+            "Write a JSON summary of the run (manifest, deterministic \
+             metrics, runtime metrics and span timers) to $(docv) on exit.")
+  in
+  let events =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "events" ] ~docv:"FILE"
+          ~doc:
+            "Stream structured JSONL events (one object per line, first \
+             line is the run manifest) to $(docv) (default: the \
+             IPDS_EVENTS environment variable).")
+  in
+  let make metrics_out events =
+    {
+      metrics_out;
+      events =
+        (match events with
+        | Some _ as e -> e
+        | None -> Sys.getenv_opt "IPDS_EVENTS");
+    }
+  in
+  Term.(const make $ metrics_out $ events)
+
+(* Called at the start of each command body, after the manifest extras
+   (seed, attack count…) are known, so the event stream's manifest
+   header is complete. *)
+let obs_init ?(manifest = []) ~command obs =
+  Obs.Manifest.set_string "tool" "ipds";
+  Obs.Manifest.set_string "command" command;
+  Obs.Manifest.set_int "artifact_format_version"
+    Ipds_artifact.Object_file.format_version;
+  List.iter (fun (k, v) -> Obs.Manifest.set k v) manifest;
+  (match obs.events with Some _ as p -> Obs.Events.set_path p | None -> ());
+  at_exit (fun () ->
+      Obs.Events.close ();
+      match obs.metrics_out with
+      | None -> ()
+      | Some path ->
+          Obs.Json.write_file path
+            (Obs.Json.Obj
+               [
+                 ("manifest", Obs.Manifest.to_json ());
+                 ("metrics", Obs.Registry.snapshot_json ~stability:`Stable ());
+                 ( "runtime",
+                   Obs.Json.Obj
+                     [
+                       ( "metrics",
+                         Obs.Registry.snapshot_json ~stability:`Unstable () );
+                       ("spans", Obs.Span.snapshot_json ());
+                     ] );
+               ]))
+
 let seed_arg =
   Arg.(value & opt int 2006 & info [ "seed" ] ~doc:"PRNG seed for inputs/attacks.")
 
@@ -98,7 +166,8 @@ let steps_arg =
 (* ---------- analyze ---------- *)
 
 let analyze_cmd =
-  let run () file =
+  let run () obs file =
+    obs_init ~command:"analyze" ~manifest:[ ("file", Obs.Json.String file) ] obs;
     let system = load_system file in
     List.iter
       (fun (_, (i : Core.System.func_info)) ->
@@ -114,12 +183,16 @@ let analyze_cmd =
   in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Run the compile-side correlation analysis and show the tables.")
-    Term.(const run $ cache_term $ file_arg)
+    Term.(const run $ cache_term $ obs_term $ file_arg)
 
 (* ---------- run ---------- *)
 
 let run_cmd =
-  let run () file seed max_steps =
+  let run () obs file seed max_steps =
+    obs_init ~command:"run"
+      ~manifest:
+        [ ("file", Obs.Json.String file); ("seed", Obs.Json.Int seed) ]
+      obs;
     let system = load_system file in
     let program = system.Core.System.program in
     let checker = Core.System.new_checker system in
@@ -155,7 +228,7 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Execute the program under the IPDS runtime checker.")
-    Term.(const run $ cache_term $ file_arg $ seed_arg $ steps_arg)
+    Term.(const run $ cache_term $ obs_term $ file_arg $ seed_arg $ steps_arg)
 
 (* ---------- attack ---------- *)
 
@@ -179,7 +252,16 @@ let attack_cmd =
              IPDS_JOBS environment variable); 1 is strictly sequential.  \
              Results are identical for any value.")
   in
-  let run () file seed attacks model jobs =
+  let run () obs file seed attacks model jobs =
+    obs_init ~command:"attack"
+      ~manifest:
+        [
+          ("file", Obs.Json.String file);
+          ("seed", Obs.Json.Int seed);
+          ("attacks", Obs.Json.Int attacks);
+          ("jobs", Obs.Json.Int jobs);
+        ]
+      obs;
     let system = load_system file in
     let program = system.Core.System.program in
     let model =
@@ -205,13 +287,17 @@ let attack_cmd =
   Cmd.v
     (Cmd.info "attack" ~doc:"Run a randomized memory-tampering campaign against the program.")
     Term.(
-      const run $ cache_term $ file_arg $ seed_arg $ attacks_arg $ model_arg
-      $ jobs_arg)
+      const run $ cache_term $ obs_term $ file_arg $ seed_arg $ attacks_arg
+      $ model_arg $ jobs_arg)
 
 (* ---------- perf ---------- *)
 
 let perf_cmd =
-  let run () file seed =
+  let run () obs file seed =
+    obs_init ~command:"perf"
+      ~manifest:
+        [ ("file", Obs.Json.String file); ("seed", Obs.Json.Int seed) ]
+      obs;
     let system = load_system file in
     let program = system.Core.System.program in
     let drive cpu =
@@ -235,7 +321,7 @@ let perf_cmd =
   in
   Cmd.v
     (Cmd.info "perf" ~doc:"Compare cycle counts with and without the IPDS engine.")
-    Term.(const run $ cache_term $ file_arg $ seed_arg)
+    Term.(const run $ cache_term $ obs_term $ file_arg $ seed_arg)
 
 (* ---------- trace ---------- *)
 
@@ -243,7 +329,11 @@ let trace_cmd =
   let limit_arg =
     Arg.(value & opt int 200 & info [ "limit" ] ~doc:"Maximum lines printed.")
   in
-  let run () file seed limit =
+  let run () obs file seed limit =
+    obs_init ~command:"trace"
+      ~manifest:
+        [ ("file", Obs.Json.String file); ("seed", Obs.Json.Int seed) ]
+      obs;
     let system = load_system file in
     let program = system.Core.System.program in
     let log_lines = ref 0 in
@@ -280,7 +370,7 @@ let trace_cmd =
   Cmd.v
     (Cmd.info "trace"
        ~doc:"Run the program and log every IPDS verify/update decision.")
-    Term.(const run $ cache_term $ file_arg $ seed_arg $ limit_arg)
+    Term.(const run $ cache_term $ obs_term $ file_arg $ seed_arg $ limit_arg)
 
 (* ---------- compile / encode / inspect ---------- *)
 
@@ -290,7 +380,8 @@ let compile_cmd =
       value & opt string "prog.ipds"
       & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output .ipds object file.")
   in
-  let run () file out =
+  let run () obs file out =
+    obs_init ~command:"compile" ~manifest:[ ("file", Obs.Json.String file) ] obs;
     let system = load_system file in
     A.save_file out system;
     let bytes = (Unix.stat out).Unix.st_size in
@@ -307,7 +398,7 @@ let compile_cmd =
          "Analyze the program and save a checksummed .ipds object file; \
           'ipds run/attack/perf' load it back without re-running the front \
           end or the analysis.")
-    Term.(const run $ cache_term $ file_arg $ out_arg)
+    Term.(const run $ cache_term $ obs_term $ file_arg $ out_arg)
 
 let encode_cmd =
   let out_arg =

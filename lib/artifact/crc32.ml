@@ -1,19 +1,23 @@
+(* Eagerly initialised: a top-level [lazy] here would race [Lazy.force]
+   from concurrent domains (any --jobs > 1 artifact path) and can raise
+   CamlinternalLazy.Undefined.  Building the table at module
+   initialisation costs ~2k trivial iterations once, and module
+   initialisation happens before any domain is spawned. *)
 let table =
-  lazy
-    (Array.init 256 (fun n ->
-         let c = ref (Int32.of_int n) in
-         for _ = 0 to 7 do
-           c :=
-             if Int32.logand !c 1l <> 0l then
-               Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
-             else Int32.shift_right_logical !c 1
-         done;
-         !c))
+  Array.init 256 (fun n ->
+      let c = ref (Int32.of_int n) in
+      for _ = 0 to 7 do
+        c :=
+          if Int32.logand !c 1l <> 0l then
+            Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+          else Int32.shift_right_logical !c 1
+      done;
+      !c)
 
 let bytes buf ~pos ~len =
   if pos < 0 || len < 0 || pos + len > Bytes.length buf then
     invalid_arg "Crc32.bytes: range out of bounds";
-  let t = Lazy.force table in
+  let t = table in
   let c = ref 0xFFFFFFFFl in
   for i = pos to pos + len - 1 do
     let idx =

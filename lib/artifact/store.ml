@@ -5,7 +5,20 @@ type t = { dir : string }
 let create ~dir = { dir }
 let dir t = t.dir
 
-(* ---------- counters ---------- *)
+(* ---------- counters ----------
+
+   Backed by the observability registry: event counts are stable (the
+   multiset of cache interactions is fixed by the memoised build set),
+   wall-clock goes to spans.  [counters]/[reset_counters] remain as the
+   store's public read/reset view over those metrics. *)
+
+let m_hits = Ipds_obs.Registry.counter "store.hits"
+let m_misses = Ipds_obs.Registry.counter "store.misses"
+let m_corrupt = Ipds_obs.Registry.counter "store.corrupt"
+let m_bytes_read = Ipds_obs.Registry.counter "store.bytes_read"
+let m_bytes_written = Ipds_obs.Registry.counter "store.bytes_written"
+let span_load = "store.load"
+let span_publish = "store.publish"
 
 type counters = {
   hits : int;
@@ -17,32 +30,24 @@ type counters = {
   store_seconds : float;
 }
 
-let zero =
+let counters () =
+  let v = Ipds_obs.Registry.counter_value in
+  let seconds name = snd (Ipds_obs.Span.get name) in
   {
-    hits = 0;
-    misses = 0;
-    corrupt = 0;
-    bytes_read = 0;
-    bytes_written = 0;
-    load_seconds = 0.;
-    store_seconds = 0.;
+    hits = v m_hits;
+    misses = v m_misses;
+    corrupt = v m_corrupt;
+    bytes_read = v m_bytes_read;
+    bytes_written = v m_bytes_written;
+    load_seconds = seconds span_load;
+    store_seconds = seconds span_publish;
   }
 
-let counters_mutex = Mutex.create ()
-let state = ref zero
-
-let tally f =
-  Mutex.lock counters_mutex;
-  state := f !state;
-  Mutex.unlock counters_mutex
-
-let counters () =
-  Mutex.lock counters_mutex;
-  let c = !state in
-  Mutex.unlock counters_mutex;
-  c
-
-let reset_counters () = tally (fun _ -> zero)
+let reset_counters () =
+  List.iter Ipds_obs.Registry.counter_reset
+    [ m_hits; m_misses; m_corrupt; m_bytes_read; m_bytes_written ];
+  Ipds_obs.Span.clear span_load;
+  Ipds_obs.Span.clear span_publish
 
 (* ---------- keys & paths ---------- *)
 
@@ -80,44 +85,46 @@ let rec mkdirs dir =
 
 let load_system t key =
   let path = path_of_key t key in
-  let t0 = Unix.gettimeofday () in
-  match Object_file.read_file path with
-  | exception Sys_error _ ->
-      tally (fun c -> { c with misses = c.misses + 1 });
-      None
-  | bytes -> (
-      match Artifact.of_bytes bytes with
-      | sys ->
-          tally (fun c ->
-              {
-                c with
-                hits = c.hits + 1;
-                bytes_read = c.bytes_read + Bytes.length bytes;
-                load_seconds = c.load_seconds +. Unix.gettimeofday () -. t0;
-              });
-          Some sys
-      | exception Artifact.Corrupt _ ->
-          tally (fun c ->
-              { c with misses = c.misses + 1; corrupt = c.corrupt + 1 });
-          None)
+  Ipds_obs.Span.time span_load (fun () ->
+      match Object_file.read_file path with
+      | exception Sys_error _ ->
+          Ipds_obs.Registry.incr m_misses;
+          None
+      | bytes -> (
+          match Artifact.of_bytes bytes with
+          | sys ->
+              Ipds_obs.Registry.incr m_hits;
+              Ipds_obs.Registry.add m_bytes_read (Bytes.length bytes);
+              Some sys
+          | exception Artifact.Corrupt reason ->
+              Ipds_obs.Registry.incr m_misses;
+              Ipds_obs.Registry.incr m_corrupt;
+              if Ipds_obs.Events.enabled () then
+                Ipds_obs.Events.emit ~kind:"store.corrupt"
+                  [
+                    ("path", Ipds_obs.Json.String path);
+                    ("reason", Ipds_obs.Json.String reason);
+                  ];
+              None))
 
 let publish_system t key sys =
-  let t0 = Unix.gettimeofday () in
   let path = path_of_key t key in
-  match
-    mkdirs (Filename.dirname path);
-    let bytes = Artifact.to_bytes sys in
-    Object_file.write_file_atomic path bytes;
-    Bytes.length bytes
-  with
-  | written ->
-      tally (fun c ->
-          {
-            c with
-            bytes_written = c.bytes_written + written;
-            store_seconds = c.store_seconds +. Unix.gettimeofday () -. t0;
-          })
-  | exception Sys_error _ -> ()  (* read-only or full cache dir: skip *)
+  Ipds_obs.Span.time span_publish (fun () ->
+      match
+        mkdirs (Filename.dirname path);
+        let bytes = Artifact.to_bytes sys in
+        Object_file.write_file_atomic path bytes;
+        Bytes.length bytes
+      with
+      | written ->
+          Ipds_obs.Registry.add m_bytes_written written;
+          if Ipds_obs.Events.enabled () then
+            Ipds_obs.Events.emit ~kind:"store.publish"
+              [
+                ("path", Ipds_obs.Json.String path);
+                ("bytes", Ipds_obs.Json.Int written);
+              ]
+      | exception Sys_error _ -> ()  (* read-only or full cache dir: skip *))
 
 (* ---------- ambient store ---------- *)
 

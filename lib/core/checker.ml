@@ -1,3 +1,13 @@
+(* All checker counters are stable: they count events of the simulated
+   program, whose multiset is independent of host scheduling. *)
+let m_calls = Ipds_obs.Registry.counter "checker.calls"
+let m_returns = Ipds_obs.Registry.counter "checker.returns"
+let m_branches = Ipds_obs.Registry.counter "checker.branches"
+let m_checked = Ipds_obs.Registry.counter "checker.checked"
+let m_verdict_ok = Ipds_obs.Registry.counter "checker.verdict_ok"
+let m_verdict_alarm = Ipds_obs.Registry.counter "checker.verdict_alarm"
+let m_bat_updates = Ipds_obs.Registry.counter "checker.bat_updates"
+
 type alarm = {
   fname : string;
   branch_pc : int;
@@ -39,12 +49,16 @@ let on_call t fname =
   in
   apply_row frame tables.Tables.entry_row;
   t.stack <- frame :: t.stack;
+  Ipds_obs.Registry.incr m_calls;
+  Ipds_obs.Registry.add m_bat_updates (List.length tables.Tables.entry_row);
   List.length tables.Tables.entry_row
 
 let on_return t =
   match t.stack with
   | [] -> invalid_arg "Checker.on_return: empty stack"
-  | _ :: rest -> t.stack <- rest
+  | _ :: rest ->
+      t.stack <- rest;
+      Ipds_obs.Registry.incr m_returns
 
 let top t =
   match t.stack with
@@ -57,11 +71,17 @@ let on_branch t ~pc ~taken =
   let slot = Tables.slot_of_pc tables pc in
   let sequence = t.branches in
   t.branches <- t.branches + 1;
+  Ipds_obs.Registry.incr m_branches;
   let alarm =
     if tables.Tables.bcv.(slot) then begin
+      Ipds_obs.Registry.incr m_checked;
       let expected = frame.bsv.(slot) in
-      if Status.matches expected taken then None
+      if Status.matches expected taken then begin
+        Ipds_obs.Registry.incr m_verdict_ok;
+        None
+      end
       else begin
+        Ipds_obs.Registry.incr m_verdict_alarm;
         let a =
           {
             fname = tables.Tables.fname;
@@ -79,6 +99,7 @@ let on_branch t ~pc ~taken =
   in
   let row = tables.Tables.bat.((slot * 2) + if taken then 1 else 0) in
   apply_row frame row;
+  Ipds_obs.Registry.add m_bat_updates (List.length row);
   { alarm; was_checked = tables.Tables.bcv.(slot); bat_nodes = List.length row }
 
 let depth t = List.length t.stack

@@ -15,19 +15,22 @@ type t = {
 
 let builds = Atomic.make 0
 let build_count () = Atomic.get builds
+let m_builds = Ipds_obs.Registry.counter "system.builds"
 
 let build ?options program =
   Atomic.incr builds;
-  let layout = Mir.Layout.make program in
-  let results = Corr.Analysis.analyze_program ?options program in
-  let funcs =
-    List.map
-      (fun (name, result) ->
-        let tables = Tables.build ~layout result in
-        (name, { entry_pc = Mir.Layout.func_base layout name; tables; result }))
-      results
-  in
-  { program; layout; funcs }
+  Ipds_obs.Registry.incr m_builds;
+  Ipds_obs.Span.time "core.build" (fun () ->
+      let layout = Mir.Layout.make program in
+      let results = Corr.Analysis.analyze_program ?options program in
+      let funcs =
+        List.map
+          (fun (name, result) ->
+            let tables = Tables.build ~layout result in
+            (name, { entry_pc = Mir.Layout.func_base layout name; tables; result }))
+          results
+      in
+      { program; layout; funcs })
 
 (* Programs are pure data, so structural keys are safe; workload
    programs are themselves memoised, so in practice lookups hit the

@@ -19,6 +19,16 @@ type summary = {
 
 exception False_positive of string
 
+(* Incremented in lock-step with the campaign's row counters (inside the
+   [!injected < attacks] cutoff), so these reconcile exactly with the
+   attacks/cf_changed/detected totals of every report built from
+   campaigns.  The chunked fold keeps the evaluated attempt set — and so
+   these counters — independent of the job count. *)
+let m_attempts = Ipds_obs.Registry.counter "attack.attempts"
+let m_injected = Ipds_obs.Registry.counter "attack.injected"
+let m_cf_changed = Ipds_obs.Registry.counter "attack.cf_changed"
+let m_detected = Ipds_obs.Registry.counter "attack.detected"
+
 (* Splittable seeding: every attempt owns an RNG derived from
    (campaign seed, workload name, attempt index), so attempts are
    independent tasks and the campaign is bit-for-bit deterministic
@@ -127,16 +137,33 @@ let campaign ?options ?system ?pool ?(attacks = 100) ?(seed = 2006) ~model
               (False_positive
                  (Printf.sprintf "%s: alarm without control-flow change" name))
         | Too_short | No_injection | Injected _ -> ());
-        if !injected < attacks then
+        if !injected < attacks then begin
+          Ipds_obs.Registry.incr m_attempts;
           match outcome with
           | Injected { changed; alarmed } ->
               incr injected;
-              if changed then incr cf_changed;
-              if alarmed then incr detected
-          | Benign_alarm | Too_short | No_injection -> ())
+              Ipds_obs.Registry.incr m_injected;
+              if changed then begin
+                incr cf_changed;
+                Ipds_obs.Registry.incr m_cf_changed
+              end;
+              if alarmed then begin
+                incr detected;
+                Ipds_obs.Registry.incr m_detected
+              end
+          | Benign_alarm | Too_short | No_injection -> ()
+        end)
       outcomes;
     next := hi
   done;
+  if Ipds_obs.Events.enabled () then
+    Ipds_obs.Events.emit ~kind:"attack.campaign"
+      [
+        ("workload", Ipds_obs.Json.String name);
+        ("attacks", Ipds_obs.Json.Int !injected);
+        ("cf_changed", Ipds_obs.Json.Int !cf_changed);
+        ("detected", Ipds_obs.Json.Int !detected);
+      ];
   { workload = name; attacks = !injected; cf_changed = !cf_changed;
     detected = !detected }
 

@@ -129,10 +129,9 @@ let run_all ?n ?train_runs ?holdout_runs ?attacks ?seed ?jobs ?pool () =
 
 let render rows =
   let mean f =
-    match rows with
-    | [] -> 0.
-    | _ :: _ ->
-        List.fold_left (fun a r -> a +. f r) 0. rows /. float_of_int (List.length rows)
+    match Stats.mean (List.map f rows) with
+    | None -> "n/a"
+    | Some m -> Table.pct m
   in
   let body =
     List.map
@@ -149,12 +148,10 @@ let render rows =
   let avg =
     [
       "AVERAGE";
-      Table.pct (mean (fun r -> r.ngram_fp));
-      Table.pct
-        (mean (fun r -> float_of_int r.ngram_detected /. float_of_int (max 1 r.attacks)));
+      mean (fun r -> r.ngram_fp);
+      mean (fun r -> float_of_int r.ngram_detected /. float_of_int (max 1 r.attacks));
       "0.0%";
-      Table.pct
-        (mean (fun r -> float_of_int r.ipds_detected /. float_of_int (max 1 r.attacks)));
+      mean (fun r -> float_of_int r.ipds_detected /. float_of_int (max 1 r.attacks));
     ]
   in
   Table.render

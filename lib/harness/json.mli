@@ -1,5 +1,6 @@
 (** Just enough JSON to emit machine-readable bench results without a
-    new dependency.  Serialization only. *)
+    new dependency, plus a small parser so smoke tests can validate the
+    reports and JSONL event streams the harness writes. *)
 
 type t =
   | Null
@@ -15,5 +16,18 @@ val to_string : ?indent:int -> t -> string
     Non-finite floats serialize as [null]. *)
 
 val write_file : string -> t -> unit
-(** Atomic: writes [path ^ ".tmp"], then renames over [path], so a
-    crash mid-write cannot leave a truncated report. *)
+(** Atomic: writes a unique per-process temp file, then renames over
+    [path], so a crash mid-write cannot leave a truncated report and
+    concurrent writers to the same path can never publish a mixed one
+    (last complete document wins).  The temp file is removed on
+    failure. *)
+
+exception Parse_error of string
+
+val of_string : string -> t
+(** Parse one JSON document (the whole string).  Numbers without [.],
+    [e] or [E] parse as [Int], everything else as [Float]; raises
+    {!Parse_error} on malformed input. *)
+
+val member : string -> t -> t option
+(** Field lookup on [Obj]; [None] on other constructors. *)

@@ -35,7 +35,11 @@ let run_all ?attacks ?seed ?jobs ?pool () =
       Pool.map' pool (run ?attacks ?seed ?pool) W.all)
 
 let render rows =
-  let mean f = Stats.mean (List.map f rows) in
+  let mean f =
+    match Stats.mean (List.map f rows) with
+    | None -> "n/a"
+    | Some m -> Table.pct m
+  in
   let body =
     List.map
       (fun r ->
@@ -51,10 +55,10 @@ let render rows =
   let avg =
     [
       "AVERAGE";
-      Table.pct (mean (fun r -> r.overflow_cf));
-      Table.pct (mean (fun r -> r.overflow_detected));
-      Table.pct (mean (fun r -> r.arbitrary_cf));
-      Table.pct (mean (fun r -> r.arbitrary_detected));
+      mean (fun r -> r.overflow_cf);
+      mean (fun r -> r.overflow_detected);
+      mean (fun r -> r.arbitrary_cf);
+      mean (fun r -> r.arbitrary_detected);
     ]
   in
   Table.render

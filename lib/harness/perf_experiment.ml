@@ -61,12 +61,10 @@ let run_all ?config ?seed ?repeats ?jobs ?pool () =
       Pool.map' pool (run ?config ?seed ?repeats) W.all)
 
 let render rows =
-  let mean f =
-    match rows with
-    | [] -> 0.
-    | _ :: _ ->
-        List.fold_left (fun acc r -> acc +. f r) 0. rows
-        /. float_of_int (List.length rows)
+  let mean fmt f =
+    match Stats.mean (List.map f rows) with
+    | None -> "n/a"
+    | Some m -> fmt m
   in
   let body =
     List.map
@@ -88,8 +86,8 @@ let render rows =
       "";
       "";
       "";
-      Printf.sprintf "%.4f" (mean (fun r -> r.normalized));
-      Table.f1 (mean (fun r -> r.avg_detection_latency));
+      mean (Printf.sprintf "%.4f") (fun r -> r.normalized);
+      mean Table.f1 (fun r -> r.avg_detection_latency);
       "";
     ]
   in

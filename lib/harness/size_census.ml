@@ -24,11 +24,9 @@ let run_all ?options () = List.map (run ?options) W.all
 
 let render rows =
   let mean f =
-    match rows with
-    | [] -> 0.
-    | _ :: _ ->
-        List.fold_left (fun acc r -> acc +. f r) 0. rows
-        /. float_of_int (List.length rows)
+    match Stats.mean (List.map f rows) with
+    | None -> "n/a"
+    | Some m -> Table.f1 m
   in
   let body =
     List.map
@@ -46,9 +44,9 @@ let render rows =
     [
       "AVERAGE";
       "";
-      Table.f1 (mean (fun r -> r.avg_bsv_bits));
-      Table.f1 (mean (fun r -> r.avg_bcv_bits));
-      Table.f1 (mean (fun r -> r.avg_bat_bits));
+      mean (fun r -> r.avg_bsv_bits);
+      mean (fun r -> r.avg_bcv_bits);
+      mean (fun r -> r.avg_bat_bits);
     ]
   in
   Table.render

@@ -1,14 +1,32 @@
+(* Empty inputs return [None] rather than a fake 0. data point: a
+   workload yielding no samples must render as "n/a" in the Fig. 7/8
+   tables, not as "0.0% ± 0.0%". *)
+
 let mean = function
-  | [] -> 0.
-  | xs -> List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+  | [] -> None
+  | xs -> Some (List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs))
+
+let mean_exn xs =
+  match mean xs with
+  | Some m -> m
+  | None -> invalid_arg "Stats.mean_exn: empty sample"
 
 let stddev = function
   | [] | [ _ ] -> 0.
   | xs ->
-      let m = mean xs in
+      let m = mean_exn xs in
       let ss = List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.)) 0. xs in
       sqrt (ss /. float_of_int (List.length xs - 1))
 
-let mean_sd xs = Printf.sprintf "%.1f%% ± %.1f%%" (100. *. mean xs) (100. *. stddev xs)
-let minimum = function [] -> 0. | x :: xs -> List.fold_left min x xs
-let maximum = function [] -> 0. | x :: xs -> List.fold_left max x xs
+let mean_sd xs =
+  match mean xs with
+  | None -> "n/a"
+  | Some m -> Printf.sprintf "%.1f%% ± %.1f%%" (100. *. m) (100. *. stddev xs)
+
+let minimum = function
+  | [] -> None
+  | x :: xs -> Some (List.fold_left min x xs)
+
+let maximum = function
+  | [] -> None
+  | x :: xs -> Some (List.fold_left max x xs)

@@ -1,11 +1,19 @@
-(** Small statistics helpers for the experiment reports. *)
+(** Small statistics helpers for the experiment reports.
 
-val mean : float list -> float
+    Aggregates of an empty sample are [None], never a silent [0.] —
+    callers render "n/a" so a workload with no samples can't masquerade
+    as a real data point in the tables. *)
+
+val mean : float list -> float option
+
+val mean_exn : float list -> float
+(** Raises [Invalid_argument] on an empty sample. *)
+
 val stddev : float list -> float
 (** Sample standard deviation (n-1); 0 for fewer than two samples. *)
 
 val mean_sd : float list -> string
-(** ["12.3% ± 1.1%"] formatting for fractions. *)
+(** ["12.3% ± 1.1%"] formatting for fractions; ["n/a"] for no samples. *)
 
-val minimum : float list -> float
-val maximum : float list -> float
+val minimum : float list -> float option
+val maximum : float list -> float option

@@ -41,6 +41,20 @@ let default_config =
 
 exception Machine_fault of string
 
+(* Totals are accumulated in the interpreter's own mutable state and
+   flushed once per run; the hot loop never touches an atomic. *)
+let m_runs = Ipds_obs.Registry.counter "interp.runs"
+let m_steps = Ipds_obs.Registry.counter "interp.steps"
+let m_branches = Ipds_obs.Registry.counter "interp.branches"
+let m_faults = Ipds_obs.Registry.counter "interp.faults"
+let m_traps = Ipds_obs.Registry.counter "interp.traps"
+let m_injections = Ipds_obs.Registry.counter "interp.injections"
+let m_max_run_steps = Ipds_obs.Registry.gauge "interp.max_run_steps"
+
+let m_run_steps =
+  Ipds_obs.Registry.histogram "interp.run_steps"
+    ~bounds:[| 10; 100; 1_000; 10_000; 100_000; 1_000_000 |]
+
 type act = {
   frame_id : int;
   func : Mir.Func.t;
@@ -401,6 +415,41 @@ let run program config =
     }
   in
   let result reason =
+    let reason_tag =
+      match reason with
+      | Exited _ -> "exit"
+      | Halted -> "halt"
+      | Fault _ -> "fault"
+      | Out_of_steps -> "steps"
+      | Trapped _ -> "trap"
+    in
+    let alarms =
+      match config.checker with
+      | Some c -> Ipds_core.Checker.alarms c
+      | None -> []
+    in
+    Ipds_obs.Registry.incr m_runs;
+    Ipds_obs.Registry.add m_steps st.steps;
+    Ipds_obs.Registry.add m_branches st.branches;
+    Ipds_obs.Registry.gauge_max m_max_run_steps st.steps;
+    Ipds_obs.Registry.observe m_run_steps st.steps;
+    (match reason with
+    | Fault _ -> Ipds_obs.Registry.incr m_faults
+    | Trapped _ -> Ipds_obs.Registry.incr m_traps
+    | Exited _ | Halted | Out_of_steps -> ());
+    (match st.injection with
+    | Some _ -> Ipds_obs.Registry.incr m_injections
+    | None -> ());
+    if Ipds_obs.Events.enabled () then
+      Ipds_obs.Events.emit ~kind:"interp.run"
+        [
+          ("main", Ipds_obs.Json.String program.Mir.Program.main);
+          ("reason", Ipds_obs.Json.String reason_tag);
+          ("steps", Ipds_obs.Json.Int st.steps);
+          ("branches", Ipds_obs.Json.Int st.branches);
+          ("alarms", Ipds_obs.Json.Int (List.length alarms));
+          ("tampered", Ipds_obs.Json.Bool (st.injection <> None));
+        ];
     {
       reason;
       steps = st.steps;
@@ -408,10 +457,7 @@ let run program config =
       outputs = List.rev st.outputs_rev;
       branch_trace = List.rev st.trace_rev;
       trace_digest = st.trace_digest;
-      alarms =
-        (match config.checker with
-        | Some c -> Ipds_core.Checker.alarms c
-        | None -> []);
+      alarms;
       injection = st.injection;
     }
   in
@@ -444,7 +490,14 @@ let run program config =
             st.steps <- st.steps + 1;
             match config.tamper with
             | Some plan when plan.Tamper.at_step = st.steps ->
-                st.injection <- Tamper.inject plan st.memory
+                st.injection <- Tamper.inject plan st.memory;
+                if Ipds_obs.Events.enabled () then
+                  Ipds_obs.Events.emit ~kind:"interp.tamper"
+                    [
+                      ("main", Ipds_obs.Json.String program.Mir.Program.main);
+                      ("at_step", Ipds_obs.Json.Int plan.Tamper.at_step);
+                      ("hit", Ipds_obs.Json.Bool (st.injection <> None));
+                    ]
             | Some _ | None -> ()
           end)
     done;

@@ -1,0 +1,66 @@
+type sink = { oc : out_channel; mutable seq : int }
+
+let active = Atomic.make false  (* mirrors [sink != None]; lock-free fast path *)
+let sink : sink option ref = ref None
+let mutex = Mutex.create ()
+
+let enabled () = Atomic.get active
+
+let write_line s line =
+  output_string s.oc (Json.to_string line);
+  output_char s.oc '\n';
+  flush s.oc;
+  s.seq <- s.seq + 1
+
+let header_line s =
+  write_line s
+    (Json.Obj
+       [
+         ("kind", Json.String "manifest");
+         ("seq", Json.Int s.seq);
+         ("ts", Json.Float (Unix.gettimeofday ()));
+         ("manifest", Manifest.to_json ());
+       ])
+
+let close_locked () =
+  match !sink with
+  | None -> ()
+  | Some s ->
+      Atomic.set active false;
+      sink := None;
+      close_out s.oc
+
+let set_path path =
+  Mutex.lock mutex;
+  (match
+     close_locked ();
+     match path with
+     | None -> ()
+     | Some p ->
+         let s = { oc = open_out p; seq = 0 } in
+         header_line s;
+         sink := Some s;
+         Atomic.set active true
+   with
+  | () -> Mutex.unlock mutex
+  | exception e ->
+      Mutex.unlock mutex;
+      raise e);
+  ()
+
+let close () = set_path None
+
+let emit ~kind fields =
+  if Atomic.get active then begin
+    Mutex.lock mutex;
+    (match !sink with
+    | None -> ()  (* closed between the check and the lock *)
+    | Some s ->
+        write_line s
+          (Json.Obj
+             (("kind", Json.String kind)
+             :: ("seq", Json.Int s.seq)
+             :: ("ts", Json.Float (Unix.gettimeofday ()))
+             :: fields)));
+    Mutex.unlock mutex
+  end

@@ -1,0 +1,31 @@
+(** Structured JSONL event sink.
+
+    One process-global sink, configured once at startup (the [--events]
+    flag or the [IPDS_EVENTS] environment variable).  When enabled,
+    every event is one line of JSON:
+
+    {v {"kind":"…","seq":12,"ts":1754450000.123,…fields} v}
+
+    The first line is always the run manifest
+    ([{"kind":"manifest","seq":0,"ts":…,"manifest":{…}}]) — set the
+    {!Manifest} fields {e before} calling {!set_path}.  Lines are
+    written under a mutex and flushed individually, so concurrent
+    domains interleave whole lines, never bytes, and a crashed run
+    leaves a valid prefix.
+
+    Emitting is cheap when disabled: {!enabled} is one atomic load, and
+    hot paths are expected to guard field construction with it. *)
+
+val set_path : string option -> unit
+(** [Some path] (re)opens the sink, truncating [path] and writing the
+    manifest line; [None] closes it.  Not for use while other domains
+    are emitting — configure before fan-out. *)
+
+val enabled : unit -> bool
+
+val emit : kind:string -> (string * Json.t) list -> unit
+(** No-op when disabled.  [seq] and [ts] are added automatically; the
+    given fields follow them. *)
+
+val close : unit -> unit
+(** Flush and close; idempotent.  Equivalent to [set_path None]. *)

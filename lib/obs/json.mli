@@ -1,0 +1,25 @@
+(** Minimal compact JSON encoder for the observability layer.
+
+    [ipds_obs] sits below every other library, so it cannot reuse
+    [Ipds_harness.Json]; this is the single-line flavour used for JSONL
+    event streams, manifests and [--metrics-out] files.  Encoding is
+    deterministic: no hash-order iteration, no locale, shortest float
+    form that round-trips. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact, single-line (no newlines are ever emitted, so a value per
+    line is valid JSONL).  Non-finite floats serialize as [null]. *)
+
+val write_file : string -> t -> unit
+(** Atomic publish: writes a unique per-process temp file next to
+    [path], then renames over it.  Concurrent writers to the same path
+    can interleave freely; the survivor is one complete document. *)

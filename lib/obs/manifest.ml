@@ -1,0 +1,21 @@
+let table : (string, Json.t) Hashtbl.t = Hashtbl.create 16
+let mutex = Mutex.create ()
+
+let set name v =
+  Mutex.lock mutex;
+  Hashtbl.replace table name v;
+  Mutex.unlock mutex
+
+let set_int name n = set name (Json.Int n)
+let set_string name s = set name (Json.String s)
+
+let to_json () =
+  Mutex.lock mutex;
+  let fields = Hashtbl.fold (fun k v acc -> (k, v) :: acc) table [] in
+  Mutex.unlock mutex;
+  Json.Obj (List.sort (fun (a, _) (b, _) -> String.compare a b) fields)
+
+let reset () =
+  Mutex.lock mutex;
+  Hashtbl.reset table;
+  Mutex.unlock mutex

@@ -1,0 +1,54 @@
+type agg = { mutable count : int; mutable seconds : float }
+
+let table : (string, agg) Hashtbl.t = Hashtbl.create 32
+let mutex = Mutex.create ()
+
+let record name dt =
+  Mutex.lock mutex;
+  (match Hashtbl.find_opt table name with
+  | Some a ->
+      a.count <- a.count + 1;
+      a.seconds <- a.seconds +. dt
+  | None -> Hashtbl.replace table name { count = 1; seconds = dt });
+  Mutex.unlock mutex
+
+let time name f =
+  let t0 = Unix.gettimeofday () in
+  Fun.protect ~finally:(fun () -> record name (Unix.gettimeofday () -. t0)) f
+
+let get name =
+  Mutex.lock mutex;
+  let r =
+    match Hashtbl.find_opt table name with
+    | Some a -> (a.count, a.seconds)
+    | None -> (0, 0.)
+  in
+  Mutex.unlock mutex;
+  r
+
+let snapshot () =
+  Mutex.lock mutex;
+  let entries =
+    Hashtbl.fold (fun k a acc -> (k, (a.count, a.seconds)) :: acc) table []
+  in
+  Mutex.unlock mutex;
+  List.sort (fun (a, _) (b, _) -> String.compare a b) entries
+
+let snapshot_json () =
+  Json.Obj
+    (List.map
+       (fun (name, (count, seconds)) ->
+         ( name,
+           Json.Obj [ ("count", Json.Int count); ("seconds", Json.Float seconds) ]
+         ))
+       (snapshot ()))
+
+let clear name =
+  Mutex.lock mutex;
+  Hashtbl.remove table name;
+  Mutex.unlock mutex
+
+let reset () =
+  Mutex.lock mutex;
+  Hashtbl.reset table;
+  Mutex.unlock mutex

@@ -1,0 +1,27 @@
+(** Lightweight named span timers.
+
+    Wall-clock accumulation per name — how long the process spent in
+    each phase or subsystem, and how many times it entered it.  Timings
+    are inherently nondeterministic, so spans live outside the
+    {!Registry} determinism contract and are reported in the [runtime]
+    section of metrics outputs, never in the deterministic [metrics]
+    object. *)
+
+val time : string -> (unit -> 'a) -> 'a
+(** Run the thunk, accumulating its wall-clock duration under the name
+    (also on exception). *)
+
+val record : string -> float -> unit
+(** Accumulate an externally measured duration in seconds. *)
+
+val get : string -> int * float
+(** [(count, total_seconds)]; [(0, 0.)] for names never recorded. *)
+
+val snapshot : unit -> (string * (int * float)) list
+(** Sorted by name. *)
+
+val snapshot_json : unit -> Json.t
+(** [{"name":{"count":n,"seconds":s}, …}] sorted by name. *)
+
+val clear : string -> unit
+val reset : unit -> unit

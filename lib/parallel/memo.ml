@@ -2,6 +2,13 @@ type 'v state =
   | Pending
   | Ready of 'v
 
+(* hits/computed depend only on the multiset of requested keys, so they
+   are stable; waits counts Pending encounters, which depend on
+   scheduling, so it is not. *)
+let m_hits = Ipds_obs.Registry.counter "memo.hits"
+let m_computed = Ipds_obs.Registry.counter "memo.computed"
+let m_waits = Ipds_obs.Registry.counter ~stable:false "memo.waits"
+
 type ('k, 'v) t = {
   mutex : Mutex.t;
   cond : Condition.t;
@@ -23,8 +30,10 @@ let find_or_add t k compute =
     match Hashtbl.find_opt t.tbl k with
     | Some (Ready v) ->
         Mutex.unlock t.mutex;
+        Ipds_obs.Registry.incr m_hits;
         v
     | Some Pending ->
+        Ipds_obs.Registry.incr m_waits;
         Condition.wait t.cond t.mutex;
         get ()
     | None -> (
@@ -35,6 +44,7 @@ let find_or_add t k compute =
             Mutex.lock t.mutex;
             Hashtbl.replace t.tbl k (Ready v);
             t.computed <- t.computed + 1;
+            Ipds_obs.Registry.incr m_computed;
             Condition.broadcast t.cond;
             Mutex.unlock t.mutex;
             v

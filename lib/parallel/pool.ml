@@ -1,5 +1,13 @@
 type task = unit -> unit
 
+(* Pool activity depends on scheduling and domain count, so all of these
+   are registered unstable: they surface in the runtime section of reports
+   and never participate in the deterministic metrics object. *)
+let m_maps = Ipds_obs.Registry.counter ~stable:false "pool.maps"
+let m_tasks_worker = Ipds_obs.Registry.counter ~stable:false "pool.tasks.worker"
+let m_tasks_caller = Ipds_obs.Registry.counter ~stable:false "pool.tasks.caller"
+let m_jobs = Ipds_obs.Registry.gauge ~stable:false "pool.jobs"
+
 type t = {
   mutex : Mutex.t;
   work : Condition.t;
@@ -25,6 +33,7 @@ and worker_locked t =
   if not (Queue.is_empty t.queue) then begin
     let task = Queue.pop t.queue in
     Mutex.unlock t.mutex;
+    Ipds_obs.Registry.incr m_tasks_worker;
     task ();
     worker t
   end
@@ -47,6 +56,7 @@ let create ?jobs () =
     }
   in
   t.workers <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker t));
+  Ipds_obs.Registry.gauge_max m_jobs jobs;
   t
 
 let map t f xs =
@@ -54,6 +64,7 @@ let map t f xs =
   | [] -> []
   | [ x ] -> [ f x ]
   | xs ->
+      Ipds_obs.Registry.incr m_maps;
       let items = Array.of_list xs in
       let n = Array.length items in
       let results = Array.make n None in
@@ -85,6 +96,7 @@ let map t f xs =
           if not (Queue.is_empty t.queue) then begin
             let task = Queue.pop t.queue in
             Mutex.unlock t.mutex;
+            Ipds_obs.Registry.incr m_tasks_caller;
             task ();
             Mutex.lock t.mutex;
             help ()

@@ -1,5 +1,19 @@
 module Event = Ipds_machine.Event
 
+(* Flushed once per simulation in [finish]; the per-event observer never
+   touches the registry. *)
+let m_sims = Ipds_obs.Registry.counter "pipeline.sims"
+let m_instructions = Ipds_obs.Registry.counter "pipeline.instructions"
+let m_branches = Ipds_obs.Registry.counter "pipeline.branches"
+let m_mispredicts = Ipds_obs.Registry.counter "pipeline.mispredicts"
+let m_l2_misses = Ipds_obs.Registry.counter "pipeline.l2_misses"
+let m_verifies = Ipds_obs.Registry.counter "pipeline.verifies"
+let m_updates = Ipds_obs.Registry.counter "pipeline.updates"
+let m_spills = Ipds_obs.Registry.counter "pipeline.spills"
+let m_fills = Ipds_obs.Registry.counter "pipeline.fills"
+let m_alarms = Ipds_obs.Registry.counter "pipeline.alarms"
+let m_context_switches = Ipds_obs.Registry.counter "pipeline.context_switches"
+
 type t = {
   config : Config.t;
   ctx_switch_period : float option;
@@ -115,11 +129,23 @@ type report = {
   ipds : ipds_stats option;
 }
 
-let finish t =
+let finish (t : t) =
+  Ipds_obs.Registry.incr m_sims;
+  Ipds_obs.Registry.add m_instructions t.instructions;
+  Ipds_obs.Registry.add m_branches (Predictor.lookups t.predictor);
+  Ipds_obs.Registry.add m_mispredicts (Predictor.mispredicts t.predictor);
+  Ipds_obs.Registry.add m_l2_misses t.l2_misses;
   let ipds =
     match t.unit_, t.checker with
     | Some unit_, Some checker ->
         let s = Ipds_unit.stats unit_ in
+        Ipds_obs.Registry.add m_verifies s.Ipds_unit.verifies;
+        Ipds_obs.Registry.add m_updates s.Ipds_unit.updates;
+        Ipds_obs.Registry.add m_spills s.Ipds_unit.spills;
+        Ipds_obs.Registry.add m_fills s.Ipds_unit.fills;
+        Ipds_obs.Registry.add m_context_switches s.Ipds_unit.context_switches;
+        Ipds_obs.Registry.add m_alarms
+          (List.length (Ipds_core.Checker.alarms checker));
         Some
           {
             verifies = s.Ipds_unit.verifies;

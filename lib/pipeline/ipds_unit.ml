@@ -1,3 +1,10 @@
+(* Simulated detection latencies are deterministic per workload, so the
+   histogram is stable; it is observed in whole cycles to keep the sums
+   integer (float accumulation order would not be order-independent). *)
+let m_detection_latency =
+  Ipds_obs.Registry.histogram "pipeline.detection_latency_cycles"
+    ~bounds:[| 1; 2; 4; 8; 16; 32; 64; 128; 256; 512; 1024; 4096 |]
+
 type frame = {
   bsv : int;
   bcv : int;
@@ -94,7 +101,8 @@ let on_branch t ~cycle ~verify ~bat_nodes =
   let stall, latency = enqueue_tracked t ~cycle service in
   if verify then begin
     t.lat_sum <- t.lat_sum +. latency;
-    t.lat_count <- t.lat_count + 1
+    t.lat_count <- t.lat_count + 1;
+    Ipds_obs.Registry.observe m_detection_latency (int_of_float latency)
   end;
   stall
 

@@ -79,10 +79,12 @@ let cache : (string * bool, Ipds_mir.Program.t) Ipds_parallel.Memo.t =
   Ipds_parallel.Memo.create ()
 
 let compiles = Atomic.make 0
+let m_compiles = Ipds_obs.Registry.counter "workloads.compiles"
 
 let compiled ?(promote = true) w =
   Ipds_parallel.Memo.find_or_add cache (w.name, promote) (fun () ->
       Atomic.incr compiles;
+      Ipds_obs.Registry.incr m_compiles;
       let p = Ipds_minic.Minic.compile w.source in
       if promote then Ipds_opt.Promote.program p else p)
 

@@ -212,6 +212,27 @@ let test_store_hit_miss_corrupt () =
       check_int "corrupt misses" 1 c.Store.corrupt;
       check "bytes accounted" true (c.Store.bytes_read > 0 && c.Store.bytes_written > 0))
 
+(* Regression for the multicore-safety fix in Crc32: the lookup table
+   used to be a top-level [lazy], and concurrent [Lazy.force] from
+   several domains could raise CamlinternalLazy.Undefined.  Hammer the
+   table from many domains at once and check every result agrees. *)
+let test_crc_domain_stress () =
+  let module Crc = Ipds_artifact.Crc32 in
+  let payload = Bytes.init 8192 (fun i -> Char.chr ((i * 131 + 17) land 0xff)) in
+  let domains =
+    List.init 8 (fun d ->
+        Domain.spawn (fun () ->
+            List.init 50 (fun i ->
+                Crc.bytes payload ~pos:(d + i) ~len:(4096 + d + i))))
+  in
+  let per_domain = List.map Domain.join domains in
+  let reference d =
+    List.init 50 (fun i -> Crc.bytes payload ~pos:(d + i) ~len:(4096 + d + i))
+  in
+  check "all domains agree with sequential reference" true
+    (List.for_all2 (fun d got -> got = reference d)
+       (List.init 8 Fun.id) per_domain)
+
 let test_key_sensitivity () =
   let options = Ipds_correlation.Analysis.default_options in
   let k = Store.key ~source:"int main() {}" ~promote:true ~options in
@@ -248,4 +269,6 @@ let () =
           Alcotest.test_case "hit/miss/corrupt + counters" `Quick test_store_hit_miss_corrupt;
           Alcotest.test_case "key sensitivity" `Quick test_key_sensitivity;
         ] );
+      ( "crc32",
+        [ Alcotest.test_case "domain stress" `Quick test_crc_domain_stress ] );
     ]

@@ -13,13 +13,136 @@ let contains haystack needle =
   go 0
 
 let test_stats () =
-  check "mean" true (abs_float (H.Stats.mean [ 1.; 2.; 3. ] -. 2.) < 1e-9);
-  check "mean empty" true (H.Stats.mean [] = 0.);
+  check "mean" true
+    (match H.Stats.mean [ 1.; 2.; 3. ] with
+    | Some m -> abs_float (m -. 2.) < 1e-9
+    | None -> false);
+  check "mean empty" true (H.Stats.mean [] = None);
+  check "mean_exn empty raises" true
+    (match H.Stats.mean_exn [] with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
   check "stddev of constant" true (H.Stats.stddev [ 5.; 5.; 5. ] = 0.);
   check "stddev" true (abs_float (H.Stats.stddev [ 1.; 2.; 3. ] -. 1.) < 1e-9);
   check "stddev singleton" true (H.Stats.stddev [ 4. ] = 0.);
-  check "min/max" true (H.Stats.minimum [ 3.; 1.; 2. ] = 1. && H.Stats.maximum [ 3.; 1.; 2. ] = 3.);
-  check "mean_sd renders" true (String.length (H.Stats.mean_sd [ 0.5; 0.6 ]) > 0)
+  check "min/max" true
+    (H.Stats.minimum [ 3.; 1.; 2. ] = Some 1.
+    && H.Stats.maximum [ 3.; 1.; 2. ] = Some 3.);
+  check "min/max empty" true
+    (H.Stats.minimum [] = None && H.Stats.maximum [] = None);
+  check "mean_sd renders" true (String.length (H.Stats.mean_sd [ 0.5; 0.6 ]) > 0);
+  (* an empty sample must be visibly absent, not a fake 0.0% data point *)
+  check "mean_sd empty is n/a" true (String.equal (H.Stats.mean_sd []) "n/a")
+
+(* Empty-sample rendering: a table over zero rows must show "n/a" in its
+   AVERAGE cells, never "0.0%" (which would read as a measured value). *)
+let test_empty_sample_rendering () =
+  check "model render n/a" true (contains (H.Model_experiment.render []) "n/a");
+  check "perf render n/a" true (contains (H.Perf_experiment.render []) "n/a");
+  check "census render n/a" true (contains (H.Size_census.render []) "n/a");
+  check "baseline render n/a" true
+    (contains (H.Baseline_experiment.render []) "n/a")
+
+(* ---------- JSON: parser, atomic writes, concurrent writers ---------- *)
+
+let test_json_parser () =
+  let doc =
+    H.Json.Obj
+      [
+        ("int", H.Json.Int (-42));
+        ("float", H.Json.Float 1.5);
+        ("str", H.Json.String "a\"b\\c\n\t\xe2\x82\xac");
+        ("list", H.Json.List [ H.Json.Bool true; H.Json.Bool false; H.Json.Null ]);
+        ("nested", H.Json.Obj [ ("k", H.Json.Int 0) ]);
+      ]
+  in
+  check "roundtrips" true (H.Json.of_string (H.Json.to_string doc) = doc);
+  check "ints stay ints" true (H.Json.of_string "7" = H.Json.Int 7);
+  check "exponents parse as floats" true
+    (match H.Json.of_string "1e3" with H.Json.Float f -> f = 1000. | _ -> false);
+  check "unicode escapes decode to UTF-8" true
+    (H.Json.of_string "\"\\u20ac\"" = H.Json.String "\xe2\x82\xac");
+  check "member" true
+    (H.Json.member "int" doc = Some (H.Json.Int (-42))
+    && H.Json.member "absent" doc = None
+    && H.Json.member "k" (H.Json.Int 3) = None);
+  check "trailing garbage rejected" true
+    (match H.Json.of_string "{} x" with
+    | exception H.Json.Parse_error _ -> true
+    | _ -> false);
+  check "malformed rejected" true
+    (match H.Json.of_string "{\"a\":" with
+    | exception H.Json.Parse_error _ -> true
+    | _ -> false)
+
+let test_concurrent_write_file () =
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ipds-json-race-%d.json" (Unix.getpid ()))
+  in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      (* A large-ish document per writer makes torn writes detectable:
+         a mixed file would fail to parse or carry an inconsistent pair. *)
+      let doc tag =
+        H.Json.Obj
+          [
+            ("writer", H.Json.Int tag);
+            ("check", H.Json.Int (tag * 1000));
+            ("pad", H.Json.List (List.init 200 (fun i -> H.Json.Int (tag + i))));
+          ]
+      in
+      let writers = 8 and rounds = 25 in
+      let domains =
+        List.init writers (fun tag ->
+            Domain.spawn (fun () ->
+                for _ = 1 to rounds do
+                  H.Json.write_file path (doc tag)
+                done))
+      in
+      List.iter Domain.join domains;
+      (* the survivor must be one complete document from one writer *)
+      let ic = open_in path in
+      let n = in_channel_length ic in
+      let contents = really_input_string ic n in
+      close_in ic;
+      let parsed = H.Json.of_string contents in
+      let tag =
+        match H.Json.member "writer" parsed with
+        | Some (H.Json.Int t) -> t
+        | _ -> Alcotest.fail "no writer field"
+      in
+      check "consistent document" true
+        (parsed = doc tag);
+      (* no temp litter left behind *)
+      let dir = Filename.dirname path and base = Filename.basename path in
+      let litter =
+        Array.to_list (Sys.readdir dir)
+        |> List.filter (fun f ->
+               String.length f > String.length base
+               && String.sub f 0 (String.length base) = base)
+      in
+      check "temp files cleaned up" true (litter = []))
+
+(* ---------- metrics determinism across job counts ---------- *)
+
+let test_metrics_jobs_deterministic () =
+  (* Warm every per-process cache first: memo hits/computed are stable
+     but depend on the process's warm/cold state, so both measured runs
+     must start from the same (warm) state. *)
+  ignore (H.Attack_experiment.run_all ~attacks:3 ~seed:13 ~jobs:2 ());
+  let snap jobs =
+    Ipds_obs.Registry.reset ();
+    ignore (H.Attack_experiment.run_all ~attacks:3 ~seed:13 ~jobs ());
+    Ipds_obs.Json.to_string
+      (Ipds_obs.Registry.snapshot_json ~stability:`Stable ())
+  in
+  let s1 = snap 1 in
+  let s4 = snap 4 in
+  Alcotest.(check string) "stable metrics byte-identical across jobs" s1 s4;
+  check "metrics are non-trivial" true
+    (String.length s1 > 2 && s1 <> "{}")
 
 let test_table_render () =
   let s = H.Table.render ~header:[ "a"; "bb" ] [ [ "1"; "2" ]; [ "333"; "" ] ] in
@@ -112,6 +235,19 @@ let () =
         [
           Alcotest.test_case "render" `Quick test_table_render;
           Alcotest.test_case "stats" `Quick test_stats;
+          Alcotest.test_case "empty-sample rendering" `Quick
+            test_empty_sample_rendering;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "parser" `Quick test_json_parser;
+          Alcotest.test_case "concurrent writers" `Quick
+            test_concurrent_write_file;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "deterministic across jobs" `Slow
+            test_metrics_jobs_deterministic;
         ] );
       ( "attack",
         [
