@@ -165,18 +165,38 @@ let latency ?pool () =
 
 let compile_time () =
   section "Compile time per benchmark (paper: up to a few seconds)";
-  let rows = H.Compile_time.run_all () in
+  let rows, passes = H.Compile_time.run_all_with_passes () in
   print_endline (H.Compile_time.render rows);
-  J.List
-    (List.map
-       (fun (r : H.Compile_time.row) ->
-         J.Obj
-           [
-             ("workload", J.String r.workload);
-             ("seconds", J.Float r.seconds);
-             ("hash_attempts", J.Int r.hash_attempts);
-           ])
-       rows)
+  print_endline "Per-pass breakdown (pipeline order):";
+  print_endline (H.Compile_time.render_passes passes);
+  J.Obj
+    [
+      ( "per_workload",
+        J.List
+          (List.map
+             (fun (r : H.Compile_time.row) ->
+               J.Obj
+                 [
+                   ("workload", J.String r.workload);
+                   ("seconds", J.Float r.seconds);
+                   ("hash_attempts", J.Int r.hash_attempts);
+                 ])
+             rows) );
+      (* pass names and unit counts are stable across --jobs; wall
+         seconds are scheduling-dependent, hence the explicit suffix. *)
+      ( "passes",
+        J.List
+          (List.map
+             (fun (p : H.Compile_time.pass_row) ->
+               J.Obj
+                 [
+                   ("name", J.String p.pass);
+                   ("scope", J.String p.scope);
+                   ("units", J.Int p.units);
+                   ("wall_seconds_unstable", J.Float p.seconds);
+                 ])
+             passes) );
+    ]
 
 let ablation ~attacks ?pool () =
   section (Printf.sprintf "Ablation (%d attacks/server)" attacks);
@@ -438,6 +458,9 @@ let cache_json () =
           ("artifact_hits", J.Int c.Ipds_artifact.Store.hits);
           ("artifact_misses", J.Int c.Ipds_artifact.Store.misses);
           ("corrupt_entries", J.Int c.Ipds_artifact.Store.corrupt);
+          ("fn_hits", J.Int c.Ipds_artifact.Store.fn_hits);
+          ("fn_misses", J.Int c.Ipds_artifact.Store.fn_misses);
+          ("fn_corrupt_entries", J.Int c.Ipds_artifact.Store.fn_corrupt);
           ("bytes_read", J.Int c.Ipds_artifact.Store.bytes_read);
           ("bytes_written", J.Int c.Ipds_artifact.Store.bytes_written);
           ("load_wall_seconds", J.Float c.Ipds_artifact.Store.load_seconds);
@@ -565,11 +588,13 @@ let () =
   | Some store ->
       let c = Ipds_artifact.Store.counters () in
       Printf.printf
-        "\nartifact cache %s: %d hits, %d misses (%d corrupt), %d KiB read, \
-         %d KiB written, load %.3fs, store %.3fs\n"
+        "\nartifact cache %s: %d hits, %d misses (%d corrupt), fn tier %d \
+         hits, %d misses (%d corrupt), %d KiB read, %d KiB written, load \
+         %.3fs, store %.3fs\n"
         (Ipds_artifact.Store.dir store)
         c.Ipds_artifact.Store.hits c.Ipds_artifact.Store.misses
-        c.Ipds_artifact.Store.corrupt
+        c.Ipds_artifact.Store.corrupt c.Ipds_artifact.Store.fn_hits
+        c.Ipds_artifact.Store.fn_misses c.Ipds_artifact.Store.fn_corrupt
         (c.Ipds_artifact.Store.bytes_read / 1024)
         (c.Ipds_artifact.Store.bytes_written / 1024)
         c.Ipds_artifact.Store.load_seconds c.Ipds_artifact.Store.store_seconds);

@@ -36,10 +36,13 @@ let read_file path =
 (* Every source of programs resolves to a full system: built-in
    workloads ride the artifact-aware Workloads.system path, .ipds files
    are loaded directly (no front end, no analysis), and plain sources
-   are compiled and analyzed here. *)
-let load_system path =
+   are compiled and analyzed here.  [jobs] fans the per-function
+   analysis passes over a domain pool; the system is byte-identical for
+   any value. *)
+let load_system ?(jobs = 1) path =
   if String.length path > 1 && path.[0] = '@' then
-    W.system (W.find (String.sub path 1 (String.length path - 1)))
+    Ipds_parallel.Pool.with_opt ~jobs (fun pool ->
+        W.system ?pool (W.find (String.sub path 1 (String.length path - 1))))
   else if A.is_artifact_file path then begin
     try A.load_file path
     with A.Corrupt msg ->
@@ -55,7 +58,8 @@ let load_system path =
       then Ipds_minic.Minic.compile src
       else Mir.Parser.program_of_string src
     in
-    Core.System.cached_build program
+    Ipds_parallel.Pool.with_opt ~jobs (fun pool ->
+        Core.System.cached_build ?pool program)
   end
 
 let file_arg =
@@ -165,10 +169,30 @@ let steps_arg =
 
 (* ---------- analyze ---------- *)
 
+(* --jobs for the compile-side commands: fans the per-function passes
+   out; output is byte-identical for any value. *)
+let build_jobs_arg =
+  Arg.(
+    value
+    & opt int (Ipds_parallel.Pool.default_jobs ())
+    & info [ "j"; "jobs" ]
+        ~doc:
+          "Worker domains for the per-function analysis passes (default: \
+           cores - 1, or the IPDS_JOBS environment variable); 1 is strictly \
+           sequential.  The resulting tables and artifacts are byte-identical \
+           for any value.")
+
+let print_pass_report () =
+  Format.printf "per-pass breakdown (units stable, seconds wall-clock):@.%s"
+    (Ipds_pass.Pass.render_report (Ipds_pass.Pass.report ()))
+
 let analyze_cmd =
-  let run () obs file =
-    obs_init ~command:"analyze" ~manifest:[ ("file", Obs.Json.String file) ] obs;
-    let system = load_system file in
+  let run () obs file jobs =
+    obs_init ~command:"analyze"
+      ~manifest:
+        [ ("file", Obs.Json.String file); ("jobs", Obs.Json.Int jobs) ]
+      obs;
+    let system = load_system ~jobs file in
     List.iter
       (fun (_, (i : Core.System.func_info)) ->
         Format.printf "%a@.%a@.@."
@@ -179,11 +203,12 @@ let analyze_cmd =
       (Core.System.checked_branch_count system)
       (Core.System.total_branch_count system)
       stats.Core.System.avg_bsv_bits stats.Core.System.avg_bcv_bits
-      stats.Core.System.avg_bat_bits
+      stats.Core.System.avg_bat_bits;
+    print_pass_report ()
   in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Run the compile-side correlation analysis and show the tables.")
-    Term.(const run $ cache_term $ obs_term $ file_arg)
+    Term.(const run $ cache_term $ obs_term $ file_arg $ build_jobs_arg)
 
 (* ---------- run ---------- *)
 
@@ -380,9 +405,12 @@ let compile_cmd =
       value & opt string "prog.ipds"
       & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output .ipds object file.")
   in
-  let run () obs file out =
-    obs_init ~command:"compile" ~manifest:[ ("file", Obs.Json.String file) ] obs;
-    let system = load_system file in
+  let run () obs file out jobs =
+    obs_init ~command:"compile"
+      ~manifest:
+        [ ("file", Obs.Json.String file); ("jobs", Obs.Json.Int jobs) ]
+      obs;
+    let system = load_system ~jobs file in
     A.save_file out system;
     let bytes = (Unix.stat out).Unix.st_size in
     Format.printf "wrote %d bytes (%d functions, %d/%d branches checked) to %s@."
@@ -390,7 +418,8 @@ let compile_cmd =
       (List.length system.Core.System.funcs)
       (Core.System.checked_branch_count system)
       (Core.System.total_branch_count system)
-      out
+      out;
+    print_pass_report ()
   in
   Cmd.v
     (Cmd.info "compile"
@@ -398,7 +427,7 @@ let compile_cmd =
          "Analyze the program and save a checksummed .ipds object file; \
           'ipds run/attack/perf' load it back without re-running the front \
           end or the analysis.")
-    Term.(const run $ cache_term $ obs_term $ file_arg $ out_arg)
+    Term.(const run $ cache_term $ obs_term $ file_arg $ out_arg $ build_jobs_arg)
 
 let encode_cmd =
   let out_arg =

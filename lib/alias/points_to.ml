@@ -97,3 +97,28 @@ let reg t ~fname r =
 
 let escaped t = t.escaped
 let address_taken t = t.address_taken
+
+(* The slice of the whole-program solution that one function's analysis
+   can observe: its own register points-to sets plus the program-wide
+   escape set and address-taken set.  Digested for content-addressed
+   per-function caching — two programs whose slices agree give the
+   function identical alias answers. *)
+let func_fingerprint t ~fname =
+  let buf = Buffer.create 256 in
+  (match Hashtbl.find_opt t.regs fname with
+  | None -> Buffer.add_string buf "no-regs"
+  | Some arr ->
+      Array.iter
+        (fun s ->
+          Buffer.add_string buf (Pt_set.render s);
+          Buffer.add_char buf ';')
+        arr);
+  Buffer.add_string buf "|escaped:";
+  Buffer.add_string buf (Pt_set.render t.escaped);
+  Buffer.add_string buf "|taken:";
+  Mir.Var.Set.iter
+    (fun v ->
+      Buffer.add_string buf (string_of_int v.Mir.Var.id);
+      Buffer.add_char buf ',')
+    t.address_taken;
+  Digest.to_hex (Digest.string (Buffer.contents buf))

@@ -21,3 +21,9 @@ val escaped : t -> Pt_set.t
 val address_taken : t -> Ipds_mir.Var.Set.t
 (** Variables whose address is ever taken; the possible targets of an
     unknown dereference. *)
+
+val func_fingerprint : t -> fname:string -> string
+(** Hex digest of the slice of the solution observable from one
+    function: its register points-to sets, the program-wide escape set
+    and the address-taken set.  Part of the per-function content digest
+    that keys the incremental artifact cache. *)

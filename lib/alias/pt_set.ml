@@ -29,6 +29,18 @@ let is_empty t =
 
 let subsumes_anything t = t.unknown || not (Int_set.is_empty t.params)
 
+(* Canonical rendering for content digests: variable ids (program-wide
+   unique) rather than names, so renamings that change binding structure
+   cannot collide. *)
+let render t =
+  Printf.sprintf "v[%s]p[%s]%c"
+    (String.concat ","
+       (List.map
+          (fun v -> string_of_int v.Mir.Var.id)
+          (Mir.Var.Set.elements t.vars)))
+    (String.concat "," (List.map string_of_int (Int_set.elements t.params)))
+    (if t.unknown then '?' else '.')
+
 let pp ppf t =
   let items =
     List.map (fun v -> v.Mir.Var.name) (Mir.Var.Set.elements t.vars)

@@ -23,4 +23,7 @@ val subsumes_anything : t -> bool
 (** True when a dereference through this set may touch arbitrary
     address-taken memory ([unknown] or any parameter pointee). *)
 
+val render : t -> string
+(** Canonical digest-stable rendering (variable ids, sorted). *)
+
 val pp : Format.formatter -> t -> unit

@@ -51,6 +51,17 @@ let pp ppf t =
     Format.fprintf ppf "writes{%s}" (String.concat ", " (args @ globals @ foreign))
   end
 
+let fingerprint t =
+  Printf.sprintf "a[%s]g[%s]f[%s]%c"
+    (String.concat "," (List.map string_of_int (Int_set.elements t.args)))
+    (String.concat ","
+       (List.map (fun v -> string_of_int v.Mir.Var.id)
+          (Mir.Var.Set.elements t.globals)))
+    (String.concat ","
+       (List.map (fun v -> string_of_int v.Mir.Var.id)
+          (Mir.Var.Set.elements t.foreign_vars)))
+    (if t.any then '*' else '.')
+
 type mode =
   [ `Faithful
   | `Precise_globals

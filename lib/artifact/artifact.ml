@@ -43,53 +43,64 @@ let decode_layout bytes =
         (name, base, count))
   with Invalid_argument m -> corrupt "layout section: %s" m
 
-(* ---------- funcinfo section ---------- *)
+(* ---------- index section ---------- *)
 
 type func_meta = {
   m_name : string;
   m_entry_pc : int;
   m_branches : int;
+  m_digest : string;
   m_checked : int list;
 }
 
-let encode_funcinfo funcs =
+let encode_meta w name (i : Core.System.func_info) =
+  push_str w name;
+  W.push w ~width:32 i.Core.System.entry_pc;
+  W.push w ~width:16 i.Core.System.tables.Core.Tables.n_branches;
+  push_str w i.Core.System.digest;
+  let checked = i.Core.System.result.Corr.Analysis.checked in
+  W.push w ~width:16 (List.length checked);
+  List.iter (fun iid -> W.push w ~width:32 iid) checked
+
+let decode_meta r =
+  let m_name = pull_str r in
+  let m_entry_pc = R.pull r ~width:32 in
+  let m_branches = R.pull r ~width:16 in
+  let m_digest = pull_str r in
+  let n_checked = R.pull r ~width:16 in
+  let m_checked = List.init n_checked (fun _ -> R.pull r ~width:32) in
+  { m_name; m_entry_pc; m_branches; m_digest; m_checked }
+
+let encode_index funcs =
   let w = W.create () in
   W.push w ~width:16 (List.length funcs);
-  List.iter
-    (fun (name, (i : Core.System.func_info)) ->
-      push_str w name;
-      W.push w ~width:32 i.Core.System.entry_pc;
-      W.push w ~width:16 i.Core.System.tables.Core.Tables.n_branches;
-      let checked = i.Core.System.result.Corr.Analysis.checked in
-      W.push w ~width:16 (List.length checked);
-      List.iter (fun iid -> W.push w ~width:32 iid) checked)
-    funcs;
+  List.iter (fun (name, info) -> encode_meta w name info) funcs;
   W.contents w
 
-let decode_funcinfo bytes =
+let decode_index bytes =
   try
     let r = R.of_bytes bytes in
     let n = R.pull r ~width:16 in
-    List.init n (fun _ ->
-        let m_name = pull_str r in
-        let m_entry_pc = R.pull r ~width:32 in
-        let m_branches = R.pull r ~width:16 in
-        let n_checked = R.pull r ~width:16 in
-        let m_checked = List.init n_checked (fun _ -> R.pull r ~width:32) in
-        { m_name; m_entry_pc; m_branches; m_checked })
-  with Invalid_argument m -> corrupt "funcinfo section: %s" m
+    List.init n (fun _ -> decode_meta r)
+  with Invalid_argument m -> corrupt "index section: %s" m
 
 (* ---------- save ---------- *)
+
+let fsect i = Printf.sprintf "f%d" i
 
 let to_bytes (sys : Core.System.t) =
   Object_file.to_bytes
     ~sections:
-      [
-        ("code", Bytes.of_string (Mir.Printer.program_to_string sys.Core.System.program));
-        ("layout", encode_layout (Mir.Layout.entries sys.Core.System.layout));
-        ("funcinfo", encode_funcinfo sys.Core.System.funcs);
-        ("tables", Core.Encode.program_image sys);
-      ]
+      (("code",
+        Bytes.of_string (Mir.Printer.program_to_string sys.Core.System.program))
+      :: ("layout", encode_layout (Mir.Layout.entries sys.Core.System.layout))
+      :: ("index", encode_index sys.Core.System.funcs)
+      :: List.mapi
+           (fun i (_, (info : Core.System.func_info)) ->
+             ( fsect i,
+               Core.Encode.function_image ~entry_pc:info.Core.System.entry_pc
+                 info.Core.System.tables ))
+           sys.Core.System.funcs)
 
 (* ---------- load ---------- *)
 
@@ -97,8 +108,8 @@ let to_bytes (sys : Core.System.t) =
    tables: the collision-free hash maps BAT slots back to branch iids,
    so edge and entry actions are fully recoverable; [depends] (pure
    provenance) is not and loads empty. *)
-let reconstruct ~layout (f : Mir.Func.t) ~entry_pc ~(tables : Core.Tables.t)
-    ~checked ~n_branches =
+let reconstruct ~layout (f : Mir.Func.t) ~entry_pc ~digest
+    ~(tables : Core.Tables.t) ~checked ~n_branches =
   let fname = f.Mir.Func.name in
   let branch_iids = List.map fst (Mir.Func.branches f) in
   if
@@ -153,6 +164,7 @@ let reconstruct ~layout (f : Mir.Func.t) ~entry_pc ~(tables : Core.Tables.t)
     tables.Core.Tables.bat;
   {
     Core.System.entry_pc;
+    digest;
     tables =
       {
         tables with
@@ -183,22 +195,21 @@ let of_bytes bytes =
   let layout = Mir.Layout.make program in
   if decode_layout (sect "layout") <> Mir.Layout.entries layout then
     corrupt "layout section disagrees with code section";
-  let table_list =
-    try Core.Encode.load_program (sect "tables")
-    with Invalid_argument m -> corrupt "tables section: %s" m
-  in
-  let metas = decode_funcinfo (sect "funcinfo") in
-  if List.length metas <> List.length table_list then
-    corrupt "funcinfo and tables sections disagree on function count";
+  let metas = decode_index (sect "index") in
   if List.length metas <> List.length program.Mir.Program.funcs then
-    corrupt "funcinfo disagrees with code section on function count";
+    corrupt "index disagrees with code section on function count";
   let funcs =
-    List.map2
-      (fun meta (tname, (tpc, tables)) ->
-        if not (String.equal meta.m_name tname) then
-          corrupt "funcinfo/tables order disagree (%s vs %s)" meta.m_name tname;
+    List.mapi
+      (fun i meta ->
+        let tpc, tables =
+          try Core.Encode.decode_function (sect (fsect i))
+          with Invalid_argument m -> corrupt "section %s: %s" (fsect i) m
+        in
+        if not (String.equal meta.m_name tables.Core.Tables.fname) then
+          corrupt "index/%s disagree on name (%s vs %s)" (fsect i) meta.m_name
+            tables.Core.Tables.fname;
         if meta.m_entry_pc <> tpc then
-          corrupt "%s: funcinfo/tables disagree on entry pc" meta.m_name;
+          corrupt "%s: index/tables disagree on entry pc" meta.m_name;
         let f =
           match Mir.Program.find_func program meta.m_name with
           | Some f -> f
@@ -207,11 +218,53 @@ let of_bytes bytes =
         if Mir.Layout.func_base layout meta.m_name <> meta.m_entry_pc then
           corrupt "%s: entry pc disagrees with layout" meta.m_name;
         ( meta.m_name,
-          reconstruct ~layout f ~entry_pc:meta.m_entry_pc ~tables
-            ~checked:meta.m_checked ~n_branches:meta.m_branches ))
-      metas table_list
+          reconstruct ~layout f ~entry_pc:meta.m_entry_pc ~digest:meta.m_digest
+            ~tables ~checked:meta.m_checked ~n_branches:meta.m_branches ))
+      metas
   in
-  { Core.System.program; layout; funcs }
+  Core.System.make ~program ~layout ~funcs
+
+(* ---------- single-function blobs (incremental cache tier) ---------- *)
+
+let func_image (info : Core.System.func_info) =
+  let w = W.create () in
+  encode_meta w info.Core.System.result.Corr.Analysis.func.Mir.Func.name info;
+  Object_file.to_bytes
+    ~sections:
+      [
+        ("meta", W.contents w);
+        ( "tables",
+          Core.Encode.function_image ~entry_pc:info.Core.System.entry_pc
+            info.Core.System.tables );
+      ]
+
+let func_of_image ~digest ~layout (f : Mir.Func.t) bytes =
+  let sections = Object_file.of_bytes bytes in
+  let sect name =
+    match List.assoc_opt name sections with
+    | Some b -> b
+    | None -> corrupt "missing section %s" name
+  in
+  let meta =
+    try
+      let r = R.of_bytes (sect "meta") in
+      decode_meta r
+    with Invalid_argument m -> corrupt "meta section: %s" m
+  in
+  let tpc, tables =
+    try Core.Encode.decode_function (sect "tables")
+    with Invalid_argument m -> corrupt "tables section: %s" m
+  in
+  if not (String.equal meta.m_name f.Mir.Func.name) then
+    corrupt "function blob is for %s, wanted %s" meta.m_name f.Mir.Func.name;
+  if not (String.equal meta.m_digest digest) then
+    corrupt "%s: function blob digest mismatch" meta.m_name;
+  if meta.m_entry_pc <> tpc then
+    corrupt "%s: meta/tables disagree on entry pc" meta.m_name;
+  if Mir.Layout.func_base layout meta.m_name <> meta.m_entry_pc then
+    corrupt "%s: entry pc disagrees with current layout" meta.m_name;
+  reconstruct ~layout f ~entry_pc:meta.m_entry_pc ~digest:meta.m_digest ~tables
+    ~checked:meta.m_checked ~n_branches:meta.m_branches
 
 (* ---------- files ---------- *)
 
@@ -235,6 +288,7 @@ type func_summary = {
   fname : string;
   entry_pc : int;
   n_branches : int;
+  digest : string;
   sizes : Ipds_core.Tables.sizes;
 }
 
@@ -261,6 +315,7 @@ let inspect_bytes bytes =
                    fname = name;
                    entry_pc = i.Core.System.entry_pc;
                    n_branches = i.Core.System.tables.Core.Tables.n_branches;
+                   digest = i.Core.System.digest;
                    sizes = Core.Tables.sizes i.Core.System.tables;
                  })
                sys.Core.System.funcs)
@@ -288,7 +343,9 @@ let pp_inspection ppf t =
       List.iter
         (fun f ->
           Format.fprintf ppf
-            "  func %-16s entry 0x%x  %3d branches  BSV %d / BCV %d / BAT %d bits@."
-            f.fname f.entry_pc f.n_branches f.sizes.Core.Tables.bsv_bits
-            f.sizes.Core.Tables.bcv_bits f.sizes.Core.Tables.bat_bits)
+            "  func %-16s entry 0x%x  %3d branches  digest %s  BSV %d / BCV %d / BAT %d bits@."
+            f.fname f.entry_pc f.n_branches
+            (String.sub f.digest 0 (min 12 (String.length f.digest)))
+            f.sizes.Core.Tables.bsv_bits f.sizes.Core.Tables.bcv_bits
+            f.sizes.Core.Tables.bat_bits)
         funcs

@@ -1,18 +1,26 @@
-(** Versioned, checksummed IPDS object files ("[.ipds]").
+(** Versioned, checksummed IPDS object files ("[.ipds]"), format v2.
 
     The paper's deployment model has the compiler attach the packed
     BSV/BCV/BAT images to the binary and the IPDS unit load them at run
     time (§5).  An artifact is exactly that shippable image: a
-    {!Object_file} container with four sections —
+    {!Object_file} container with —
 
     - ["code"]: the MIR program, printed by {!Ipds_mir.Printer} and
       parsed back by {!Ipds_mir.Parser};
     - ["layout"]: the code layout ({!Ipds_mir.Layout.entries}),
       bit-packed with {!Ipds_core.Bitstream};
-    - ["funcinfo"]: per-function metadata (name, entry PC, branch count,
-      checked-branch ids), bit-packed;
-    - ["tables"]: the packed table images from
-      {!Ipds_core.Encode.program_image}.
+    - ["index"]: per-function metadata (name, entry PC, branch count,
+      content digest, checked-branch ids), bit-packed;
+    - ["f0"], ["f1"], …: one packed table image per function, from
+      {!Ipds_core.Encode.function_image}, in program order.
+
+    Function granularity is what makes the incremental cache work: each
+    function's tables live in their own section keyed (via the index) by
+    the {!Ipds_core.System.func_digest} content digest, and the same
+    per-function encoding is reused for the standalone blobs of the
+    store's function tier ({!func_image}/{!func_of_image}).  The v1
+    monolithic-["tables"] layout is gone; v1 files fail the container
+    version check and load as a full cache miss.
 
     Loading rebuilds an {!Ipds_core.System.t} without running the MiniC
     front end or the correlation analysis: tables are decoded, the BAT
@@ -43,12 +51,33 @@ val load_file : string -> Ipds_core.System.t
 val is_artifact_file : string -> bool
 (** Sniffs the {!Object_file.magic} (false for unreadable files). *)
 
+(** {2 Single-function blobs}
+
+    The store's function-granular cache tier: one function's metadata
+    and packed tables in a self-checking container, addressed by its
+    content digest. *)
+
+val func_image : Ipds_core.System.func_info -> Bytes.t
+
+val func_of_image :
+  digest:string ->
+  layout:Ipds_mir.Layout.t ->
+  Ipds_mir.Func.t ->
+  Bytes.t ->
+  Ipds_core.System.func_info
+(** Decode a blob previously written by {!func_image} for a function
+    whose current content digest is [digest].  Raises {!Corrupt} on any
+    integrity failure or if the blob does not match the function
+    ([digest], name, entry PC under the current layout, branch
+    population) — callers treat that as a cache miss. *)
+
 (** {2 Inspection} *)
 
 type func_summary = {
   fname : string;
   entry_pc : int;
   n_branches : int;
+  digest : string;
   sizes : Ipds_core.Tables.sizes;
 }
 

@@ -1,0 +1,13 @@
+module Core = Ipds_core
+
+let system ?options ?pool store ~key compile =
+  match Store.load_system store key with
+  | Some sys -> sys
+  | None ->
+      let program = compile () in
+      let sys =
+        Core.System.build ?options ?pool ~func_cache:(Store.func_cache store)
+          program
+      in
+      Store.publish_system store key sys;
+      sys

@@ -3,11 +3,15 @@ exception Corrupt of string
 let corrupt fmt = Printf.ksprintf (fun s -> raise (Corrupt s)) fmt
 
 let magic = "IPDSOBJF"
-let format_version = 1
+
+(* v2: per-function table sections + index with content digests
+   (function-granular incremental cache).  v1 files (monolithic
+   "tables" section) fail the version check and load as a miss. *)
+let format_version = 2
 let header_bytes = 32
 let entry_bytes = 20
 let name_bytes = 8
-let max_sections = 1024
+let max_sections = 4096
 
 type section_info = {
   s_name : string;

@@ -15,6 +15,9 @@ let dir t = t.dir
 let m_hits = Ipds_obs.Registry.counter "store.hits"
 let m_misses = Ipds_obs.Registry.counter "store.misses"
 let m_corrupt = Ipds_obs.Registry.counter "store.corrupt"
+let m_fn_hits = Ipds_obs.Registry.counter "store.fn_hits"
+let m_fn_misses = Ipds_obs.Registry.counter "store.fn_misses"
+let m_fn_corrupt = Ipds_obs.Registry.counter "store.fn_corrupt"
 let m_bytes_read = Ipds_obs.Registry.counter "store.bytes_read"
 let m_bytes_written = Ipds_obs.Registry.counter "store.bytes_written"
 let span_load = "store.load"
@@ -24,6 +27,9 @@ type counters = {
   hits : int;
   misses : int;
   corrupt : int;
+  fn_hits : int;
+  fn_misses : int;
+  fn_corrupt : int;
   bytes_read : int;
   bytes_written : int;
   load_seconds : float;
@@ -37,6 +43,9 @@ let counters () =
     hits = v m_hits;
     misses = v m_misses;
     corrupt = v m_corrupt;
+    fn_hits = v m_fn_hits;
+    fn_misses = v m_fn_misses;
+    fn_corrupt = v m_fn_corrupt;
     bytes_read = v m_bytes_read;
     bytes_written = v m_bytes_written;
     load_seconds = seconds span_load;
@@ -45,19 +54,22 @@ let counters () =
 
 let reset_counters () =
   List.iter Ipds_obs.Registry.counter_reset
-    [ m_hits; m_misses; m_corrupt; m_bytes_read; m_bytes_written ];
+    [
+      m_hits;
+      m_misses;
+      m_corrupt;
+      m_fn_hits;
+      m_fn_misses;
+      m_fn_corrupt;
+      m_bytes_read;
+      m_bytes_written;
+    ];
   Ipds_obs.Span.clear span_load;
   Ipds_obs.Span.clear span_publish
 
 (* ---------- keys & paths ---------- *)
 
-let options_fingerprint (o : Corr.Analysis.options) =
-  Printf.sprintf "store_load=%b;load_load=%b;affine=%b;summary=%s"
-    o.Corr.Analysis.store_load o.Corr.Analysis.load_load
-    o.Corr.Analysis.affine_tracing
-    (match o.Corr.Analysis.summary_mode with
-    | `Faithful -> "faithful"
-    | `Precise_globals -> "precise-globals")
+let options_fingerprint = Corr.Analysis.options_fingerprint
 
 let key ~source ~promote ~options =
   Digest.to_hex
@@ -125,6 +137,68 @@ let publish_system t key sys =
                 ("bytes", Ipds_obs.Json.Int written);
               ]
       | exception Sys_error _ -> ()  (* read-only or full cache dir: skip *))
+
+(* ---------- function tier ----------
+
+   Single-function blobs under <dir>/fn/, addressed by the function's
+   content digest ({!Ipds_core.System.func_digest}) plus the artifact
+   format version.  [System.build] consults this tier through
+   {!func_cache} before running the analyze/tables passes, so after a
+   one-function edit only that function is re-analyzed. *)
+
+let fn_path t digest =
+  let key =
+    Digest.to_hex
+      (Digest.string
+         (String.concat "\x00"
+            [ "ipds-fn"; string_of_int Object_file.format_version; digest ]))
+  in
+  Filename.concat t.dir
+    (Filename.concat "fn"
+       (Filename.concat (String.sub key 0 2) (key ^ ".ipds")))
+
+let load_func t ~digest ~layout f =
+  let path = fn_path t digest in
+  Ipds_obs.Span.time span_load (fun () ->
+      match Object_file.read_file path with
+      | exception Sys_error _ ->
+          Ipds_obs.Registry.incr m_fn_misses;
+          None
+      | bytes -> (
+          match Artifact.func_of_image ~digest ~layout f bytes with
+          | info ->
+              Ipds_obs.Registry.incr m_fn_hits;
+              Ipds_obs.Registry.add m_bytes_read (Bytes.length bytes);
+              Some info
+          | exception Artifact.Corrupt reason ->
+              Ipds_obs.Registry.incr m_fn_misses;
+              Ipds_obs.Registry.incr m_fn_corrupt;
+              if Ipds_obs.Events.enabled () then
+                Ipds_obs.Events.emit ~kind:"store.fn_corrupt"
+                  [
+                    ("path", Ipds_obs.Json.String path);
+                    ("reason", Ipds_obs.Json.String reason);
+                  ];
+              None))
+
+let publish_func t ~digest info =
+  let path = fn_path t digest in
+  Ipds_obs.Span.time span_publish (fun () ->
+      match
+        mkdirs (Filename.dirname path);
+        let bytes = Artifact.func_image info in
+        Object_file.write_file_atomic path bytes;
+        Bytes.length bytes
+      with
+      | written -> Ipds_obs.Registry.add m_bytes_written written
+      | exception Sys_error _ -> ())
+
+let func_cache t =
+  {
+    Ipds_core.System.lookup =
+      (fun ~digest ~layout f -> load_func t ~digest ~layout f);
+    publish = (fun ~digest info -> publish_func t ~digest info);
+  }
 
 (* ---------- ambient store ---------- *)
 

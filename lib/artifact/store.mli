@@ -43,6 +43,28 @@ val publish_system : t -> string -> Ipds_core.System.t -> unit
 (** Atomic; IO errors (read-only dir, disk full) are swallowed — the
     cache is an optimisation, not a correctness dependency. *)
 
+(** {2 Function tier}
+
+    Single-function blobs under [<dir>/fn/], addressed by the content
+    digest {!Ipds_core.System.func_digest} assigns each function (plus
+    the artifact format version).  This is what makes rebuilds
+    incremental at function granularity: a whole-program miss still
+    hits here for every function whose digest is unchanged. *)
+
+val load_func :
+  t ->
+  digest:string ->
+  layout:Ipds_mir.Layout.t ->
+  Ipds_mir.Func.t ->
+  Ipds_core.System.func_info option
+(** [None] on absent or corrupt blobs (counted as [fn_misses]). *)
+
+val publish_func : t -> digest:string -> Ipds_core.System.func_info -> unit
+
+val func_cache : t -> Ipds_core.System.func_cache
+(** The two hooks above packaged for
+    [Ipds_core.System.build ~func_cache]. *)
+
 (** {2 Ambient store} *)
 
 val set_ambient_dir : string option -> unit
@@ -59,6 +81,9 @@ type counters = {
   hits : int;
   misses : int;  (** absent entries and corrupt/skewed entries alike *)
   corrupt : int;  (** the subset of misses caused by damaged entries *)
+  fn_hits : int;  (** function-tier hits (functions not re-analyzed) *)
+  fn_misses : int;  (** function-tier misses (functions analyzed fresh) *)
+  fn_corrupt : int;  (** the subset of [fn_misses] from damaged blobs *)
   bytes_read : int;
   bytes_written : int;
   load_seconds : float;  (** wall-clock spent loading artifacts (warm path) *)

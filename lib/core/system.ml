@@ -1,8 +1,10 @@
 module Mir = Ipds_mir
 module Corr = Ipds_correlation
+module Pass = Ipds_pass.Pass
 
 type func_info = {
   entry_pc : int;
+  digest : string;
   tables : Tables.t;
   result : Corr.Analysis.result;
 }
@@ -11,44 +13,131 @@ type t = {
   program : Mir.Program.t;
   layout : Mir.Layout.t;
   funcs : (string * func_info) list;
+  by_name : (string, func_info) Hashtbl.t;
+}
+
+let make ~program ~layout ~funcs =
+  let by_name = Hashtbl.create (max 16 (List.length funcs)) in
+  List.iter (fun (name, info) -> Hashtbl.replace by_name name info) funcs;
+  { program; layout; funcs; by_name }
+
+(* The compile pipeline as declared passes.  Program-scope passes run
+   once per build; Function-scope passes run once per unit of work, so
+   their unit counters expose cache effectiveness (a warm incremental
+   build runs [digest] for every function but [analyze]/[tables] only
+   for the invalidated ones). *)
+
+let pass_layout = Pass.v ~name:"layout" ~scope:Pass.Program Mir.Layout.make
+
+let pass_prepare =
+  Pass.v ~name:"prepare" ~scope:Pass.Program
+    (fun ((options : Corr.Analysis.options), program) ->
+      Corr.Context.prepare ~mode:options.Corr.Analysis.summary_mode program)
+
+(* Everything the per-function stage can observe, folded into one hex
+   digest: the printed body (instructions, var ids), the base PC (table
+   hashes key absolute branch PCs, so layout shifts must invalidate),
+   the program-wide slice the function reads, and the option set. *)
+let func_digest ~options ~layout pw (f : Mir.Func.t) =
+  Digest.to_hex
+    (Digest.string
+       (String.concat "\x00"
+          [
+            "ipds-func";
+            Corr.Analysis.options_fingerprint options;
+            string_of_int (Mir.Layout.func_base layout f.Mir.Func.name);
+            Corr.Context.slice_fingerprint pw f;
+            Mir.Printer.func_to_string f;
+          ]))
+
+let pass_digest =
+  Pass.v ~name:"digest" ~scope:Pass.Function
+    (fun (options, layout, pw, f) -> func_digest ~options ~layout pw f)
+
+let pass_analyze =
+  Pass.v ~name:"analyze" ~scope:Pass.Function (fun (options, pw, f) ->
+      Corr.Analysis.analyze_func ~options pw f)
+
+let pass_tables =
+  Pass.v ~name:"tables" ~scope:Pass.Function (fun (layout, result) ->
+      Tables.build ~layout result)
+
+type func_cache = {
+  lookup :
+    digest:string -> layout:Mir.Layout.t -> Mir.Func.t -> func_info option;
+  publish : digest:string -> func_info -> unit;
 }
 
 let builds = Atomic.make 0
 let build_count () = Atomic.get builds
 let m_builds = Ipds_obs.Registry.counter "system.builds"
 
-let build ?options program =
+let build ?options ?pool ?func_cache program =
+  let options = Option.value options ~default:Corr.Analysis.default_options in
   Atomic.incr builds;
   Ipds_obs.Registry.incr m_builds;
   Ipds_obs.Span.time "core.build" (fun () ->
-      let layout = Mir.Layout.make program in
-      let results = Corr.Analysis.analyze_program ?options program in
-      let funcs =
-        List.map
-          (fun (name, result) ->
-            let tables = Tables.build ~layout result in
-            (name, { entry_pc = Mir.Layout.func_base layout name; tables; result }))
-          results
+      let layout = Pass.run pass_layout program in
+      let pw = Pass.run pass_prepare (options, program) in
+      let compile_func (f : Mir.Func.t) =
+        let name = f.Mir.Func.name in
+        let digest = Pass.run pass_digest (options, layout, pw, f) in
+        let cached =
+          match func_cache with
+          | Some c -> c.lookup ~digest ~layout f
+          | None -> None
+        in
+        match cached with
+        | Some info -> (name, info)
+        | None ->
+            let result = Pass.run pass_analyze (options, pw, f) in
+            let tables = Pass.run pass_tables (layout, result) in
+            let info =
+              {
+                entry_pc = Mir.Layout.func_base layout name;
+                digest;
+                tables;
+                result;
+              }
+            in
+            (match func_cache with
+            | Some c -> c.publish ~digest info
+            | None -> ());
+            (name, info)
       in
-      { program; layout; funcs })
+      (* Fan the per-function stage out; [map'] preserves list order, so
+         the result is bit-identical to the sequential build. *)
+      let funcs =
+        Ipds_parallel.Pool.map' pool compile_func program.Mir.Program.funcs
+      in
+      make ~program ~layout ~funcs)
 
-(* Programs are pure data, so structural keys are safe; workload
-   programs are themselves memoised, so in practice lookups hit the
-   physical-equality fast path of [Hashtbl]'s structural compare. *)
-let cache : (Mir.Program.t * Corr.Analysis.options, t) Ipds_parallel.Memo.t =
-  Ipds_parallel.Memo.create ()
+(* The memo is keyed by a content digest of the printed program and the
+   option fingerprint — not by the structural [(Program.t, options)]
+   pair, whose deep compare walked the whole IR on every lookup and
+   whose closure-bearing [options] made hashing fragile. *)
+let cache : (string, t) Ipds_parallel.Memo.t = Ipds_parallel.Memo.create ()
 
-let cached_build ?options program =
+let build_key ~options program =
+  Digest.to_hex
+    (Digest.string
+       (Corr.Analysis.options_fingerprint options
+       ^ "\x00"
+       ^ Mir.Printer.program_to_string program))
+
+let cached_build ?options ?pool program =
   let options = Option.value options ~default:Corr.Analysis.default_options in
-  Ipds_parallel.Memo.find_or_add cache (program, options) (fun () ->
-      build ~options program)
+  Ipds_parallel.Memo.find_or_add cache (build_key ~options program) (fun () ->
+      build ~options ?pool program)
 
 let seed_cache ?options program t =
   let options = Option.value options ~default:Corr.Analysis.default_options in
-  ignore (Ipds_parallel.Memo.find_or_add cache (program, options) (fun () -> t))
+  ignore
+    (Ipds_parallel.Memo.find_or_add cache (build_key ~options program)
+       (fun () -> t))
 
 let info t name =
-  match List.assoc_opt name t.funcs with
+  match Hashtbl.find_opt t.by_name name with
   | Some i -> i
   | None -> invalid_arg (Printf.sprintf "System: unknown function %s" name)
 

@@ -1,8 +1,18 @@
 (** The whole IPDS compile-side pipeline: correlation analysis, table
-    construction and the function information table (paper Figure 6). *)
+    construction and the function information table (paper Figure 6).
+
+    The pipeline is expressed as declared {!Ipds_pass.Pass} stages —
+    [layout] and [prepare] are program-wide, [digest], [analyze] and
+    [tables] are per-function — so every build is timed and counted
+    per pass, and the per-function stages can fan out over an
+    {!Ipds_parallel.Pool} or be skipped entirely on an incremental
+    cache hit. *)
 
 type func_info = {
   entry_pc : int;
+  digest : string;
+      (** hex content digest of everything the per-function stage can
+          observe; keys the incremental per-function artifact cache *)
   tables : Tables.t;
   result : Ipds_correlation.Analysis.result;
 }
@@ -11,17 +21,64 @@ type t = {
   program : Ipds_mir.Program.t;
   layout : Ipds_mir.Layout.t;
   funcs : (string * func_info) list;
+      (** deterministic program order — printing and stats iterate this *)
+  by_name : (string, func_info) Hashtbl.t;
+      (** O(1) lookups for the checker; always construct via {!make} so
+          it stays consistent with [funcs] *)
 }
 
+val make :
+  program:Ipds_mir.Program.t ->
+  layout:Ipds_mir.Layout.t ->
+  funcs:(string * func_info) list ->
+  t
+(** The only way to assemble a [t] by hand (artifact loading); derives
+    [by_name] from [funcs]. *)
+
+val func_digest :
+  options:Ipds_correlation.Analysis.options ->
+  layout:Ipds_mir.Layout.t ->
+  Ipds_correlation.Context.program_wide ->
+  Ipds_mir.Func.t ->
+  string
+(** Content digest of (printed body, base PC, program-wide slice,
+    options).  Two builds assign a function the same digest exactly
+    when its analysis and tables are guaranteed byte-identical. *)
+
+type func_cache = {
+  lookup :
+    digest:string ->
+    layout:Ipds_mir.Layout.t ->
+    Ipds_mir.Func.t ->
+    func_info option;
+  publish : digest:string -> func_info -> unit;
+}
+(** Hooks the artifact layer plugs into {!build}: [lookup] may return a
+    previously published [func_info] for the same digest (skipping the
+    analyze/tables passes for that function), [publish] is called for
+    every freshly analyzed function. *)
+
 val build :
-  ?options:Ipds_correlation.Analysis.options -> Ipds_mir.Program.t -> t
+  ?options:Ipds_correlation.Analysis.options ->
+  ?pool:Ipds_parallel.Pool.t ->
+  ?func_cache:func_cache ->
+  Ipds_mir.Program.t ->
+  t
+(** Run the pipeline.  The per-function stage fans out over [pool]
+    (order-preserving, so the result is bit-identical to the
+    sequential build for any job count) and consults [func_cache]
+    before analyzing each function. *)
 
 val cached_build :
-  ?options:Ipds_correlation.Analysis.options -> Ipds_mir.Program.t -> t
-(** Like {!build} but memoised per [(program, options)] — domain-safe
-    and exactly-once, so every experiment in a bench run shares one
-    analysis + table construction per configuration.  Omitted [options]
-    and explicit default options share a cache entry. *)
+  ?options:Ipds_correlation.Analysis.options ->
+  ?pool:Ipds_parallel.Pool.t ->
+  Ipds_mir.Program.t ->
+  t
+(** Like {!build} but memoised — domain-safe and exactly-once, so every
+    experiment in a bench run shares one analysis + table construction
+    per configuration.  The memo key is a content digest of the printed
+    program and the option fingerprint, so omitted [options] and
+    explicit default options share an entry. *)
 
 val build_count : unit -> int
 (** How many (non-cached) builds have actually run in this process. *)
@@ -30,9 +87,11 @@ val seed_cache :
   ?options:Ipds_correlation.Analysis.options -> Ipds_mir.Program.t -> t -> unit
 (** Pre-populate the {!cached_build} memo with a system obtained
     elsewhere (an on-disk artifact), so later [cached_build] calls for
-    the same [(program, options)] return it without analyzing.  A
-    no-op when an entry already exists; does not bump
-    {!build_count}. *)
+    the same program return it without analyzing.  A no-op when an
+    entry already exists; does not bump {!build_count}. *)
+
+val info : t -> string -> func_info
+(** Raises [Invalid_argument] for unknown functions. *)
 
 val tables : t -> string -> Tables.t
 (** Raises [Invalid_argument] for unknown functions. *)

@@ -25,6 +25,13 @@ type options = {
 let default_options =
   { store_load = true; load_load = true; affine_tracing = true; summary_mode = `Faithful }
 
+let options_fingerprint o =
+  Printf.sprintf "store_load=%b;load_load=%b;affine=%b;summary=%s" o.store_load
+    o.load_load o.affine_tracing
+    (match o.summary_mode with
+    | `Faithful -> "faithful"
+    | `Precise_globals -> "precise-globals")
+
 (* ---------- Working state ---------- *)
 
 type fact = {
@@ -387,12 +394,12 @@ let analyze_with st =
     entry_actions = List.filter keep entry_actions;
   }
 
-let analyze pw func =
+let analyze_func ?(options = default_options) pw func =
   let ctx = Context.for_func pw func in
   let st =
     {
       ctx;
-      opts = default_options;
+      opts = options;
       kills_cache = Cell.Map.empty;
       reach_cache = Hashtbl.create 64;
       coreach_cache = Hashtbl.create 64;
@@ -400,21 +407,12 @@ let analyze pw func =
   in
   analyze_with st
 
+let analyze pw func = analyze_func pw func
+
 let analyze_program ?(options = default_options) prog =
   let pw = Context.prepare ~mode:options.summary_mode prog in
   List.map
-    (fun (f : Mir.Func.t) ->
-      let ctx = Context.for_func pw f in
-      let st =
-        {
-          ctx;
-          opts = options;
-          kills_cache = Cell.Map.empty;
-          reach_cache = Hashtbl.create 64;
-          coreach_cache = Hashtbl.create 64;
-        }
-      in
-      (f.name, analyze_with st))
+    (fun (f : Mir.Func.t) -> (f.Mir.Func.name, analyze_func ~options pw f))
     prog.Mir.Program.funcs
 
 let actions_for result edge =

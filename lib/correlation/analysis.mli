@@ -34,6 +34,7 @@ type result = {
 }
 
 val analyze : Context.program_wide -> Ipds_mir.Func.t -> result
+(** [analyze_func] with default options (historical entry point). *)
 
 type options = {
   store_load : bool;  (** store–load correlations (§4 scenario 1/3) *)
@@ -44,6 +45,15 @@ type options = {
 }
 
 val default_options : options
+
+val options_fingerprint : options -> string
+(** Canonical rendering for cache keys and content digests. *)
+
+val analyze_func :
+  ?options:options -> Context.program_wide -> Ipds_mir.Func.t -> result
+(** The pure per-function stage: everything program-wide it consumes
+    comes through the prepared {!Context.program_wide}, so distinct
+    functions can be analyzed concurrently from separate domains. *)
 
 val analyze_program :
   ?options:options -> Ipds_mir.Program.t -> (string * result) list

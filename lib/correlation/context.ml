@@ -31,6 +31,34 @@ let for_func pw (func : Mir.Func.t) =
   Mir.Func.iter_instrs func (fun iid op -> may_def_of.(iid) <- Alias.Access.may_defs access op);
   { program = pw.prog; func; cfg; pgraph; rdefs; access; may_def_of }
 
+(* Everything one function's analysis reads from the program-wide
+   preparation: its slice of the points-to solution and the summaries of
+   its callees (the only summaries [Access] consults for it).  Also
+   covers the program-wide variable numbering, which cell identity
+   depends on.  Editing a function without disturbing any of these
+   leaves every other function's digest — and cached analysis — valid. *)
+let slice_fingerprint pw (func : Mir.Func.t) =
+  let callees = ref [] in
+  Mir.Func.iter_instrs func (fun _ op ->
+      match op with
+      | Mir.Op.Call { callee; _ } ->
+          if not (List.mem callee !callees) then callees := callee :: !callees
+      | Mir.Op.Const _ | Mir.Op.Move _ | Mir.Op.Binop _ | Mir.Op.Load _
+      | Mir.Op.Store _ | Mir.Op.Addr_of _ | Mir.Op.Input _ | Mir.Op.Output _
+      | Mir.Op.Nop ->
+          ());
+  let callee_part =
+    List.map
+      (fun c -> c ^ "=" ^ Alias.Summary.fingerprint (pw.summaries c))
+      (List.sort String.compare !callees)
+  in
+  Digest.to_hex
+    (Digest.string
+       (String.concat "\x00"
+          (Alias.Points_to.func_fingerprint pw.points_to ~fname:func.Mir.Func.name
+          :: string_of_int pw.prog.Mir.Program.var_count
+          :: callee_part)))
+
 let kills_of_cell t cell =
   let out = ref [] in
   Array.iteri

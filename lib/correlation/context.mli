@@ -20,5 +20,12 @@ type program_wide = {
 val prepare : ?mode:Ipds_alias.Summary.mode -> Ipds_mir.Program.t -> program_wide
 val for_func : program_wide -> Ipds_mir.Func.t -> t
 
+val slice_fingerprint : program_wide -> Ipds_mir.Func.t -> string
+(** Hex digest of the program-wide state one function's analysis can
+    observe: its points-to slice, the summaries of its callees and the
+    program-wide variable numbering.  Combined with the function body,
+    base PC and analysis options it forms the content digest that keys
+    per-function incremental caching. *)
+
 val kills_of_cell : t -> Ipds_alias.Cell.t -> int list
 (** Instruction ids that may overwrite the cell. *)

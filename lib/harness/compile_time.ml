@@ -24,6 +24,57 @@ let run (w : W.t) =
 
 let run_all () = List.map run W.all
 
+(* ---------- per-pass breakdown ---------- *)
+
+type pass_row = {
+  pass : string;
+  scope : string;
+  units : int;
+  seconds : float;
+}
+
+(* Deltas of the process-wide pass metrics across [f ()], so builds run
+   by other bench targets in the same process don't pollute the
+   breakdown.  Unit counts are stable (fixed by the build set); wall
+   seconds are scheduling-dependent and reported as unstable. *)
+let with_passes f =
+  let snapshot () = Ipds_pass.Pass.report () in
+  let before = snapshot () in
+  let result = f () in
+  let units_before name =
+    match
+      List.find_opt (fun r -> String.equal r.Ipds_pass.Pass.r_name name) before
+    with
+    | Some r -> (r.Ipds_pass.Pass.r_units, r.Ipds_pass.Pass.r_seconds)
+    | None -> (0, 0.)
+  in
+  let passes =
+    List.map
+      (fun (r : Ipds_pass.Pass.report_row) ->
+        let u0, s0 = units_before r.Ipds_pass.Pass.r_name in
+        {
+          pass = r.Ipds_pass.Pass.r_name;
+          scope =
+            (match r.Ipds_pass.Pass.r_scope with
+            | Ipds_pass.Pass.Program -> "program"
+            | Ipds_pass.Pass.Function -> "function");
+          units = r.Ipds_pass.Pass.r_units - u0;
+          seconds = r.Ipds_pass.Pass.r_seconds -. s0;
+        })
+      (snapshot ())
+  in
+  (result, passes)
+
+let run_all_with_passes () = with_passes run_all
+
+let render_passes passes =
+  Table.render
+    ~header:[ "pass"; "scope"; "units"; "wall seconds (unstable)" ]
+    (List.map
+       (fun p ->
+         [ p.pass; p.scope; string_of_int p.units; Printf.sprintf "%.4f" p.seconds ])
+       passes)
+
 let render rows =
   Table.render
     ~header:[ "benchmark"; "compile seconds"; "hash attempts" ]

@@ -11,3 +11,19 @@ type row = {
 val run : Ipds_workloads.Workloads.t -> row
 val run_all : unit -> row list
 val render : row list -> string
+
+(** {2 Per-pass breakdown} *)
+
+type pass_row = {
+  pass : string;  (** stable pipeline name ({!Ipds_pass.Pass}) *)
+  scope : string;  (** ["program"] or ["function"] *)
+  units : int;  (** stable: units processed (fixed by the build set) *)
+  seconds : float;  (** unstable: accumulated wall-clock *)
+}
+
+val run_all_with_passes : unit -> row list * pass_row list
+(** {!run_all} plus the delta of every pipeline pass across it, in
+    pipeline order — the per-pass compile-time breakdown the bench
+    [compile-time] target reports. *)
+
+val render_passes : pass_row list -> string

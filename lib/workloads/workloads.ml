@@ -104,20 +104,20 @@ let systems :
     Ipds_parallel.Memo.t =
   Ipds_parallel.Memo.create ()
 
-let system ?(promote = true) ?options w =
+let system ?(promote = true) ?options ?pool w =
   let options =
     Option.value options ~default:Ipds_correlation.Analysis.default_options
   in
   Ipds_parallel.Memo.find_or_add systems (w.name, promote, options) (fun () ->
-      let store = Ipds_artifact.Store.ambient () in
-      let key () =
-        Ipds_artifact.Store.key ~source:w.source ~promote ~options
-      in
-      match
-        Option.bind store (fun s ->
-            Ipds_artifact.Store.load_system s (key ()))
-      with
-      | Some sys ->
+      match Ipds_artifact.Store.ambient () with
+      | Some store ->
+          let key = Ipds_artifact.Store.key ~source:w.source ~promote ~options in
+          let sys =
+            Ipds_artifact.Incremental.system ~options ?pool store ~key (fun () ->
+                compiled ~promote w)
+          in
+          (* A disk hit skipped the compile: seed both memos so later
+             [program]/[cached_build] lookups stay in memory. *)
           ignore
             (Ipds_parallel.Memo.find_or_add cache (w.name, promote) (fun () ->
                  sys.Ipds_core.System.program));
@@ -125,11 +125,7 @@ let system ?(promote = true) ?options w =
           sys
       | None ->
           let p = compiled ~promote w in
-          let sys = Ipds_core.System.cached_build ~options p in
-          Option.iter
-            (fun s -> Ipds_artifact.Store.publish_system s (key ()) sys)
-            store;
-          sys)
+          Ipds_core.System.cached_build ~options ?pool p)
 
 let tamper_model w =
   match w.vulnerability with

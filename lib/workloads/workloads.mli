@@ -39,15 +39,18 @@ val compile_count : unit -> int
 val system :
   ?promote:bool ->
   ?options:Ipds_correlation.Analysis.options ->
+  ?pool:Ipds_parallel.Pool.t ->
   t ->
   Ipds_core.System.t
-(** The compiled tables for a workload, through the two-tier cache:
-    in-memory memo first, then the ambient artifact store
-    ({!Ipds_artifact.Store.ambient}), then a real compile + analysis
-    (which is published back to the store).  A disk hit also seeds
-    {!compiled} and {!Ipds_core.System.cached_build}, so a warm process
-    performs zero MiniC compiles and zero analyses for cached
-    configurations.  Exactly-once and domain-safe per
-    [(workload, promote, options)]. *)
+(** The compiled tables for a workload, through the incremental cache
+    ({!Ipds_artifact.Incremental.system}): in-memory memo first, then
+    the ambient artifact store ({!Ipds_artifact.Store.ambient}), then a
+    real compile + analysis fanned over [pool] with the store's
+    function tier consulted per function; the result is published back
+    to the store.  A disk hit also seeds {!compiled} and
+    {!Ipds_core.System.cached_build}, so a warm process performs zero
+    MiniC compiles and zero analyses for cached configurations.
+    Exactly-once and domain-safe per [(workload, promote, options)];
+    the result is byte-identical for every [pool]. *)
 
 val tamper_model : t -> [ `Stack_overflow | `Arbitrary_write ]

@@ -233,6 +233,29 @@ let test_crc_domain_stress () =
     (List.for_all2 (fun d got -> got = reference d)
        (List.init 8 Fun.id) per_domain)
 
+(* The pass-pipeline invariant: fanning the per-function passes over a
+   domain pool is invisible in the output — byte-identical .ipds
+   artifacts and identical Fig. 7/Fig. 8 numbers for any job count. *)
+let test_jobs_determinism () =
+  List.iter
+    (fun w ->
+      let program = W.program w in
+      let seq = Core.System.build program in
+      let par =
+        Ipds_parallel.Pool.with_pool ~jobs:4 (fun pool ->
+            Core.System.build ~pool program)
+      in
+      check (w.W.name ^ ": artifact bytes identical") true
+        (Bytes.equal (A.to_bytes seq) (A.to_bytes par));
+      check (w.W.name ^ ": Fig. 8 numbers identical") true
+        (Core.System.size_stats seq = Core.System.size_stats par);
+      let fig7 sys =
+        Ipds_harness.Attack_experiment.campaign ~system:sys ~attacks:4 ~seed:3
+          ~model:(W.tamper_model w) ~name:w.W.name program
+      in
+      check (w.W.name ^ ": Fig. 7 row identical") true (fig7 seq = fig7 par))
+    [ W.find "telnetd"; W.find "httpd" ]
+
 let test_key_sensitivity () =
   let options = Ipds_correlation.Analysis.default_options in
   let k = Store.key ~source:"int main() {}" ~promote:true ~options in
@@ -271,4 +294,9 @@ let () =
         ] );
       ( "crc32",
         [ Alcotest.test_case "domain stress" `Quick test_crc_domain_stress ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "jobs 1 vs 4 byte-identical" `Quick
+            test_jobs_determinism;
+        ] );
     ]
