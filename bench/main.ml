@@ -11,6 +11,7 @@
      dune exec bench/main.exe -- compile-time
      dune exec bench/main.exe -- ablation
      dune exec bench/main.exe -- micro   -- bechamel microbenchmarks
+     dune exec bench/main.exe -- serve-latency -- verdict-server round trips
      dune exec bench/main.exe -- smoke   -- tiny campaign + invariant checks
 
    Flags (defaults preserve the historical sizes):
@@ -331,6 +332,119 @@ let micro () =
     tests;
   J.Obj (List.rev_map (fun (name, est) -> (name, J.Float est)) !estimates)
 
+(* ---------- serve-latency: verdict-server round trips ---------- *)
+
+let rec chunks n = function
+  | [] -> []
+  | xs ->
+      let rec take k acc = function
+        | rest when k = 0 -> (List.rev acc, rest)
+        | [] -> (List.rev acc, [])
+        | x :: tl -> take (k - 1) (x :: acc) tl
+      in
+      let batch, rest = take n [] xs in
+      batch :: chunks n rest
+
+let percentile sorted p =
+  match sorted with
+  | [||] -> 0
+  | a -> a.(min (Array.length a - 1) (p * Array.length a / 100))
+
+let serve_latency ~seed () =
+  section "Verdict-server latency (in-process server, Unix socket)";
+  let module Serve = Ipds_serve in
+  let sock =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ipds-bench-%d.sock" (Unix.getpid ()))
+  in
+  let w = W.find "telnetd" in
+  let system = W.system w in
+  let program = W.program w in
+  (* Record the event stream once; every trace then replays the same
+     batches, so the measurement is pure protocol + checking cost. *)
+  let events = ref [] in
+  ignore
+    (Ipds_machine.Interp.run program
+       {
+         Ipds_machine.Interp.default_config with
+         inputs = Ipds_machine.Input_script.random ~seed ();
+         record_trace = false;
+         sink =
+           Some
+             (fun (e : Ipds_machine.Event.t) ->
+               match e.Ipds_machine.Event.kind with
+               | Ipds_machine.Event.Call _ | Ipds_machine.Event.Ret
+               | Ipds_machine.Event.Branch _ ->
+                   events := e :: !events
+               | _ -> ());
+       });
+  let batch_size = 256 in
+  let batches = chunks batch_size (List.rev !events) in
+  let n_events = List.length !events in
+  let traces = 20 in
+  let fail msg =
+    Printf.eprintf "serve-latency: %s\n%!" msg;
+    exit 1
+  in
+  let ok = function
+    | Ok v -> v
+    | Error (e : Serve.Protocol.err) -> fail e.Serve.Protocol.detail
+  in
+  let config = { Serve.Server.default_config with jobs = 2 } in
+  let micros =
+    Serve.Server.with_server ~config (`Unix sock) (fun _server ->
+        let client = Serve.Client.connect (`Unix sock) in
+        Fun.protect
+          ~finally:(fun () -> Serve.Client.close client)
+          (fun () ->
+            ignore
+              (ok
+                 (Serve.Client.load_image client ~name:w.W.name
+                    (Ipds_artifact.Artifact.to_bytes system)));
+            let micros = ref [] in
+            for _ = 1 to traces do
+              ok (Serve.Client.begin_trace client);
+              List.iter
+                (fun batch ->
+                  let t0 = Unix.gettimeofday () in
+                  ignore (ok (Serve.Client.send_events client batch));
+                  micros :=
+                    int_of_float ((Unix.gettimeofday () -. t0) *. 1e6)
+                    :: !micros)
+                batches;
+              ignore (ok (Serve.Client.end_trace client))
+            done;
+            !micros))
+  in
+  let sorted = Array.of_list (List.sort compare micros) in
+  let n = Array.length sorted in
+  let sum = Array.fold_left ( + ) 0 sorted in
+  let mean = if n = 0 then 0. else float_of_int sum /. float_of_int n in
+  let p50 = percentile sorted 50
+  and p95 = percentile sorted 95
+  and p99 = percentile sorted 99 in
+  let max_m = if n = 0 then 0 else sorted.(n - 1) in
+  Printf.printf
+    "%s: %d traces x %d events (%d batches of %d)\n\
+     round-trip per batch: mean %.0f us, p50 %d us, p95 %d us, p99 %d us, \
+     max %d us\n"
+    w.W.name traces n_events (List.length batches) batch_size mean p50 p95 p99
+    max_m;
+  J.Obj
+    [
+      ("workload", J.String w.W.name);
+      ("traces", J.Int traces);
+      ("events_per_trace", J.Int n_events);
+      ("batch_size", J.Int batch_size);
+      ("batches_per_trace", J.Int (List.length batches));
+      ("round_trips", J.Int n);
+      ("mean_micros", J.Float mean);
+      ("p50_micros", J.Int p50);
+      ("p95_micros", J.Int p95);
+      ("p99_micros", J.Int p99);
+      ("max_micros", J.Int max_m);
+    ]
+
 (* ---------- smoke: tiny campaign + the harness's own invariants ---------- *)
 
 let smoke ~attacks ~seed ~jobs () =
@@ -433,6 +547,7 @@ let run_target opts pool name =
   | "ctx" -> go ctx
   | "models" -> go (models ~attacks:(att 100) ?pool)
   | "micro" -> go micro
+  | "serve-latency" -> go (serve_latency ~seed)
   | "smoke" -> go (smoke ~attacks:(att 5) ~seed ~jobs:opts.jobs)
   | other ->
       Printf.eprintf "unknown bench target: %s\n" other;

@@ -7,6 +7,8 @@
      ipds perf     FILE          timing model, baseline vs IPDS
      ipds compile  FILE -o F     analyze and save a .ipds object file
      ipds inspect  FILE          section/CRC report of a .ipds file or image
+     ipds serve                  run the streaming verdict server
+     ipds check-remote FILE      verify remote checking against in-process
      ipds servers                list the built-in server workloads
 
    FILE ending in .c/.mc is treated as MiniC, a file starting with the
@@ -483,6 +485,216 @@ let inspect_cmd =
           image.")
     Term.(const run $ image_arg)
 
+(* ---------- serve / check-remote ---------- *)
+
+module Serve = Ipds_serve
+
+let socket_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Unix-domain socket path of the verdict server.")
+
+let port_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "port" ] ~docv:"PORT"
+        ~doc:"Loopback TCP port of the verdict server (0 picks a free one).")
+
+let serve_cmd =
+  let jobs_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ]
+          ~doc:
+            "Worker domains serving sessions; 1 handles sessions strictly \
+             sequentially.  Verdicts and the stable serve.* metrics are \
+             identical for any value.")
+  in
+  let timeout_arg =
+    Arg.(
+      value & opt float 30.
+      & info [ "timeout" ] ~docv:"SECONDS"
+          ~doc:
+            "Per-session idle timeout; a silent client gets a typed timeout \
+             error and its session closed.  0 disables the timeout.")
+  in
+  let max_frame_arg =
+    Arg.(
+      value
+      & opt int Serve.Protocol.default_max_frame
+      & info [ "max-frame" ] ~docv:"BYTES"
+          ~doc:
+            "Largest accepted frame payload; oversized frames are rejected \
+             with a typed error before being read.")
+  in
+  let cache_slots_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "cache-slots" ]
+          ~doc:"Loaded artifacts kept resident in the server's LRU.")
+  in
+  let run () obs socket port jobs timeout max_frame cache_slots =
+    obs_init ~command:"serve"
+      ~manifest:[ ("jobs", Obs.Json.Int jobs) ]
+      obs;
+    let addr =
+      match (socket, port) with
+      | Some path, None -> `Unix path
+      | None, Some p -> `Tcp p
+      | None, None ->
+          Format.eprintf "ipds serve: one of --socket or --port is required@.";
+          exit 2
+      | Some _, Some _ ->
+          Format.eprintf "ipds serve: --socket and --port are mutually exclusive@.";
+          exit 2
+    in
+    let config =
+      {
+        Serve.Server.jobs = max 1 jobs;
+        max_frame;
+        session_timeout = timeout;
+        cache_slots;
+        store_dir = None;
+      }
+    in
+    let server =
+      try Serve.Server.start ~config addr
+      with Unix.Unix_error (err, _, _) ->
+        (match addr with
+        | `Unix path ->
+            Format.eprintf "ipds serve: cannot listen on %s: %s@." path
+              (Unix.error_message err)
+        | `Tcp p ->
+            Format.eprintf "ipds serve: cannot listen on port %d: %s@." p
+              (Unix.error_message err));
+        exit 1
+    in
+    (match addr with
+    | `Unix path -> Format.printf "ipds serve: listening on %s@." path
+    | `Tcp _ ->
+        Format.printf "ipds serve: listening on 127.0.0.1:%d@."
+          (Option.value (Serve.Server.port server) ~default:0));
+    let stop_requested = Atomic.make false in
+    let on_signal _ = Atomic.set stop_requested true in
+    Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
+    while not (Atomic.get stop_requested) do
+      try ignore (Unix.select [] [] [] 0.2)
+      with Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    done;
+    Format.printf "ipds serve: shutting down@.";
+    Serve.Server.stop server
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the streaming verdict server: clients load an artifact over \
+          the wire protocol, stream batched trace events and receive the \
+          IPDS verdicts back.")
+    Term.(
+      const run $ cache_term $ obs_term $ socket_arg $ port_arg $ jobs_arg
+      $ timeout_arg $ max_frame_arg $ cache_slots_arg)
+
+let check_remote_cmd =
+  let host_arg =
+    Arg.(
+      value & opt string "127.0.0.1"
+      & info [ "host" ] ~doc:"Server host when connecting over TCP.")
+  in
+  let batch_arg =
+    Arg.(
+      value & opt int 256
+      & info [ "batch" ] ~doc:"Checker-relevant events per wire frame.")
+  in
+  let run () obs file socket host port seed max_steps batch =
+    obs_init ~command:"check-remote"
+      ~manifest:[ ("file", Obs.Json.String file); ("seed", Obs.Json.Int seed) ]
+      obs;
+    let addr =
+      match (socket, port) with
+      | Some path, None -> `Unix path
+      | None, Some p -> `Tcp (host, p)
+      | _ ->
+          Format.eprintf
+            "ipds check-remote: exactly one of --socket or --port is required@.";
+          exit 2
+    in
+    let system = load_system file in
+    let program = system.Core.System.program in
+    let client =
+      try Serve.Client.connect addr
+      with Unix.Unix_error (err, _, _) ->
+        (match addr with
+        | `Unix path ->
+            Format.eprintf "ipds check-remote: cannot connect to %s: %s@." path
+              (Unix.error_message err)
+        | `Tcp (h, p) ->
+            Format.eprintf "ipds check-remote: cannot connect to %s:%d: %s@." h
+              p (Unix.error_message err));
+        exit 1
+    in
+    let fail (e : Serve.Protocol.err) =
+      Format.eprintf "ipds check-remote: remote error %s: %s@."
+        (Serve.Protocol.error_code_to_string e.Serve.Protocol.code)
+        e.Serve.Protocol.detail;
+      exit 1
+    in
+    (match Serve.Client.load_image client ~name:file (A.to_bytes system) with
+    | Ok _ -> ()
+    | Error e -> fail e);
+    let tr =
+      match Serve.Client.trace ~batch client with Ok t -> t | Error e -> fail e
+    in
+    (* One interpreter run, checked twice: inline by a local checker and
+       remotely through the sink — the whole point of the sink hook. *)
+    let checker = Core.System.new_checker system in
+    let o =
+      M.Interp.run program
+        {
+          M.Interp.default_config with
+          max_steps;
+          inputs = M.Input_script.random ~seed ();
+          checker = Some checker;
+          sink = Some tr.Serve.Client.sink;
+        }
+    in
+    let remote, summary =
+      match tr.Serve.Client.finish () with Ok r -> r | Error e -> fail e
+    in
+    Serve.Client.close client;
+    let local = Core.Checker.alarms checker in
+    Format.printf "steps: %d, branches: %d@." o.M.Interp.steps o.M.Interp.branches;
+    Format.printf "remote: %d events, %d branches, %d alarms@."
+      summary.Serve.Protocol.total_events summary.Serve.Protocol.total_branches
+      summary.Serve.Protocol.total_alarms;
+    let render = List.map Serve.Protocol.verdict_to_string in
+    let local_r = render local and remote_r = render remote in
+    if local_r = remote_r then begin
+      List.iter (Format.printf "ALARM: %s@.") remote_r;
+      Format.printf "remote verdicts match local checking (%d alarms)@."
+        (List.length remote_r)
+    end
+    else begin
+      Format.eprintf "MISMATCH: local %d alarms, remote %d alarms@."
+        (List.length local_r) (List.length remote_r);
+      List.iter (Format.eprintf "  local:  %s@.") local_r;
+      List.iter (Format.eprintf "  remote: %s@.") remote_r;
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "check-remote"
+       ~doc:
+         "Run the program locally while streaming its events to a verdict \
+          server, then verify the remote verdicts are identical to the \
+          in-process checker's (exit 1 on any divergence).")
+    Term.(
+      const run $ cache_term $ obs_term $ file_arg $ socket_arg $ host_arg
+      $ port_arg $ seed_arg $ steps_arg $ batch_arg)
+
 (* ---------- servers ---------- *)
 
 let servers_cmd =
@@ -514,5 +726,7 @@ let () =
             compile_cmd;
             encode_cmd;
             inspect_cmd;
+            serve_cmd;
+            check_remote_cmd;
             servers_cmd;
           ]))

@@ -141,6 +141,8 @@ let info t name =
   | Some i -> i
   | None -> invalid_arg (Printf.sprintf "System: unknown function %s" name)
 
+let mem t name = Hashtbl.mem t.by_name name
+
 let tables t name = (info t name).tables
 let new_checker t = Checker.create ~lookup:(tables t)
 

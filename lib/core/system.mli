@@ -93,6 +93,11 @@ val seed_cache :
 val info : t -> string -> func_info
 (** Raises [Invalid_argument] for unknown functions. *)
 
+val mem : t -> string -> bool
+(** Is the function defined in this system?  The verdict server uses
+    this to distinguish calls to defined functions (which push checker
+    frames) from extern calls (which the inline checker never sees). *)
+
 val tables : t -> string -> Tables.t
 (** Raises [Invalid_argument] for unknown functions. *)
 

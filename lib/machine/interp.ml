@@ -24,6 +24,14 @@ type config = {
   checker : Ipds_core.Checker.t option;
   trap_on_alarm : bool;
   observer : (Event.t -> unit) option;
+  sink : (Event.t -> unit) option;
+      (* Second event tap, independent of [observer], so a run can feed a
+         timing model and stream its events to a remote checker at the
+         same time.  Events arrive strictly in commit order: an event is
+         emitted only after its instruction's effects (including the
+         callee frame push for calls) have been applied, so replaying
+         the stream through {!Ipds_core.Checker} is equivalent to inline
+         checking even when the run faults or traps mid-block. *)
   record_trace : bool;
   tamper : Tamper.plan option;
 }
@@ -35,6 +43,7 @@ let default_config =
     checker = None;
     trap_on_alarm = false;
     observer = None;
+    sink = None;
     record_trace = true;
     tamper = None;
   }
@@ -236,11 +245,15 @@ let exec_extern st name (args : Value.t list) =
 
 (* ---------- the main loop ---------- *)
 
+let dispatch st (e : Event.t) =
+  (match st.config.observer with Some f -> f e | None -> ());
+  match st.config.sink with Some f -> f e | None -> ()
+
 let emit st (a : act) iid kind =
-  match st.config.observer with
-  | None -> ()
-  | Some f ->
-      f
+  match st.config.observer, st.config.sink with
+  | None, None -> ()
+  | _ ->
+      dispatch st
         {
           Event.fname = a.func.Mir.Func.name;
           iid;
@@ -332,12 +345,19 @@ let step st =
             emit st a iid (Event.Output_write (to_num st v))
         | Mir.Op.Nop -> emit st a iid Event.Alu
         | Mir.Op.Call { dst; callee; args } ->
+            (* The event is emitted only once the call has committed
+               (frame pushed, or the extern executed): a stack-overflow
+               or extern fault aborts the instruction, and a sink that
+               replays calls into a checker must not see a frame the
+               inline checker never pushed. *)
             let argv = List.map (operand a) args in
-            emit st a iid (Event.Call { callee });
-            if Mir.Program.is_defined st.program callee then
-              push_function st callee argv dst
+            if Mir.Program.is_defined st.program callee then begin
+              push_function st callee argv dst;
+              emit st a iid (Event.Call { callee })
+            end
             else begin
               let result = exec_extern st callee argv in
+              emit st a iid (Event.Call { callee });
               match dst with
               | Some r -> a.regs.(Mir.Reg.index r) <- result
               | None -> ()
@@ -462,20 +482,21 @@ let run program config =
     }
   in
   try
-    (* Observers see the initial activation as a call event, so external
-       models (the IPDS checker in the timing model) can push main's
-       tables. *)
-    (match config.observer with
-    | Some f ->
-        f
+    (* Observers and sinks see the initial activation as a call event,
+       so external models (the IPDS checker in the timing model, the
+       remote verdict server) can push main's tables.  Emitted after the
+       frame commits, like every other call event. *)
+    push_function st program.Mir.Program.main [] None;
+    (match config.observer, config.sink with
+    | None, None -> ()
+    | _ ->
+        dispatch st
           {
             Event.fname = program.Mir.Program.main;
             iid = 0;
             pc = Mir.Layout.func_base st.layout program.Mir.Program.main;
             kind = Event.Call { callee = program.Mir.Program.main };
-          }
-    | None -> ());
-    push_function st program.Mir.Program.main [] None;
+          });
     let continue = ref true in
     while !continue do
       (match st.stop with

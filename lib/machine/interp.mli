@@ -37,6 +37,13 @@ type config = {
           false: record alarms and keep running, convenient for
           experiments) *)
   observer : (Event.t -> unit) option;
+  sink : (Event.t -> unit) option;
+      (** like [observer], but with a commit-order guarantee: events are
+          emitted only after the action they describe has taken effect
+          (a call that faults pushing its frame is never emitted), so a
+          checker replaying the sink stream — locally via
+          {!Replay.feed} or remotely over the verdict server — reaches
+          exactly the same verdicts as an inline [checker]. *)
   record_trace : bool;
   tamper : Tamper.plan option;
 }

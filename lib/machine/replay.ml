@@ -1,0 +1,26 @@
+(* Drive an {!Ipds_core.Checker} from a committed event stream, exactly
+   as the interpreter drives it inline: calls to defined functions push
+   a frame, returns pop it, branches are verified/updated.  Because
+   {!Interp} emits events in commit order (an aborted call never reaches
+   the sink), feeding a run's sink output through [feed] yields the same
+   verdicts, in the same order, as checking inline — the contract the
+   remote verdict server is built on.
+
+   [feed] trusts its input: it is meant for streams produced by
+   {!Interp}.  The server wraps it with state guards and turns violations
+   into typed protocol errors instead of exceptions. *)
+
+let feed checker ~defined (e : Event.t) =
+  match e.Event.kind with
+  | Event.Call { callee } ->
+      (* Extern calls appear in the stream but have no tables and no
+         frame; the inline checker never sees them either. *)
+      if defined callee then ignore (Ipds_core.Checker.on_call checker callee)
+  | Event.Ret -> Ipds_core.Checker.on_return checker
+  | Event.Branch { taken; _ } ->
+      ignore (Ipds_core.Checker.on_branch checker ~pc:e.Event.pc ~taken)
+  | Event.Alu | Event.Load _ | Event.Store _ | Event.Jump _ | Event.Input_read
+  | Event.Output_write _ ->
+      ()
+
+let feed_all checker ~defined events = List.iter (feed checker ~defined) events

@@ -28,6 +28,12 @@ val map' : t option -> ('a -> 'b) -> 'a list -> 'b list
 (** [map' None] is [List.map] (no pool anywhere in scope);
     [map' (Some t)] is [map t]. *)
 
+val async : t -> (unit -> unit) -> unit
+(** Fire-and-forget submission: the task runs on a worker domain as
+    soon as one is free.  Unlike {!map} the caller does not help, so a
+    pool used this way needs at least one worker ([jobs >= 2]) for the
+    task to ever run.  Raises [Invalid_argument] after {!shutdown}. *)
+
 val shutdown : t -> unit
 (** Drains nothing (all maps have returned by construction), stops the
     workers and joins them.  Idempotent. *)

@@ -1,0 +1,47 @@
+(** Client side of the verdict protocol: lockstep request/reply RPCs
+    plus a streaming {!trace} helper whose [sink] plugs straight into
+    [Ipds_machine.Interp.config.sink], so one interpreter run can be
+    checked locally and remotely in the same process. *)
+
+type address = [ `Unix of string | `Tcp of string * int ]
+
+type t
+
+val connect : ?max_frame:int -> address -> t
+(** Raises [Unix_error] if the server cannot be reached. *)
+
+val close : t -> unit
+(** Idempotent. *)
+
+val load_key : t -> string -> (bool, Protocol.err) result
+(** Load an artifact from the server's store; [Ok cached] tells whether
+    it was already resident in the server's LRU. *)
+
+val load_image : t -> name:string -> Bytes.t -> (bool, Protocol.err) result
+(** Ship inline [.ipds] bytes. *)
+
+val begin_trace : t -> (unit, Protocol.err) result
+
+val send_events :
+  t ->
+  Ipds_machine.Event.t list ->
+  (Ipds_core.Checker.alarm list, Protocol.err) result
+(** One batch; returns the alarms this batch raised, in commit order. *)
+
+val end_trace : t -> (Protocol.summary, Protocol.err) result
+
+type trace = {
+  sink : Ipds_machine.Event.t -> unit;
+      (** feed interpreter events; batches are flushed on the wire every
+          [batch] checker-relevant events *)
+  finish :
+    unit ->
+    (Ipds_core.Checker.alarm list * Protocol.summary, Protocol.err) result;
+      (** flush the tail, end the trace; returns every alarm of the
+          whole trace in commit order.  An error anywhere mid-trace
+          latches and is reported here. *)
+}
+
+val trace : ?batch:int -> t -> (trace, Protocol.err) result
+(** Begin a trace on an already-loaded artifact.  [batch] defaults to
+    256 events per wire frame. *)

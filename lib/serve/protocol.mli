@@ -1,0 +1,103 @@
+(** The verdict-server wire format: length-prefixed binary frames with a
+    versioned magic and a CRC-32 trailer, payloads bit-packed with
+    {!Ipds_core.Bitstream}.
+
+    Frame layout (integers little-endian):
+    {v
+    0    4   magic "IPSV"
+    4    1   protocol version
+    5    1   frame tag
+    6    4   payload length (u32)
+    10   n   payload
+    10+n 4   CRC-32 of bytes [0, 10+n)
+    v}
+
+    Decoding never raises: every way a frame can be damaged maps to a
+    typed {!error_code}.  Magic and version are checked before the CRC
+    (wrong-protocol streams get a precise error); the CRC covers the
+    header too, so a flipped bit anywhere in a frame — including its
+    length field — is detected. *)
+
+val magic : string
+val version : int
+
+val header_bytes : int
+(** Bytes before the payload (magic + version + tag + length). *)
+
+val trailer_bytes : int
+(** The CRC-32 trailer. *)
+
+val default_max_frame : int
+(** Default payload-size limit (4 MiB). *)
+
+type error_code =
+  | Bad_magic
+  | Bad_version
+  | Bad_crc
+  | Oversized
+  | Truncated
+  | Unknown_frame
+  | Malformed  (** CRC-valid payload that does not parse *)
+  | Bad_state  (** well-formed frame at the wrong point of the session *)
+  | Unknown_artifact
+  | Corrupt_artifact
+  | Timeout
+  | Server_error
+
+type err = { code : error_code; detail : string }
+
+val error_code_to_string : error_code -> string
+
+type summary = { total_events : int; total_branches : int; total_alarms : int }
+
+type frame =
+  | Load_key of string  (** client → server: load from the artifact store *)
+  | Load_image of { name : string; image : string }
+      (** client → server: inline [.ipds] bytes *)
+  | Begin_trace
+  | Branch_events of Ipds_machine.Event.t list
+  | End_trace
+  | Loaded of { name : string; cached : bool }
+  | Trace_started
+  | Verdicts of Ipds_core.Checker.alarm list
+      (** alarms newly raised by the preceding [Branch_events] batch *)
+  | Trace_summary of summary
+  | Error of err
+
+val verdict_to_string : Ipds_core.Checker.alarm -> string
+(** Canonical one-line rendering, used by the remote-vs-local
+    byte-identity assertions. *)
+
+(** {2 Frame codec} *)
+
+val encode_frame : frame -> Bytes.t
+
+type decoded =
+  | Frame of frame * int  (** decoded frame, offset just past it *)
+  | Need_more of int  (** at least this many bytes from [pos] required *)
+  | Fail of err
+
+val decode_at : ?max_frame:int -> Bytes.t -> pos:int -> len:int -> decoded
+(** Decode one frame from [buf[pos, pos+len)].  Never raises. *)
+
+val decode_string : ?max_frame:int -> string -> (frame list, err) result
+(** Decode a complete byte stream; a stream ending mid-frame is
+    [Error {code = Truncated; _}].  Never raises. *)
+
+(** {2 Socket transport} *)
+
+val output_frame : Unix.file_descr -> frame -> unit
+(** Write a whole frame (handles partial writes).  Raises [Unix_error]
+    on IO failure — callers own the error policy for their peer. *)
+
+type reader
+
+val reader : ?max_frame:int -> Unix.file_descr -> reader
+(** A buffered frame reader over a socket. *)
+
+type input = In_frame of frame | In_eof | In_error of err
+
+val input_frame : reader -> input
+(** Blocking read of the next frame.  EOF between frames is [In_eof];
+    EOF mid-frame is a [Truncated] error; a receive timeout configured
+    with [SO_RCVTIMEO] surfaces as a [Timeout] error.  Never raises. *)

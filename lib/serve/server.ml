@@ -1,0 +1,354 @@
+(* The streaming verdict server: sessions speak {!Protocol} over a
+   Unix-domain or loopback TCP socket, load an artifact (by store key or
+   inline image), then stream batched events and get verdicts back.
+
+   Robustness is the contract here: malformed, oversized, truncated or
+   out-of-sequence frames produce one typed [Error] reply and a closed
+   session — never an exception escaping a session, never a wedged
+   accept loop.  Sessions are fanned over an {!Ipds_parallel.Pool} of
+   [config.jobs] worker domains; the accept loop runs on its own domain
+   and never executes session work itself. *)
+
+module Event = Ipds_machine.Event
+module System = Ipds_core.System
+module Checker = Ipds_core.Checker
+module Store = Ipds_artifact.Store
+module Pool = Ipds_parallel.Pool
+module Reg = Ipds_obs.Registry
+
+(* Stable counters are sums of per-session deterministic work, so their
+   totals are independent of scheduling and job count — the concurrency
+   determinism test relies on that.  Timeouts and cache traffic depend
+   on timing and session interleaving (LRU eviction order), so they are
+   unstable; so is the latency histogram. *)
+let m_sessions = Reg.counter "serve.sessions"
+let m_frames_in = Reg.counter "serve.frames_in"
+let m_frames_out = Reg.counter "serve.frames_out"
+let m_traces = Reg.counter "serve.traces"
+let m_events = Reg.counter "serve.events"
+let m_branches = Reg.counter "serve.branches"
+let m_alarms = Reg.counter "serve.alarms"
+let m_protocol_errors = Reg.counter "serve.protocol_errors"
+let m_state_errors = Reg.counter "serve.state_errors"
+let m_timeouts = Reg.counter ~stable:false "serve.timeouts"
+let m_cache_hits = Reg.counter ~stable:false "serve.cache_hits"
+let m_cache_misses = Reg.counter ~stable:false "serve.cache_misses"
+let m_batch_micros = Reg.histogram ~stable:false "serve.batch_micros"
+
+type config = {
+  jobs : int;  (** worker domains serving sessions (≥ 1) *)
+  max_frame : int;  (** payload-size limit, bytes *)
+  session_timeout : float;  (** seconds a session may sit idle; 0 = none *)
+  cache_slots : int;  (** loaded [System.t]s kept in the LRU *)
+  store_dir : string option;
+      (** artifact store for [Load_key]; [None] uses the ambient store *)
+}
+
+let default_config =
+  {
+    jobs = 1;
+    max_frame = Protocol.default_max_frame;
+    session_timeout = 30.;
+    cache_slots = 8;
+    store_dir = None;
+  }
+
+type address = [ `Unix of string | `Tcp of int ]
+
+type lru = {
+  lmutex : Mutex.t;
+  mutable entries : (string * System.t) list;  (* MRU first *)
+  slots : int;
+}
+
+type t = {
+  config : config;
+  store : Store.t option;
+  fd : Unix.file_descr;
+  sock_path : string option;
+  pool : Pool.t;
+  stop_flag : bool Atomic.t;
+  mutable accept_domain : unit Domain.t option;
+  lru : lru;
+}
+
+let close_quiet fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+(* The mutex is held across [load], serializing artifact loads: the
+   first session to ask for a key pays the load, concurrent sessions for
+   the same key hit the fresh entry instead of racing a second load. *)
+let lru_fetch lru key load =
+  Mutex.lock lru.lmutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock lru.lmutex)
+    (fun () ->
+      match List.assoc_opt key lru.entries with
+      | Some sys ->
+          Reg.incr m_cache_hits;
+          lru.entries <- (key, sys) :: List.remove_assoc key lru.entries;
+          `Hit sys
+      | None -> (
+          Reg.incr m_cache_misses;
+          match load () with
+          | `Ok sys ->
+              lru.entries <-
+                List.filteri
+                  (fun i _ -> i < lru.slots)
+                  ((key, sys) :: lru.entries);
+              `Loaded sys
+          | `Err e -> `Err e))
+
+let now_micros () = int_of_float (Unix.gettimeofday () *. 1e6)
+
+exception State_violation of string
+
+(* {2 Session} *)
+
+type session_state = {
+  mutable system : System.t option;
+  mutable checker : Checker.t option;
+  mutable tr_events : int;
+  mutable tr_branches : int;
+  mutable tr_alarms : int;
+}
+
+let feed_guarded sys ck st (e : Event.t) =
+  (match e.Event.kind with
+  | Event.Ret when Checker.depth ck = 0 ->
+      raise (State_violation "Ret with an empty checker stack")
+  | Event.Branch _ when Checker.depth ck = 0 ->
+      raise (State_violation "Branch with an empty checker stack")
+  | _ -> ());
+  (match e.Event.kind with
+  | Event.Branch _ -> st.tr_branches <- st.tr_branches + 1
+  | _ -> ());
+  Ipds_machine.Replay.feed ck ~defined:(System.mem sys) e
+
+let rec drop n xs = if n <= 0 then xs else match xs with [] -> [] | _ :: tl -> drop (n - 1) tl
+
+let handle t st send send_err (f : Protocol.frame) =
+  match f with
+  | Protocol.Load_key key -> (
+      match t.store with
+      | None ->
+          send_err Protocol.Unknown_artifact "no artifact store configured";
+          `Close
+      | Some store -> (
+          let load () =
+            match Store.load_system store key with
+            | Some sys -> `Ok sys
+            | None ->
+                `Err
+                  ( Protocol.Unknown_artifact,
+                    "no loadable artifact for key " ^ key )
+          in
+          match lru_fetch t.lru key load with
+          | `Hit sys ->
+              st.system <- Some sys;
+              send (Protocol.Loaded { name = key; cached = true });
+              `Continue
+          | `Loaded sys ->
+              st.system <- Some sys;
+              send (Protocol.Loaded { name = key; cached = false });
+              `Continue
+          | `Err (code, detail) ->
+              send_err code detail;
+              `Close))
+  | Protocol.Load_image { name; image } -> (
+      let key = "img:" ^ Digest.to_hex (Digest.string image) in
+      let load () =
+        match Ipds_artifact.Artifact.of_bytes (Bytes.of_string image) with
+        | sys -> `Ok sys
+        | exception Ipds_artifact.Artifact.Corrupt m ->
+            `Err (Protocol.Corrupt_artifact, m)
+      in
+      match lru_fetch t.lru key load with
+      | `Hit sys ->
+          st.system <- Some sys;
+          send (Protocol.Loaded { name; cached = true });
+          `Continue
+      | `Loaded sys ->
+          st.system <- Some sys;
+          send (Protocol.Loaded { name; cached = false });
+          `Continue
+      | `Err (code, detail) ->
+          send_err code detail;
+          `Close)
+  | Protocol.Begin_trace -> (
+      match (st.system, st.checker) with
+      | None, _ ->
+          send_err Protocol.Bad_state "Begin_trace before an artifact is loaded";
+          `Close
+      | Some _, Some _ ->
+          send_err Protocol.Bad_state "a trace is already active";
+          `Close
+      | Some sys, None ->
+          st.checker <- Some (System.new_checker sys);
+          st.tr_events <- 0;
+          st.tr_branches <- 0;
+          st.tr_alarms <- 0;
+          Reg.incr m_traces;
+          send Protocol.Trace_started;
+          `Continue)
+  | Protocol.Branch_events evs -> (
+      match (st.system, st.checker) with
+      | Some sys, Some ck -> (
+          let t0 = now_micros () in
+          let alarms_before = List.length (Checker.alarms ck) in
+          let branches_before = st.tr_branches in
+          match List.iter (feed_guarded sys ck st) evs with
+          | () ->
+              let n = List.length evs in
+              st.tr_events <- st.tr_events + n;
+              Reg.add m_events n;
+              Reg.add m_branches (st.tr_branches - branches_before);
+              let fresh = drop alarms_before (Checker.alarms ck) in
+              let n_fresh = List.length fresh in
+              st.tr_alarms <- st.tr_alarms + n_fresh;
+              Reg.add m_alarms n_fresh;
+              Reg.observe m_batch_micros (now_micros () - t0);
+              send (Protocol.Verdicts fresh);
+              `Continue
+          | exception State_violation m ->
+              send_err Protocol.Bad_state m;
+              `Close)
+      | _ ->
+          send_err Protocol.Bad_state "Branch_events outside an active trace";
+          `Close)
+  | Protocol.End_trace -> (
+      match st.checker with
+      | None ->
+          send_err Protocol.Bad_state "End_trace outside an active trace";
+          `Close
+      | Some _ ->
+          st.checker <- None;
+          send
+            (Protocol.Trace_summary
+               {
+                 Protocol.total_events = st.tr_events;
+                 total_branches = st.tr_branches;
+                 total_alarms = st.tr_alarms;
+               });
+          `Continue)
+  | Protocol.Loaded _ | Protocol.Trace_started | Protocol.Verdicts _
+  | Protocol.Trace_summary _ | Protocol.Error _ ->
+      send_err Protocol.Bad_state "server-to-client frame from a client";
+      `Close
+
+let session t cfd =
+  Reg.incr m_sessions;
+  if t.config.session_timeout > 0. then (
+    try Unix.setsockopt_float cfd Unix.SO_RCVTIMEO t.config.session_timeout
+    with Unix.Unix_error _ | Invalid_argument _ -> ());
+  let reader = Protocol.reader ~max_frame:t.config.max_frame cfd in
+  let st =
+    { system = None; checker = None; tr_events = 0; tr_branches = 0; tr_alarms = 0 }
+  in
+  let send f =
+    Reg.incr m_frames_out;
+    Protocol.output_frame cfd f
+  in
+  let send_err code detail =
+    (match code with
+    | Protocol.Bad_state -> Reg.incr m_state_errors
+    | Protocol.Timeout -> Reg.incr m_timeouts
+    | Protocol.Server_error -> ()
+    | _ -> Reg.incr m_protocol_errors);
+    send (Protocol.Error { Protocol.code; detail })
+  in
+  let rec loop () =
+    match Protocol.input_frame reader with
+    | Protocol.In_eof -> ()
+    | Protocol.In_error e -> send_err e.Protocol.code e.Protocol.detail
+    | Protocol.In_frame f -> (
+        Reg.incr m_frames_in;
+        match handle t st send send_err f with
+        | `Continue -> loop ()
+        | `Close -> ())
+  in
+  try loop () with
+  | Unix.Unix_error _ -> () (* peer went away mid-write *)
+  | State_violation _ -> ()
+  | e -> ( try send_err Protocol.Server_error (Printexc.to_string e) with _ -> ())
+
+(* {2 Lifecycle} *)
+
+let accept_loop t =
+  while not (Atomic.get t.stop_flag) do
+    match Unix.select [ t.fd ] [] [] 0.25 with
+    | [], _, _ -> ()
+    | _ -> (
+        match Unix.accept t.fd with
+        | cfd, _ ->
+            Pool.async t.pool (fun () ->
+                Fun.protect
+                  ~finally:(fun () -> close_quiet cfd)
+                  (fun () -> session t cfd))
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+        | exception Unix.Unix_error _ -> ())
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done
+
+let start ?(config = default_config) (addr : address) =
+  let fd, sock_path =
+    match addr with
+    | `Unix path ->
+        if Sys.file_exists path then (try Unix.unlink path with _ -> ());
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.bind fd (Unix.ADDR_UNIX path);
+        (fd, Some path)
+    | `Tcp port ->
+        let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Unix.setsockopt fd Unix.SO_REUSEADDR true;
+        Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+        (fd, None)
+  in
+  Unix.listen fd 64;
+  let store =
+    match config.store_dir with
+    | Some dir -> Some (Store.create ~dir)
+    | None -> Store.ambient ()
+  in
+  (* [Pool.async] tasks only ever run on worker domains (the submitter
+     does not help), so [jobs + 1] yields exactly [jobs] session
+     workers; the accept loop lives on its own domain besides. *)
+  let pool = Pool.create ~jobs:(max 1 config.jobs + 1) () in
+  let t =
+    {
+      config;
+      store;
+      fd;
+      sock_path;
+      pool;
+      stop_flag = Atomic.make false;
+      accept_domain = None;
+      lru = { lmutex = Mutex.create (); entries = []; slots = max 1 config.cache_slots };
+    }
+  in
+  t.accept_domain <- Some (Domain.spawn (fun () -> accept_loop t));
+  t
+
+let port t =
+  match Unix.getsockname t.fd with
+  | Unix.ADDR_INET (_, port) -> Some port
+  | Unix.ADDR_UNIX _ -> None
+
+let stop t =
+  if not (Atomic.exchange t.stop_flag true) then begin
+    (match t.accept_domain with
+    | Some d ->
+        Domain.join d;
+        t.accept_domain <- None
+    | None -> ());
+    (* Workers drain queued + running sessions before the join returns;
+       session timeouts bound how long a silent client can hold one. *)
+    Pool.shutdown t.pool;
+    close_quiet t.fd;
+    match t.sock_path with
+    | Some p -> ( try Unix.unlink p with Unix.Unix_error _ | Sys_error _ -> ())
+    | None -> ()
+  end
+
+let with_server ?config addr f =
+  let t = start ?config addr in
+  Fun.protect ~finally:(fun () -> stop t) (fun () -> f t)

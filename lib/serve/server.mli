@@ -1,0 +1,52 @@
+(** The streaming verdict server.
+
+    Sessions speak {!Protocol} over a Unix-domain or loopback TCP
+    socket: load an artifact (by store key or inline [.ipds] image),
+    begin a trace, stream batched events, collect verdicts.  Sessions
+    are fanned over an {!Ipds_parallel.Pool} of [jobs] worker domains;
+    the accept loop runs on its own domain.
+
+    Robustness is the contract: malformed, oversized, truncated,
+    version-skewed or out-of-sequence frames produce one typed
+    [Error] reply (counted in the [serve.*] metrics) and a closed
+    session — never a crash, never a wedged accept loop.  Stable
+    metrics ([serve.sessions], [serve.frames_in/out], [serve.traces],
+    [serve.events], [serve.branches], [serve.alarms],
+    [serve.protocol_errors], [serve.state_errors]) sum per-session
+    deterministic work, so their totals are independent of [jobs] and
+    scheduling; timeout/cache counters and the batch-latency histogram
+    are registered unstable. *)
+
+type config = {
+  jobs : int;  (** worker domains serving sessions (≥ 1) *)
+  max_frame : int;  (** payload-size limit, bytes *)
+  session_timeout : float;  (** seconds a session may sit idle; 0 = none *)
+  cache_slots : int;  (** loaded systems kept in the LRU *)
+  store_dir : string option;
+      (** artifact store for [Load_key]; [None] uses the ambient store *)
+}
+
+val default_config : config
+(** 1 job, 4 MiB frames, 30 s timeout, 8 LRU slots, ambient store. *)
+
+type address = [ `Unix of string | `Tcp of int ]
+(** [`Tcp port] binds the loopback interface; port 0 picks a free one
+    (read it back with {!port}). *)
+
+type t
+
+val start : ?config:config -> address -> t
+(** Bind, listen and spawn the accept domain.  A pre-existing file at a
+    [`Unix] socket path is unlinked first.  Raises [Unix_error] if the
+    address cannot be bound. *)
+
+val port : t -> int option
+(** The bound TCP port ([None] for Unix-domain servers). *)
+
+val stop : t -> unit
+(** Stop accepting, drain in-flight sessions (bounded by
+    [session_timeout]), shut the pool down, close and unlink the
+    socket.  Idempotent. *)
+
+val with_server : ?config:config -> address -> (t -> 'a) -> 'a
+(** [start], run, [stop] (also on exception). *)

@@ -176,6 +176,48 @@ let bitstream_ops : bits_op list Q.t =
   Q.list_size (Q.int_range 1 80)
     (Q.frequency [ (8, field); (2, Q.return Bits_align) ])
 
+(* ---------- machine event generator ---------- *)
+
+(* Arbitrary dynamic events for the serve-protocol codec tests: every
+   kind, full-range ints (the wire codec must round-trip negatives and
+   both int extremes exactly), and function names of assorted lengths
+   including empty. *)
+let wide_int : int Q.t =
+  Q.oneof
+    [
+      Q.int_range (-1000) 1000;
+      Q.int;
+      Q.return min_int;
+      Q.return max_int;
+      Q.return 0;
+      Q.return (-1);
+    ]
+
+let event : Ipds_machine.Event.t Q.t =
+  let open Ipds_machine.Event in
+  let* fname =
+    Q.oneofl [ "main"; "aux"; "helper"; ""; "a_function_with_a_long_name" ]
+  in
+  let* iid = Q.int_range 0 10_000 in
+  let* pc = wide_int in
+  let* kind =
+    Q.oneof
+      [
+        Q.return Alu;
+        Q.map (fun addr -> Load { addr }) wide_int;
+        Q.map (fun addr -> Store { addr }) wide_int;
+        Q.map2
+          (fun taken target_pc -> Branch { taken; target_pc })
+          Q.bool wide_int;
+        Q.map (fun target_pc -> Jump { target_pc }) wide_int;
+        Q.map (fun callee -> Call { callee }) (Q.oneofl [ "main"; "aux"; "" ]);
+        Q.return Ret;
+        Q.return Input_read;
+        Q.map (fun v -> Output_write v) wide_int;
+      ]
+  in
+  Q.return { fname; iid; pc; kind }
+
 (* ---------- raw MIR generator ---------- *)
 
 type mir_plan = {

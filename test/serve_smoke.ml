@@ -1,0 +1,394 @@
+(* End-to-end smoke test of the streaming verdict server (@serve-smoke):
+
+   A. every server workload, tampered and untampered, checked remotely
+      over a temp Unix socket — the verdict stream must be byte-identical
+      to an in-process System.new_checker run; artifact loads are
+      exercised cold and warm (LRU + store key path);
+   B. robustness: garbage, truncated, oversized, corrupt, out-of-state
+      and silent sessions all get typed error replies, are counted in
+      the metrics, and leave the server serving;
+   C. concurrency determinism: N concurrent client domains against
+      --jobs 1 vs --jobs 4 produce identical per-session verdicts and an
+      identical stable metrics section. *)
+
+module P = Ipds_serve.Protocol
+module Server = Ipds_serve.Server
+module Client = Ipds_serve.Client
+module W = Ipds_workloads.Workloads
+module Core = Ipds_core
+module M = Ipds_machine
+module A = Ipds_artifact.Artifact
+module Store = Ipds_artifact.Store
+module Reg = Ipds_obs.Registry
+
+let fail fmt =
+  Printf.ksprintf
+    (fun msg ->
+      Printf.eprintf "SERVE SMOKE FAIL: %s\n%!" msg;
+      exit 1)
+    fmt
+
+let section title = Printf.printf "--- %s ---\n%!" title
+
+let ok = function
+  | Ok v -> v
+  | Error (e : P.err) ->
+      fail "unexpected remote error %s: %s" (P.error_code_to_string e.P.code)
+        e.P.detail
+
+let cval name = Reg.counter_value (Reg.counter name)
+
+let temp_path suffix =
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "ipds-serve-smoke-%d%s" (Unix.getpid ()) suffix)
+
+let rec chunks n = function
+  | [] -> []
+  | xs ->
+      let rec take k acc = function
+        | rest when k = 0 -> (List.rev acc, rest)
+        | [] -> (List.rev acc, [])
+        | x :: tl -> take (k - 1) (x :: acc) tl
+      in
+      let batch, rest = take n [] xs in
+      batch :: chunks n rest
+
+(* ---------- local reference runs ---------- *)
+
+type local_run = {
+  events : M.Event.t list;  (** checker-relevant, in commit order *)
+  alarms : Core.Checker.alarm list;
+  branches : int;
+}
+
+let local_run system program ~seed ~tamper =
+  let checker = Core.System.new_checker system in
+  let events = ref [] in
+  let o =
+    M.Interp.run program
+      {
+        M.Interp.default_config with
+        max_steps = 60_000;
+        inputs = M.Input_script.random ~seed ();
+        checker = Some checker;
+        tamper;
+        record_trace = false;
+        sink =
+          Some
+            (fun (e : M.Event.t) ->
+              match e.M.Event.kind with
+              | M.Event.Call _ | M.Event.Ret | M.Event.Branch _ ->
+                  events := e :: !events
+              | _ -> ());
+      }
+  in
+  { events = List.rev !events; alarms = Core.Checker.alarms checker; branches = o.M.Interp.branches }
+
+(* A tampered run for the workload's own vulnerability class; prefer a
+   seed whose injection raises alarms so the equivalence check covers
+   non-empty verdict streams. *)
+let tampered_run system program w =
+  let model =
+    match W.tamper_model w with
+    | `Stack_overflow -> M.Tamper.Stack_overflow
+    | `Arbitrary_write -> M.Tamper.Arbitrary_write
+  in
+  let run_with seed =
+    local_run system program ~seed
+      ~tamper:(Some { M.Tamper.at_step = 40; model; seed; value = 0 })
+  in
+  let rec search seed best =
+    if seed > 14 then best
+    else
+      let r = run_with seed in
+      if r.alarms <> [] then r else search (seed + 1) best
+  in
+  search 1 (run_with 0)
+
+(* ---------- remote session driving ---------- *)
+
+let remote_check client run =
+  ok (Client.begin_trace client);
+  let verdicts = ref [] in
+  List.iter
+    (fun batch -> verdicts := !verdicts @ ok (Client.send_events client batch))
+    (chunks 200 run.events);
+  let summary = ok (Client.end_trace client) in
+  (!verdicts, summary)
+
+let render = List.map P.verdict_to_string
+
+let assert_equivalent ~what run (verdicts, (summary : P.summary)) =
+  if render verdicts <> render run.alarms then begin
+    Printf.eprintf "local:\n%s\nremote:\n%s\n"
+      (String.concat "\n" (render run.alarms))
+      (String.concat "\n" (render verdicts));
+    fail "%s: remote verdicts differ from in-process checking" what
+  end;
+  if verdicts <> run.alarms then
+    fail "%s: verdict records differ structurally" what;
+  if summary.P.total_events <> List.length run.events then
+    fail "%s: summary events %d, sent %d" what summary.P.total_events
+      (List.length run.events);
+  if summary.P.total_branches <> run.branches then
+    fail "%s: summary branches %d, local %d" what summary.P.total_branches
+      run.branches;
+  if summary.P.total_alarms <> List.length run.alarms then
+    fail "%s: summary alarms %d, local %d" what summary.P.total_alarms
+      (List.length run.alarms)
+
+(* ---------- phase A: all workloads, cold + warm, tampered + not ---------- *)
+
+let phase_a () =
+  section "A: remote = local for every workload (cold/warm artifact cache)";
+  let sock = temp_path "-a.sock" in
+  let store_dir = temp_path "-store" in
+  let store = Store.create ~dir:store_dir in
+  let config =
+    { Server.default_config with jobs = 2; cache_slots = 16; store_dir = Some store_dir }
+  in
+  let total_tampered_alarms = ref 0 in
+  let misses0 = cval "serve.cache_misses" and hits0 = cval "serve.cache_hits" in
+  Server.with_server ~config (`Unix sock) (fun _server ->
+      List.iter
+        (fun (w : W.t) ->
+          let system = W.system w in
+          let program = W.program w in
+          let image = A.to_bytes system in
+          let untampered = local_run system program ~seed:2006 ~tamper:None in
+          let tampered = tampered_run system program w in
+          total_tampered_alarms := !total_tampered_alarms + List.length tampered.alarms;
+          (* cold: first session ships the image; the LRU must miss *)
+          let c = Client.connect (`Unix sock) in
+          if ok (Client.load_image c ~name:w.W.name image) then
+            fail "%s: expected a cold LRU load" w.W.name;
+          assert_equivalent ~what:(w.W.name ^ "/untampered") untampered
+            (remote_check c untampered);
+          assert_equivalent ~what:(w.W.name ^ "/tampered") tampered
+            (remote_check c tampered);
+          Client.close c;
+          (* warm: a new session for the same image must hit the LRU *)
+          let c = Client.connect (`Unix sock) in
+          if not (ok (Client.load_image c ~name:w.W.name image)) then
+            fail "%s: expected a warm LRU hit" w.W.name;
+          assert_equivalent ~what:(w.W.name ^ "/warm") tampered
+            (remote_check c tampered);
+          Client.close c;
+          (* the store-key path: publish, load cold, then warm *)
+          let key = "smoke-" ^ w.W.name in
+          Store.publish_system store key system;
+          let c = Client.connect (`Unix sock) in
+          if ok (Client.load_key c key) then
+            fail "%s: expected a cold store load" w.W.name;
+          assert_equivalent ~what:(w.W.name ^ "/store") untampered
+            (remote_check c untampered);
+          Client.close c;
+          let c = Client.connect (`Unix sock) in
+          if not (ok (Client.load_key c key)) then
+            fail "%s: expected a warm store hit" w.W.name;
+          Client.close c)
+        W.all);
+  let n = List.length W.all in
+  let misses = cval "serve.cache_misses" - misses0
+  and hits = cval "serve.cache_hits" - hits0 in
+  (* per workload: image cold (miss), image warm (hit), key cold (miss),
+     key warm (hit) *)
+  if misses <> 2 * n then fail "LRU misses: %d, expected %d" misses (2 * n);
+  if hits <> 2 * n then fail "LRU hits: %d, expected %d" hits (2 * n);
+  if !total_tampered_alarms = 0 then
+    fail "no tampered run raised any alarm across %d workloads" n;
+  Printf.printf
+    "A ok: %d workloads, %d tampered alarms total, LRU %d misses / %d hits\n%!"
+    n !total_tampered_alarms misses hits;
+  ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote store_dir)))
+
+(* ---------- phase B: robustness ---------- *)
+
+let raw_connect sock =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX sock);
+  fd
+
+let read_error_code fd =
+  let reader = P.reader fd in
+  match P.input_frame reader with
+  | P.In_frame (P.Error e) -> e.P.code
+  | P.In_frame _ -> fail "expected an Error frame"
+  | P.In_eof -> fail "connection closed without an Error frame"
+  | P.In_error e ->
+      fail "transport error instead of an Error frame: %s"
+        (P.error_code_to_string e.P.code)
+
+let expect_error what sock bytes code =
+  let fd = raw_connect sock in
+  let b = Bytes.of_string bytes in
+  ignore (Unix.write fd b 0 (Bytes.length b));
+  Unix.shutdown fd Unix.SHUTDOWN_SEND;
+  let got = read_error_code fd in
+  if got <> code then
+    fail "%s: expected %s, got %s" what (P.error_code_to_string code)
+      (P.error_code_to_string got);
+  Unix.close fd
+
+let phase_b () =
+  section "B: malformed/oversized/stale input -> typed errors, no crash";
+  let sock = temp_path "-b.sock" in
+  let config =
+    {
+      Server.default_config with
+      jobs = 2;
+      max_frame = 65_536;
+      session_timeout = 1.0;
+    }
+  in
+  let w = W.find "telnetd" in
+  let system = W.system w in
+  let image = A.to_bytes system in
+  let proto0 = cval "serve.protocol_errors"
+  and state0 = cval "serve.state_errors"
+  and timeouts0 = cval "serve.timeouts" in
+  Server.with_server ~config (`Unix sock) (fun _server ->
+      (* garbage bytes *)
+      expect_error "garbage" sock "this is not a frame at all" P.Bad_magic;
+      (* valid frame cut mid-way *)
+      let whole = Bytes.to_string (P.encode_frame (P.Load_key "k")) in
+      expect_error "truncated" sock
+        (String.sub whole 0 (String.length whole - 3))
+        P.Truncated;
+      (* flipped CRC byte *)
+      let bad = Bytes.of_string whole in
+      let last = Bytes.length bad - 1 in
+      Bytes.set bad last (Char.chr (Char.code (Bytes.get bad last) lxor 0x40));
+      expect_error "bad crc" sock (Bytes.to_string bad) P.Bad_crc;
+      (* wrong protocol version *)
+      let skewed = Bytes.of_string whole in
+      Bytes.set skewed 4 (Char.chr (P.version + 1));
+      expect_error "version skew" sock (Bytes.to_string skewed) P.Bad_version;
+      (* payload larger than the server's max_frame *)
+      let big =
+        P.encode_frame
+          (P.Load_image { name = "n"; image = String.make 100_000 'x' })
+      in
+      expect_error "oversized" sock (Bytes.to_string big) P.Oversized;
+      (* state machine violations *)
+      let expect_rpc_error what result code =
+        match result with
+        | Ok _ -> fail "%s: expected %s" what (P.error_code_to_string code)
+        | Error (e : P.err) ->
+            if e.P.code <> code then
+              fail "%s: expected %s, got %s" what
+                (P.error_code_to_string code)
+                (P.error_code_to_string e.P.code)
+      in
+      let c = Client.connect (`Unix sock) in
+      expect_rpc_error "trace before load" (Client.begin_trace c) P.Bad_state;
+      Client.close c;
+      let c = Client.connect (`Unix sock) in
+      expect_rpc_error "events outside trace" (Client.send_events c []) P.Bad_state;
+      Client.close c;
+      let c = raw_connect sock in
+      P.output_frame c P.Trace_started;
+      (if read_error_code c <> P.Bad_state then
+         fail "server-to-client frame: expected bad-state");
+      Unix.close c;
+      (* artifact errors *)
+      let c = Client.connect (`Unix sock) in
+      expect_rpc_error "unknown key" (Client.load_key c "no-such-key")
+        P.Unknown_artifact;
+      Client.close c;
+      let corrupt = Bytes.copy image in
+      Bytes.set corrupt
+        (Bytes.length corrupt / 2)
+        (Char.chr (Char.code (Bytes.get corrupt (Bytes.length corrupt / 2)) lxor 0x40));
+      let c = Client.connect (`Unix sock) in
+      expect_rpc_error "corrupt image" (Client.load_image c ~name:"bad" corrupt)
+        P.Corrupt_artifact;
+      Client.close c;
+      (* a silent session runs into the server-side timeout *)
+      let fd = raw_connect sock in
+      (if read_error_code fd <> P.Timeout then fail "expected a session timeout");
+      Unix.close fd;
+      (* and after all that abuse the server still serves *)
+      let run = local_run system (W.program w) ~seed:2006 ~tamper:None in
+      let c = Client.connect (`Unix sock) in
+      if ok (Client.load_image c ~name:w.W.name image) then
+        fail "post-abuse: expected a cold load";
+      assert_equivalent ~what:"post-abuse" run (remote_check c run);
+      Client.close c);
+  let proto = cval "serve.protocol_errors" - proto0
+  and state = cval "serve.state_errors" - state0
+  and timeouts = cval "serve.timeouts" - timeouts0 in
+  (* garbage, truncated, bad-crc, version-skew, oversized, unknown-key,
+     corrupt-image *)
+  if proto <> 7 then fail "protocol_errors: %d, expected 7" proto;
+  if state <> 3 then fail "state_errors: %d, expected 3" state;
+  if timeouts <> 1 then fail "timeouts: %d, expected 1" timeouts;
+  Printf.printf "B ok: %d protocol errors, %d state errors, %d timeout — all typed\n%!"
+    proto state timeouts
+
+(* ---------- phase C: concurrency determinism ---------- *)
+
+let phase_c () =
+  section "C: N concurrent clients, --jobs 1 vs 4: identical verdicts + stable metrics";
+  (* precompute everything so the measured rounds do only protocol work *)
+  let picks = [ "telnetd"; "wu-ftpd"; "xinetd" ] in
+  let sessions =
+    List.concat_map
+      (fun name ->
+        let w = W.find name in
+        let system = W.system w in
+        let program = W.program w in
+        let image = A.to_bytes system in
+        [
+          (name, image, local_run system program ~seed:2006 ~tamper:None);
+          (name, image, tampered_run system program w);
+        ])
+      picks
+  in
+  let round jobs =
+    Reg.reset ();
+    let sock = temp_path (Printf.sprintf "-c%d.sock" jobs) in
+    let config = { Server.default_config with jobs; cache_slots = 16 } in
+    let results =
+      Server.with_server ~config (`Unix sock) (fun _server ->
+          let domains =
+            List.map
+              (fun (name, image, run) ->
+                Domain.spawn (fun () ->
+                    let c = Client.connect (`Unix sock) in
+                    Fun.protect
+                      ~finally:(fun () -> Client.close c)
+                      (fun () ->
+                        ignore (ok (Client.load_image c ~name image));
+                        let verdicts, summary = remote_check c run in
+                        (name, render verdicts, summary))))
+              sessions
+          in
+          List.map Domain.join domains)
+    in
+    let stable =
+      Ipds_obs.Json.to_string (Reg.snapshot_json ~stability:`Stable ())
+    in
+    (results, stable)
+  in
+  let r1, s1 = round 1 in
+  let r4, s4 = round 4 in
+  if r1 <> r4 then fail "per-session verdicts differ between --jobs 1 and 4";
+  if s1 <> s4 then begin
+    Printf.eprintf "jobs=1: %s\njobs=4: %s\n" s1 s4;
+    fail "stable metrics differ between --jobs 1 and 4"
+  end;
+  if String.length s1 <= 2 then fail "stable metrics are empty";
+  (* sanity: the rounds really did serve traffic *)
+  if cval "serve.sessions" <> List.length sessions then
+    fail "sessions: %d, expected %d" (cval "serve.sessions")
+      (List.length sessions);
+  Printf.printf "C ok: %d concurrent sessions, verdicts and stable metrics byte-identical\n%!"
+    (List.length sessions)
+
+let () =
+  phase_a ();
+  phase_b ();
+  phase_c ();
+  print_endline "serve smoke OK"

@@ -507,6 +507,83 @@ let test_printers () =
      let rec has i = i + 6 <= String.length s && (String.sub s i 6 = "branch" || has (i + 1)) in
      has 0)
 
+(* ---------- sink commit-order: replayed checking = inline checking ---------- *)
+
+(* Run once with an inline checker AND the event sink on, replay the
+   sink stream through a fresh checker, and require identical verdicts.
+   This is the contract the remote verdict server depends on, and it
+   only holds if the sink emits in commit order — a call that faults
+   pushing its frame (stack overflow, extern fault) must never reach
+   the sink. *)
+let sink_replay_agrees ?tamper ?(trap_on_alarm = false) ~seed p =
+  let system = Ipds_core.System.build p in
+  let checker = Ipds_core.System.new_checker system in
+  let events = ref [] in
+  let o =
+    M.Interp.run p
+      {
+        M.Interp.default_config with
+        max_steps = 2000;
+        inputs = M.Input_script.random ~seed ();
+        checker = Some checker;
+        trap_on_alarm;
+        tamper;
+        record_trace = false;
+        sink = Some (fun e -> events := e :: !events);
+      }
+  in
+  let replayed = Ipds_core.System.new_checker system in
+  M.Replay.feed_all replayed
+    ~defined:(Ipds_core.System.mem system)
+    (List.rev !events);
+  let module C = Ipds_core.Checker in
+  ignore o;
+  C.alarms replayed = C.alarms checker
+  && C.branches_seen replayed = C.branches_seen checker
+  && C.depth replayed = C.depth checker
+
+let prop_sink_replay_matches_inline =
+  QCheck2.Test.make
+    ~name:"sink-replayed checking = inline checking (faulting programs)"
+    ~count:100 Gen.mir_program (sink_replay_agrees ~seed:7)
+
+let prop_sink_replay_matches_inline_tampered =
+  QCheck2.Test.make
+    ~name:"sink-replayed checking = inline checking (tampered, trapping)"
+    ~count:100 Gen.mir_program
+    (fun p ->
+      sink_replay_agrees
+        ~tamper:
+          { M.Tamper.at_step = 7; model = M.Tamper.Arbitrary_write; seed = 3; value = 13 }
+        ~trap_on_alarm:true ~seed:7 p)
+
+let test_sink_commit_order_on_stack_overflow () =
+  (* unbounded recursion: the interpreter faults inside push_function
+     mid-[Call]; with commit-order emission the sink never sees the
+     aborted call, so replay depth matches the inline checker's *)
+  let p =
+    Mir.Parser.program_of_string
+      {|
+func f() {
+start:
+  r0 = call f()
+  ret r0
+}
+func main() {
+entry:
+  r0 = call f()
+  ret r0
+}
+|}
+  in
+  (match
+     (M.Interp.run p { M.Interp.default_config with max_steps = 100_000 }).M.Interp.reason
+   with
+  | M.Interp.Fault _ -> ()
+  | _ -> Alcotest.fail "expected a call-stack-overflow fault");
+  check "replay = inline across a mid-call fault" true
+    (sink_replay_agrees ~seed:1 p)
+
 let prop_random_programs_run =
   QCheck2.Test.make ~name:"random MIR programs run without crashing the host"
     ~count:150 Gen.mir_program (fun p ->
@@ -534,6 +611,13 @@ let () =
           Alcotest.test_case "out of steps" `Quick test_out_of_steps;
           Alcotest.test_case "halt" `Quick test_halt;
           QCheck_alcotest.to_alcotest prop_random_programs_run;
+        ] );
+      ( "sink",
+        [
+          QCheck_alcotest.to_alcotest prop_sink_replay_matches_inline;
+          QCheck_alcotest.to_alcotest prop_sink_replay_matches_inline_tampered;
+          Alcotest.test_case "commit order across mid-call fault" `Quick
+            test_sink_commit_order_on_stack_overflow;
         ] );
       ( "memory",
         [

@@ -1,0 +1,275 @@
+(* Property/fuzz tests for the verdict-server wire protocol: frame
+   encode→decode round trips, and the corruption contract — every
+   byte flip and every truncation of a valid frame stream must yield a
+   typed protocol error, never an exception (mirrors test_artifact's
+   corruption style). *)
+
+module P = Ipds_serve.Protocol
+module Core = Ipds_core
+module Q = QCheck2.Gen
+
+let ( let* ) = Q.bind
+let check = Alcotest.(check bool)
+
+(* ---------- generators ---------- *)
+
+let status : Core.Status.t Q.t =
+  Q.oneofl [ Core.Status.Taken; Core.Status.Not_taken; Core.Status.Unknown ]
+
+let verdict : Core.Checker.alarm Q.t =
+  let* fname = Q.oneofl [ "main"; "aux"; "" ] in
+  let* branch_pc = Gen.wide_int in
+  let* expected = status in
+  let* actual_taken = Q.bool in
+  let* sequence = Q.int_range 0 100_000 in
+  Q.return { Core.Checker.fname; branch_pc; expected; actual_taken; sequence }
+
+let error_code : P.error_code Q.t =
+  Q.oneofl
+    [
+      P.Bad_magic; P.Bad_version; P.Bad_crc; P.Oversized; P.Truncated;
+      P.Unknown_frame; P.Malformed; P.Bad_state; P.Unknown_artifact;
+      P.Corrupt_artifact; P.Timeout; P.Server_error;
+    ]
+
+let binary_string : string Q.t =
+  let* n = Q.int_range 0 64 in
+  Q.string_size ~gen:(Q.char_range '\000' '\255') (Q.return n)
+
+let frame : P.frame Q.t =
+  Q.oneof
+    [
+      Q.map (fun k -> P.Load_key k) binary_string;
+      (let* name = Q.oneofl [ "telnetd"; "x"; "" ] in
+       let* image = binary_string in
+       Q.return (P.Load_image { name; image }));
+      Q.return P.Begin_trace;
+      Q.map
+        (fun evs -> P.Branch_events evs)
+        (Q.list_size (Q.int_range 0 40) Gen.event);
+      Q.return P.End_trace;
+      (let* name = Q.oneofl [ "telnetd"; "" ] in
+       let* cached = Q.bool in
+       Q.return (P.Loaded { name; cached }));
+      Q.return P.Trace_started;
+      Q.map (fun vs -> P.Verdicts vs) (Q.list_size (Q.int_range 0 20) verdict);
+      (let* total_events = Gen.wide_int in
+       let* total_branches = Q.int_range 0 max_int in
+       let* total_alarms = Q.int_range 0 1000 in
+       Q.return
+         (P.Trace_summary { P.total_events; total_branches; total_alarms }));
+      (let* code = error_code in
+       let* detail = Q.oneofl [ "bad thing"; ""; "x" ] in
+       Q.return (P.Error { P.code; detail }));
+    ]
+
+let frames : P.frame list Q.t = Q.list_size (Q.int_range 1 8) frame
+
+let encode_stream fs =
+  String.concat "" (List.map (fun f -> Bytes.to_string (P.encode_frame f)) fs)
+
+(* ---------- round trip ---------- *)
+
+let prop_roundtrip =
+  QCheck2.Test.make ~name:"frame stream encode/decode round trip" ~count:300
+    frames (fun fs ->
+      match P.decode_string (encode_stream fs) with
+      | Ok fs' -> fs' = fs
+      | Error _ -> false)
+
+(* ---------- corruption: every byte flip is a typed error ---------- *)
+
+(* A fixed, representative stream: every client/server frame kind. *)
+let sample_stream () =
+  encode_stream
+    [
+      P.Load_key "telnetd-key";
+      P.Load_image { name = "telnetd"; image = "\x00\x01binary\xff" };
+      P.Begin_trace;
+      P.Branch_events
+        [
+          {
+            Ipds_machine.Event.fname = "main";
+            iid = 3;
+            pc = 0x1010;
+            kind = Ipds_machine.Event.Branch { taken = true; target_pc = 0x1000 };
+          };
+          {
+            Ipds_machine.Event.fname = "main";
+            iid = 9;
+            pc = 0x1020;
+            kind = Ipds_machine.Event.Call { callee = "aux" };
+          };
+          { Ipds_machine.Event.fname = "aux"; iid = 1; pc = 0x2000; kind = Ipds_machine.Event.Ret };
+        ];
+      P.End_trace;
+      P.Loaded { name = "telnetd"; cached = true };
+      P.Trace_started;
+      P.Verdicts
+        [
+          {
+            Core.Checker.fname = "main";
+            branch_pc = 0x1010;
+            expected = Core.Status.Not_taken;
+            actual_taken = true;
+            sequence = 7;
+          };
+        ];
+      P.Trace_summary { P.total_events = 3; total_branches = 1; total_alarms = 1 };
+      P.Error { P.code = P.Timeout; detail = "session timed out" };
+    ]
+
+let test_every_byte_flip_is_typed_error () =
+  let s = sample_stream () in
+  let decoded_ok = match P.decode_string s with Ok _ -> true | Error _ -> false in
+  check "pristine stream decodes" true decoded_ok;
+  List.iter
+    (fun mask ->
+      String.iteri
+        (fun i _ ->
+          let bad = Bytes.of_string s in
+          Bytes.set bad i (Char.chr (Char.code (Bytes.get bad i) lxor mask));
+          (* never an exception, never a silent pass: the CRC covers
+             header and payload, magic/version are checked first, so
+             every single-byte flip must surface as a typed error *)
+          match P.decode_string (Bytes.to_string bad) with
+          | Ok _ ->
+              Alcotest.failf "flip 0x%02x at byte %d went undetected" mask i
+          | Error e -> (
+              match e.P.code with
+              | P.Bad_magic | P.Bad_version | P.Bad_crc | P.Oversized
+              | P.Truncated | P.Unknown_frame | P.Malformed ->
+                  ()
+              | other ->
+                  Alcotest.failf "flip 0x%02x at byte %d: unexpected code %s"
+                    mask i
+                    (P.error_code_to_string other))
+          | exception e ->
+              Alcotest.failf "flip 0x%02x at byte %d raised %s" mask i
+                (Printexc.to_string e))
+        s)
+    [ 0x01; 0x40; 0x80 ]
+
+(* ---------- truncation: boundary cuts are fine, mid-frame cuts are
+   typed Truncated errors ---------- *)
+
+let test_every_truncation_is_typed () =
+  let fs =
+    [
+      P.Load_key "k";
+      P.Begin_trace;
+      P.Branch_events
+        [ { Ipds_machine.Event.fname = "f"; iid = 0; pc = 1; kind = Ipds_machine.Event.Alu } ];
+      P.End_trace;
+    ]
+  in
+  let encoded = List.map (fun f -> Bytes.to_string (P.encode_frame f)) fs in
+  let s = String.concat "" encoded in
+  (* cumulative end offsets: a cut at one of these lands exactly between
+     frames and must decode to the whole frames before it *)
+  let boundaries =
+    List.rev
+      (List.fold_left
+         (fun acc e ->
+           match acc with
+           | off :: _ -> (off + String.length e) :: acc
+           | [] -> assert false)
+         [ 0 ] encoded)
+  in
+  for len = 0 to String.length s do
+    let prefix = String.sub s 0 len in
+    match P.decode_string prefix with
+    | Ok fs' ->
+        if not (List.mem len boundaries) then
+          Alcotest.failf "cut at %d (mid-frame) decoded Ok" len;
+        let complete =
+          List.length (List.filter (fun b -> b <> 0 && b <= len) boundaries)
+        in
+        check
+          (Printf.sprintf "boundary cut at %d decodes the whole frames" len)
+          true
+          (fs' = List.filteri (fun i _ -> i < complete) fs)
+    | Error e ->
+        if List.mem len boundaries then
+          Alcotest.failf "cut at %d (boundary) errored: %s" len
+            (P.error_code_to_string e.P.code);
+        check
+          (Printf.sprintf "mid-frame cut at %d is Truncated" len)
+          true (e.P.code = P.Truncated)
+    | exception e ->
+        Alcotest.failf "truncation to %d raised %s" len (Printexc.to_string e)
+  done
+
+let prop_truncation_never_raises =
+  QCheck2.Test.make ~name:"random truncation: typed result, never an exception"
+    ~count:200
+    (let* fs = frames in
+     let s = encode_stream fs in
+     let* len = Q.int_range 0 (String.length s) in
+     Q.return (String.sub s 0 len))
+    (fun prefix ->
+      match P.decode_string prefix with
+      | Ok _ | Error _ -> true)
+
+(* ---------- hand-crafted damage the flip test cannot reach ---------- *)
+
+(* Rebuild a frame with an arbitrary tag/payload but a VALID CRC, to
+   exercise the paths behind the checksum. *)
+let forge ~tag payload =
+  let plen = String.length payload in
+  let b = Bytes.create (P.header_bytes + plen + P.trailer_bytes) in
+  Bytes.blit_string P.magic 0 b 0 4;
+  Bytes.set b 4 (Char.chr P.version);
+  Bytes.set b 5 (Char.chr tag);
+  for i = 0 to 3 do
+    Bytes.set b (6 + i) (Char.chr ((plen lsr (8 * i)) land 0xFF))
+  done;
+  Bytes.blit_string payload 0 b P.header_bytes plen;
+  let crc =
+    Int32.to_int (Ipds_artifact.Crc32.bytes b ~pos:0 ~len:(P.header_bytes + plen))
+    land 0xFFFF_FFFF
+  in
+  for i = 0 to 3 do
+    Bytes.set b (P.header_bytes + plen + i) (Char.chr ((crc lsr (8 * i)) land 0xFF))
+  done;
+  Bytes.to_string b
+
+let expect_code name code s =
+  match P.decode_string s with
+  | Error e -> Alcotest.(check string) name (P.error_code_to_string code) (P.error_code_to_string e.P.code)
+  | Ok _ -> Alcotest.failf "%s: decoded Ok" name
+  | exception e -> Alcotest.failf "%s: raised %s" name (Printexc.to_string e)
+
+let test_crafted_damage () =
+  (* unknown tag, valid CRC *)
+  expect_code "unknown tag" P.Unknown_frame (forge ~tag:9 "");
+  (* known tag, valid CRC, garbage payload: string length field lies *)
+  expect_code "malformed payload" P.Malformed (forge ~tag:1 "\xff\xff\xff\xff\xff\xff\xff\xff");
+  (* empty payload where one is required *)
+  expect_code "short payload" P.Malformed (forge ~tag:4 "");
+  (* oversized length honoured before the CRC is even checked *)
+  (let big = P.encode_frame (P.Load_image { name = "n"; image = String.make 4096 'x' }) in
+   match P.decode_string ~max_frame:64 (Bytes.to_string big) with
+   | Error e -> check "oversized is typed" true (e.P.code = P.Oversized)
+   | Ok _ -> Alcotest.fail "oversized frame decoded Ok"
+   | exception e -> Alcotest.failf "oversized raised %s" (Printexc.to_string e));
+  (* wrong version byte *)
+  (let s = Bytes.of_string (forge ~tag:3 "") in
+   Bytes.set s 4 (Char.chr (P.version + 1));
+   expect_code "version skew" P.Bad_version (Bytes.to_string s))
+
+let () =
+  Alcotest.run "serve-protocol"
+    [
+      ( "codec",
+        [
+          QCheck_alcotest.to_alcotest prop_roundtrip;
+          Alcotest.test_case "crafted damage" `Quick test_crafted_damage;
+        ] );
+      ( "corruption",
+        [
+          Alcotest.test_case "every byte flip" `Quick test_every_byte_flip_is_typed_error;
+          Alcotest.test_case "every truncation" `Quick test_every_truncation_is_typed;
+          QCheck_alcotest.to_alcotest prop_truncation_never_raises;
+        ] );
+    ]
