@@ -13,12 +13,29 @@ type t = {
   mutable closed : bool;
 }
 
+(* Resolution failures must stay inside [connect]'s documented
+   [Unix_error] contract — gethostbyname's bare [Not_found] would skip
+   the caller's friendly connect-error path. *)
 let resolve host =
   match Unix.inet_addr_of_string host with
   | addr -> addr
-  | exception Failure _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
+  | exception Failure _ -> (
+      let addrs =
+        try
+          Unix.getaddrinfo host ""
+            [ Unix.AI_FAMILY Unix.PF_INET; Unix.AI_SOCKTYPE Unix.SOCK_STREAM ]
+        with Unix.Unix_error _ | Not_found -> []
+      in
+      let inet = function
+        | { Unix.ai_addr = Unix.ADDR_INET (a, _); _ } -> Some a
+        | _ -> None
+      in
+      match List.find_map inet addrs with
+      | Some a -> a
+      | None -> raise (Unix.Unix_error (Unix.EHOSTUNREACH, "resolve", host)))
 
 let connect ?(max_frame = Protocol.default_max_frame) (addr : address) =
+  Protocol.ignore_sigpipe ();
   let fd =
     match addr with
     | `Unix path ->

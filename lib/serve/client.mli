@@ -8,7 +8,10 @@ type address = [ `Unix of string | `Tcp of string * int ]
 type t
 
 val connect : ?max_frame:int -> address -> t
-(** Raises [Unix_error] if the server cannot be reached. *)
+(** Raises [Unix_error] if the server cannot be reached — including
+    [EHOSTUNREACH] for a hostname that does not resolve.  SIGPIPE is
+    set to ignored so a server vanishing mid-request surfaces as an
+    RPC error, not a fatal signal. *)
 
 val close : t -> unit
 (** Idempotent. *)

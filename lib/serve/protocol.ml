@@ -130,9 +130,14 @@ let push_string w s =
   push_int w n;
   String.iter (fun c -> Bs.Writer.push w ~width:8 (Char.code c)) s
 
-let pull_string r =
+(* String/list lengths are bounded by the decoder's effective
+   [max_frame], not the compile-time default — a server started with a
+   larger [--max-frame] must accept payloads that fill it.  The bound
+   only rejects absurd lengths before allocation; genuine overruns of
+   the actual payload still surface as [Malformed] via the reader. *)
+let pull_string ~limit r =
   let n = pull_int r in
-  if n < 0 || n > default_max_frame then fail "string length out of range";
+  if n < 0 || n > limit then fail "string length out of range";
   String.init n (fun _ -> Char.chr (Bs.Reader.pull r ~width:8))
 
 let push_status w (s : Ipds_core.Status.t) =
@@ -178,8 +183,8 @@ let push_event w (e : Event.t) =
       tag 8;
       push_int w v
 
-let pull_event r : Event.t =
-  let fname = pull_string r in
+let pull_event ~limit r : Event.t =
+  let fname = pull_string ~limit r in
   let iid = pull_int r in
   let pc = pull_int r in
   let kind =
@@ -192,7 +197,7 @@ let pull_event r : Event.t =
         let target_pc = pull_int r in
         Event.Branch { taken; target_pc }
     | 4 -> Event.Jump { target_pc = pull_int r }
-    | 5 -> Event.Call { callee = pull_string r }
+    | 5 -> Event.Call { callee = pull_string ~limit r }
     | 6 -> Event.Ret
     | 7 -> Event.Input_read
     | 8 -> Event.Output_write (pull_int r)
@@ -204,9 +209,9 @@ let push_list w push xs =
   push_int w (List.length xs);
   List.iter (push w) xs
 
-let pull_list r pull =
+let pull_list ~limit r pull =
   let n = pull_int r in
-  if n < 0 || n > default_max_frame then fail "list length out of range";
+  if n < 0 || n > limit then fail "list length out of range";
   List.init n (fun _ -> pull r)
 
 let push_verdict w (a : Ipds_core.Checker.alarm) =
@@ -216,8 +221,8 @@ let push_verdict w (a : Ipds_core.Checker.alarm) =
   push_bool w a.actual_taken;
   push_int w a.sequence
 
-let pull_verdict r : Ipds_core.Checker.alarm =
-  let fname = pull_string r in
+let pull_verdict ~limit r : Ipds_core.Checker.alarm =
+  let fname = pull_string ~limit r in
   let branch_pc = pull_int r in
   let expected = pull_status r in
   let actual_taken = pull_bool r in
@@ -257,22 +262,22 @@ let encode_payload w = function
       Bs.Writer.push w ~width:8 (error_code_to_int code);
       push_string w detail
 
-let decode_payload tag r =
+let decode_payload ~limit tag r =
   match tag with
-  | 1 -> Some (Load_key (pull_string r))
+  | 1 -> Some (Load_key (pull_string ~limit r))
   | 2 ->
-      let name = pull_string r in
-      let image = pull_string r in
+      let name = pull_string ~limit r in
+      let image = pull_string ~limit r in
       Some (Load_image { name; image })
   | 3 -> Some Begin_trace
-  | 4 -> Some (Branch_events (pull_list r pull_event))
+  | 4 -> Some (Branch_events (pull_list ~limit r (pull_event ~limit)))
   | 5 -> Some End_trace
   | 16 ->
-      let name = pull_string r in
+      let name = pull_string ~limit r in
       let cached = pull_bool r in
       Some (Loaded { name; cached })
   | 17 -> Some Trace_started
-  | 18 -> Some (Verdicts (pull_list r pull_verdict))
+  | 18 -> Some (Verdicts (pull_list ~limit r (pull_verdict ~limit)))
   | 19 ->
       let total_events = pull_int r in
       let total_branches = pull_int r in
@@ -280,7 +285,7 @@ let decode_payload tag r =
       Some (Trace_summary { total_events; total_branches; total_alarms })
   | 31 -> (
       match error_code_of_int (Bs.Reader.pull r ~width:8) with
-      | Some code -> Some (Error { code; detail = pull_string r })
+      | Some code -> Some (Error { code; detail = pull_string ~limit r })
       | None -> fail "bad error code")
   | _ -> None
 
@@ -354,7 +359,7 @@ let decode_at ?(max_frame = default_max_frame) buf ~pos ~len =
       else
         let payload = Bytes.sub buf (pos + header_bytes) plen in
         let next = pos + header_bytes + plen + trailer_bytes in
-        match decode_payload tag (Bs.Reader.of_bytes payload) with
+        match decode_payload ~limit:max_frame tag (Bs.Reader.of_bytes payload) with
         | Some f -> Frame (f, next)
         | None ->
             Fail
@@ -378,6 +383,15 @@ let decode_string ?max_frame s =
   go 0 []
 
 (* {2 Socket transport} *)
+
+(* A peer that disconnects before reading our reply turns the next
+   [Unix.write] into a SIGPIPE, whose default disposition kills the
+   whole process — session-level [Unix_error EPIPE] handling only works
+   once the signal is ignored.  Both [Server.start] and [Client.connect]
+   call this; [Invalid_argument] covers platforms without SIGPIPE. *)
+let ignore_sigpipe () =
+  try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+  with Invalid_argument _ | Sys_error _ -> ()
 
 let rec write_all fd b pos len =
   if len > 0 then

@@ -86,6 +86,12 @@ val decode_string : ?max_frame:int -> string -> (frame list, err) result
 
 (** {2 Socket transport} *)
 
+val ignore_sigpipe : unit -> unit
+(** Set SIGPIPE to ignored so a write to a disconnected peer raises
+    [Unix_error (EPIPE, _, _)] instead of killing the process.  Called
+    by {!Server.start} and {!Client.connect}; idempotent, a no-op on
+    platforms without SIGPIPE. *)
+
 val output_frame : Unix.file_descr -> frame -> unit
 (** Write a whole frame (handles partial writes).  Raises [Unix_error]
     on IO failure — callers own the error policy for their peer. *)

@@ -61,6 +61,12 @@ type lru = {
   slots : int;
 }
 
+(* Live session sockets, so [stop] can force blocked reads to return
+   even when [session_timeout] is 0 (otherwise a silent client would
+   hold a worker in [input_frame] forever and the pool drain would
+   never finish). *)
+type sessions = { smutex : Mutex.t; mutable fds : Unix.file_descr list }
+
 type t = {
   config : config;
   store : Store.t option;
@@ -70,9 +76,30 @@ type t = {
   stop_flag : bool Atomic.t;
   mutable accept_domain : unit Domain.t option;
   lru : lru;
+  sessions : sessions;
 }
 
 let close_quiet fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let track sessions fd =
+  Mutex.lock sessions.smutex;
+  sessions.fds <- fd :: sessions.fds;
+  Mutex.unlock sessions.smutex
+
+(* Closing under the mutex means [interrupt_sessions] never races a
+   close and shuts down a recycled descriptor number. *)
+let untrack_close sessions fd =
+  Mutex.lock sessions.smutex;
+  sessions.fds <- List.filter (fun f -> f != fd) sessions.fds;
+  close_quiet fd;
+  Mutex.unlock sessions.smutex
+
+let interrupt_sessions sessions =
+  Mutex.lock sessions.smutex;
+  List.iter
+    (fun fd -> try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+    sessions.fds;
+  Mutex.unlock sessions.smutex
 
 (* The mutex is held across [load], serializing artifact loads: the
    first session to ask for a key pays the load, concurrent sessions for
@@ -280,20 +307,41 @@ let accept_loop t =
     | _ -> (
         match Unix.accept t.fd with
         | cfd, _ ->
+            track t.sessions cfd;
             Pool.async t.pool (fun () ->
                 Fun.protect
-                  ~finally:(fun () -> close_quiet cfd)
+                  ~finally:(fun () -> untrack_close t.sessions cfd)
                   (fun () -> session t cfd))
         | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
         | exception Unix.Unix_error _ -> ())
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
   done
 
+(* Reclaim [path] for our listener, but only if it holds a *stale*
+   socket: a non-socket file is someone else's data and a socket a
+   connect succeeds on is a live server — unlinking either would
+   silently hijack it, so both raise [EADDRINUSE] instead. *)
+let claim_socket_path path =
+  match Unix.stat path with
+  | { Unix.st_kind = Unix.S_SOCK; _ } ->
+      let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      let live =
+        match Unix.connect probe (Unix.ADDR_UNIX path) with
+        | () -> true
+        | exception Unix.Unix_error _ -> false
+      in
+      close_quiet probe;
+      if live then raise (Unix.Unix_error (Unix.EADDRINUSE, "bind", path));
+      (try Unix.unlink path with Unix.Unix_error _ -> ())
+  | _ -> raise (Unix.Unix_error (Unix.EADDRINUSE, "bind", path))
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
 let start ?(config = default_config) (addr : address) =
+  Protocol.ignore_sigpipe ();
   let fd, sock_path =
     match addr with
     | `Unix path ->
-        if Sys.file_exists path then (try Unix.unlink path with _ -> ());
+        claim_socket_path path;
         let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
         Unix.bind fd (Unix.ADDR_UNIX path);
         (fd, Some path)
@@ -323,6 +371,7 @@ let start ?(config = default_config) (addr : address) =
       stop_flag = Atomic.make false;
       accept_domain = None;
       lru = { lmutex = Mutex.create (); entries = []; slots = max 1 config.cache_slots };
+      sessions = { smutex = Mutex.create (); fds = [] };
     }
   in
   t.accept_domain <- Some (Domain.spawn (fun () -> accept_loop t));
@@ -340,8 +389,11 @@ let stop t =
         Domain.join d;
         t.accept_domain <- None
     | None -> ());
-    (* Workers drain queued + running sessions before the join returns;
-       session timeouts bound how long a silent client can hold one. *)
+    (* Workers drain queued + running sessions before the join returns.
+       Shutting active session sockets down first forces reads blocked
+       in [input_frame] to return — without it a silent client under
+       [session_timeout = 0] would hold a worker forever. *)
+    interrupt_sessions t.sessions;
     Pool.shutdown t.pool;
     close_quiet t.fd;
     match t.sock_path with

@@ -36,16 +36,21 @@ type address = [ `Unix of string | `Tcp of int ]
 type t
 
 val start : ?config:config -> address -> t
-(** Bind, listen and spawn the accept domain.  A pre-existing file at a
-    [`Unix] socket path is unlinked first.  Raises [Unix_error] if the
+(** Bind, listen and spawn the accept domain.  SIGPIPE is set to
+    ignored so a client disconnecting mid-reply surfaces as
+    [Unix_error EPIPE] in the session, not a fatal signal.  A stale
+    socket file (one no server answers on) at a [`Unix] path is
+    unlinked first; a live server's socket or a non-socket file raises
+    [Unix_error (EADDRINUSE, _, _)].  Raises [Unix_error] if the
     address cannot be bound. *)
 
 val port : t -> int option
 (** The bound TCP port ([None] for Unix-domain servers). *)
 
 val stop : t -> unit
-(** Stop accepting, drain in-flight sessions (bounded by
-    [session_timeout]), shut the pool down, close and unlink the
+(** Stop accepting, interrupt in-flight sessions (their sockets are
+    shut down, so reads blocked on a silent client return even with
+    [session_timeout = 0]), drain the pool, close and unlink the
     socket.  Idempotent. *)
 
 val with_server : ?config:config -> address -> (t -> 'a) -> 'a

@@ -9,7 +9,13 @@
       the metrics, and leave the server serving;
    C. concurrency determinism: N concurrent client domains against
       --jobs 1 vs --jobs 4 produce identical per-session verdicts and an
-      identical stable metrics section. *)
+      identical stable metrics section;
+   D. lifecycle robustness: clients that vanish before reading replies
+      must not kill the server (SIGPIPE), stop must return promptly with
+      a silent client even under --timeout 0, the socket path must never
+      hijack a non-socket file or a live server's socket (but must
+      reclaim a stale one), and an unresolvable host must surface as the
+      typed connect error. *)
 
 module P = Ipds_serve.Protocol
 module Server = Ipds_serve.Server
@@ -223,8 +229,14 @@ let read_error_code fd =
 let expect_error what sock bytes code =
   let fd = raw_connect sock in
   let b = Bytes.of_string bytes in
-  ignore (Unix.write fd b 0 (Bytes.length b));
-  Unix.shutdown fd Unix.SHUTDOWN_SEND;
+  (* The server may reply and cut the session from the frame header
+     alone (e.g. oversized) while we are still writing the body; its
+     error reply is already in our receive buffer, so EPIPE here is
+     fine — we can still read the verdict. *)
+  (try
+     ignore (Unix.write fd b 0 (Bytes.length b));
+     Unix.shutdown fd Unix.SHUTDOWN_SEND
+   with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET | Unix.ENOTCONN), _, _) -> ());
   let got = read_error_code fd in
   if got <> code then
     fail "%s: expected %s, got %s" what (P.error_code_to_string code)
@@ -387,8 +399,100 @@ let phase_c () =
   Printf.printf "C ok: %d concurrent sessions, verdicts and stable metrics byte-identical\n%!"
     (List.length sessions)
 
+(* ---------- phase D: lifecycle robustness ---------- *)
+
+let phase_d () =
+  section "D: early disconnects, --timeout 0 shutdown, socket-path hygiene";
+  let w = W.find "telnetd" in
+  let system = W.system w in
+  let image = A.to_bytes system in
+  let run = local_run system (W.program w) ~seed:2006 ~tamper:None in
+  (* D1: a client that fires requests and closes without ever reading a
+     reply makes the server write into a closed peer.  With SIGPIPE
+     ignored that is a per-session EPIPE; without it this whole test
+     process (server domains included) would die here. *)
+  let sock = temp_path "-d.sock" in
+  Server.with_server (`Unix sock) (fun _server ->
+      for _ = 1 to 3 do
+        let fd = raw_connect sock in
+        (try
+           for _ = 1 to 5 do
+             P.output_frame fd
+               (P.Load_image { name = "rude"; image = Bytes.to_string image })
+           done
+         with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> ());
+        Unix.close fd
+      done;
+      (* give the workers a beat to hit the closed sockets *)
+      Unix.sleepf 0.2;
+      let c = Client.connect (`Unix sock) in
+      ignore (ok (Client.load_image c ~name:w.W.name image));
+      assert_equivalent ~what:"post-disconnect" run (remote_check c run);
+      Client.close c);
+  (* D2: with session_timeout = 0 a silent client has no receive
+     timeout; stop must still return because it shuts the session
+     sockets down rather than waiting the read out. *)
+  let sock = temp_path "-d0.sock" in
+  let config = { Server.default_config with session_timeout = 0. } in
+  let silent = ref None in
+  let t0 = Unix.gettimeofday () in
+  Server.with_server ~config (`Unix sock) (fun _server ->
+      let fd = raw_connect sock in
+      silent := Some fd;
+      (* let the worker pick the session up and block in its read *)
+      Unix.sleepf 0.2);
+  let elapsed = Unix.gettimeofday () -. t0 in
+  (match !silent with Some fd -> (try Unix.close fd with Unix.Unix_error _ -> ()) | None -> ());
+  if elapsed > 10. then
+    fail "stop with --timeout 0 and a silent client took %.1fs" elapsed;
+  (* D3: socket-path hygiene.  A regular file must never be unlinked... *)
+  let precious = temp_path "-precious" in
+  let oc = open_out precious in
+  output_string oc "not a socket";
+  close_out oc;
+  (match Server.start (`Unix precious) with
+  | server ->
+      Server.stop server;
+      fail "start hijacked a regular file at the socket path"
+  | exception Unix.Unix_error (Unix.EADDRINUSE, _, _) -> ());
+  (if (not (Sys.file_exists precious)) || In_channel.with_open_bin precious In_channel.input_all <> "not a socket"
+   then fail "socket-path claim damaged an unrelated file");
+  Sys.remove precious;
+  (* ...nor a socket a live server still answers on... *)
+  let sock = temp_path "-d3.sock" in
+  Server.with_server (`Unix sock) (fun _server ->
+      (match Server.start (`Unix sock) with
+      | second ->
+          Server.stop second;
+          fail "second server hijacked a live socket"
+      | exception Unix.Unix_error (Unix.EADDRINUSE, _, _) -> ());
+      (* the incumbent is unharmed *)
+      let c = Client.connect (`Unix sock) in
+      ignore (ok (Client.load_image c ~name:w.W.name image));
+      Client.close c);
+  (* ...but a stale socket file (no listener behind it) is reclaimed. *)
+  let stale = temp_path "-stale.sock" in
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_UNIX stale);
+  Unix.close fd;
+  Server.with_server (`Unix stale) (fun _server ->
+      let c = Client.connect (`Unix stale) in
+      ignore (ok (Client.load_image c ~name:w.W.name image));
+      Client.close c);
+  (* D4: resolution failure keeps connect's Unix_error contract (the
+     gethostbyname fallback used to leak a bare Not_found). *)
+  (match Client.connect (`Tcp ("", 1)) with
+  | c ->
+      Client.close c;
+      fail "connect to an unresolvable host succeeded"
+  | exception Unix.Unix_error _ -> ()
+  | exception e ->
+      fail "unresolvable host raised %s, not Unix_error" (Printexc.to_string e));
+  Printf.printf "D ok: SIGPIPE ignored, bounded stop, socket path safe, typed resolve\n%!"
+
 let () =
   phase_a ();
   phase_b ();
   phase_c ();
+  phase_d ();
   print_endline "serve smoke OK"

@@ -258,6 +258,26 @@ let test_crafted_damage () =
    Bytes.set s 4 (Char.chr (P.version + 1));
    expect_code "version skew" P.Bad_version (Bytes.to_string s))
 
+(* A decoder configured with a limit above the default must accept
+   frames that fill it: string/list length bounds follow the effective
+   max_frame, not the compile-time constant (they used to be pinned to
+   the default, so raising --max-frame silently didn't work). *)
+let test_raised_max_frame () =
+  let image = String.make (P.default_max_frame + 16) 'y' in
+  let big = Bytes.to_string (P.encode_frame (P.Load_image { name = "n"; image })) in
+  (match P.decode_string ~max_frame:(2 * P.default_max_frame) big with
+  | Ok [ P.Load_image { image = got; _ } ] ->
+      check "above-default payload intact" true (String.equal got image)
+  | Ok _ -> Alcotest.fail "unexpected decode shape"
+  | Error e ->
+      Alcotest.failf "raised limit still rejected: %s"
+        (P.error_code_to_string e.P.code)
+  | exception e -> Alcotest.failf "raised %s" (Printexc.to_string e));
+  match P.decode_string big with
+  | Error e -> check "default limit still oversized" true (e.P.code = P.Oversized)
+  | Ok _ -> Alcotest.fail "default limit decoded an oversized frame"
+  | exception e -> Alcotest.failf "raised %s" (Printexc.to_string e)
+
 let () =
   Alcotest.run "serve-protocol"
     [
@@ -265,6 +285,7 @@ let () =
         [
           QCheck_alcotest.to_alcotest prop_roundtrip;
           Alcotest.test_case "crafted damage" `Quick test_crafted_damage;
+          Alcotest.test_case "raised max_frame" `Quick test_raised_max_frame;
         ] );
       ( "corruption",
         [
