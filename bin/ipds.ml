@@ -366,7 +366,7 @@ let trace_cmd =
     let log_lines = ref 0 in
     let log =
       Core.Trace_log.create
-        ~lookup:(Core.System.tables system)
+        ~lookup:(Core.System.image system)
         ~out:(fun line ->
           if !log_lines < limit then print_endline line
           else if !log_lines = limit then print_endline "... (truncated)";
@@ -391,8 +391,9 @@ let trace_cmd =
           observer = Some observer;
         }
     in
+    Core.Checker.flush (Core.Trace_log.checker log);
     Format.printf "(%d branches, %d alarms)@." o.M.Interp.branches
-      (List.length (Core.Checker.alarms (Core.Trace_log.checker log)))
+      (Core.Checker.alarm_count (Core.Trace_log.checker log))
   in
   Cmd.v
     (Cmd.info "trace"
@@ -606,7 +607,7 @@ let check_remote_cmd =
   in
   let batch_arg =
     Arg.(
-      value & opt int 256
+      value & opt int 1024
       & info [ "batch" ] ~doc:"Checker-relevant events per wire frame.")
   in
   let run () obs file socket host port seed max_steps batch =

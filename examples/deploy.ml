@@ -57,7 +57,10 @@ let () =
       Printf.printf "loader:   %s at 0x%x — BSV %d / BCV %d / BAT %d bits\n" name
         entry_pc s.Core.Tables.bsv_bits s.Core.Tables.bcv_bits s.Core.Tables.bat_bits)
     loaded;
-  let lookup name = snd (List.assoc name loaded) in
+  let images =
+    List.map (fun (name, (_, t)) -> (name, Core.Image.of_tables t)) loaded
+  in
+  let lookup name = List.assoc name images in
 
   (* 3. hardware: benign run, then a tamper with trap-on-alarm *)
   let run ?tamper () =

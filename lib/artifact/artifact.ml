@@ -109,7 +109,7 @@ let to_bytes (sys : Core.System.t) =
    so edge and entry actions are fully recoverable; [depends] (pure
    provenance) is not and loads empty. *)
 let reconstruct ~layout (f : Mir.Func.t) ~entry_pc ~digest
-    ~(tables : Core.Tables.t) ~checked ~n_branches =
+    ~(tables : Core.Tables.t) ~image ~checked ~n_branches =
   let fname = f.Mir.Func.name in
   let branch_iids = List.map fst (Mir.Func.branches f) in
   if
@@ -168,8 +168,9 @@ let reconstruct ~layout (f : Mir.Func.t) ~entry_pc ~digest
     tables =
       {
         tables with
-        Core.Tables.slot_of_iid = List.map (fun iid -> (iid, slot iid)) branch_iids;
+        Core.Tables.slot_of_iid = Core.Tables.slot_map branch_iids slot;
       };
+    image;
     result =
       {
         Corr.Analysis.func = f;
@@ -201,8 +202,8 @@ let of_bytes bytes =
   let funcs =
     List.mapi
       (fun i meta ->
-        let tpc, tables =
-          try Core.Encode.decode_function (sect (fsect i))
+        let tpc, tables, image =
+          try Core.Encode.decode_function_full (sect (fsect i))
           with Invalid_argument m -> corrupt "section %s: %s" (fsect i) m
         in
         if not (String.equal meta.m_name tables.Core.Tables.fname) then
@@ -219,7 +220,7 @@ let of_bytes bytes =
           corrupt "%s: entry pc disagrees with layout" meta.m_name;
         ( meta.m_name,
           reconstruct ~layout f ~entry_pc:meta.m_entry_pc ~digest:meta.m_digest
-            ~tables ~checked:meta.m_checked ~n_branches:meta.m_branches ))
+            ~tables ~image ~checked:meta.m_checked ~n_branches:meta.m_branches ))
       metas
   in
   Core.System.make ~program ~layout ~funcs
@@ -251,8 +252,8 @@ let func_of_image ~digest ~layout (f : Mir.Func.t) bytes =
       decode_meta r
     with Invalid_argument m -> corrupt "meta section: %s" m
   in
-  let tpc, tables =
-    try Core.Encode.decode_function (sect "tables")
+  let tpc, tables, image =
+    try Core.Encode.decode_function_full (sect "tables")
     with Invalid_argument m -> corrupt "tables section: %s" m
   in
   if not (String.equal meta.m_name f.Mir.Func.name) then
@@ -264,7 +265,7 @@ let func_of_image ~digest ~layout (f : Mir.Func.t) bytes =
   if Mir.Layout.func_base layout meta.m_name <> meta.m_entry_pc then
     corrupt "%s: entry pc disagrees with current layout" meta.m_name;
   reconstruct ~layout f ~entry_pc:meta.m_entry_pc ~digest:meta.m_digest ~tables
-    ~checked:meta.m_checked ~n_branches:meta.m_branches
+    ~image ~checked:meta.m_checked ~n_branches:meta.m_branches
 
 (* ---------- files ---------- *)
 

@@ -1,13 +1,21 @@
 (** The IPDS runtime checking engine (paper §5.4).
 
-    Keeps a stack of per-activation BSVs mirroring the call stack: entering
-    a function pushes a fresh all-Unknown status vector (and applies the
-    function's entry actions); returning pops it.  Every committed
-    conditional branch is verified against its expected status and then
-    drives BAT updates.
+    Keeps a stack of per-activation BSVs mirroring the call stack:
+    entering a function pushes a fresh all-Unknown status vector (and
+    applies the function's entry actions); returning pops it.  Every
+    committed conditional branch is verified against its expected status
+    and then drives BAT updates.
 
-    The checker never stops on an alarm — it records it and continues, so
-    one run can report every infeasible-path violation it sees (the
+    The implementation is allocation-free on the hot path: activations
+    live in a preallocated growable arena (a flat {!Image.t} array plus
+    a 2-bit-packed BSV byte slab), branch verdicts are packed ints, and
+    the stable [checker.*] counters are accumulated locally and flushed
+    to the registry when the stack empties or on {!flush}.  A
+    steady-state checked branch allocates zero minor words — regression
+    tested.
+
+    The checker never stops on an alarm — it records it and continues,
+    so one run can report every infeasible-path violation it sees (the
     hardware would trap on the first). *)
 
 type alarm = {
@@ -18,29 +26,81 @@ type alarm = {
   sequence : int;  (** how many branches had committed before this one *)
 }
 
-type check_info = {
-  alarm : alarm option;
-  was_checked : bool;  (** the branch was marked in the BCV *)
-  bat_nodes : int;  (** BAT list nodes walked for the update *)
-}
+type verdict = int
+(** Packed branch verdict; decode with the accessors below.  Never
+    allocated on the ok path. *)
+
+val verdict_checked : verdict -> bool
+(** The branch was marked in the BCV. *)
+
+val verdict_alarm : verdict -> bool
+(** Status mismatch; the alarm was recorded (see {!last_alarm}). *)
+
+val verdict_violation : verdict -> bool
+(** Protocol violation: a branch arrived with no active frame.  The
+    typed replacement for the old hot-path exception — the interpreter
+    maps it to its existing fault handling. *)
+
+val verdict_ok : verdict -> bool
+(** Neither alarm nor violation. *)
+
+val verdict_expected : verdict -> Status.t
+(** The expected status consulted ([Unknown] for unchecked branches). *)
+
+val verdict_bat_nodes : verdict -> int
+(** BAT nodes applied by the update. *)
 
 type t
 
-val create : lookup:(string -> Tables.t) -> t
+val create : lookup:(string -> Image.t) -> t
 val on_call : t -> string -> int
 (** Push an activation; returns the number of entry actions applied. *)
 
-val on_return : t -> unit
-(** Raises [Invalid_argument] when the stack is empty. *)
+val on_call_img : t -> Image.t -> int
+(** {!on_call} with the image handle already resolved — skips the name
+    lookup for callers that cache handles (the bench replay harness, or
+    a loader that resolves call sites once). *)
 
-val on_branch : t -> pc:int -> taken:bool -> check_info
-(** Verify-then-update for a committed conditional branch of the current
-    (top-of-stack) activation. *)
+val on_return : t -> bool
+(** Pop an activation.  [false] — and no state change — when the stack
+    is empty (the typed replacement for the old [Invalid_argument]). *)
+
+val on_branch : t -> pc:int -> taken:bool -> verdict
+(** Verify-then-update for a committed conditional branch of the
+    current (top-of-stack) activation. *)
 
 val depth : t -> int
+(** O(1). *)
+
 val alarms : t -> alarm list
 (** All alarms so far, in commit order. *)
 
+val alarm_count : t -> int
+(** O(1). *)
+
+val alarms_since : t -> int -> alarm list
+(** [alarms_since t n]: alarms recorded after the first [n], in commit
+    order.  O(fresh alarms), for batch loops over long traces. *)
+
+val last_alarm : t -> alarm option
+(** The most recent alarm (the one a just-returned alarm verdict
+    recorded). *)
+
 val branches_seen : t -> int
+
+val flush : t -> unit
+(** Flush locally accumulated [checker.*] counter deltas to the
+    registry.  Called automatically when the activation stack empties;
+    call it explicitly when a trace is abandoned mid-flight (the
+    interpreter, pipeline and verdict server all do). *)
+
+val status_at : t -> int -> Status.t option
+(** Status of [slot] in the top activation; [None] with no active frame
+    or out-of-range slot. *)
+
+val expected_of_pc : t -> int -> Status.t option
+(** Status the top activation holds for [pc]'s slot. *)
+
 val current_statuses : t -> (int * Status.t) list
-(** (slot, status) of the top activation, for inspection/debugging. *)
+(** (slot, status) of the top activation, for inspection/debugging;
+    empty with no active frame.  Reads the packed BSV directly. *)

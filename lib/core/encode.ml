@@ -77,7 +77,11 @@ let write_function w ~entry_pc (t : Tables.t) =
     nodes;
   W.align_byte w
 
-let read_function r =
+(* Decode straight into the flat {!Image.t}: one pass pulls the header
+   and node pool into flat int arrays, then each linked row is chased
+   once into the CSR arrays.  The list-view [Tables.t] is derived from
+   the image (load-time only); no per-query bit-pulling remains. *)
+let read_function_full r =
   let name_len = R.pull r ~width:16 in
   let name = String.init name_len (fun _ -> Char.chr (R.pull r ~width:8)) in
   let entry_pc = R.pull r ~width:32 in
@@ -90,43 +94,51 @@ let read_function r =
   let space = Hash.space hash in
   let ptr_bits = max 1 (ceil_log2 (n_nodes + 1)) in
   let slot_bits = max 1 space_bits in
-  let bcv = Array.init space (fun _ -> R.pull r ~width:1 = 1) in
-  let heads = List.init ((2 * space) + 1) (fun _ -> R.pull r ~width:ptr_bits) in
-  let node_array =
-    Array.init n_nodes (fun _ ->
-        let slot = R.pull r ~width:slot_bits in
-        let action = action_of_code (R.pull r ~width:2) in
-        let next = R.pull r ~width:ptr_bits in
-        (slot, action, next))
-  in
+  let bcv = Array.make (max 1 ((space + 31) lsr 5)) 0 in
+  for slot = 0 to space - 1 do
+    if R.pull r ~width:1 = 1 then
+      bcv.(slot lsr 5) <- bcv.(slot lsr 5) lor (1 lsl (slot land 31))
+  done;
+  let heads = Array.init ((2 * space) + 1) (fun _ -> R.pull r ~width:ptr_bits) in
+  let node_slot = Array.make n_nodes 0 in
+  let node_code = Array.make n_nodes 0 in
+  let node_next = Array.make n_nodes 0 in
+  for i = 0 to n_nodes - 1 do
+    node_slot.(i) <- R.pull r ~width:slot_bits;
+    (* wire action code (1=T, 2=NT, 3=unknown) → status code (1,2,0);
+       validate through the action decoder so a 0 code still rejects *)
+    node_code.(i) <- Status.to_code (Status.of_action (action_of_code (R.pull r ~width:2)));
+    node_next.(i) <- R.pull r ~width:ptr_bits
+  done;
   R.align_byte r;
-  let rec chase idx acc =
-    if idx = 0 then List.rev acc
-    else begin
-      if idx > n_nodes then invalid_arg "Encode: dangling node pointer";
-      let slot, action, next = node_array.(idx - 1) in
-      chase next ({ Tables.target_slot = slot; action } :: acc)
-    end
-  in
-  let all_rows = List.map (fun h -> chase h []) heads in
-  let bat_rows, entry_row =
-    let rec split n acc = function
-      | [ last ] when n = 0 -> (List.rev acc, last)
-      | x :: rest when n > 0 -> split (n - 1) (x :: acc) rest
-      | _ -> invalid_arg "Encode: bad row structure"
-    in
-    split (2 * space) [] all_rows
-  in
-  ( entry_pc,
-    {
-      Tables.fname = name;
-      hash;
-      n_branches;
-      bcv;
-      bat = Array.of_list bat_rows;
-      entry_row;
-      slot_of_iid = [];
-    } )
+  let row_off = Array.make ((2 * space) + 2) 0 in
+  let nodes = Array.make n_nodes 0 in
+  let pos = ref 0 in
+  Array.iteri
+    (fun rowi head ->
+      row_off.(rowi) <- !pos;
+      let idx = ref head in
+      let steps = ref 0 in
+      while !idx <> 0 do
+        if !idx > n_nodes then invalid_arg "Encode: dangling node pointer";
+        incr steps;
+        if !steps > n_nodes || !pos >= n_nodes then
+          invalid_arg "Encode: node pool overcommitted";
+        let i = !idx - 1 in
+        nodes.(!pos) <- Image.node_word ~target_slot:node_slot.(i) ~code:node_code.(i);
+        incr pos;
+        idx := node_next.(i)
+      done)
+    heads;
+  row_off.((2 * space) + 1) <- !pos;
+  (* orphan nodes (unreachable from any head) simply shrink the pool *)
+  let nodes = if !pos = n_nodes then nodes else Array.sub nodes 0 !pos in
+  let image = Image.make ~fname:name ~hash ~n_branches ~bcv ~row_off ~nodes in
+  (entry_pc, image)
+
+let read_function r =
+  let entry_pc, image = read_function_full r in
+  (entry_pc, Image.to_tables image)
 
 let function_image ~entry_pc t =
   let w = W.create () in
@@ -134,6 +146,10 @@ let function_image ~entry_pc t =
   W.contents w
 
 let decode_function bytes = read_function (R.of_bytes bytes)
+
+let decode_function_full bytes =
+  let entry_pc, image = read_function_full (R.of_bytes bytes) in
+  (entry_pc, Image.to_tables image, image)
 
 let program_image (sys : System.t) =
   let w = W.create () in

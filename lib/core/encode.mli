@@ -18,6 +18,12 @@ val decode_function : Bytes.t -> (int * Tables.t)
     not serialized and comes back empty).  Raises [Invalid_argument] on a
     malformed image. *)
 
+val decode_function_full : Bytes.t -> (int * Tables.t * Image.t)
+(** Like {!decode_function}, but also returns the flat checker image
+    the section decodes into (the tables are derived from it).  The
+    image is structurally identical to [Image.of_tables] of the decoded
+    tables. *)
+
 val program_image : System.t -> Bytes.t
 (** All functions, prefixed with a count. *)
 

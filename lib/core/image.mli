@@ -1,0 +1,90 @@
+(** Compiled flat per-function checker image.
+
+    {!Tables.t} is the build/inspect representation: BAT rows are entry
+    lists and the BCV a [bool array].  The checker's hot path instead
+    runs over this flat image — BCV as an int-array bitset, the BAT as
+    packed CSR row words + packed node arrays, and the hash parameters
+    inlined as plain ints — so verifying and updating a committed branch
+    touches no list node and allocates nothing.
+
+    Node words pack
+    [(target_slot lsl 16) lor (keep_mask lsl 8) lor set_mask]: the two
+    byte masks pre-resolve the 2-bit {!Status.to_code} write into slab
+    byte [target_slot lsr 2], so applying a node is a constant-shift
+    load/and/or/store.  Per-activation BSV slabs are seeded
+    from [init_bsv], which merges the BCV into the 2-bit entries: code 3
+    marks an unchecked slot, codes 0-2 are the statuses of checked
+    slots — one slab read answers both "is this branch checked" and
+    "what direction is expected". *)
+
+type t = private {
+  fname : string;
+  shift1 : int;
+  shift2 : int;
+  space_bits : int;
+  mask : int;  (** [space - 1] *)
+  space : int;
+  n_branches : int;
+  bcv : int array;  (** bitset; slot [s] is bit [s land 31] of word [s lsr 5] *)
+  rows : int array;
+      (** packed CSR rows, length [2*space + 1]: word [i] is
+          [(offset lsl 20) lor length] of row [i]'s slice of [nodes] —
+          row [slot*2 + dir] per edge, row [2*space] for entry actions.
+          One load gives the branch path a row's start and node count. *)
+  nodes : int array;
+      (** [(target_slot lsl 16) lor (keep_mask lsl 8) lor set_mask] *)
+  init_bsv : Bytes.t;
+      (** fresh-activation slab image: code 0 for checked slots, 3 for
+          unchecked ones; length {!bsv_bytes} *)
+}
+
+val of_tables : Tables.t -> t
+(** Compile the list representation.  Node order follows the
+    serialization order of {!Encode} (edge rows then entry row, entries
+    in list order), so images built from tables and images decoded from
+    artifacts are structurally equal. *)
+
+val to_tables : t -> Tables.t
+(** The inspect-side list view (debug [slot_of_iid] comes back empty).
+    [to_tables (of_tables t)] equals [t] up to that field. *)
+
+val empty : t
+(** A zero-branch placeholder (used to blank arena slots). *)
+
+val slot_of_pc : t -> int -> int
+(** The collision-free hash, inlined — no [Hash.params] load. *)
+
+val checked : t -> int -> bool
+(** Is [slot] set in the BCV? *)
+
+val entry_row_index : t -> int
+val bsv_bytes : t -> int
+(** Bytes of 2-bit-packed BSV one activation of this function needs. *)
+
+val node_word : target_slot:int -> code:int -> int
+val node_slot : int -> int
+val node_code : int -> int
+
+val row_word : off:int -> len:int -> int
+val row_off : int -> int
+val row_len : int -> int
+(** Pack/unpack one [rows] word. *)
+
+val validate : t -> unit
+(** Structural sanity for decoded images (rows tile the node array
+    exactly, node slots inside the hash space and marked in the BCV —
+    the invariant the merged slab encoding relies on).  Raises
+    [Invalid_argument]. *)
+
+val make :
+  fname:string ->
+  hash:Hash.params ->
+  n_branches:int ->
+  bcv:int array ->
+  row_off:int array ->
+  nodes:int array ->
+  t
+(** Assemble (and {!validate}) an image from decoded artifact sections;
+    [row_off] is the serialized CSR offset table (length [2*space + 2],
+    final entry the sentinel), packed into [rows] here.  Raises
+    [Invalid_argument] on a structurally broken image. *)

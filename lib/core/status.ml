@@ -14,6 +14,19 @@ let of_action = function
   | Ipds_correlation.Action.Set_not_taken -> Not_taken
   | Ipds_correlation.Action.Set_unknown -> Unknown
 
+(* 2-bit packed encoding used by the flat checker image: Unknown is 0 so
+   a zero-filled BSV slab means all-unknown, exactly like the hardware
+   reset state. *)
+let to_code = function
+  | Unknown -> 0
+  | Taken -> 1
+  | Not_taken -> 2
+
+let of_code = function
+  | 1 -> Taken
+  | 2 -> Not_taken
+  | _ -> Unknown
+
 let equal a b =
   match a, b with
   | Taken, Taken | Not_taken, Not_taken | Unknown, Unknown -> true

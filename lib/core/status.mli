@@ -10,6 +10,15 @@ val matches : t -> bool -> bool
 (** [matches expected actual] — [Unknown] matches any direction. *)
 
 val of_action : Ipds_correlation.Action.t -> t
+
+val to_code : t -> int
+(** 2-bit packed code: [Unknown] = 0 (so zero-filled = all-unknown),
+    [Taken] = 1, [Not_taken] = 2.  This is the flat-image BSV encoding,
+    distinct from the wire action codes in {!Encode}. *)
+
+val of_code : int -> t
+(** Inverse of {!to_code}; unassigned codes decode to [Unknown]. *)
+
 val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit
 val to_char : t -> char

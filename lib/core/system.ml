@@ -6,6 +6,7 @@ type func_info = {
   entry_pc : int;
   digest : string;
   tables : Tables.t;
+  image : Image.t;
   result : Corr.Analysis.result;
 }
 
@@ -97,6 +98,7 @@ let build ?options ?pool ?func_cache program =
                 entry_pc = Mir.Layout.func_base layout name;
                 digest;
                 tables;
+                image = Image.of_tables tables;
                 result;
               }
             in
@@ -137,14 +139,18 @@ let seed_cache ?options program t =
        (fun () -> t))
 
 let info t name =
-  match Hashtbl.find_opt t.by_name name with
-  | Some i -> i
-  | None -> invalid_arg (Printf.sprintf "System: unknown function %s" name)
+  (* exception-style find: no [Some] box on the checker's call hot path *)
+  match Hashtbl.find t.by_name name with
+  | i -> i
+  | exception Not_found ->
+      invalid_arg (Printf.sprintf "System: unknown function %s" name)
 
 let mem t name = Hashtbl.mem t.by_name name
 
 let tables t name = (info t name).tables
-let new_checker t = Checker.create ~lookup:(tables t)
+let image t name = (info t name).image
+let new_checker t = Checker.create ~lookup:(image t)
+let new_ref_checker t = Checker_ref.create ~lookup:(tables t)
 
 type size_stats = {
   per_func : (string * Tables.sizes) list;

@@ -14,6 +14,10 @@ type func_info = {
       (** hex content digest of everything the per-function stage can
           observe; keys the incremental per-function artifact cache *)
   tables : Tables.t;
+  image : Image.t;
+      (** compiled flat checker image; built once here (or decoded
+          straight from the artifact section) so every checker shares
+          it *)
   result : Ipds_correlation.Analysis.result;
 }
 
@@ -101,7 +105,15 @@ val mem : t -> string -> bool
 val tables : t -> string -> Tables.t
 (** Raises [Invalid_argument] for unknown functions. *)
 
+val image : t -> string -> Image.t
+(** Raises [Invalid_argument] for unknown functions. *)
+
 val new_checker : t -> Checker.t
+(** A fresh checker over this system's flat images. *)
+
+val new_ref_checker : t -> Checker_ref.t
+(** A fresh reference (list-based) checker — differential tests and the
+    throughput bench baseline. *)
 
 type size_stats = {
   per_func : (string * Tables.sizes) list;

@@ -13,8 +13,21 @@ type t = {
   bcv : bool array;
   bat : bat_entry list array;
   entry_row : bat_entry list;
-  slot_of_iid : (int * int) list;
+  slot_of_iid : int array;
 }
+
+let slot_map iids slot =
+  match iids with
+  | [] -> [||]
+  | _ ->
+      let arr = Array.make (1 + List.fold_left max 0 iids) (-1) in
+      List.iter (fun iid -> arr.(iid) <- slot iid) iids;
+      arr
+
+let slot_for_iid t iid =
+  if iid < 0 || iid >= Array.length t.slot_of_iid || t.slot_of_iid.(iid) < 0
+  then None
+  else Some t.slot_of_iid.(iid)
 
 let build ~layout (r : Corr.Analysis.result) =
   let fname = r.func.Mir.Func.name in
@@ -42,7 +55,7 @@ let build ~layout (r : Corr.Analysis.result) =
     bcv;
     bat;
     entry_row;
-    slot_of_iid = List.map (fun iid -> (iid, slot iid)) branch_iids;
+    slot_of_iid = slot_map branch_iids slot;
   }
 
 type sizes = {

@@ -21,8 +21,18 @@ type t = {
   bcv : bool array;  (** indexed by slot *)
   bat : bat_entry list array;  (** indexed by [slot * 2 + dir]; dir 1 = taken *)
   entry_row : bat_entry list;
-  slot_of_iid : (int * int) list;  (** (branch iid, slot), for debugging *)
+  slot_of_iid : int array;
+      (** dense branch-iid → slot map (-1 for non-branch iids), for
+          debugging/inspection; O(1) lookup via {!slot_for_iid} *)
 }
+
+val slot_for_iid : t -> int -> int option
+(** O(1) slot of a branch iid; [None] for non-branch iids (and for
+    tables decoded from an image, where the map is not serialized). *)
+
+val slot_map : int list -> (int -> int) -> int array
+(** [slot_map branch_iids slot]: the dense [slot_of_iid] array.  The
+    artifact loader uses this to rebuild the map after decoding. *)
 
 val build :
   layout:Ipds_mir.Layout.t -> Ipds_correlation.Analysis.result -> t

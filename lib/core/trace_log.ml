@@ -1,11 +1,10 @@
 type t = {
   inner : Checker.t;
-  lookup : string -> Tables.t;
   out : string -> unit;
   mutable stack : string list;  (* function names, innermost first *)
 }
 
-let create ~lookup ~out = { inner = Checker.create ~lookup; lookup; out; stack = [] }
+let create ~lookup ~out = { inner = Checker.create ~lookup; out; stack = [] }
 let checker t = t.inner
 
 let on_call t fname =
@@ -19,31 +18,26 @@ let on_return t =
       t.stack <- rest;
       t.out (Printf.sprintf "ret  %s" f)
   | [] -> ());
-  Checker.on_return t.inner
-
-let status_before t pc =
-  match t.stack with
-  | [] -> None
-  | fname :: _ ->
-      let tables = t.lookup fname in
-      let slot = Tables.slot_of_pc tables pc in
-      List.assoc_opt slot (Checker.current_statuses t.inner)
+  ignore (Checker.on_return t.inner)
 
 let on_branch t ~pc ~taken =
-  let before = status_before t pc in
-  let info = Checker.on_branch t.inner ~pc ~taken in
+  (* the status consulted is the one armed before the BAT update *)
+  let before = Checker.expected_of_pc t.inner pc in
+  let v = Checker.on_branch t.inner ~pc ~taken in
   let expected =
     match before with
     | Some s -> Format.asprintf "%a" Status.pp s
     | None -> "?"
   in
   let verdict =
-    match info.Checker.alarm with
-    | Some _ -> "ALARM"
-    | None -> if info.Checker.was_checked then "ok" else "unchecked"
+    if Checker.verdict_alarm v then "ALARM"
+    else if Checker.verdict_violation v then "VIOLATION"
+    else if Checker.verdict_checked v then "ok"
+    else "unchecked"
   in
   t.out
     (Printf.sprintf "br   pc=0x%x %s expected=%s -> %s (%d BAT nodes)" pc
        (if taken then "taken" else "not-taken")
-       expected verdict info.Checker.bat_nodes);
-  info
+       expected verdict
+       (Checker.verdict_bat_nodes v));
+  v

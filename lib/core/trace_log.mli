@@ -7,7 +7,7 @@
 
 type t
 
-val create : lookup:(string -> Tables.t) -> out:(string -> unit) -> t
+val create : lookup:(string -> Image.t) -> out:(string -> unit) -> t
 (** [out] receives one line per event (without trailing newline). *)
 
 val checker : t -> Checker.t
@@ -15,6 +15,6 @@ val checker : t -> Checker.t
 
 val on_call : t -> string -> unit
 val on_return : t -> unit
-val on_branch : t -> pc:int -> taken:bool -> Checker.check_info
+val on_branch : t -> pc:int -> taken:bool -> Checker.verdict
 (** Drive these instead of the underlying checker's hooks to get the
     log; they delegate. *)

@@ -280,7 +280,9 @@ let pop_function st (ret : Value.t) =
   | a :: rest ->
       Memory.pop_frame st.memory;
       (match st.config.checker with
-      | Some c -> Ipds_core.Checker.on_return c
+      | Some c ->
+          if not (Ipds_core.Checker.on_return c) then
+            raise (Machine_fault "checker protocol violation: return with no frame")
       | None -> ());
       st.stack <- rest;
       (match rest with
@@ -397,10 +399,15 @@ let step st =
                  });
             (match st.config.checker with
             | Some c ->
-                let info = Ipds_core.Checker.on_branch c ~pc ~taken in
-                (match info.Ipds_core.Checker.alarm with
-                | Some a when st.config.trap_on_alarm -> st.stop <- Some (Trapped a)
-                | Some _ | None -> ())
+                let v = Ipds_core.Checker.on_branch c ~pc ~taken in
+                if not (Ipds_core.Checker.verdict_ok v) then
+                  if Ipds_core.Checker.verdict_violation v then
+                    raise
+                      (Machine_fault "checker protocol violation: branch with no frame")
+                  else if st.config.trap_on_alarm then (
+                    match Ipds_core.Checker.last_alarm c with
+                    | Some a -> st.stop <- Some (Trapped a)
+                    | None -> ())
             | None -> ());
             a.blk <- target;
             a.pos <- 0
@@ -445,7 +452,11 @@ let run program config =
     in
     let alarms =
       match config.checker with
-      | Some c -> Ipds_core.Checker.alarms c
+      | Some c ->
+          (* a run that stops mid-stack (halt/fault/out-of-steps/trap)
+             still owes its pending counter deltas to the registry *)
+          Ipds_core.Checker.flush c;
+          Ipds_core.Checker.alarms c
       | None -> []
     in
     Ipds_obs.Registry.incr m_runs;

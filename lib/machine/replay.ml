@@ -16,7 +16,7 @@ let feed checker ~defined (e : Event.t) =
       (* Extern calls appear in the stream but have no tables and no
          frame; the inline checker never sees them either. *)
       if defined callee then ignore (Ipds_core.Checker.on_call checker callee)
-  | Event.Ret -> Ipds_core.Checker.on_return checker
+  | Event.Ret -> ignore (Ipds_core.Checker.on_return checker)
   | Event.Branch { taken; _ } ->
       ignore (Ipds_core.Checker.on_branch checker ~pc:e.Event.pc ~taken)
   | Event.Alu | Event.Load _ | Event.Store _ | Event.Jump _ | Event.Input_read

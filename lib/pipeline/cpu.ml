@@ -81,11 +81,11 @@ let observer t (e : Event.t) =
         t.cycles <- t.cycles +. float_of_int t.config.Config.mispredict_penalty;
       match t.checker, t.unit_ with
       | Some checker, Some unit_ ->
-          let info = Ipds_core.Checker.on_branch checker ~pc:e.Event.pc ~taken in
+          let v = Ipds_core.Checker.on_branch checker ~pc:e.Event.pc ~taken in
           let stall =
             Ipds_unit.on_branch unit_ ~cycle:t.cycles
-              ~verify:info.Ipds_core.Checker.was_checked
-              ~bat_nodes:info.Ipds_core.Checker.bat_nodes
+              ~verify:(Ipds_core.Checker.verdict_checked v)
+              ~bat_nodes:(Ipds_core.Checker.verdict_bat_nodes v)
           in
           t.cycles <- t.cycles +. stall
       | _, _ -> ())
@@ -100,7 +100,7 @@ let observer t (e : Event.t) =
   | Event.Ret -> (
       match t.checker, t.unit_ with
       | Some checker, Some unit_ ->
-          Ipds_core.Checker.on_return checker;
+          ignore (Ipds_core.Checker.on_return checker);
           Ipds_unit.on_return unit_ ~cycle:t.cycles
       | _, _ -> ())
 
@@ -138,14 +138,15 @@ let finish (t : t) =
   let ipds =
     match t.unit_, t.checker with
     | Some unit_, Some checker ->
+        (* a simulation can end mid-stack; push pending checker deltas *)
+        Ipds_core.Checker.flush checker;
         let s = Ipds_unit.stats unit_ in
         Ipds_obs.Registry.add m_verifies s.Ipds_unit.verifies;
         Ipds_obs.Registry.add m_updates s.Ipds_unit.updates;
         Ipds_obs.Registry.add m_spills s.Ipds_unit.spills;
         Ipds_obs.Registry.add m_fills s.Ipds_unit.fills;
         Ipds_obs.Registry.add m_context_switches s.Ipds_unit.context_switches;
-        Ipds_obs.Registry.add m_alarms
-          (List.length (Ipds_core.Checker.alarms checker));
+        Ipds_obs.Registry.add m_alarms (Ipds_core.Checker.alarm_count checker);
         Some
           {
             verifies = s.Ipds_unit.verifies;
@@ -155,7 +156,7 @@ let finish (t : t) =
             fills = s.Ipds_unit.fills;
             avg_detection_latency = Ipds_unit.avg_detection_latency s;
             max_queue = s.Ipds_unit.max_queue;
-            alarms = List.length (Ipds_core.Checker.alarms checker);
+            alarms = Ipds_core.Checker.alarm_count checker;
             context_switches = s.Ipds_unit.context_switches;
             ctx_stall_cycles = s.Ipds_unit.ctx_stall_cycles;
           }

@@ -116,7 +116,7 @@ type trace = {
    batch and replies with the alarms it raised, one Verdicts frame per
    batch.  A transport or protocol error mid-trace latches: the sink
    goes quiet and [finish] reports the first error. *)
-let trace ?(batch = 256) t =
+let trace ?(batch = 1024) t =
   match begin_trace t with
   | Error e -> Error e
   | Ok () ->

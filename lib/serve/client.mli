@@ -47,4 +47,5 @@ type trace = {
 
 val trace : ?batch:int -> t -> (trace, Protocol.err) result
 (** Begin a trace on an already-loaded artifact.  [batch] defaults to
-    256 events per wire frame. *)
+    1024 events per wire frame — large batches amortize framing over
+    the flat checker's per-event cost. *)

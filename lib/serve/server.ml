@@ -151,8 +151,6 @@ let feed_guarded sys ck st (e : Event.t) =
   | _ -> ());
   Ipds_machine.Replay.feed ck ~defined:(System.mem sys) e
 
-let rec drop n xs = if n <= 0 then xs else match xs with [] -> [] | _ :: tl -> drop (n - 1) tl
-
 let handle t st send send_err (f : Protocol.frame) =
   match f with
   | Protocol.Load_key key -> (
@@ -221,7 +219,10 @@ let handle t st send send_err (f : Protocol.frame) =
       match (st.system, st.checker) with
       | Some sys, Some ck -> (
           let t0 = now_micros () in
-          let alarms_before = List.length (Checker.alarms ck) in
+          (* O(1) against the checker's running count — a long trace's
+             batch loop never rescans its alarm history, so framing cost
+             amortizes over arbitrarily large batches *)
+          let alarms_before = Checker.alarm_count ck in
           let branches_before = st.tr_branches in
           match List.iter (feed_guarded sys ck st) evs with
           | () ->
@@ -229,7 +230,7 @@ let handle t st send send_err (f : Protocol.frame) =
               st.tr_events <- st.tr_events + n;
               Reg.add m_events n;
               Reg.add m_branches (st.tr_branches - branches_before);
-              let fresh = drop alarms_before (Checker.alarms ck) in
+              let fresh = Checker.alarms_since ck alarms_before in
               let n_fresh = List.length fresh in
               st.tr_alarms <- st.tr_alarms + n_fresh;
               Reg.add m_alarms n_fresh;
@@ -247,7 +248,10 @@ let handle t st send send_err (f : Protocol.frame) =
       | None ->
           send_err Protocol.Bad_state "End_trace outside an active trace";
           `Close
-      | Some _ ->
+      | Some ck ->
+          (* the stream need not drain the call stack; flush pending
+             counter deltas before dropping the checker *)
+          Checker.flush ck;
           st.checker <- None;
           send
             (Protocol.Trace_summary
@@ -293,10 +297,16 @@ let session t cfd =
         | `Continue -> loop ()
         | `Close -> ())
   in
-  try loop () with
-  | Unix.Unix_error _ -> () (* peer went away mid-write *)
-  | State_violation _ -> ()
-  | e -> ( try send_err Protocol.Server_error (Printexc.to_string e) with _ -> ())
+  Fun.protect
+    ~finally:(fun () ->
+      (* a session abandoned mid-trace still owes its checker deltas *)
+      match st.checker with Some ck -> Checker.flush ck | None -> ())
+    (fun () ->
+      try loop () with
+      | Unix.Unix_error _ -> () (* peer went away mid-write *)
+      | State_violation _ -> ()
+      | e -> (
+          try send_err Protocol.Server_error (Printexc.to_string e) with _ -> ()))
 
 (* {2 Lifecycle} *)
 

@@ -130,18 +130,21 @@ let test_checker_verify_update () =
   ignore (Core.Checker.on_call checker "main");
   check_int "depth 1" 1 (Core.Checker.depth checker);
   (* First branch taken: unknown matches anything, then BAT pins both. *)
-  let i1 = Core.Checker.on_branch checker ~pc:(pc 1) ~taken:true in
-  check "first check passes" true (i1.Core.Checker.alarm = None);
-  check "branch was checked" true i1.Core.Checker.was_checked;
+  let v1 = Core.Checker.on_branch checker ~pc:(pc 1) ~taken:true in
+  check "first check passes" false (Core.Checker.verdict_alarm v1);
+  check "branch was checked" true (Core.Checker.verdict_checked v1);
   (* Second branch: y < 5 implies y < 10, expected taken.  Violate it. *)
-  let i2 = Core.Checker.on_branch checker ~pc:(pc 3) ~taken:false in
-  (match i2.Core.Checker.alarm with
+  let v2 = Core.Checker.on_branch checker ~pc:(pc 3) ~taken:false in
+  check "subsumption violation must alarm" true (Core.Checker.verdict_alarm v2);
+  check "verdict carries expected status" true
+    (Core.Status.equal (Core.Checker.verdict_expected v2) Core.Status.Taken);
+  (match Core.Checker.last_alarm checker with
   | Some a ->
       check "alarm expected taken" true (Core.Status.equal a.Core.Checker.expected Core.Status.Taken);
       check "alarm actual not taken" false a.Core.Checker.actual_taken
   | None -> Alcotest.fail "subsumption violation must alarm");
-  check_int "alarm recorded" 1 (List.length (Core.Checker.alarms checker));
-  Core.Checker.on_return checker;
+  check_int "alarm recorded" 1 (Core.Checker.alarm_count checker);
+  check "return pops" true (Core.Checker.on_return checker);
   check_int "depth 0" 0 (Core.Checker.depth checker)
 
 let test_checker_consistent_run_clean () =
@@ -151,8 +154,8 @@ let test_checker_consistent_run_clean () =
   let checker = Core.System.new_checker sys in
   ignore (Core.Checker.on_call checker "main");
   ignore (Core.Checker.on_branch checker ~pc:(pc 1) ~taken:true);
-  let i = Core.Checker.on_branch checker ~pc:(pc 3) ~taken:true in
-  check "consistent directions pass" true (i.Core.Checker.alarm = None);
+  let v = Core.Checker.on_branch checker ~pc:(pc 3) ~taken:true in
+  check "consistent directions pass" true (Core.Checker.verdict_ok v);
   check_int "no alarms" 0 (List.length (Core.Checker.alarms checker))
 
 let test_checker_fresh_frame_per_call () =
@@ -164,12 +167,12 @@ let test_checker_fresh_frame_per_call () =
   ignore (Core.Checker.on_branch checker ~pc:(pc 1) ~taken:true);
   (* A nested activation must not see the caller's statuses. *)
   ignore (Core.Checker.on_call checker "main");
-  let i = Core.Checker.on_branch checker ~pc:(pc 3) ~taken:false in
-  check "fresh frame starts unknown" true (i.Core.Checker.alarm = None);
-  Core.Checker.on_return checker;
+  let v = Core.Checker.on_branch checker ~pc:(pc 3) ~taken:false in
+  check "fresh frame starts unknown" false (Core.Checker.verdict_alarm v);
+  ignore (Core.Checker.on_return checker);
   (* Back in the caller: the pinned status is still armed. *)
-  let i2 = Core.Checker.on_branch checker ~pc:(pc 3) ~taken:false in
-  check "caller status survived the call" true (i2.Core.Checker.alarm <> None)
+  let v2 = Core.Checker.on_branch checker ~pc:(pc 3) ~taken:false in
+  check "caller status survived the call" true (Core.Checker.verdict_alarm v2)
 
 let test_checker_unknown_matches_all () =
   check "unknown matches taken" true (Core.Status.matches Core.Status.Unknown true);
@@ -179,13 +182,14 @@ let test_checker_unknown_matches_all () =
   check "not-taken rejects taken" false (Core.Status.matches Core.Status.Not_taken true)
 
 let test_checker_empty_stack_errors () =
+  (* Hot-path protocol violations are typed results, not exceptions. *)
   let sys = hand_tables () in
   let checker = Core.System.new_checker sys in
-  check "return on empty stack raises" true
-    (try
-       Core.Checker.on_return checker;
-       false
-     with Invalid_argument _ -> true)
+  check "return on empty stack is rejected" false (Core.Checker.on_return checker);
+  let v = Core.Checker.on_branch checker ~pc:0x40 ~taken:true in
+  check "branch with no frame is a violation" true (Core.Checker.verdict_violation v);
+  check "violation is not ok" false (Core.Checker.verdict_ok v);
+  check_int "violation counts no branch" 0 (Core.Checker.branches_seen checker)
 
 let test_checker_misc () =
   let sys = hand_tables () in
@@ -200,8 +204,9 @@ let test_checker_misc () =
   check "some status is pinned" true
     (List.exists (fun (_, s) -> not (Core.Status.equal s Core.Status.Unknown)) statuses);
   (* alarm sequence numbers are commit indices *)
-  let i = Core.Checker.on_branch checker ~pc:(pc 3) ~taken:false in
-  (match i.Core.Checker.alarm with
+  let v = Core.Checker.on_branch checker ~pc:(pc 3) ~taken:false in
+  check "expected alarm" true (Core.Checker.verdict_alarm v);
+  (match Core.Checker.last_alarm checker with
   | Some a -> check_int "sequence is second commit" 1 a.Core.Checker.sequence
   | None -> Alcotest.fail "expected alarm")
 
@@ -235,7 +240,7 @@ let prop_bitstream_roundtrip =
               true)
         ops)
 
-let strip_debug (t : Core.Tables.t) = { t with Core.Tables.slot_of_iid = [] }
+let strip_debug (t : Core.Tables.t) = { t with Core.Tables.slot_of_iid = [||] }
 
 let test_encode_roundtrip_workloads () =
   List.iter
@@ -271,7 +276,10 @@ let test_checker_from_image () =
   let sys = Core.System.build program in
   let image = Core.Encode.program_image sys in
   let loaded = Core.Encode.load_program image in
-  let lookup name = snd (List.assoc name loaded) in
+  let images =
+    List.map (fun (name, (_, t)) -> (name, Core.Image.of_tables t)) loaded
+  in
+  let lookup name = List.assoc name images in
   let run checker =
     (Ipds_machine.Interp.run program
        {
@@ -300,7 +308,7 @@ let test_trace_log () =
   let lines = ref [] in
   let log =
     Core.Trace_log.create
-      ~lookup:(Core.System.tables sys)
+      ~lookup:(Core.System.image sys)
       ~out:(fun l -> lines := l :: !lines)
   in
   Core.Trace_log.on_call log "main";
