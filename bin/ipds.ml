@@ -8,6 +8,7 @@
      ipds compile  FILE -o F     analyze and save a .ipds object file
      ipds inspect  FILE          section/CRC report of a .ipds file or image
      ipds serve                  run the streaming verdict server
+     ipds fleet --shards N       run N servers sharded by artifact key
      ipds check-remote FILE      verify remote checking against in-process
      ipds servers                list the built-in server workloads
 
@@ -537,7 +538,15 @@ let serve_cmd =
       & info [ "cache-slots" ]
           ~doc:"Loaded artifacts kept resident in the server's LRU.")
   in
-  let run () obs socket port jobs timeout max_frame cache_slots =
+  let cache_shards_arg =
+    Arg.(
+      value & opt int Serve.Server.default_config.Serve.Server.cache_shards
+      & info [ "cache-shards" ]
+          ~doc:
+            "Lock shards of the server's artifact cache; higher values \
+             reduce contention between concurrent cold loads.")
+  in
+  let run () obs socket port jobs timeout max_frame cache_slots cache_shards =
     obs_init ~command:"serve"
       ~manifest:[ ("jobs", Obs.Json.Int jobs) ]
       obs;
@@ -554,10 +563,12 @@ let serve_cmd =
     in
     let config =
       {
+        Serve.Server.default_config with
         Serve.Server.jobs = max 1 jobs;
         max_frame;
         session_timeout = timeout;
         cache_slots;
+        cache_shards = max 1 cache_shards;
         store_dir = None;
       }
     in
@@ -597,7 +608,7 @@ let serve_cmd =
           IPDS verdicts back.")
     Term.(
       const run $ cache_term $ obs_term $ socket_arg $ port_arg $ jobs_arg
-      $ timeout_arg $ max_frame_arg $ cache_slots_arg)
+      $ timeout_arg $ max_frame_arg $ cache_slots_arg $ cache_shards_arg)
 
 let check_remote_cmd =
   let host_arg =
@@ -607,13 +618,32 @@ let check_remote_cmd =
   in
   let batch_arg =
     Arg.(
-      value & opt int 1024
-      & info [ "batch" ] ~doc:"Checker-relevant events per wire frame.")
+      value & opt int Serve.Client.default_batch
+      & info [ "batch" ]
+          ~doc:"Checker-relevant events per wire frame (must be >= 1).")
   in
-  let run () obs file socket host port seed max_steps batch =
+  let shards_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "shards" ] ~docv:"N"
+          ~doc:
+            "Treat the address as the base of an N-shard fleet and route \
+             to the artifact's owning shard by consistent hashing, failing \
+             over along the ring if it is down.")
+  in
+  let run () obs file socket host port seed max_steps batch shards =
     obs_init ~command:"check-remote"
       ~manifest:[ ("file", Obs.Json.String file); ("seed", Obs.Json.Int seed) ]
       obs;
+    if batch < 1 then begin
+      Format.eprintf "ipds check-remote: --batch must be >= 1 (got %d)@." batch;
+      exit 2
+    end;
+    (match shards with
+    | Some n when n < 1 ->
+        Format.eprintf "ipds check-remote: --shards must be >= 1 (got %d)@." n;
+        exit 2
+    | _ -> ());
     let addr =
       match (socket, port) with
       | Some path, None -> `Unix path
@@ -625,17 +655,43 @@ let check_remote_cmd =
     in
     let system = load_system file in
     let program = system.Core.System.program in
+    let image = Bytes.to_string (A.to_bytes system) in
     let client =
-      try Serve.Client.connect addr
-      with Unix.Unix_error (err, _, _) ->
-        (match addr with
-        | `Unix path ->
-            Format.eprintf "ipds check-remote: cannot connect to %s: %s@." path
-              (Unix.error_message err)
-        | `Tcp (h, p) ->
-            Format.eprintf "ipds check-remote: cannot connect to %s:%d: %s@." h
-              p (Unix.error_message err));
-        exit 1
+      match shards with
+      | None -> (
+          try Serve.Client.connect addr
+          with Unix.Unix_error (err, _, _) ->
+            (match addr with
+            | `Unix path ->
+                Format.eprintf "ipds check-remote: cannot connect to %s: %s@."
+                  path (Unix.error_message err)
+            | `Tcp (h, p) ->
+                Format.eprintf "ipds check-remote: cannot connect to %s:%d: %s@."
+                  h p (Unix.error_message err));
+            exit 1)
+      | Some n -> (
+          let topology =
+            Ipds_fleet.Topology.create ~shards:n
+              (match addr with
+              | `Unix path -> `Unix path
+              | `Tcp (h, p) -> `Tcp (h, p))
+          in
+          let fc = Serve.Fleet_client.create topology in
+          let key = Serve.Fleet_client.image_key image in
+          match Serve.Fleet_client.connect_for_key fc key with
+          | Ok routed ->
+              Format.printf "routed to shard %d/%d%s@."
+                routed.Serve.Fleet_client.shard n
+                (match List.length routed.Serve.Fleet_client.skipped with
+                | 0 -> ""
+                | k -> Printf.sprintf " (%d dead shard%s skipped)" k
+                         (if k = 1 then "" else "s"));
+              routed.Serve.Fleet_client.client
+          | Error e ->
+              Format.eprintf "ipds check-remote: %s: %s@."
+                (Serve.Protocol.error_code_to_string e.Serve.Protocol.code)
+                e.Serve.Protocol.detail;
+              exit 1)
     in
     let fail (e : Serve.Protocol.err) =
       Format.eprintf "ipds check-remote: remote error %s: %s@."
@@ -643,7 +699,7 @@ let check_remote_cmd =
         e.Serve.Protocol.detail;
       exit 1
     in
-    (match Serve.Client.load_image client ~name:file (A.to_bytes system) with
+    (match Serve.Client.load_image client ~name:file (Bytes.of_string image) with
     | Ok _ -> ()
     | Error e -> fail e);
     let tr =
@@ -694,7 +750,203 @@ let check_remote_cmd =
           in-process checker's (exit 1 on any divergence).")
     Term.(
       const run $ cache_term $ obs_term $ file_arg $ socket_arg $ host_arg
-      $ port_arg $ seed_arg $ steps_arg $ batch_arg)
+      $ port_arg $ seed_arg $ steps_arg $ batch_arg $ shards_arg)
+
+(* ---------- fleet ---------- *)
+
+let fleet_cmd =
+  let shards_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "shards" ] ~docv:"N"
+          ~doc:
+            "Server processes to launch; artifact keys are spread over them \
+             by consistent hashing on the client side.")
+  in
+  let jobs_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ] ~doc:"Reactor domains per shard process.")
+  in
+  let timeout_arg =
+    Arg.(
+      value & opt float 30.
+      & info [ "timeout" ] ~docv:"SECONDS"
+          ~doc:"Per-session idle timeout forwarded to every shard.")
+  in
+  let cache_slots_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "cache-slots" ] ~doc:"Artifact LRU slots per shard process.")
+  in
+  let router_socket_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "router-socket" ] ~docv:"PATH"
+          ~doc:
+            "Also run the thin routing fallback on $(docv) so legacy \
+             single-address clients reach the fleet (one extra hop).")
+  in
+  let router_port_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "router-port" ] ~docv:"PORT"
+          ~doc:"TCP variant of $(b,--router-socket).")
+  in
+  let run () obs socket port shards jobs timeout cache_slots router_socket
+      router_port =
+    obs_init ~command:"fleet"
+      ~manifest:[ ("shards", Obs.Json.Int shards) ]
+      obs;
+    if shards < 1 then begin
+      Format.eprintf "ipds fleet: --shards must be >= 1 (got %d)@." shards;
+      exit 2
+    end;
+    let base =
+      match (socket, port) with
+      | Some path, None -> `Unix path
+      | None, Some p when p > 0 -> `Tcp ("127.0.0.1", p)
+      | None, Some _ ->
+          Format.eprintf
+            "ipds fleet: --port must be an explicit base port (shard i \
+             listens on port+i)@.";
+          exit 2
+      | _ ->
+          Format.eprintf "ipds fleet: one of --socket or --port is required@.";
+          exit 2
+    in
+    let topology = Ipds_fleet.Topology.create ~shards base in
+    let addr_args i =
+      match Ipds_fleet.Topology.address topology i with
+      | `Unix path -> [ "--socket"; path ]
+      | `Tcp (_, p) -> [ "--port"; string_of_int p ]
+    in
+    let cache_args =
+      match Option.map Store.dir (Store.ambient ()) with
+      | Some dir -> [ "--cache-dir"; dir ]
+      | None -> []
+    in
+    let spawn i =
+      let argv =
+        Array.of_list
+          ([ "ipds"; "serve" ] @ addr_args i @ cache_args
+          @ [
+              "--jobs"; string_of_int jobs;
+              "--timeout"; string_of_float timeout;
+              "--cache-slots"; string_of_int cache_slots;
+            ])
+      in
+      Unix.create_process Sys.executable_name argv Unix.stdin Unix.stdout
+        Unix.stderr
+    in
+    let pids = Array.init shards spawn in
+    (* Wait until every shard accepts connections before declaring the
+       fleet up; a shard that dies during startup fails the launch. *)
+    let ready i =
+      let sockaddr =
+        match Ipds_fleet.Topology.address topology i with
+        | `Unix path -> Unix.ADDR_UNIX path
+        | `Tcp (host, p) ->
+            Unix.ADDR_INET (Unix.inet_addr_of_string host, p)
+      in
+      let fd = Unix.socket (Unix.domain_of_sockaddr sockaddr) Unix.SOCK_STREAM 0 in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          match Unix.connect fd sockaddr with
+          | () -> true
+          | exception Unix.Unix_error _ -> false)
+    in
+    let deadline = Unix.gettimeofday () +. 10.0 in
+    for i = 0 to shards - 1 do
+      let rec wait () =
+        if ready i then ()
+        else if fst (Unix.waitpid [ Unix.WNOHANG ] pids.(i)) <> 0 then begin
+          Format.eprintf "ipds fleet: shard %d exited during startup@." i;
+          Array.iter
+            (fun pid ->
+              try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ())
+            pids;
+          exit 1
+        end
+        else if Unix.gettimeofday () > deadline then begin
+          Format.eprintf "ipds fleet: shard %d not accepting after 10s@." i;
+          exit 1
+        end
+        else begin
+          Unix.sleepf 0.05;
+          wait ()
+        end
+      in
+      wait ()
+    done;
+    let router =
+      match (router_socket, router_port) with
+      | None, None -> None
+      | Some _, Some _ ->
+          Format.eprintf
+            "ipds fleet: --router-socket and --router-port are mutually \
+             exclusive@.";
+          exit 2
+      | Some path, None ->
+          Some (Serve.Router.start ~topology (`Unix path))
+      | None, Some p -> Some (Serve.Router.start ~topology (`Tcp p))
+    in
+    List.iteri
+      (fun i name -> Format.printf "ipds fleet: shard %d at %s@." i name)
+      (Ipds_fleet.Topology.names topology);
+    (match router with
+    | Some r ->
+        Format.printf "ipds fleet: router at %s@."
+          (match (router_socket, Serve.Router.port r) with
+          | Some path, _ -> path
+          | None, Some p -> Printf.sprintf "127.0.0.1:%d" p
+          | None, None -> "?")
+    | None -> ());
+    let stop_requested = Atomic.make false in
+    let on_signal _ = Atomic.set stop_requested true in
+    Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
+    let alive = Array.map (fun _ -> true) pids in
+    while not (Atomic.get stop_requested) do
+      (try ignore (Unix.select [] [] [] 0.2)
+       with Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      (* A dead shard is only degraded service — clients fail over along
+         the ring — so warn and keep the fleet up. *)
+      Array.iteri
+        (fun i pid ->
+          if alive.(i) && fst (Unix.waitpid [ Unix.WNOHANG ] pid) <> 0 then begin
+            alive.(i) <- false;
+            Format.eprintf
+              "ipds fleet: warning: shard %d died; its keys re-route to ring \
+               successors@."
+              i
+          end)
+        pids
+    done;
+    Format.printf "ipds fleet: shutting down@.";
+    Option.iter Serve.Router.stop router;
+    Array.iteri
+      (fun i pid ->
+        if alive.(i) then begin
+          (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
+          try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ()
+        end)
+      pids
+  in
+  Cmd.v
+    (Cmd.info "fleet"
+       ~doc:
+         "Launch N verdict-server processes sharded by artifact key.  \
+          Routing-aware clients (check-remote --shards) hash keys straight \
+          to the owning shard; --router-socket adds a thin proxy for legacy \
+          clients.")
+    Term.(
+      const run $ cache_term $ obs_term $ socket_arg $ port_arg $ shards_arg
+      $ jobs_arg $ timeout_arg $ cache_slots_arg $ router_socket_arg
+      $ router_port_arg)
 
 (* ---------- servers ---------- *)
 
@@ -729,5 +981,6 @@ let () =
             inspect_cmd;
             serve_cmd;
             check_remote_cmd;
+            fleet_cmd;
             servers_cmd;
           ]))

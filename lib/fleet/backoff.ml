@@ -1,0 +1,34 @@
+(* Bounded retry schedule for ring failover: exponential growth from
+   [base], capped per-sleep at [max_delay] and in attempt count, so a
+   client facing a fully dead fleet fails within a computable bound
+   instead of spinning. *)
+
+type t = {
+  base : float;
+  factor : float;
+  max_delay : float;
+  max_attempts : int;
+}
+
+let default = { base = 0.02; factor = 2.0; max_delay = 0.25; max_attempts = 8 }
+
+let create ?(base = default.base) ?(factor = default.factor)
+    ?(max_delay = default.max_delay) ?(max_attempts = default.max_attempts) ()
+    =
+  if base < 0. || factor < 1. || max_delay < 0. || max_attempts < 1 then
+    invalid_arg "Backoff.create";
+  { base; factor; max_delay; max_attempts }
+
+let delay t attempt =
+  if attempt < 0 then invalid_arg "Backoff.delay";
+  Float.min t.max_delay (t.base *. (t.factor ** float_of_int attempt))
+
+let max_attempts t = t.max_attempts
+
+(* Upper bound on total sleep across a full retry run — the "bounded"
+   in bounded backoff, asserted by test_fleet. *)
+let total_bound t =
+  let rec go k acc =
+    if k >= t.max_attempts then acc else go (k + 1) (acc +. delay t k)
+  in
+  go 0 0.

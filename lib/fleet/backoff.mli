@@ -1,0 +1,25 @@
+(** Bounded retry schedule: exponential delays from [base], capped
+    per-sleep at [max_delay] and at [max_attempts] attempts, so failover
+    against a dead fleet terminates within {!total_bound} seconds of
+    sleeping. *)
+
+type t
+
+val default : t
+(** 20 ms base, ×2, 250 ms cap, 8 attempts. *)
+
+val create :
+  ?base:float ->
+  ?factor:float ->
+  ?max_delay:float ->
+  ?max_attempts:int ->
+  unit ->
+  t
+
+val delay : t -> int -> float
+(** Sleep before retry [attempt] (0-based). *)
+
+val max_attempts : t -> int
+
+val total_bound : t -> float
+(** Sum of all possible delays — the worst-case total sleep. *)

@@ -1,0 +1,197 @@
+(* N-way sharded concurrent LRU map.
+
+   The design follows the popl-hash-table derivation style: the cache is
+   a composition of [shards] disjoint sub-caches, each owning the keys
+   that hash to it and nothing else, each protected by its own lock with
+   its own LRU ring.  Correctness is stated as predicates over the whole
+   structure ([key_shard_stable], [capacity_ok],
+   [no_cross_shard_aliasing]) that the tests assert after arbitrary
+   interleavings; the implementation only ever needs one shard lock per
+   operation, so shards never contend with each other.
+
+   The shard lock is held across the loader on a miss: concurrent
+   fetches of the *same* key serialize and load once, which is exactly
+   the single-lock LRU behaviour the server relied on, now per shard. *)
+
+module Reg = Ipds_obs.Registry
+
+type 'v entry = { key : string; value : 'v }
+
+type 'v shard = {
+  lock : Mutex.t;
+  mutable ring : 'v entry list;  (* MRU first *)
+  (* Mirrors of the obs counters, kept under [lock] so [stats] is an
+     exact point-in-time cut per shard. *)
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  m_hits : Reg.counter option;
+  m_misses : Reg.counter option;
+  m_evictions : Reg.counter option;
+}
+
+type 'v t = {
+  shards : 'v shard array;
+  slots_per_shard : int;
+  m_hits : Reg.counter option;
+  m_misses : Reg.counter option;
+  m_evictions : Reg.counter option;
+}
+
+type stats = { hits : int; misses : int; evictions : int; size : int }
+
+let create ?metrics_prefix ~shards ~slots_per_shard () =
+  if shards < 1 then invalid_arg "Shard_cache.create: shards must be >= 1";
+  if slots_per_shard < 1 then
+    invalid_arg "Shard_cache.create: slots_per_shard must be >= 1";
+  (* Cache occupancy depends on request interleaving, so every counter
+     here is unstable (excluded from the byte-identity snapshots). *)
+  let agg suffix =
+    Option.map
+      (fun p -> Reg.counter ~stable:false (p ^ suffix))
+      metrics_prefix
+  in
+  let per_shard i suffix =
+    Option.map
+      (fun p ->
+        Reg.counter ~stable:false (Printf.sprintf "%s_shard%d%s" p i suffix))
+      metrics_prefix
+  in
+  let mk i =
+    {
+      lock = Mutex.create ();
+      ring = [];
+      hits = 0;
+      misses = 0;
+      evictions = 0;
+      m_hits = per_shard i "_hits";
+      m_misses = per_shard i "_misses";
+      m_evictions = per_shard i "_evictions";
+    }
+  in
+  {
+    shards = Array.init shards mk;
+    slots_per_shard;
+    m_hits = agg "_hits";
+    m_misses = agg "_misses";
+    m_evictions = agg "_evictions";
+  }
+
+let shards t = Array.length t.shards
+let slots_per_shard t = t.slots_per_shard
+let shard_of_key t key = Hashing.shard_of ~shards:(Array.length t.shards) key
+
+let bump c = Option.iter Reg.incr c
+
+let locked s f =
+  Mutex.lock s.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock s.lock) f
+
+(* Move [key]'s entry to the front; [None] if absent. *)
+let promote ring key =
+  let rec split acc = function
+    | [] -> None
+    | e :: rest when String.equal e.key key ->
+        Some (e, List.rev_append acc rest)
+    | e :: rest -> split (e :: acc) rest
+  in
+  split [] ring
+
+let fetch t key load =
+  let s = t.shards.(shard_of_key t key) in
+  locked s (fun () ->
+      match promote s.ring key with
+      | Some (e, rest) ->
+          s.ring <- e :: rest;
+          s.hits <- s.hits + 1;
+          bump s.m_hits;
+          bump t.m_hits;
+          `Hit e.value
+      | None -> (
+          s.misses <- s.misses + 1;
+          bump s.m_misses;
+          bump t.m_misses;
+          match load () with
+          | Error e -> `Err e
+          | Ok v ->
+              let ring = { key; value = v } :: s.ring in
+              let n = List.length ring in
+              let ring =
+                if n > t.slots_per_shard then (
+                  s.evictions <- s.evictions + (n - t.slots_per_shard);
+                  bump s.m_evictions;
+                  bump t.m_evictions;
+                  List.filteri (fun i _ -> i < t.slots_per_shard) ring)
+                else ring
+              in
+              s.ring <- ring;
+              `Loaded v))
+
+let mem t key =
+  let s = t.shards.(shard_of_key t key) in
+  locked s (fun () -> List.exists (fun e -> String.equal e.key key) s.ring)
+
+let length t =
+  Array.fold_left
+    (fun acc s -> acc + locked s (fun () -> List.length s.ring))
+    0 t.shards
+
+let shard_stats t i =
+  let s = t.shards.(i) in
+  locked s (fun () ->
+      {
+        hits = s.hits;
+        misses = s.misses;
+        evictions = s.evictions;
+        size = List.length s.ring;
+      })
+
+let stats t =
+  let z = { hits = 0; misses = 0; evictions = 0; size = 0 } in
+  Array.to_list t.shards
+  |> List.mapi (fun i _ -> shard_stats t i)
+  |> List.fold_left
+       (fun a b ->
+         {
+           hits = a.hits + b.hits;
+           misses = a.misses + b.misses;
+           evictions = a.evictions + b.evictions;
+           size = a.size + b.size;
+         })
+       z
+
+(* {2 Invariants as predicates}
+
+   Each is a total check over a locked snapshot of the shard array.
+   They are exported (and asserted by test_fleet / fleet_smoke) rather
+   than kept private so any future refactor is held to the same
+   contract. *)
+
+let snapshot_keys t =
+  Array.to_list t.shards
+  |> List.mapi (fun i s ->
+         (i, locked s (fun () -> List.map (fun e -> e.key) s.ring)))
+
+(* Every key lives in exactly the shard its hash names. *)
+let key_shard_stable t =
+  snapshot_keys t
+  |> List.for_all (fun (i, keys) ->
+         List.for_all (fun k -> shard_of_key t k = i) keys)
+
+(* No shard ever exceeds its slot budget. *)
+let capacity_ok t =
+  snapshot_keys t
+  |> List.for_all (fun (_, keys) -> List.length keys <= t.slots_per_shard)
+
+(* A key is resident at most once across the whole structure (within a
+   shard and, with [key_shard_stable], across shards). *)
+let no_cross_shard_aliasing t =
+  let keys = snapshot_keys t |> List.concat_map snd in
+  List.length keys = List.length (List.sort_uniq String.compare keys)
+
+let check_invariants t =
+  [
+    ("key_shard_stable", key_shard_stable t);
+    ("capacity_ok", capacity_ok t);
+    ("no_cross_shard_aliasing", no_cross_shard_aliasing t);
+  ]

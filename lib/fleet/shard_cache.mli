@@ -1,0 +1,55 @@
+(** N-way sharded concurrent LRU map keyed by artifact key.
+
+    The cache is a disjoint composition of [shards] sub-caches: a key
+    belongs to exactly the shard named by its stable hash, each shard
+    has its own lock and its own LRU ring of at most [slots_per_shard]
+    entries, and operations touch exactly one shard lock — shards never
+    contend with each other.  The structural contract is exported as
+    predicates ({!key_shard_stable}, {!capacity_ok},
+    {!no_cross_shard_aliasing}) that the tests assert after arbitrary
+    concurrent interleavings.
+
+    On a miss the shard lock is held across the loader, so concurrent
+    fetches of the same key serialize and load once. *)
+
+type 'v t
+
+val create :
+  ?metrics_prefix:string -> shards:int -> slots_per_shard:int -> unit -> 'v t
+(** [metrics_prefix] registers unstable {!Ipds_obs.Registry} counters:
+    aggregate [<p>_hits] / [<p>_misses] / [<p>_evictions] plus
+    per-shard [<p>_shard<i>_hits] etc.  Both arguments must be ≥ 1. *)
+
+val fetch :
+  'v t ->
+  string ->
+  (unit -> ('v, 'e) result) ->
+  [ `Hit of 'v | `Loaded of 'v | `Err of 'e ]
+(** LRU-promote on hit; on miss run the loader under the shard lock and
+    insert (evicting the shard's LRU entry if full).  A loader error is
+    not cached. *)
+
+val mem : 'v t -> string -> bool
+val length : 'v t -> int
+val shards : 'v t -> int
+val slots_per_shard : 'v t -> int
+val shard_of_key : 'v t -> string -> int
+
+type stats = { hits : int; misses : int; evictions : int; size : int }
+
+val stats : 'v t -> stats
+val shard_stats : 'v t -> int -> stats
+
+(** {2 Invariants as predicates} *)
+
+val key_shard_stable : 'v t -> bool
+(** Every resident key lives in exactly the shard its hash names. *)
+
+val capacity_ok : 'v t -> bool
+(** No shard exceeds [slots_per_shard]. *)
+
+val no_cross_shard_aliasing : 'v t -> bool
+(** No key is resident twice anywhere in the structure. *)
+
+val check_invariants : 'v t -> (string * bool) list
+(** All of the above, labelled. *)

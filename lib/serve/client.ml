@@ -116,7 +116,11 @@ type trace = {
    batch and replies with the alarms it raised, one Verdicts frame per
    batch.  A transport or protocol error mid-trace latches: the sink
    goes quiet and [finish] reports the first error. *)
-let trace ?(batch = 1024) t =
+let default_batch = 1024
+
+let trace ?(batch = default_batch) t =
+  if batch < 1 then
+    invalid_arg (Printf.sprintf "Client.trace: batch must be >= 1 (got %d)" batch);
   match begin_trace t with
   | Error e -> Error e
   | Ok () ->

@@ -45,7 +45,11 @@ type trace = {
           latches and is reported here. *)
 }
 
+val default_batch : int
+(** 1024 events per wire frame. *)
+
 val trace : ?batch:int -> t -> (trace, Protocol.err) result
 (** Begin a trace on an already-loaded artifact.  [batch] defaults to
-    1024 events per wire frame — large batches amortize framing over
-    the flat checker's per-event cost. *)
+    {!default_batch} events per wire frame — large batches amortize
+    framing over the flat checker's per-event cost.  Raises
+    [Invalid_argument] if [batch < 1] (before any frame is sent). *)

@@ -39,6 +39,8 @@ type error_code =
   | Corrupt_artifact
   | Timeout
   | Server_error
+  | Overloaded
+  | Unavailable
 
 type err = { code : error_code; detail : string }
 
@@ -55,6 +57,8 @@ let error_code_to_string = function
   | Corrupt_artifact -> "corrupt-artifact"
   | Timeout -> "timeout"
   | Server_error -> "server-error"
+  | Overloaded -> "overloaded"
+  | Unavailable -> "unavailable"
 
 let error_code_to_int = function
   | Bad_magic -> 0
@@ -69,6 +73,8 @@ let error_code_to_int = function
   | Corrupt_artifact -> 9
   | Timeout -> 10
   | Server_error -> 11
+  | Overloaded -> 12
+  | Unavailable -> 13
 
 let error_code_of_int = function
   | 0 -> Some Bad_magic
@@ -83,6 +89,8 @@ let error_code_of_int = function
   | 9 -> Some Corrupt_artifact
   | 10 -> Some Timeout
   | 11 -> Some Server_error
+  | 12 -> Some Overloaded
+  | 13 -> Some Unavailable
   | _ -> None
 
 type summary = { total_events : int; total_branches : int; total_alarms : int }
@@ -324,12 +332,31 @@ type decoded =
   | Need_more of int  (** at least this many bytes from [pos] required *)
   | Fail of err
 
-let decode_at ?(max_frame = default_max_frame) buf ~pos ~len =
-  if len < header_bytes then Need_more header_bytes
-  else if Bytes.sub_string buf pos 4 <> magic then
-    Fail { code = Bad_magic; detail = "bad frame magic" }
+(* Header + CRC validation without touching the payload, so an
+   event-loop server can route a validated span to the streaming batch
+   decoder (below) without materializing the frame. *)
+type scanned =
+  | Scan_frame of {
+      tag : int;
+      payload_pos : int;  (** absolute offset of the payload in [buf] *)
+      payload_len : int;
+      next : int;  (** absolute offset just past the frame *)
+    }
+  | Scan_need of int
+  | Scan_fail of err
+
+let magic_at buf pos =
+  Bytes.get buf pos = 'I'
+  && Bytes.get buf (pos + 1) = 'P'
+  && Bytes.get buf (pos + 2) = 'S'
+  && Bytes.get buf (pos + 3) = 'V'
+
+let scan_at ?(max_frame = default_max_frame) buf ~pos ~len =
+  if len < header_bytes then Scan_need header_bytes
+  else if not (magic_at buf pos) then
+    Scan_fail { code = Bad_magic; detail = "bad frame magic" }
   else if Char.code (Bytes.get buf (pos + 4)) <> version then
-    Fail
+    Scan_fail
       {
         code = Bad_version;
         detail =
@@ -341,13 +368,13 @@ let decode_at ?(max_frame = default_max_frame) buf ~pos ~len =
     let tag = Char.code (Bytes.get buf (pos + 5)) in
     let plen = get_u32_le buf (pos + 6) in
     if plen > max_frame then
-      Fail
+      Scan_fail
         {
           code = Oversized;
           detail = Printf.sprintf "payload of %d bytes exceeds limit %d" plen max_frame;
         }
     else if len < header_bytes + plen + trailer_bytes then
-      Need_more (header_bytes + plen + trailer_bytes)
+      Scan_need (header_bytes + plen + trailer_bytes)
     else
       let stored = get_u32_le buf (pos + header_bytes + plen) in
       let crc =
@@ -355,18 +382,37 @@ let decode_at ?(max_frame = default_max_frame) buf ~pos ~len =
           (Ipds_artifact.Crc32.bytes buf ~pos ~len:(header_bytes + plen))
         land 0xFFFF_FFFF
       in
-      if stored <> crc then Fail { code = Bad_crc; detail = "frame CRC mismatch" }
+      if stored <> crc then
+        Scan_fail { code = Bad_crc; detail = "frame CRC mismatch" }
       else
-        let payload = Bytes.sub buf (pos + header_bytes) plen in
-        let next = pos + header_bytes + plen + trailer_bytes in
-        match decode_payload ~limit:max_frame tag (Bs.Reader.of_bytes payload) with
-        | Some f -> Frame (f, next)
-        | None ->
-            Fail
-              { code = Unknown_frame; detail = Printf.sprintf "unknown frame tag %d" tag }
-        | exception Malformed_payload m -> Fail { code = Malformed; detail = m }
-        | exception Invalid_argument _ ->
-            Fail { code = Malformed; detail = "payload ends prematurely" }
+        Scan_frame
+          {
+            tag;
+            payload_pos = pos + header_bytes;
+            payload_len = plen;
+            next = pos + header_bytes + plen + trailer_bytes;
+          }
+
+(* Decode a CRC-validated payload span into a frame value. *)
+let decode_span ?(max_frame = default_max_frame) tag buf ~pos ~len =
+  let payload = Bytes.sub buf pos len in
+  match decode_payload ~limit:max_frame tag (Bs.Reader.of_bytes payload) with
+  | Some f -> Ok f
+  | None ->
+      Error
+        { code = Unknown_frame; detail = Printf.sprintf "unknown frame tag %d" tag }
+  | exception Malformed_payload m -> Error { code = Malformed; detail = m }
+  | exception Invalid_argument _ ->
+      Error { code = Malformed; detail = "payload ends prematurely" }
+
+let decode_at ?max_frame buf ~pos ~len =
+  match scan_at ?max_frame buf ~pos ~len with
+  | Scan_need n -> Need_more n
+  | Scan_fail e -> Fail e
+  | Scan_frame { tag; payload_pos; payload_len; next } -> (
+      match decode_span ?max_frame tag buf ~pos:payload_pos ~len:payload_len with
+      | Ok f -> Frame (f, next)
+      | Error e -> Fail e)
 
 let decode_string ?max_frame s =
   let buf = Bytes.of_string s in
@@ -381,6 +427,108 @@ let decode_string ?max_frame s =
       | Fail e -> Error e
   in
   go 0 []
+
+(* {2 Streaming batch decode}
+
+   [Branch_events] is the only frame on the serving hot path, and the
+   generic codec pays for it three times over: {!Bs.Reader.pull} loops
+   per *bit* (a div, a mod and a shift for every one of the ~300 bits an
+   event occupies), [pull_list] materializes an [Event.t list], and
+   every event allocates its [fname] string even though the checker
+   never reads it for branch/ret events.  [iter_branch_events] walks the
+   same bit layout with a byte-refilled accumulator (one shift-mask per
+   field), skips [fname]/[iid] wholesale, and hands call/ret/branch
+   straight to callbacks — no list, no event records, no strings except
+   callee names.  The event-loop server feeds the checker through this;
+   the wire format and its acceptance/rejection behaviour are identical
+   to [decode_payload] (same bounds checks, same error details), which
+   test_serve asserts differentially against random frames. *)
+
+let branch_events_tag = 4
+
+module Fast = struct
+  exception Short
+
+  type reader = {
+    buf : Bytes.t;
+    limit : int;  (** exclusive byte bound *)
+    mutable pos : int;  (** next byte to fold into [acc] *)
+    mutable acc : int;
+    mutable bits : int;  (** valid low bits of [acc] *)
+  }
+
+  let make buf ~pos ~len = { buf; limit = pos + len; pos; acc = 0; bits = 0 }
+
+  (* [width] <= 32, so [bits] stays < 40 and [acc] never nears bit 62. *)
+  let pull r width =
+    while r.bits < width do
+      if r.pos >= r.limit then raise Short;
+      r.acc <- r.acc lor (Char.code (Bytes.unsafe_get r.buf r.pos) lsl r.bits);
+      r.bits <- r.bits + 8;
+      r.pos <- r.pos + 1
+    done;
+    let v = r.acc land ((1 lsl width) - 1) in
+    r.acc <- r.acc lsr width;
+    r.bits <- r.bits - width;
+    v
+
+  let pull_int r =
+    let lo = pull r 31 in
+    let hi = pull r 32 in
+    (hi lsl 31) lor lo
+
+  let skip_chars r n =
+    for _ = 1 to n do
+      ignore (pull r 8)
+    done
+
+  let pull_chars r n =
+    let b = Bytes.create n in
+    for i = 0 to n - 1 do
+      Bytes.unsafe_set b i (Char.unsafe_chr (pull r 8))
+    done;
+    Bytes.unsafe_to_string b
+end
+
+(* Walk one [Branch_events] payload span, dispatching checker-relevant
+   events to the callbacks in order; returns the event count (all
+   kinds).  Raises [Fast.Short] on a payload that ends prematurely and
+   [Malformed_payload] exactly where [decode_payload] would. *)
+let iter_branch_events ?(limit = default_max_frame) buf ~pos ~len ~on_call
+    ~on_ret ~on_branch ~on_other =
+  let r = Fast.make buf ~pos ~len in
+  let n = Fast.pull_int r in
+  if n < 0 || n > limit then fail "list length out of range";
+  for _ = 1 to n do
+    let fname_len = Fast.pull_int r in
+    if fname_len < 0 || fname_len > limit then fail "string length out of range";
+    Fast.skip_chars r fname_len;
+    ignore (Fast.pull_int r) (* iid *);
+    let pc = Fast.pull_int r in
+    match Fast.pull r 4 with
+    | 0 -> on_other () (* Alu *)
+    | 1 | 2 ->
+        ignore (Fast.pull_int r) (* Load/Store addr *);
+        on_other ()
+    | 3 ->
+        let taken = Fast.pull r 1 = 1 in
+        ignore (Fast.pull_int r) (* target_pc, unused by the checker *);
+        on_branch ~pc ~taken
+    | 4 ->
+        ignore (Fast.pull_int r) (* Jump target *);
+        on_other ()
+    | 5 ->
+        let clen = Fast.pull_int r in
+        if clen < 0 || clen > limit then fail "string length out of range";
+        on_call (Fast.pull_chars r clen)
+    | 6 -> on_ret ()
+    | 7 -> on_other () (* Input_read *)
+    | 8 ->
+        ignore (Fast.pull_int r) (* Output_write value *);
+        on_other ()
+    | k -> fail (Printf.sprintf "bad event kind %d" k)
+  done;
+  n
 
 (* {2 Socket transport} *)
 

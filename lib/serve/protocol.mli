@@ -43,6 +43,10 @@ type error_code =
   | Corrupt_artifact
   | Timeout
   | Server_error
+  | Overloaded
+      (** the server's bounded reply queue or global in-flight cap was
+          exceeded; the connection is closed after this frame *)
+  | Unavailable  (** a fleet shard is down / unreachable *)
 
 type err = { code : error_code; detail : string }
 
@@ -84,6 +88,60 @@ val decode_string : ?max_frame:int -> string -> (frame list, err) result
 (** Decode a complete byte stream; a stream ending mid-frame is
     [Error {code = Truncated; _}].  Never raises. *)
 
+(** {2 Incremental scanning and streaming batch decode}
+
+    The event-loop server separates framing from payload decode: it
+    {!scan_at}s its read buffer (header + CRC validation only), then
+    either streams a [Branch_events] span straight into the checker via
+    {!iter_branch_events} — no event list, no per-event strings — or
+    falls back to {!decode_span} for the rare control frames. *)
+
+type scanned =
+  | Scan_frame of {
+      tag : int;
+      payload_pos : int;  (** absolute offset of the payload in [buf] *)
+      payload_len : int;
+      next : int;  (** absolute offset just past the frame *)
+    }
+  | Scan_need of int  (** at least this many bytes from [pos] required *)
+  | Scan_fail of err
+
+val scan_at : ?max_frame:int -> Bytes.t -> pos:int -> len:int -> scanned
+(** Validate one frame's header and CRC in [buf[pos, pos+len)] without
+    decoding the payload.  Never raises; fails exactly when
+    {!decode_at} would fail before payload decode. *)
+
+val decode_span :
+  ?max_frame:int -> int -> Bytes.t -> pos:int -> len:int -> (frame, err) result
+(** Decode a CRC-validated payload span (from {!Scan_frame}) into a
+    frame.  Never raises. *)
+
+val branch_events_tag : int
+
+exception Malformed_payload of string
+
+val iter_branch_events :
+  ?limit:int ->
+  Bytes.t ->
+  pos:int ->
+  len:int ->
+  on_call:(string -> unit) ->
+  on_ret:(unit -> unit) ->
+  on_branch:(pc:int -> taken:bool -> unit) ->
+  on_other:(unit -> unit) ->
+  int
+(** Stream one [Branch_events] payload span to the callbacks in event
+    order, returning the total event count (all kinds).  Accepts and
+    rejects byte-for-byte the same payloads as the generic decoder
+    (differentially tested): raises {!Fast.Short} where the generic
+    reader would overrun and {!Malformed_payload} with the same detail
+    strings for bad lengths / event kinds. *)
+
+module Fast : sig
+  exception Short
+  (** The payload span ended before the field being pulled. *)
+end
+
 (** {2 Socket transport} *)
 
 val ignore_sigpipe : unit -> unit
@@ -91,6 +149,10 @@ val ignore_sigpipe : unit -> unit
     [Unix_error (EPIPE, _, _)] instead of killing the process.  Called
     by {!Server.start} and {!Client.connect}; idempotent, a no-op on
     platforms without SIGPIPE. *)
+
+val write_all : Unix.file_descr -> Bytes.t -> int -> int -> unit
+(** Write [len] bytes from [pos] (handles partial writes and EINTR).
+    Raises [Unix_error] on IO failure. *)
 
 val output_frame : Unix.file_descr -> frame -> unit
 (** Write a whole frame (handles partial writes).  Raises [Unix_error]

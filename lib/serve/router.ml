@@ -1,0 +1,339 @@
+(* Thin routing fallback for legacy clients that speak plain {!Client}
+   to one address and know nothing about the fleet.
+
+   The router sniffs each connection's first frame (without consuming
+   it) to learn the artifact key — [Load_key] directly, [Load_image]
+   via {!Session.image_key} — routes it on the same consistent-hash
+   ring the native {!Fleet_client} uses, then degrades into a dumb
+   bounded-buffer byte pump: every subsequent frame crosses untouched,
+   so replies are byte-identical to a direct connection.  A first frame
+   that is not a load (or does not even scan) still gets proxied — to
+   the ring's default shard — so the *server's* typed error reply
+   reaches the client verbatim.  If every shard is dead the router
+   itself replies with one typed [Unavailable] error frame.
+
+   This is explicitly the slow path: one extra hop, one domain,
+   blocking failover connects.  Routing-aware clients bypass it
+   entirely. *)
+
+module Ring = Ipds_fleet.Ring
+module Topology = Ipds_fleet.Topology
+module Backoff = Ipds_fleet.Backoff
+module Reg = Ipds_obs.Registry
+
+let m_sessions = Reg.counter ~stable:false "router.sessions"
+let m_routed = Reg.counter ~stable:false "router.routed"
+let m_unavailable = Reg.counter ~stable:false "router.unavailable"
+
+type config = {
+  max_frame : int;
+  backoff : Backoff.t;
+  buffer_bytes : int;  (** per-direction pump bound (backpressure) *)
+}
+
+let default_config =
+  {
+    max_frame = Protocol.default_max_frame;
+    backoff = Backoff.default;
+    buffer_bytes = 256 * 1024;
+  }
+
+(* A growable byte window: bytes [start, start+len) are pending. *)
+type buf = { mutable b : Bytes.t; mutable start : int; mutable len : int }
+
+let buf_make () = { b = Bytes.create 65536; start = 0; len = 0 }
+
+let buf_room buf need =
+  if buf.start > 0 && buf.start + buf.len + need > Bytes.length buf.b then begin
+    Bytes.blit buf.b buf.start buf.b 0 buf.len;
+    buf.start <- 0
+  end;
+  if buf.len + need > Bytes.length buf.b then begin
+    let bigger = Bytes.create (max (buf.len + need) (2 * Bytes.length buf.b)) in
+    Bytes.blit buf.b buf.start bigger 0 buf.len;
+    buf.start <- 0;
+    buf.b <- bigger
+  end
+
+type phase =
+  | Sniffing
+  | Proxying of Unix.file_descr  (** the shard socket *)
+
+type conn = {
+  cfd : Unix.file_descr;
+  mutable phase : phase;
+  c2s : buf;  (** client bytes awaiting the shard (also the sniff buffer) *)
+  s2c : buf;  (** shard bytes awaiting the client *)
+  mutable client_eof : bool;
+  mutable shard_eof : bool;
+  mutable shard_shut : bool;  (** we already half-closed the shard *)
+  mutable dead : bool;
+}
+
+type t = {
+  config : config;
+  topology : Topology.t;
+  ring : Ring.t;
+  fd : Unix.file_descr;
+  sock_path : string option;
+  stop_flag : bool Atomic.t;
+  stop_r : Unix.file_descr;
+  stop_w : Unix.file_descr;
+  mutable domain : unit Domain.t option;
+}
+
+let close_quiet fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let kill conn =
+  if not conn.dead then begin
+    conn.dead <- true;
+    close_quiet conn.cfd;
+    match conn.phase with Proxying sfd -> close_quiet sfd | Sniffing -> ()
+  end
+
+(* Blocking connect along the ring with bounded backoff; the router is
+   the documented slow path, so blocking its loop briefly is the
+   accepted cost of failover. *)
+let connect_ring t key =
+  let order = Ring.successors t.ring key in
+  let attempts = min (Backoff.max_attempts t.config.backoff) (List.length order) in
+  let rec go attempt = function
+    | [] -> None
+    | shard :: rest -> (
+        if attempt > 0 then Unix.sleepf (Backoff.delay t.config.backoff (attempt - 1));
+        let sfd =
+          match Topology.address t.topology shard with
+          | `Unix path ->
+              let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+              (fd, Unix.ADDR_UNIX path)
+          | `Tcp (host, port) ->
+              let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+              (fd, Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
+        in
+        let fd, addr = sfd in
+        match Unix.connect fd addr with
+        | () -> Some fd
+        | exception Unix.Unix_error _ ->
+            close_quiet fd;
+            if attempt + 1 >= attempts then None else go (attempt + 1) rest)
+  in
+  go 0 order
+
+let key_of_first_frame t conn =
+  match
+    Protocol.scan_at ~max_frame:t.config.max_frame conn.c2s.b
+      ~pos:conn.c2s.start ~len:conn.c2s.len
+  with
+  | Protocol.Scan_need _ -> `Need_more
+  | Protocol.Scan_fail _ ->
+      (* Garbage: proxy it anyway so the server's typed error reply
+         reaches the legacy client. *)
+      `Key ""
+  | Protocol.Scan_frame { tag; payload_pos; payload_len; _ } -> (
+      match
+        Protocol.decode_span ~max_frame:t.config.max_frame tag conn.c2s.b
+          ~pos:payload_pos ~len:payload_len
+      with
+      | Ok (Protocol.Load_key key) -> `Key key
+      | Ok (Protocol.Load_image { image; _ }) -> `Key (Session.image_key image)
+      | Ok _ | Error _ -> `Key "")
+
+let try_route t conn =
+  match key_of_first_frame t conn with
+  | `Need_more -> ()
+  | `Key key -> (
+      match connect_ring t key with
+      | Some sfd ->
+          Unix.set_nonblock sfd;
+          Reg.incr m_routed;
+          conn.phase <- Proxying sfd
+      | None ->
+          Reg.incr m_unavailable;
+          let reply =
+            Protocol.encode_frame
+              (Protocol.Error
+                 {
+                   Protocol.code = Protocol.Unavailable;
+                   detail = "no fleet shard reachable";
+                 })
+          in
+          (try Protocol.write_all conn.cfd reply 0 (Bytes.length reply)
+           with Unix.Unix_error _ -> ());
+          kill conn)
+
+(* One nonblocking read into [dst]; true = made progress. *)
+let pump_read fd dst on_eof =
+  buf_room dst 65536;
+  let off = dst.start + dst.len in
+  match Unix.read fd dst.b off (Bytes.length dst.b - off) with
+  | 0 ->
+      on_eof ();
+      false
+  | n ->
+      dst.len <- dst.len + n;
+      true
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+    ->
+      false
+
+let pump_write fd src =
+  if src.len > 0 then
+    match Unix.single_write fd src.b src.start src.len with
+    | n ->
+        src.start <- src.start + n;
+        src.len <- src.len - n;
+        if src.len = 0 then src.start <- 0;
+        true
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+      ->
+        false
+  else false
+
+(* Writes are attempted whenever bytes are pending — most fit the
+   socket buffer without waiting for a writability round-trip; the
+   select write set only exists to wake the loop when they do not. *)
+let step t conns rd =
+  List.iter
+    (fun conn ->
+      if not conn.dead then
+        try
+          match conn.phase with
+          | Sniffing ->
+              if List.mem conn.cfd rd then begin
+                ignore
+                  (pump_read conn.cfd conn.c2s (fun () -> conn.client_eof <- true));
+                try_route t conn;
+                match conn.phase with
+                | Sniffing when conn.client_eof ->
+                    (* hung up before a routable first frame *)
+                    kill conn
+                | _ -> ()
+              end
+          | Proxying sfd ->
+              if List.mem conn.cfd rd then
+                ignore
+                  (pump_read conn.cfd conn.c2s (fun () -> conn.client_eof <- true));
+              if List.mem sfd rd then
+                ignore
+                  (pump_read sfd conn.s2c (fun () -> conn.shard_eof <- true));
+              if conn.c2s.len > 0 then ignore (pump_write sfd conn.c2s);
+              if conn.s2c.len > 0 then ignore (pump_write conn.cfd conn.s2c);
+              (* Client finished sending: once its bytes are through,
+                 half-close the shard so the server sees EOF, but keep
+                 pumping the reply tail. *)
+              if conn.client_eof && conn.c2s.len = 0 && not conn.shard_shut
+              then begin
+                conn.shard_shut <- true;
+                try Unix.shutdown sfd Unix.SHUTDOWN_SEND
+                with Unix.Unix_error _ -> ()
+              end;
+              if conn.shard_eof && conn.s2c.len = 0 then kill conn
+        with Unix.Unix_error _ -> kill conn)
+    conns
+
+let loop t =
+  let conns = ref [] in
+  while not (Atomic.get t.stop_flag) do
+    let rds = ref [ t.fd; t.stop_r ] and wrs = ref [] in
+    List.iter
+      (fun conn ->
+        if not conn.dead then
+          match conn.phase with
+          | Sniffing ->
+              if conn.c2s.len < t.config.buffer_bytes then
+                rds := conn.cfd :: !rds
+          | Proxying sfd ->
+              if (not conn.client_eof) && conn.c2s.len < t.config.buffer_bytes
+              then rds := conn.cfd :: !rds;
+              if (not conn.shard_eof) && conn.s2c.len < t.config.buffer_bytes
+              then rds := sfd :: !rds;
+              if conn.c2s.len > 0 then wrs := sfd :: !wrs;
+              if conn.s2c.len > 0 then wrs := conn.cfd :: !wrs)
+      !conns;
+    (match Unix.select !rds !wrs [] 1.0 with
+    | exception Unix.Unix_error ((Unix.EINTR | Unix.EBADF), _, _) -> ()
+    | rd, wr, _ ->
+        if List.mem t.fd rd then begin
+          match Unix.accept t.fd with
+          | cfd, _ ->
+              Unix.set_nonblock cfd;
+              Reg.incr m_sessions;
+              conns :=
+                {
+                  cfd;
+                  phase = Sniffing;
+                  c2s = buf_make ();
+                  s2c = buf_make ();
+                  client_eof = false;
+                  shard_eof = false;
+                  shard_shut = false;
+                  dead = false;
+                }
+                :: !conns
+          | exception Unix.Unix_error _ -> ()
+        end;
+        ignore wr;
+        step t !conns rd);
+    conns := List.filter (fun c -> not c.dead) !conns
+  done;
+  List.iter kill !conns
+
+let start ?(config = default_config) ~topology (addr : Server.address) =
+  Protocol.ignore_sigpipe ();
+  let fd, sock_path =
+    match addr with
+    | `Unix path ->
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.bind fd (Unix.ADDR_UNIX path);
+        (fd, Some path)
+    | `Tcp port ->
+        let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Unix.setsockopt fd Unix.SO_REUSEADDR true;
+        Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+        (fd, None)
+  in
+  Unix.listen fd 64;
+  Unix.set_nonblock fd;
+  let stop_r, stop_w = Unix.pipe () in
+  Unix.set_nonblock stop_r;
+  let t =
+    {
+      config;
+      topology;
+      ring = Topology.ring topology;
+      fd;
+      sock_path;
+      stop_flag = Atomic.make false;
+      stop_r;
+      stop_w;
+      domain = None;
+    }
+  in
+  t.domain <- Some (Domain.spawn (fun () -> loop t));
+  t
+
+let port t =
+  match Unix.getsockname t.fd with
+  | Unix.ADDR_INET (_, port) -> Some port
+  | Unix.ADDR_UNIX _ -> None
+
+let stop t =
+  if not (Atomic.exchange t.stop_flag true) then begin
+    (try ignore (Unix.write t.stop_w (Bytes.make 1 '!') 0 1)
+     with Unix.Unix_error _ -> ());
+    (match t.domain with
+    | Some d ->
+        Domain.join d;
+        t.domain <- None
+    | None -> ());
+    close_quiet t.stop_r;
+    close_quiet t.stop_w;
+    close_quiet t.fd;
+    match t.sock_path with
+    | Some p -> ( try Unix.unlink p with Unix.Unix_error _ | Sys_error _ -> ())
+    | None -> ()
+  end
+
+let with_router ?config ~topology addr f =
+  let t = start ?config ~topology addr in
+  Fun.protect ~finally:(fun () -> stop t) (fun () -> f t)

@@ -1,0 +1,34 @@
+(** Thin routing fallback for legacy clients that speak plain {!Client}
+    to a single address.  The router sniffs the first frame of each
+    connection for its artifact key (Load_key directly, Load_image via
+    {!Session.image_key}), routes on the same consistent-hash ring as
+    {!Fleet_client}, then byte-pumps both directions with bounded
+    buffers — replies are byte-identical to a direct connection.  A
+    fully dead fleet yields one typed [Unavailable] error frame.  This
+    is explicitly the slow path (one extra hop); routing-aware clients
+    bypass it. *)
+
+type config = {
+  max_frame : int;
+  backoff : Ipds_fleet.Backoff.t;
+  buffer_bytes : int;  (** per-direction pump bound (backpressure) *)
+}
+
+val default_config : config
+(** 4 MiB frames, default backoff, 256 KiB per-direction buffers. *)
+
+type t
+
+val start :
+  ?config:config -> topology:Ipds_fleet.Topology.t -> Server.address -> t
+
+val port : t -> int option
+val stop : t -> unit
+(** Prompt (self-pipe wakes the loop), bounded, idempotent. *)
+
+val with_router :
+  ?config:config ->
+  topology:Ipds_fleet.Topology.t ->
+  Server.address ->
+  (t -> 'a) ->
+  'a

@@ -1,47 +1,45 @@
-(* The streaming verdict server: sessions speak {!Protocol} over a
-   Unix-domain or loopback TCP socket, load an artifact (by store key or
-   inline image), then stream batched events and get verdicts back.
+(* The event-loop verdict server.
 
-   Robustness is the contract here: malformed, oversized, truncated or
-   out-of-sequence frames produce one typed [Error] reply and a closed
-   session — never an exception escaping a session, never a wedged
-   accept loop.  Sessions are fanned over an {!Ipds_parallel.Pool} of
-   [config.jobs] worker domains; the accept loop runs on its own domain
-   and never executes session work itself. *)
+   One [Unix.select] reactor per [config.jobs], each owning a disjoint
+   set of nonblocking connections: the accept domain distributes new
+   sockets round-robin over reactor mailboxes and wakes the owner
+   through its self-pipe.  Reads drive {!Protocol.scan_at} over a
+   compacting per-connection buffer; [Branch_events] spans stream
+   straight into the checker through {!Session.handle_events_span}
+   (no event list, no per-event allocation), rare control frames fall
+   back to the generic decoder.  Writes never block: replies go through
+   a bounded per-connection queue flushed opportunistically and on
+   writability, with a global in-flight byte cap on top — when either
+   bound would be exceeded the client gets one typed [Overloaded] error
+   frame and the connection drains and closes.  Backpressure, never
+   unbounded buffering.
 
-module Event = Ipds_machine.Event
-module System = Ipds_core.System
-module Checker = Ipds_core.Checker
+   Loaded systems live in an {!Ipds_fleet.Shard_cache}: N independently
+   locked LRU shards keyed by artifact key, so concurrent loads only
+   contend when they actually race the same shard.
+
+   The observable protocol behaviour (replies, typed errors, stable
+   serve.* metrics) is identical to {!Server_threaded}, the preserved
+   PR-5 implementation — serve_smoke drives both paths and the
+   byte-identity phases hold across either. *)
+
 module Store = Ipds_artifact.Store
-module Pool = Ipds_parallel.Pool
+module Shard_cache = Ipds_fleet.Shard_cache
 module Reg = Ipds_obs.Registry
 
-(* Stable counters are sums of per-session deterministic work, so their
-   totals are independent of scheduling and job count — the concurrency
-   determinism test relies on that.  Timeouts and cache traffic depend
-   on timing and session interleaving (LRU eviction order), so they are
-   unstable; so is the latency histogram. *)
-let m_sessions = Reg.counter "serve.sessions"
-let m_frames_in = Reg.counter "serve.frames_in"
-let m_frames_out = Reg.counter "serve.frames_out"
-let m_traces = Reg.counter "serve.traces"
-let m_events = Reg.counter "serve.events"
-let m_branches = Reg.counter "serve.branches"
-let m_alarms = Reg.counter "serve.alarms"
-let m_protocol_errors = Reg.counter "serve.protocol_errors"
-let m_state_errors = Reg.counter "serve.state_errors"
-let m_timeouts = Reg.counter ~stable:false "serve.timeouts"
-let m_cache_hits = Reg.counter ~stable:false "serve.cache_hits"
-let m_cache_misses = Reg.counter ~stable:false "serve.cache_misses"
-let m_batch_micros = Reg.histogram ~stable:false "serve.batch_micros"
+(* Overload shedding depends on timing, so the counter is unstable. *)
+let m_overloaded = Reg.counter ~stable:false "serve.overloaded"
 
 type config = {
-  jobs : int;  (** worker domains serving sessions (≥ 1) *)
+  jobs : int;  (** reactor domains (≥ 1) *)
   max_frame : int;  (** payload-size limit, bytes *)
   session_timeout : float;  (** seconds a session may sit idle; 0 = none *)
-  cache_slots : int;  (** loaded [System.t]s kept in the LRU *)
+  cache_slots : int;  (** loaded [System.t]s kept across all cache shards *)
+  cache_shards : int;  (** independently locked cache shards (≥ 1) *)
   store_dir : string option;
       (** artifact store for [Load_key]; [None] uses the ambient store *)
+  reply_queue_bytes : int;  (** per-connection reply-queue bound *)
+  inflight_bytes : int;  (** global bound on queued reply bytes *)
 }
 
 let default_config =
@@ -50,282 +48,383 @@ let default_config =
     max_frame = Protocol.default_max_frame;
     session_timeout = 30.;
     cache_slots = 8;
+    cache_shards = 4;
     store_dir = None;
+    reply_queue_bytes = 8 * 1024 * 1024;
+    inflight_bytes = 64 * 1024 * 1024;
   }
 
 type address = [ `Unix of string | `Tcp of int ]
 
-type lru = {
-  lmutex : Mutex.t;
-  mutable entries : (string * System.t) list;  (* MRU first *)
-  slots : int;
+type out_chunk = { chunk : Bytes.t; mutable off : int }
+
+type conn = {
+  fd : Unix.file_descr;
+  session : Session.t;
+  mutable inbuf : Bytes.t;
+  mutable in_start : int;
+  mutable in_len : int;
+  outq : out_chunk Queue.t;
+  mutable out_bytes : int;
+  mutable last_active : float;
+  mutable closing : bool;  (** stop reading; close once the queue drains *)
+  mutable dead : bool;  (** close and reap now *)
 }
 
-(* Live session sockets, so [stop] can force blocked reads to return
-   even when [session_timeout] is 0 (otherwise a silent client would
-   hold a worker in [input_frame] forever and the pool drain would
-   never finish). *)
-type sessions = { smutex : Mutex.t; mutable fds : Unix.file_descr list }
+type reactor = {
+  wake_r : Unix.file_descr;
+  wake_w : Unix.file_descr;
+  inbox_mutex : Mutex.t;
+  inbox : Unix.file_descr Queue.t;
+  mutable conns : conn list;
+}
 
 type t = {
   config : config;
   store : Store.t option;
+  cache : Ipds_core.System.t Shard_cache.t;
   fd : Unix.file_descr;
   sock_path : string option;
-  pool : Pool.t;
   stop_flag : bool Atomic.t;
+  stop_r : Unix.file_descr;
+  stop_w : Unix.file_descr;
+  reactors : reactor array;
+  mutable reactor_domains : unit Domain.t array;
   mutable accept_domain : unit Domain.t option;
-  lru : lru;
-  sessions : sessions;
+  inflight : int Atomic.t;  (** queued reply bytes across all connections *)
+  rr : int Atomic.t;
 }
 
 let close_quiet fd = try Unix.close fd with Unix.Unix_error _ -> ()
 
-let track sessions fd =
-  Mutex.lock sessions.smutex;
-  sessions.fds <- fd :: sessions.fds;
-  Mutex.unlock sessions.smutex
+(* The empty-verdicts reply — the overwhelmingly common case — is one
+   shared pre-encoded frame; queued chunks are write-only, so sharing
+   the bytes across connections is safe. *)
+let empty_verdicts = lazy (Protocol.encode_frame (Protocol.Verdicts []))
 
-(* Closing under the mutex means [interrupt_sessions] never races a
-   close and shuts down a recycled descriptor number. *)
-let untrack_close sessions fd =
-  Mutex.lock sessions.smutex;
-  sessions.fds <- List.filter (fun f -> f != fd) sessions.fds;
-  close_quiet fd;
-  Mutex.unlock sessions.smutex
+let cache_fetch t key load =
+  match
+    Shard_cache.fetch t.cache key (fun () ->
+        match load () with `Ok sys -> Ok sys | `Err e -> Error e)
+  with
+  | `Hit sys -> `Hit sys
+  | `Loaded sys -> `Loaded sys
+  | `Err e -> `Err e
 
-let interrupt_sessions sessions =
-  Mutex.lock sessions.smutex;
+(* {2 Connection output} *)
+
+let release t conn n =
+  conn.out_bytes <- conn.out_bytes - n;
+  ignore (Atomic.fetch_and_add t.inflight (-n))
+
+let kill t conn =
+  if not conn.dead then begin
+    conn.dead <- true;
+    release t conn conn.out_bytes;
+    Queue.clear conn.outq;
+    Session.close conn.session;
+    close_quiet conn.fd
+  end
+
+let enqueue_raw t conn b =
+  let len = Bytes.length b in
+  Queue.add { chunk = b; off = 0 } conn.outq;
+  conn.out_bytes <- conn.out_bytes + len;
+  ignore (Atomic.fetch_and_add t.inflight len)
+
+(* The backpressure bound: a reply that would overflow the connection's
+   queue or the global in-flight cap is replaced by one typed
+   [Overloaded] frame (allowed past the caps — it is the close reason)
+   and the connection stops reading and drains. *)
+let send t conn f =
+  if not (conn.dead || conn.closing) then begin
+    let b =
+      match f with
+      | Protocol.Verdicts [] -> Lazy.force empty_verdicts
+      | f -> Protocol.encode_frame f
+    in
+    let len = Bytes.length b in
+    if
+      conn.out_bytes + len > t.config.reply_queue_bytes
+      || Atomic.get t.inflight + len > t.config.inflight_bytes
+    then begin
+      Reg.incr m_overloaded;
+      Reg.incr Session.m_frames_out;
+      enqueue_raw t conn
+        (Protocol.encode_frame
+           (Protocol.Error
+              {
+                Protocol.code = Protocol.Overloaded;
+                detail = "reply queue bound exceeded; closing";
+              }));
+      conn.closing <- true
+    end
+    else begin
+      Reg.incr Session.m_frames_out;
+      enqueue_raw t conn b
+    end
+  end
+
+let rec flush_conn t conn =
+  if not conn.dead then
+    match Queue.peek_opt conn.outq with
+    | None -> if conn.closing then kill t conn
+    | Some entry -> (
+        let remaining = Bytes.length entry.chunk - entry.off in
+        match Unix.single_write conn.fd entry.chunk entry.off remaining with
+        | n ->
+            entry.off <- entry.off + n;
+            release t conn n;
+            if entry.off = Bytes.length entry.chunk then begin
+              ignore (Queue.pop conn.outq);
+              flush_conn t conn
+            end
+            (* partial write: the socket buffer is full, wait for
+               writability *)
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> flush_conn t conn
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+            ()
+        | exception Unix.Unix_error _ -> kill t conn)
+
+(* {2 Connection input} *)
+
+(* Make [need] bytes addressable from [in_start] (compact, then grow).
+   [scan_at] bounds [need] by [max_frame] + framing overhead — an
+   oversized length field is rejected from the header alone, so the
+   buffer never grows past the configured limit. *)
+let ensure_capacity conn need =
+  if conn.in_start > 0 && conn.in_start + need > Bytes.length conn.inbuf then begin
+    Bytes.blit conn.inbuf conn.in_start conn.inbuf 0 conn.in_len;
+    conn.in_start <- 0
+  end;
+  if need > Bytes.length conn.inbuf then begin
+    let bigger = Bytes.create (max need (2 * Bytes.length conn.inbuf)) in
+    Bytes.blit conn.inbuf conn.in_start bigger 0 conn.in_len;
+    conn.in_start <- 0;
+    conn.inbuf <- bigger
+  end
+
+let rec drain_frames t conn =
+  if not (conn.dead || conn.closing) then
+    match
+      Protocol.scan_at ~max_frame:t.config.max_frame conn.inbuf
+        ~pos:conn.in_start ~len:conn.in_len
+    with
+    | Protocol.Scan_need need -> ensure_capacity conn need
+    | Protocol.Scan_fail e ->
+        Session.send_error ~send:(send t conn) e.Protocol.code e.Protocol.detail;
+        conn.closing <- true
+    | Protocol.Scan_frame { tag; payload_pos; payload_len; next } ->
+        Reg.incr Session.m_frames_in;
+        let consumed = next - conn.in_start in
+        (* Advance past the frame before handling it; the payload span
+           stays valid because the buffer is only compacted on the next
+           [Scan_need], after the handler returns. *)
+        conn.in_start <- next;
+        conn.in_len <- conn.in_len - consumed;
+        let send = send t conn in
+        let verdict =
+          if tag = Protocol.branch_events_tag then
+            Session.handle_events_span conn.session ~send
+              ~max_frame:t.config.max_frame conn.inbuf ~pos:payload_pos
+              ~len:payload_len
+          else
+            match
+              Protocol.decode_span ~max_frame:t.config.max_frame tag conn.inbuf
+                ~pos:payload_pos ~len:payload_len
+            with
+            | Ok f -> Session.handle conn.session ~send f
+            | Error e ->
+                Session.send_error ~send e.Protocol.code e.Protocol.detail;
+                `Close
+        in
+        (match verdict with
+        | `Continue -> ()
+        | `Close -> conn.closing <- true);
+        if conn.in_len = 0 then conn.in_start <- 0;
+        drain_frames t conn
+
+let on_readable t conn =
+  (* Read until EAGAIN (or a modest per-wake budget, for fairness),
+     draining complete frames as they appear. *)
+  let budget = ref (256 * 1024) in
+  let continue_ = ref true in
+  while (not (conn.dead || conn.closing)) && !continue_ && !budget > 0 do
+    if conn.in_start + conn.in_len = Bytes.length conn.inbuf then
+      ensure_capacity conn (conn.in_len + 1);
+    let off = conn.in_start + conn.in_len in
+    let room = Bytes.length conn.inbuf - off in
+    match Unix.read conn.fd conn.inbuf off room with
+    | 0 ->
+        (* EOF.  Mid-frame bytes left in the buffer are a truncated
+           stream — same typed error as the blocking reader. *)
+        continue_ := false;
+        if conn.in_len > 0 then
+          Session.send_error ~send:(send t conn) Protocol.Truncated
+            "connection closed mid-frame";
+        conn.closing <- true
+    | n ->
+        conn.last_active <- Unix.gettimeofday ();
+        budget := !budget - n;
+        conn.in_len <- conn.in_len + n;
+        drain_frames t conn
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        continue_ := false
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error _ -> kill t conn
+  done
+
+(* {2 Reactor} *)
+
+let drain_wake fd =
+  let junk = Bytes.create 64 in
+  let rec go () =
+    match Unix.read fd junk 0 64 with
+    | 64 -> go ()
+    | _ -> ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+  in
+  go ()
+
+let adopt t r =
+  Mutex.lock r.inbox_mutex;
+  let fresh = Queue.fold (fun acc fd -> fd :: acc) [] r.inbox in
+  Queue.clear r.inbox;
+  Mutex.unlock r.inbox_mutex;
   List.iter
-    (fun fd -> try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
-    sessions.fds;
-  Mutex.unlock sessions.smutex
-
-(* The mutex is held across [load], serializing artifact loads: the
-   first session to ask for a key pays the load, concurrent sessions for
-   the same key hit the fresh entry instead of racing a second load. *)
-let lru_fetch lru key load =
-  Mutex.lock lru.lmutex;
-  Fun.protect
-    ~finally:(fun () -> Mutex.unlock lru.lmutex)
-    (fun () ->
-      match List.assoc_opt key lru.entries with
-      | Some sys ->
-          Reg.incr m_cache_hits;
-          lru.entries <- (key, sys) :: List.remove_assoc key lru.entries;
-          `Hit sys
-      | None -> (
-          Reg.incr m_cache_misses;
-          match load () with
-          | `Ok sys ->
-              lru.entries <-
-                List.filteri
-                  (fun i _ -> i < lru.slots)
-                  ((key, sys) :: lru.entries);
-              `Loaded sys
-          | `Err e -> `Err e))
-
-let now_micros () = int_of_float (Unix.gettimeofday () *. 1e6)
-
-exception State_violation of string
-
-(* {2 Session} *)
-
-type session_state = {
-  mutable system : System.t option;
-  mutable checker : Checker.t option;
-  mutable tr_events : int;
-  mutable tr_branches : int;
-  mutable tr_alarms : int;
-}
-
-let feed_guarded sys ck st (e : Event.t) =
-  (match e.Event.kind with
-  | Event.Ret when Checker.depth ck = 0 ->
-      raise (State_violation "Ret with an empty checker stack")
-  | Event.Branch _ when Checker.depth ck = 0 ->
-      raise (State_violation "Branch with an empty checker stack")
-  | _ -> ());
-  (match e.Event.kind with
-  | Event.Branch _ -> st.tr_branches <- st.tr_branches + 1
-  | _ -> ());
-  Ipds_machine.Replay.feed ck ~defined:(System.mem sys) e
-
-let handle t st send send_err (f : Protocol.frame) =
-  match f with
-  | Protocol.Load_key key -> (
-      match t.store with
-      | None ->
-          send_err Protocol.Unknown_artifact "no artifact store configured";
-          `Close
-      | Some store -> (
-          let load () =
-            match Store.load_system store key with
-            | Some sys -> `Ok sys
-            | None ->
-                `Err
-                  ( Protocol.Unknown_artifact,
-                    "no loadable artifact for key " ^ key )
-          in
-          match lru_fetch t.lru key load with
-          | `Hit sys ->
-              st.system <- Some sys;
-              send (Protocol.Loaded { name = key; cached = true });
-              `Continue
-          | `Loaded sys ->
-              st.system <- Some sys;
-              send (Protocol.Loaded { name = key; cached = false });
-              `Continue
-          | `Err (code, detail) ->
-              send_err code detail;
-              `Close))
-  | Protocol.Load_image { name; image } -> (
-      let key = "img:" ^ Digest.to_hex (Digest.string image) in
-      let load () =
-        match Ipds_artifact.Artifact.of_bytes (Bytes.of_string image) with
-        | sys -> `Ok sys
-        | exception Ipds_artifact.Artifact.Corrupt m ->
-            `Err (Protocol.Corrupt_artifact, m)
+    (fun fd ->
+      (try Unix.set_nonblock fd with Unix.Unix_error _ -> ());
+      let conn =
+        {
+          fd;
+          session = Session.create ~store:t.store ~fetch:(cache_fetch t) ();
+          inbuf = Bytes.create 65536;
+          in_start = 0;
+          in_len = 0;
+          outq = Queue.create ();
+          out_bytes = 0;
+          last_active = Unix.gettimeofday ();
+          closing = false;
+          dead = false;
+        }
       in
-      match lru_fetch t.lru key load with
-      | `Hit sys ->
-          st.system <- Some sys;
-          send (Protocol.Loaded { name; cached = true });
-          `Continue
-      | `Loaded sys ->
-          st.system <- Some sys;
-          send (Protocol.Loaded { name; cached = false });
-          `Continue
-      | `Err (code, detail) ->
-          send_err code detail;
-          `Close)
-  | Protocol.Begin_trace -> (
-      match (st.system, st.checker) with
-      | None, _ ->
-          send_err Protocol.Bad_state "Begin_trace before an artifact is loaded";
-          `Close
-      | Some _, Some _ ->
-          send_err Protocol.Bad_state "a trace is already active";
-          `Close
-      | Some sys, None ->
-          st.checker <- Some (System.new_checker sys);
-          st.tr_events <- 0;
-          st.tr_branches <- 0;
-          st.tr_alarms <- 0;
-          Reg.incr m_traces;
-          send Protocol.Trace_started;
-          `Continue)
-  | Protocol.Branch_events evs -> (
-      match (st.system, st.checker) with
-      | Some sys, Some ck -> (
-          let t0 = now_micros () in
-          (* O(1) against the checker's running count — a long trace's
-             batch loop never rescans its alarm history, so framing cost
-             amortizes over arbitrarily large batches *)
-          let alarms_before = Checker.alarm_count ck in
-          let branches_before = st.tr_branches in
-          match List.iter (feed_guarded sys ck st) evs with
-          | () ->
-              let n = List.length evs in
-              st.tr_events <- st.tr_events + n;
-              Reg.add m_events n;
-              Reg.add m_branches (st.tr_branches - branches_before);
-              let fresh = Checker.alarms_since ck alarms_before in
-              let n_fresh = List.length fresh in
-              st.tr_alarms <- st.tr_alarms + n_fresh;
-              Reg.add m_alarms n_fresh;
-              Reg.observe m_batch_micros (now_micros () - t0);
-              send (Protocol.Verdicts fresh);
-              `Continue
-          | exception State_violation m ->
-              send_err Protocol.Bad_state m;
-              `Close)
-      | _ ->
-          send_err Protocol.Bad_state "Branch_events outside an active trace";
-          `Close)
-  | Protocol.End_trace -> (
-      match st.checker with
-      | None ->
-          send_err Protocol.Bad_state "End_trace outside an active trace";
-          `Close
-      | Some ck ->
-          (* the stream need not drain the call stack; flush pending
-             counter deltas before dropping the checker *)
-          Checker.flush ck;
-          st.checker <- None;
-          send
-            (Protocol.Trace_summary
-               {
-                 Protocol.total_events = st.tr_events;
-                 total_branches = st.tr_branches;
-                 total_alarms = st.tr_alarms;
-               });
-          `Continue)
-  | Protocol.Loaded _ | Protocol.Trace_started | Protocol.Verdicts _
-  | Protocol.Trace_summary _ | Protocol.Error _ ->
-      send_err Protocol.Bad_state "server-to-client frame from a client";
-      `Close
+      r.conns <- conn :: r.conns)
+    fresh
 
-let session t cfd =
-  Reg.incr m_sessions;
-  if t.config.session_timeout > 0. then (
-    try Unix.setsockopt_float cfd Unix.SO_RCVTIMEO t.config.session_timeout
-    with Unix.Unix_error _ | Invalid_argument _ -> ());
-  let reader = Protocol.reader ~max_frame:t.config.max_frame cfd in
-  let st =
-    { system = None; checker = None; tr_events = 0; tr_branches = 0; tr_alarms = 0 }
-  in
-  let send f =
-    Reg.incr m_frames_out;
-    Protocol.output_frame cfd f
-  in
-  let send_err code detail =
-    (match code with
-    | Protocol.Bad_state -> Reg.incr m_state_errors
-    | Protocol.Timeout -> Reg.incr m_timeouts
-    | Protocol.Server_error -> ()
-    | _ -> Reg.incr m_protocol_errors);
-    send (Protocol.Error { Protocol.code; detail })
-  in
-  let rec loop () =
-    match Protocol.input_frame reader with
-    | Protocol.In_eof -> ()
-    | Protocol.In_error e -> send_err e.Protocol.code e.Protocol.detail
-    | Protocol.In_frame f -> (
-        Reg.incr m_frames_in;
-        match handle t st send send_err f with
-        | `Continue -> loop ()
-        | `Close -> ())
-  in
-  Fun.protect
-    ~finally:(fun () ->
-      (* a session abandoned mid-trace still owes its checker deltas *)
-      match st.checker with Some ck -> Checker.flush ck | None -> ())
-    (fun () ->
-      try loop () with
-      | Unix.Unix_error _ -> () (* peer went away mid-write *)
-      | State_violation _ -> ()
-      | e -> (
-          try send_err Protocol.Server_error (Printexc.to_string e) with _ -> ()))
+let scan_timeouts t r =
+  if t.config.session_timeout > 0. then begin
+    let now = Unix.gettimeofday () in
+    List.iter
+      (fun conn ->
+        if
+          (not conn.dead)
+          && now -. conn.last_active > t.config.session_timeout
+        then
+          if conn.closing then kill t conn
+          else begin
+            Session.send_error ~send:(send t conn) Protocol.Timeout
+              "session timed out waiting for a frame";
+            conn.closing <- true
+          end)
+      r.conns
+  end
 
-(* {2 Lifecycle} *)
+let reactor_loop t r =
+  while not (Atomic.get t.stop_flag) do
+    adopt t r;
+    let rds =
+      r.wake_r
+      :: List.filter_map
+           (fun c -> if c.dead || c.closing then None else Some c.fd)
+           r.conns
+    in
+    let wrs =
+      List.filter_map
+        (fun c -> if (not c.dead) && c.out_bytes > 0 then Some c.fd else None)
+        r.conns
+    in
+    (* With no idle timeout to police, sleep long: [stop] (and new
+       work) wakes the select through the self-pipe, so the period only
+       bounds how often a completely idle reactor spins. *)
+    let tmo = if t.config.session_timeout > 0. then 0.25 else 30. in
+    (match Unix.select rds wrs [] tmo with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error (Unix.EBADF, _, _) -> ()
+    | rd, wr, _ ->
+        if List.mem r.wake_r rd then drain_wake r.wake_r;
+        adopt t r;
+        List.iter
+          (fun c -> if (not c.dead) && List.mem c.fd wr then flush_conn t c)
+          r.conns;
+        List.iter
+          (fun c -> if (not c.dead) && List.mem c.fd rd then on_readable t c)
+          r.conns;
+        (* Optimistic flush: most replies fit the socket buffer and
+           never wait for a writability round-trip. *)
+        List.iter
+          (fun c -> if (not c.dead) && c.out_bytes > 0 then flush_conn t c)
+          r.conns);
+    scan_timeouts t r;
+    r.conns <-
+      List.filter
+        (fun c ->
+          if c.dead then false
+          else if c.closing && Queue.is_empty c.outq then begin
+            kill t c;
+            false
+          end
+          else true)
+        r.conns
+  done;
+  (* Shutdown: one best-effort flush so already-queued replies reach
+     well-behaved clients, then close everything. *)
+  List.iter (fun c -> flush_conn t c) r.conns;
+  List.iter (fun c -> kill t c) r.conns;
+  r.conns <- [];
+  adopt t r;
+  List.iter (fun c -> kill t c) r.conns;
+  r.conns <- []
+
+(* {2 Accept loop} *)
+
+let wake r =
+  let b = Bytes.make 1 '!' in
+  match Unix.write r.wake_w b 0 1 with
+  | _ -> ()
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      () (* a wake is already pending *)
+  | exception Unix.Unix_error _ -> ()
+
+let dispatch t cfd =
+  let i = Atomic.fetch_and_add t.rr 1 mod Array.length t.reactors in
+  let r = t.reactors.(i) in
+  Mutex.lock r.inbox_mutex;
+  Queue.add cfd r.inbox;
+  Mutex.unlock r.inbox_mutex;
+  wake r
 
 let accept_loop t =
   while not (Atomic.get t.stop_flag) do
-    match Unix.select [ t.fd ] [] [] 0.25 with
-    | [], _, _ -> ()
-    | _ -> (
-        match Unix.accept t.fd with
-        | cfd, _ ->
-            track t.sessions cfd;
-            Pool.async t.pool (fun () ->
-                Fun.protect
-                  ~finally:(fun () -> untrack_close t.sessions cfd)
-                  (fun () -> session t cfd))
-        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-        | exception Unix.Unix_error _ -> ())
+    match Unix.select [ t.fd; t.stop_r ] [] [] (-1.) with
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | rd, _, _ ->
+        if List.mem t.stop_r rd then ()
+        else if List.mem t.fd rd then begin
+          let continue_ = ref true in
+          while !continue_ do
+            match Unix.accept t.fd with
+            | cfd, _ -> dispatch t cfd
+            | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+              ->
+                continue_ := false
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+            | exception Unix.Unix_error _ -> continue_ := false
+          done
+        end
   done
+
+(* {2 Lifecycle} *)
 
 (* Reclaim [path] for our listener, but only if it holds a *stale*
    socket: a non-socket file is someone else's data and a socket a
@@ -346,6 +445,12 @@ let claim_socket_path path =
   | _ -> raise (Unix.Unix_error (Unix.EADDRINUSE, "bind", path))
   | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
 
+let nonblock_pipe () =
+  let r, w = Unix.pipe () in
+  (try Unix.set_nonblock r with Unix.Unix_error _ -> ());
+  (try Unix.set_nonblock w with Unix.Unix_error _ -> ());
+  (r, w)
+
 let start ?(config = default_config) (addr : address) =
   Protocol.ignore_sigpipe ();
   let fd, sock_path =
@@ -362,28 +467,50 @@ let start ?(config = default_config) (addr : address) =
         (fd, None)
   in
   Unix.listen fd 64;
+  (try Unix.set_nonblock fd with Unix.Unix_error _ -> ());
   let store =
     match config.store_dir with
     | Some dir -> Some (Store.create ~dir)
     | None -> Store.ambient ()
   in
-  (* [Pool.async] tasks only ever run on worker domains (the submitter
-     does not help), so [jobs + 1] yields exactly [jobs] session
-     workers; the accept loop lives on its own domain besides. *)
-  let pool = Pool.create ~jobs:(max 1 config.jobs + 1) () in
+  let shards = max 1 config.cache_shards in
+  let cache =
+    Shard_cache.create ~metrics_prefix:"serve.cache" ~shards
+      ~slots_per_shard:(max 1 ((max 1 config.cache_slots + shards - 1) / shards))
+      ()
+  in
+  let jobs = max 1 config.jobs in
+  let reactors =
+    Array.init jobs (fun _ ->
+        let wake_r, wake_w = nonblock_pipe () in
+        {
+          wake_r;
+          wake_w;
+          inbox_mutex = Mutex.create ();
+          inbox = Queue.create ();
+          conns = [];
+        })
+  in
+  let stop_r, stop_w = nonblock_pipe () in
   let t =
     {
       config;
       store;
+      cache;
       fd;
       sock_path;
-      pool;
       stop_flag = Atomic.make false;
+      stop_r;
+      stop_w;
+      reactors;
+      reactor_domains = [||];
       accept_domain = None;
-      lru = { lmutex = Mutex.create (); entries = []; slots = max 1 config.cache_slots };
-      sessions = { smutex = Mutex.create (); fds = [] };
+      inflight = Atomic.make 0;
+      rr = Atomic.make 0;
     }
   in
+  t.reactor_domains <-
+    Array.map (fun r -> Domain.spawn (fun () -> reactor_loop t r)) reactors;
   t.accept_domain <- Some (Domain.spawn (fun () -> accept_loop t));
   t
 
@@ -394,17 +521,26 @@ let port t =
 
 let stop t =
   if not (Atomic.exchange t.stop_flag true) then begin
+    (* Self-pipes make shutdown prompt even when every loop is parked
+       in a long select: the accept loop on [stop_r], each reactor on
+       its wake pipe. *)
+    let b = Bytes.make 1 '!' in
+    (try ignore (Unix.write t.stop_w b 0 1) with Unix.Unix_error _ -> ());
+    Array.iter wake t.reactors;
     (match t.accept_domain with
     | Some d ->
         Domain.join d;
         t.accept_domain <- None
     | None -> ());
-    (* Workers drain queued + running sessions before the join returns.
-       Shutting active session sockets down first forces reads blocked
-       in [input_frame] to return — without it a silent client under
-       [session_timeout = 0] would hold a worker forever. *)
-    interrupt_sessions t.sessions;
-    Pool.shutdown t.pool;
+    Array.iter Domain.join t.reactor_domains;
+    t.reactor_domains <- [||];
+    Array.iter
+      (fun r ->
+        close_quiet r.wake_r;
+        close_quiet r.wake_w)
+      t.reactors;
+    close_quiet t.stop_r;
+    close_quiet t.stop_w;
     close_quiet t.fd;
     match t.sock_path with
     | Some p -> ( try Unix.unlink p with Unix.Unix_error _ | Sys_error _ -> ())

@@ -1,10 +1,18 @@
-(** The streaming verdict server.
+(** The streaming verdict server — event-loop edition.
 
     Sessions speak {!Protocol} over a Unix-domain or loopback TCP
     socket: load an artifact (by store key or inline [.ipds] image),
-    begin a trace, stream batched events, collect verdicts.  Sessions
-    are fanned over an {!Ipds_parallel.Pool} of [jobs] worker domains;
-    the accept loop runs on its own domain.
+    begin a trace, stream batched events, collect verdicts.  Instead of
+    one blocking socket per client, [config.jobs] [Unix.select] reactor
+    domains each own a disjoint set of nonblocking connections; the
+    accept domain distributes sockets round-robin and wakes reactors
+    through self-pipes.  [Branch_events] frames stream straight into
+    the checker (no event-list materialization); replies go through a
+    bounded per-connection queue under a global in-flight byte cap, and
+    a client that outruns either bound gets one typed [Overloaded]
+    error frame and a drained close — backpressure, never unbounded
+    buffering.  Loaded systems live in an {!Ipds_fleet.Shard_cache} of
+    independently locked LRU shards.
 
     Robustness is the contract: malformed, oversized, truncated,
     version-skewed or out-of-sequence frames produce one typed
@@ -14,20 +22,28 @@
     [serve.events], [serve.branches], [serve.alarms],
     [serve.protocol_errors], [serve.state_errors]) sum per-session
     deterministic work, so their totals are independent of [jobs] and
-    scheduling; timeout/cache counters and the batch-latency histogram
-    are registered unstable. *)
+    scheduling; timeout/cache/overload counters and the batch-latency
+    histogram are registered unstable.
+
+    The thread-per-session predecessor is preserved as
+    {!Server_threaded} (bench baseline); observable protocol behaviour
+    is identical. *)
 
 type config = {
-  jobs : int;  (** worker domains serving sessions (≥ 1) *)
+  jobs : int;  (** reactor domains (≥ 1) *)
   max_frame : int;  (** payload-size limit, bytes *)
   session_timeout : float;  (** seconds a session may sit idle; 0 = none *)
-  cache_slots : int;  (** loaded systems kept in the LRU *)
+  cache_slots : int;  (** loaded systems kept across all cache shards *)
+  cache_shards : int;  (** independently locked cache shards (≥ 1) *)
   store_dir : string option;
       (** artifact store for [Load_key]; [None] uses the ambient store *)
+  reply_queue_bytes : int;  (** per-connection reply-queue bound *)
+  inflight_bytes : int;  (** global bound on queued reply bytes *)
 }
 
 val default_config : config
-(** 1 job, 4 MiB frames, 30 s timeout, 8 LRU slots, ambient store. *)
+(** 1 reactor, 4 MiB frames, 30 s timeout, 8 cache slots over 4 shards,
+    ambient store, 8 MiB per-connection reply bound, 64 MiB global. *)
 
 type address = [ `Unix of string | `Tcp of int ]
 (** [`Tcp port] binds the loopback interface; port 0 picks a free one
@@ -36,9 +52,9 @@ type address = [ `Unix of string | `Tcp of int ]
 type t
 
 val start : ?config:config -> address -> t
-(** Bind, listen and spawn the accept domain.  SIGPIPE is set to
-    ignored so a client disconnecting mid-reply surfaces as
-    [Unix_error EPIPE] in the session, not a fatal signal.  A stale
+(** Bind, listen and spawn the accept + reactor domains.  SIGPIPE is
+    set to ignored so a client disconnecting mid-reply surfaces as
+    [Unix_error EPIPE] in the reactor, not a fatal signal.  A stale
     socket file (one no server answers on) at a [`Unix] path is
     unlinked first; a live server's socket or a non-socket file raises
     [Unix_error (EADDRINUSE, _, _)].  Raises [Unix_error] if the
@@ -48,10 +64,11 @@ val port : t -> int option
 (** The bound TCP port ([None] for Unix-domain servers). *)
 
 val stop : t -> unit
-(** Stop accepting, interrupt in-flight sessions (their sockets are
-    shut down, so reads blocked on a silent client return even with
-    [session_timeout = 0]), drain the pool, close and unlink the
-    socket.  Idempotent. *)
+(** Stop promptly even mid-poll: self-pipes wake the accept loop and
+    every reactor out of [select] (reactors otherwise sleep up to 30 s
+    when [session_timeout] is 0), queued replies get one best-effort
+    flush, every connection is closed, the socket is closed and
+    unlinked.  Bounded; idempotent. *)
 
 val with_server : ?config:config -> address -> (t -> 'a) -> 'a
 (** [start], run, [stop] (also on exception). *)

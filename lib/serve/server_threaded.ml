@@ -1,0 +1,248 @@
+(* The PR-5 thread-per-session verdict server, preserved verbatim in
+   behaviour as the bench baseline for {!Server} (the event-loop
+   reactor), the same way [Checker_ref] anchors the flat checker:
+   `bench serve-throughput` measures both implementations side by side,
+   so the reactor's win stays an assertable number instead of a claim.
+
+   One blocking socket per client, sessions fanned over an
+   {!Ipds_parallel.Pool} of [config.jobs] worker domains, a single-lock
+   LRU for loaded systems, and the generic list-decoding frame reader —
+   none of the reactor's machinery (nonblocking sockets, sharded cache,
+   streaming batch decode, bounded reply queues). *)
+
+module System = Ipds_core.System
+module Store = Ipds_artifact.Store
+module Pool = Ipds_parallel.Pool
+module Reg = Ipds_obs.Registry
+
+let m_cache_hits = Reg.counter ~stable:false "serve.cache_hits"
+let m_cache_misses = Reg.counter ~stable:false "serve.cache_misses"
+
+type config = {
+  jobs : int;  (** worker domains serving sessions (≥ 1) *)
+  max_frame : int;  (** payload-size limit, bytes *)
+  session_timeout : float;  (** seconds a session may sit idle; 0 = none *)
+  cache_slots : int;  (** loaded [System.t]s kept in the LRU *)
+  store_dir : string option;
+      (** artifact store for [Load_key]; [None] uses the ambient store *)
+}
+
+let default_config =
+  {
+    jobs = 1;
+    max_frame = Protocol.default_max_frame;
+    session_timeout = 30.;
+    cache_slots = 8;
+    store_dir = None;
+  }
+
+type address = [ `Unix of string | `Tcp of int ]
+
+type lru = {
+  lmutex : Mutex.t;
+  mutable entries : (string * System.t) list;  (* MRU first *)
+  slots : int;
+}
+
+(* Live session sockets, so [stop] can force blocked reads to return
+   even when [session_timeout] is 0 (otherwise a silent client would
+   hold a worker in [input_frame] forever and the pool drain would
+   never finish). *)
+type sessions = { smutex : Mutex.t; mutable fds : Unix.file_descr list }
+
+type t = {
+  config : config;
+  store : Store.t option;
+  fd : Unix.file_descr;
+  sock_path : string option;
+  pool : Pool.t;
+  stop_flag : bool Atomic.t;
+  mutable accept_domain : unit Domain.t option;
+  lru : lru;
+  sessions : sessions;
+}
+
+let close_quiet fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let track sessions fd =
+  Mutex.lock sessions.smutex;
+  sessions.fds <- fd :: sessions.fds;
+  Mutex.unlock sessions.smutex
+
+(* Closing under the mutex means [interrupt_sessions] never races a
+   close and shuts down a recycled descriptor number. *)
+let untrack_close sessions fd =
+  Mutex.lock sessions.smutex;
+  sessions.fds <- List.filter (fun f -> f != fd) sessions.fds;
+  close_quiet fd;
+  Mutex.unlock sessions.smutex
+
+let interrupt_sessions sessions =
+  Mutex.lock sessions.smutex;
+  List.iter
+    (fun fd -> try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+    sessions.fds;
+  Mutex.unlock sessions.smutex
+
+(* The mutex is held across [load], serializing artifact loads: the
+   first session to ask for a key pays the load, concurrent sessions for
+   the same key hit the fresh entry instead of racing a second load. *)
+let lru_fetch lru key load =
+  Mutex.lock lru.lmutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock lru.lmutex)
+    (fun () ->
+      match List.assoc_opt key lru.entries with
+      | Some sys ->
+          Reg.incr m_cache_hits;
+          lru.entries <- (key, sys) :: List.remove_assoc key lru.entries;
+          `Hit sys
+      | None -> (
+          Reg.incr m_cache_misses;
+          match load () with
+          | `Ok sys ->
+              lru.entries <-
+                List.filteri
+                  (fun i _ -> i < lru.slots)
+                  ((key, sys) :: lru.entries);
+              `Loaded sys
+          | `Err e -> `Err e))
+
+(* {2 Session} *)
+
+let session t cfd =
+  if t.config.session_timeout > 0. then (
+    try Unix.setsockopt_float cfd Unix.SO_RCVTIMEO t.config.session_timeout
+    with Unix.Unix_error _ | Invalid_argument _ -> ());
+  let reader = Protocol.reader ~max_frame:t.config.max_frame cfd in
+  let st = Session.create ~store:t.store ~fetch:(lru_fetch t.lru) () in
+  let send f =
+    Reg.incr Session.m_frames_out;
+    Protocol.output_frame cfd f
+  in
+  let send_err = Session.send_error ~send in
+  let rec loop () =
+    match Protocol.input_frame reader with
+    | Protocol.In_eof -> ()
+    | Protocol.In_error e -> send_err e.Protocol.code e.Protocol.detail
+    | Protocol.In_frame f -> (
+        Reg.incr Session.m_frames_in;
+        match Session.handle st ~send f with
+        | `Continue -> loop ()
+        | `Close -> ())
+  in
+  Fun.protect
+    ~finally:(fun () -> Session.close st)
+    (fun () ->
+      try loop () with
+      | Unix.Unix_error _ -> () (* peer went away mid-write *)
+      | Session.State_violation _ -> ()
+      | e -> (
+          try send_err Protocol.Server_error (Printexc.to_string e) with _ -> ()))
+
+(* {2 Lifecycle} *)
+
+let accept_loop t =
+  while not (Atomic.get t.stop_flag) do
+    match Unix.select [ t.fd ] [] [] 0.25 with
+    | [], _, _ -> ()
+    | _ -> (
+        match Unix.accept t.fd with
+        | cfd, _ ->
+            track t.sessions cfd;
+            Pool.async t.pool (fun () ->
+                Fun.protect
+                  ~finally:(fun () -> untrack_close t.sessions cfd)
+                  (fun () -> session t cfd))
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+        | exception Unix.Unix_error _ -> ())
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done
+
+(* Reclaim [path] for our listener, but only if it holds a *stale*
+   socket: a non-socket file is someone else's data and a socket a
+   connect succeeds on is a live server — unlinking either would
+   silently hijack it, so both raise [EADDRINUSE] instead. *)
+let claim_socket_path path =
+  match Unix.stat path with
+  | { Unix.st_kind = Unix.S_SOCK; _ } ->
+      let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      let live =
+        match Unix.connect probe (Unix.ADDR_UNIX path) with
+        | () -> true
+        | exception Unix.Unix_error _ -> false
+      in
+      close_quiet probe;
+      if live then raise (Unix.Unix_error (Unix.EADDRINUSE, "bind", path));
+      (try Unix.unlink path with Unix.Unix_error _ -> ())
+  | _ -> raise (Unix.Unix_error (Unix.EADDRINUSE, "bind", path))
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+let start ?(config = default_config) (addr : address) =
+  Protocol.ignore_sigpipe ();
+  let fd, sock_path =
+    match addr with
+    | `Unix path ->
+        claim_socket_path path;
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.bind fd (Unix.ADDR_UNIX path);
+        (fd, Some path)
+    | `Tcp port ->
+        let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Unix.setsockopt fd Unix.SO_REUSEADDR true;
+        Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+        (fd, None)
+  in
+  Unix.listen fd 64;
+  let store =
+    match config.store_dir with
+    | Some dir -> Some (Store.create ~dir)
+    | None -> Store.ambient ()
+  in
+  (* [Pool.async] tasks only ever run on worker domains (the submitter
+     does not help), so [jobs + 1] yields exactly [jobs] session
+     workers; the accept loop lives on its own domain besides. *)
+  let pool = Pool.create ~jobs:(max 1 config.jobs + 1) () in
+  let t =
+    {
+      config;
+      store;
+      fd;
+      sock_path;
+      pool;
+      stop_flag = Atomic.make false;
+      accept_domain = None;
+      lru = { lmutex = Mutex.create (); entries = []; slots = max 1 config.cache_slots };
+      sessions = { smutex = Mutex.create (); fds = [] };
+    }
+  in
+  t.accept_domain <- Some (Domain.spawn (fun () -> accept_loop t));
+  t
+
+let port t =
+  match Unix.getsockname t.fd with
+  | Unix.ADDR_INET (_, port) -> Some port
+  | Unix.ADDR_UNIX _ -> None
+
+let stop t =
+  if not (Atomic.exchange t.stop_flag true) then begin
+    (match t.accept_domain with
+    | Some d ->
+        Domain.join d;
+        t.accept_domain <- None
+    | None -> ());
+    (* Workers drain queued + running sessions before the join returns.
+       Shutting active session sockets down first forces reads blocked
+       in [input_frame] to return — without it a silent client under
+       [session_timeout = 0] would hold a worker forever. *)
+    interrupt_sessions t.sessions;
+    Pool.shutdown t.pool;
+    close_quiet t.fd;
+    match t.sock_path with
+    | Some p -> ( try Unix.unlink p with Unix.Unix_error _ | Sys_error _ -> ())
+    | None -> ()
+  end
+
+let with_server ?config addr f =
+  let t = start ?config addr in
+  Fun.protect ~finally:(fun () -> stop t) (fun () -> f t)

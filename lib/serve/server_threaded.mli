@@ -1,0 +1,28 @@
+(** The PR-5 thread-per-session verdict server, preserved as the bench
+    baseline for the event-loop {!Server} (the same role
+    [Ipds_core.Checker_ref] plays for the flat checker): one blocking
+    socket per client, sessions fanned over an {!Ipds_parallel.Pool},
+    a single-lock LRU, the generic list-decoding frame path.
+    Observable protocol behaviour is identical to {!Server};
+    `bench serve-throughput` measures both side by side. *)
+
+type config = {
+  jobs : int;  (** worker domains serving sessions (≥ 1) *)
+  max_frame : int;  (** payload-size limit, bytes *)
+  session_timeout : float;  (** seconds a session may sit idle; 0 = none *)
+  cache_slots : int;  (** loaded [System.t]s kept in the LRU *)
+  store_dir : string option;
+      (** artifact store for [Load_key]; [None] uses the ambient store *)
+}
+
+val default_config : config
+(** 1 job, 4 MiB frames, 30 s timeout, 8 LRU slots, ambient store. *)
+
+type address = [ `Unix of string | `Tcp of int ]
+
+type t
+
+val start : ?config:config -> address -> t
+val port : t -> int option
+val stop : t -> unit
+val with_server : ?config:config -> address -> (t -> 'a) -> 'a

@@ -1,0 +1,326 @@
+(* Per-connection protocol logic, shared by both server implementations
+   (the {!Server} event-loop reactor and the {!Server_threaded} PR-5
+   baseline): the frame state machine, the serve.* metrics, the typed
+   error classification, and the zero-materialization fast path for
+   [Branch_events] spans.
+
+   Stable counters are sums of per-session deterministic work, so their
+   totals are independent of scheduling and job count — the concurrency
+   determinism test relies on that.  Timeouts and cache traffic depend
+   on timing and session interleaving (LRU eviction order), so they are
+   unstable; so is the latency histogram. *)
+
+module Event = Ipds_machine.Event
+module System = Ipds_core.System
+module Checker = Ipds_core.Checker
+module Store = Ipds_artifact.Store
+module Reg = Ipds_obs.Registry
+
+let m_sessions = Reg.counter "serve.sessions"
+let m_frames_in = Reg.counter "serve.frames_in"
+let m_frames_out = Reg.counter "serve.frames_out"
+let m_traces = Reg.counter "serve.traces"
+let m_events = Reg.counter "serve.events"
+let m_branches = Reg.counter "serve.branches"
+let m_alarms = Reg.counter "serve.alarms"
+let m_protocol_errors = Reg.counter "serve.protocol_errors"
+let m_state_errors = Reg.counter "serve.state_errors"
+let m_timeouts = Reg.counter ~stable:false "serve.timeouts"
+let m_batch_micros = Reg.histogram ~stable:false "serve.batch_micros"
+
+let now_micros () = int_of_float (Unix.gettimeofday () *. 1e6)
+
+exception State_violation of string
+
+(* Both servers cache loaded systems behind this shape; the reactor
+   plugs in the sharded {!Ipds_fleet.Shard_cache}, the threaded baseline
+   its original single-lock LRU. *)
+type fetch =
+  string ->
+  (unit -> [ `Ok of System.t | `Err of Protocol.error_code * string ]) ->
+  [ `Hit of System.t
+  | `Loaded of System.t
+  | `Err of Protocol.error_code * string ]
+
+type t = {
+  store : Store.t option;
+  fetch : fetch;
+  mutable system : System.t option;
+  mutable checker : Checker.t option;
+  mutable tr_events : int;
+  mutable tr_branches : int;
+  mutable tr_alarms : int;
+  (* Staging for the fast path: a whole [Branch_events] span is decoded
+     into these flat arrays before any of it touches the checker, so a
+     payload that turns out malformed mid-batch mutates nothing — the
+     same all-or-nothing acceptance as the list decoder. *)
+  mutable st_op : int array;  (* 0 call / 1 ret / 2 branch-taken / 3 branch-not *)
+  mutable st_arg : int array;  (* branch pc, or index into [st_callee] *)
+  mutable st_callee : string array;
+  mutable st_n : int;
+  mutable st_ncallees : int;
+}
+
+let create ~store ~fetch () =
+  Reg.incr m_sessions;
+  {
+    store;
+    fetch;
+    system = None;
+    checker = None;
+    tr_events = 0;
+    tr_branches = 0;
+    tr_alarms = 0;
+    st_op = Array.make 1024 0;
+    st_arg = Array.make 1024 0;
+    st_callee = Array.make 64 "";
+    st_n = 0;
+    st_ncallees = 0;
+  }
+
+(* The cache key of an inline image: servers, routing clients and the
+   legacy router must all derive it identically. *)
+let image_key image = "img:" ^ Digest.to_hex (Digest.string image)
+
+let send_error ~send code detail =
+  (match code with
+  | Protocol.Bad_state -> Reg.incr m_state_errors
+  | Protocol.Timeout -> Reg.incr m_timeouts
+  | Protocol.Server_error | Protocol.Overloaded -> ()
+  | _ -> Reg.incr m_protocol_errors);
+  send (Protocol.Error { Protocol.code; detail })
+
+(* A session abandoned mid-trace still owes its checker deltas. *)
+let close t =
+  match t.checker with
+  | Some ck ->
+      Checker.flush ck;
+      t.checker <- None
+  | None -> ()
+
+let feed_guarded sys ck t (e : Event.t) =
+  (match e.Event.kind with
+  | Event.Ret when Checker.depth ck = 0 ->
+      raise (State_violation "Ret with an empty checker stack")
+  | Event.Branch _ when Checker.depth ck = 0 ->
+      raise (State_violation "Branch with an empty checker stack")
+  | _ -> ());
+  (match e.Event.kind with
+  | Event.Branch _ -> t.tr_branches <- t.tr_branches + 1
+  | _ -> ());
+  Ipds_machine.Replay.feed ck ~defined:(System.mem sys) e
+
+let loaded t ~send ~name sys = function
+  | `Hit ->
+      t.system <- Some sys;
+      send (Protocol.Loaded { name; cached = true });
+      `Continue
+  | `Loaded ->
+      t.system <- Some sys;
+      send (Protocol.Loaded { name; cached = false });
+      `Continue
+
+let handle t ~send (f : Protocol.frame) =
+  let send_err = send_error ~send in
+  match f with
+  | Protocol.Load_key key -> (
+      match t.store with
+      | None ->
+          send_err Protocol.Unknown_artifact "no artifact store configured";
+          `Close
+      | Some store -> (
+          let load () =
+            match Store.load_system store key with
+            | Some sys -> `Ok sys
+            | None ->
+                `Err
+                  ( Protocol.Unknown_artifact,
+                    "no loadable artifact for key " ^ key )
+          in
+          match t.fetch key load with
+          | `Hit sys -> loaded t ~send ~name:key sys `Hit
+          | `Loaded sys -> loaded t ~send ~name:key sys `Loaded
+          | `Err (code, detail) ->
+              send_err code detail;
+              `Close))
+  | Protocol.Load_image { name; image } -> (
+      let key = image_key image in
+      let load () =
+        match Ipds_artifact.Artifact.of_bytes (Bytes.of_string image) with
+        | sys -> `Ok sys
+        | exception Ipds_artifact.Artifact.Corrupt m ->
+            `Err (Protocol.Corrupt_artifact, m)
+      in
+      match t.fetch key load with
+      | `Hit sys -> loaded t ~send ~name sys `Hit
+      | `Loaded sys -> loaded t ~send ~name sys `Loaded
+      | `Err (code, detail) ->
+          send_err code detail;
+          `Close)
+  | Protocol.Begin_trace -> (
+      match (t.system, t.checker) with
+      | None, _ ->
+          send_err Protocol.Bad_state "Begin_trace before an artifact is loaded";
+          `Close
+      | Some _, Some _ ->
+          send_err Protocol.Bad_state "a trace is already active";
+          `Close
+      | Some sys, None ->
+          t.checker <- Some (System.new_checker sys);
+          t.tr_events <- 0;
+          t.tr_branches <- 0;
+          t.tr_alarms <- 0;
+          Reg.incr m_traces;
+          send Protocol.Trace_started;
+          `Continue)
+  | Protocol.Branch_events evs -> (
+      match (t.system, t.checker) with
+      | Some sys, Some ck -> (
+          let t0 = now_micros () in
+          (* O(1) against the checker's running count — a long trace's
+             batch loop never rescans its alarm history, so framing cost
+             amortizes over arbitrarily large batches *)
+          let alarms_before = Checker.alarm_count ck in
+          let branches_before = t.tr_branches in
+          match List.iter (feed_guarded sys ck t) evs with
+          | () ->
+              let n = List.length evs in
+              t.tr_events <- t.tr_events + n;
+              Reg.add m_events n;
+              Reg.add m_branches (t.tr_branches - branches_before);
+              let fresh = Checker.alarms_since ck alarms_before in
+              let n_fresh = List.length fresh in
+              t.tr_alarms <- t.tr_alarms + n_fresh;
+              Reg.add m_alarms n_fresh;
+              Reg.observe m_batch_micros (now_micros () - t0);
+              send (Protocol.Verdicts fresh);
+              `Continue
+          | exception State_violation m ->
+              send_err Protocol.Bad_state m;
+              `Close)
+      | _ ->
+          send_err Protocol.Bad_state "Branch_events outside an active trace";
+          `Close)
+  | Protocol.End_trace -> (
+      match t.checker with
+      | None ->
+          send_err Protocol.Bad_state "End_trace outside an active trace";
+          `Close
+      | Some ck ->
+          (* the stream need not drain the call stack; flush pending
+             counter deltas before dropping the checker *)
+          Checker.flush ck;
+          t.checker <- None;
+          send
+            (Protocol.Trace_summary
+               {
+                 Protocol.total_events = t.tr_events;
+                 total_branches = t.tr_branches;
+                 total_alarms = t.tr_alarms;
+               });
+          `Continue)
+  | Protocol.Loaded _ | Protocol.Trace_started | Protocol.Verdicts _
+  | Protocol.Trace_summary _ | Protocol.Error _ ->
+      send_err Protocol.Bad_state "server-to-client frame from a client";
+      `Close
+
+(* {2 Fast path}
+
+   Feed a CRC-validated [Branch_events] payload span without building
+   the event list: {!Protocol.iter_branch_events} stages the
+   checker-relevant events into flat arrays (validating the whole
+   payload first), then the staged events replay through the same
+   guards, counters and verdict collection as {!handle}'s
+   [Branch_events] arm — observable behaviour (replies, typed errors,
+   stable metrics, alarms) is identical, which serve_smoke's
+   byte-identity phases pin down. *)
+
+let stage_grow t =
+  let cap = Array.length t.st_op in
+  if t.st_n = cap then begin
+    let op = Array.make (2 * cap) 0 and arg = Array.make (2 * cap) 0 in
+    Array.blit t.st_op 0 op 0 cap;
+    Array.blit t.st_arg 0 arg 0 cap;
+    t.st_op <- op;
+    t.st_arg <- arg
+  end
+
+let stage_push t op arg =
+  stage_grow t;
+  t.st_op.(t.st_n) <- op;
+  t.st_arg.(t.st_n) <- arg;
+  t.st_n <- t.st_n + 1
+
+let stage_callee t callee =
+  let cap = Array.length t.st_callee in
+  if t.st_ncallees = cap then begin
+    let cs = Array.make (2 * cap) "" in
+    Array.blit t.st_callee 0 cs 0 cap;
+    t.st_callee <- cs
+  end;
+  t.st_callee.(t.st_ncallees) <- callee;
+  stage_push t 0 t.st_ncallees;
+  t.st_ncallees <- t.st_ncallees + 1
+
+let handle_events_span t ~send ~max_frame buf ~pos ~len =
+  match (t.system, t.checker) with
+  | Some sys, Some ck -> (
+      t.st_n <- 0;
+      t.st_ncallees <- 0;
+      let decoded =
+        match
+          Protocol.iter_branch_events ~limit:max_frame buf ~pos ~len
+            ~on_call:(fun callee -> stage_callee t callee)
+            ~on_ret:(fun () -> stage_push t 1 0)
+            ~on_branch:(fun ~pc ~taken -> stage_push t (if taken then 2 else 3) pc)
+            ~on_other:(fun () -> ())
+        with
+        | n -> Ok n
+        | exception Protocol.Malformed_payload m -> Error m
+        | exception Protocol.Fast.Short -> Error "payload ends prematurely"
+      in
+      match decoded with
+      | Error m ->
+          send_error ~send Protocol.Malformed m;
+          `Close
+      | Ok n -> (
+          let t0 = now_micros () in
+          let alarms_before = Checker.alarm_count ck in
+          let branches_before = t.tr_branches in
+          let feed () =
+            for i = 0 to t.st_n - 1 do
+              match t.st_op.(i) with
+              | 0 ->
+                  let callee = t.st_callee.(t.st_arg.(i)) in
+                  if System.mem sys callee then ignore (Checker.on_call ck callee)
+              | 1 ->
+                  if Checker.depth ck = 0 then
+                    raise (State_violation "Ret with an empty checker stack");
+                  ignore (Checker.on_return ck)
+              | _ ->
+                  if Checker.depth ck = 0 then
+                    raise (State_violation "Branch with an empty checker stack");
+                  t.tr_branches <- t.tr_branches + 1;
+                  ignore
+                    (Checker.on_branch ck ~pc:t.st_arg.(i)
+                       ~taken:(t.st_op.(i) = 2))
+            done
+          in
+          match feed () with
+          | () ->
+              t.tr_events <- t.tr_events + n;
+              Reg.add m_events n;
+              Reg.add m_branches (t.tr_branches - branches_before);
+              let fresh = Checker.alarms_since ck alarms_before in
+              let n_fresh = List.length fresh in
+              t.tr_alarms <- t.tr_alarms + n_fresh;
+              Reg.add m_alarms n_fresh;
+              Reg.observe m_batch_micros (now_micros () - t0);
+              send (Protocol.Verdicts fresh);
+              `Continue
+          | exception State_violation m ->
+              send_error ~send Protocol.Bad_state m;
+              `Close))
+  | _ ->
+      send_error ~send Protocol.Bad_state "Branch_events outside an active trace";
+      `Close

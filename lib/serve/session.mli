@@ -1,0 +1,73 @@
+(** Per-connection protocol logic shared by the event-loop {!Server}
+    and the thread-per-session {!Server_threaded}: the frame state
+    machine, the [serve.*] metrics, typed-error classification, and the
+    zero-materialization fast path for [Branch_events] spans.  Keeping
+    one implementation of the session semantics is what makes the two
+    servers' observable behaviour (replies, typed errors, stable
+    metrics, alarms) provably the same thing. *)
+
+module Reg = Ipds_obs.Registry
+
+(** Stable counters (per-session deterministic work; byte-identical
+    across jobs/scheduling) — servers bump the frame counters
+    themselves since framing is transport-side. *)
+
+val m_sessions : Reg.counter
+val m_frames_in : Reg.counter
+val m_frames_out : Reg.counter
+val m_traces : Reg.counter
+val m_events : Reg.counter
+val m_branches : Reg.counter
+val m_alarms : Reg.counter
+val m_protocol_errors : Reg.counter
+val m_state_errors : Reg.counter
+
+val m_timeouts : Reg.counter
+(** Unstable (timing-dependent). *)
+
+exception State_violation of string
+(** A Ret/Branch event against an empty checker stack; the servers turn
+    it into a typed [Bad_state] error. *)
+
+type fetch =
+  string ->
+  (unit ->
+  [ `Ok of Ipds_core.System.t | `Err of Protocol.error_code * string ]) ->
+  [ `Hit of Ipds_core.System.t
+  | `Loaded of Ipds_core.System.t
+  | `Err of Protocol.error_code * string ]
+(** The system-cache shape both servers plug in: the reactor an
+    {!Ipds_fleet.Shard_cache}, the baseline its single-lock LRU. *)
+
+type t
+
+val create : store:Ipds_artifact.Store.t option -> fetch:fetch -> unit -> t
+(** Counts [serve.sessions]. *)
+
+val image_key : string -> string
+(** The cache key of an inline [.ipds] image ("img:" ^ MD5 hex) —
+    servers, routing clients and the legacy router must derive it
+    identically, so it lives here. *)
+
+val send_error : send:(Protocol.frame -> unit) -> Protocol.error_code -> string -> unit
+(** Classify into the error counters and emit one [Error] frame. *)
+
+val handle :
+  t -> send:(Protocol.frame -> unit) -> Protocol.frame -> [ `Close | `Continue ]
+(** The frame state machine (generic, list-decoded path). *)
+
+val handle_events_span :
+  t ->
+  send:(Protocol.frame -> unit) ->
+  max_frame:int ->
+  Bytes.t ->
+  pos:int ->
+  len:int ->
+  [ `Close | `Continue ]
+(** [handle] for a CRC-validated [Branch_events] payload span, fed
+    through {!Protocol.iter_branch_events} with all-or-nothing staging:
+    a malformed payload mutates nothing.  Observable behaviour is
+    identical to [handle (Branch_events _)]. *)
+
+val close : t -> unit
+(** Flush checker counter deltas of an abandoned trace.  Idempotent. *)

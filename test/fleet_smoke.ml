@@ -1,0 +1,261 @@
+(* End-to-end smoke test of fleet mode (@fleet-smoke):
+
+   A 3-shard fleet (three event-loop servers over one shared artifact
+   store) serves every built-in workload through the routing client:
+   - consistent hashing spreads the keys over at least two shards and
+     every remote verdict stream is byte-identical to an in-process
+     System.new_checker run;
+   - killing a shard yields typed [Unavailable] errors for its keys and
+     the client re-routes to a ring successor, still byte-identical
+     (the store is shared, so failover costs a cache miss, not truth);
+   - with the whole fleet down, connect_for_key is a typed
+     [Unavailable] error, not an exception;
+   - the thin router serves legacy single-address clients byte-
+     identically, keeps routing around the dead shard, and answers a
+     dead fleet with one typed [Unavailable] error frame. *)
+
+module P = Ipds_serve.Protocol
+module Server = Ipds_serve.Server
+module Client = Ipds_serve.Client
+module Fleet_client = Ipds_serve.Fleet_client
+module Router = Ipds_serve.Router
+module Topology = Ipds_fleet.Topology
+module Backoff = Ipds_fleet.Backoff
+module W = Ipds_workloads.Workloads
+module Core = Ipds_core
+module M = Ipds_machine
+module Store = Ipds_artifact.Store
+
+let fail fmt =
+  Printf.ksprintf
+    (fun msg ->
+      Printf.eprintf "FLEET SMOKE FAIL: %s\n%!" msg;
+      exit 1)
+    fmt
+
+let section title = Printf.printf "--- %s ---\n%!" title
+
+let ok = function
+  | Ok v -> v
+  | Error (e : P.err) ->
+      fail "unexpected remote error %s: %s" (P.error_code_to_string e.P.code)
+        e.P.detail
+
+let temp_path suffix =
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "ipds-fleet-smoke-%d%s" (Unix.getpid ()) suffix)
+
+(* ---------- local reference runs ---------- *)
+
+type local_run = {
+  events : M.Event.t list;
+  alarms : Core.Checker.alarm list;
+  branches : int;
+}
+
+let local_run system program ~seed =
+  let checker = Core.System.new_checker system in
+  let events = ref [] in
+  let o =
+    M.Interp.run program
+      {
+        M.Interp.default_config with
+        max_steps = 60_000;
+        inputs = M.Input_script.random ~seed ();
+        checker = Some checker;
+        record_trace = false;
+        sink =
+          Some
+            (fun (e : M.Event.t) ->
+              match e.M.Event.kind with
+              | M.Event.Call _ | M.Event.Ret | M.Event.Branch _ ->
+                  events := e :: !events
+              | _ -> ());
+      }
+  in
+  {
+    events = List.rev !events;
+    alarms = Core.Checker.alarms checker;
+    branches = o.M.Interp.branches;
+  }
+
+let render = List.map P.verdict_to_string
+
+let rec chunks n = function
+  | [] -> []
+  | xs ->
+      let rec take k acc = function
+        | rest when k = 0 -> (List.rev acc, rest)
+        | [] -> (List.rev acc, [])
+        | x :: tl -> take (k - 1) (x :: acc) tl
+      in
+      let batch, rest = take n [] xs in
+      batch :: chunks n rest
+
+let remote_check client run =
+  ok (Client.begin_trace client);
+  let verdicts = ref [] in
+  List.iter
+    (fun batch -> verdicts := !verdicts @ ok (Client.send_events client batch))
+    (chunks 200 run.events);
+  let summary = ok (Client.end_trace client) in
+  (!verdicts, summary)
+
+let assert_equivalent ~what run (verdicts, (summary : P.summary)) =
+  if render verdicts <> render run.alarms || verdicts <> run.alarms then
+    fail "%s: remote verdicts differ from in-process checking" what;
+  if
+    summary.P.total_events <> List.length run.events
+    || summary.P.total_branches <> run.branches
+    || summary.P.total_alarms <> List.length run.alarms
+  then fail "%s: trace summary diverges from the local run" what
+
+(* ---------- the smoke ---------- *)
+
+let () =
+  let shards = 3 in
+  let store_dir = temp_path "-store" in
+  let store = Store.create ~dir:store_dir in
+  let base = temp_path ".sock" in
+  let topology = Topology.create ~shards (`Unix base) in
+  (* fast, still-bounded failover so the dead-fleet paths stay quick *)
+  let backoff = Backoff.create ~base:0.005 ~max_delay:0.02 ~max_attempts:4 () in
+  let config =
+    { Server.default_config with cache_slots = 16; store_dir = Some store_dir }
+  in
+  let start_shard i =
+    match Topology.address topology i with
+    | `Unix path -> Server.start ~config (`Unix path)
+    | `Tcp _ -> fail "unix topology produced a tcp address"
+  in
+  let servers = Array.init shards start_shard in
+  let stopped = Array.make shards false in
+  let stop_shard i =
+    if not stopped.(i) then begin
+      stopped.(i) <- true;
+      Server.stop servers.(i)
+    end
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iteri (fun i _ -> stop_shard i) servers;
+      ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote store_dir))))
+  @@ fun () ->
+  let fc = Fleet_client.create ~backoff topology in
+  (* publish every workload into the shared store and precompute the
+     reference runs *)
+  let cases =
+    List.map
+      (fun (w : W.t) ->
+        let system = W.system w in
+        let key = "fleet-" ^ w.W.name in
+        Store.publish_system store key system;
+        (w.W.name, key, local_run system (W.program w) ~seed:2006))
+      W.all
+  in
+
+  section "1: routed checking, byte-identical to local, >= 2 shards used";
+  let used = Hashtbl.create 8 in
+  List.iter
+    (fun (name, key, run) ->
+      match Fleet_client.connect_for_key fc key with
+      | Error e -> fail "%s: no route: %s" name e.P.detail
+      | Ok routed ->
+          if routed.Fleet_client.skipped <> [] then
+            fail "%s: healthy fleet produced skipped shards" name;
+          if routed.Fleet_client.shard <> Fleet_client.shard_of_key fc key then
+            fail "%s: connected shard is not the ring owner" name;
+          Hashtbl.replace used routed.Fleet_client.shard ();
+          let c = routed.Fleet_client.client in
+          ignore (ok (Client.load_key c key));
+          assert_equivalent ~what:name run (remote_check c run);
+          Client.close c)
+    cases;
+  if Hashtbl.length used < 2 then
+    fail "only %d shard(s) used for %d keys" (Hashtbl.length used)
+      (List.length cases);
+  Printf.printf "1 ok: %d workloads over %d shards, all byte-identical\n%!"
+    (List.length cases) (Hashtbl.length used);
+
+  section "2: legacy client through the router, byte-identical";
+  let router_sock = temp_path "-router.sock" in
+  Router.with_router ~topology (`Unix router_sock) (fun _router ->
+      List.iter
+        (fun (name, key, run) ->
+          let c = Client.connect (`Unix router_sock) in
+          ignore (ok (Client.load_key c key));
+          assert_equivalent ~what:("router/" ^ name) run (remote_check c run);
+          Client.close c)
+        (List.filteri (fun i _ -> i < 3) cases);
+      Printf.printf "2 ok: routed sessions byte-identical through the proxy\n%!";
+
+      section "3: dead shard -> typed unavailable, re-route, identical verdicts";
+      let name0, key0, run0 = List.hd cases in
+      let owner = Fleet_client.shard_of_key fc key0 in
+      stop_shard owner;
+      (match Fleet_client.connect_for_key fc key0 with
+      | Error e -> fail "failover gave up: %s" e.P.detail
+      | Ok routed ->
+          (match routed.Fleet_client.skipped with
+          | [ (e : P.err) ] ->
+              if e.P.code <> P.Unavailable then
+                fail "skipped shard error is %s, not unavailable"
+                  (P.error_code_to_string e.P.code)
+          | skipped ->
+              fail "expected exactly one skipped shard, got %d"
+                (List.length skipped));
+          if routed.Fleet_client.shard = owner then
+            fail "re-route landed on the dead owner";
+          let c = routed.Fleet_client.client in
+          ignore (ok (Client.load_key c key0));
+          assert_equivalent ~what:(name0 ^ "/failover") run0 (remote_check c run0);
+          Client.close c);
+      (* keys owned by surviving shards are untouched *)
+      List.iter
+        (fun (name, key, run) ->
+          if Fleet_client.shard_of_key fc key <> owner then begin
+            match Fleet_client.connect_for_key fc key with
+            | Error e -> fail "%s: survivor unreachable: %s" name e.P.detail
+            | Ok routed ->
+                if routed.Fleet_client.skipped <> [] then
+                  fail "%s: survivor-owned key paid a failover" name;
+                let c = routed.Fleet_client.client in
+                ignore (ok (Client.load_key c key));
+                assert_equivalent ~what:(name ^ "/survivor") run
+                  (remote_check c run);
+                Client.close c
+          end)
+        (List.filteri (fun i _ -> i < 4) cases);
+      (* the router fails over around the dead shard too *)
+      let c = Client.connect (`Unix router_sock) in
+      ignore (ok (Client.load_key c key0));
+      assert_equivalent ~what:(name0 ^ "/router-failover") run0
+        (remote_check c run0);
+      Client.close c;
+      Printf.printf "3 ok: one skipped typed unavailable, verdicts identical after re-route\n%!";
+
+      section "4: whole fleet down -> typed unavailable, no exceptions";
+      Array.iteri (fun i _ -> stop_shard i) servers;
+      (match Fleet_client.connect_for_key fc key0 with
+      | Ok routed ->
+          Client.close routed.Fleet_client.client;
+          fail "connect_for_key succeeded against a dead fleet"
+      | Error e ->
+          if e.P.code <> P.Unavailable then
+            fail "dead fleet error is %s, not unavailable"
+              (P.error_code_to_string e.P.code));
+      (* a legacy client through the router gets one typed error frame *)
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_UNIX router_sock);
+      P.output_frame fd (P.Load_key key0);
+      let reader = P.reader fd in
+      (match P.input_frame reader with
+      | P.In_frame (P.Error e) when e.P.code = P.Unavailable -> ()
+      | P.In_frame _ -> fail "router replied with a non-error frame"
+      | P.In_eof -> fail "router hung up without a typed error"
+      | P.In_error e ->
+          fail "router transport error: %s" (P.error_code_to_string e.P.code));
+      Unix.close fd;
+      Printf.printf "4 ok: dead fleet surfaces as typed unavailable everywhere\n%!");
+  print_endline "fleet smoke OK"

@@ -12,10 +12,15 @@
       identical stable metrics section;
    D. lifecycle robustness: clients that vanish before reading replies
       must not kill the server (SIGPIPE), stop must return promptly with
-      a silent client even under --timeout 0, the socket path must never
-      hijack a non-socket file or a live server's socket (but must
-      reclaim a stale one), and an unresolvable host must surface as the
-      typed connect error. *)
+      silent and mid-trace clients even under --timeout 0 (the reactor's
+      self-pipe, not its poll period, bounds shutdown), the socket path
+      must never hijack a non-socket file or a live server's socket (but
+      must reclaim a stale one), and an unresolvable host must surface
+      as the typed connect error;
+   E. backpressure: a client that streams events without reading replies
+      past the per-connection reply-queue bound (or the global in-flight
+      cap) gets exactly one typed Overloaded error as the final frame
+      before EOF, and the server keeps serving other sessions. *)
 
 module P = Ipds_serve.Protocol
 module Server = Ipds_serve.Server
@@ -299,6 +304,16 @@ let phase_b () =
       let c = Client.connect (`Unix sock) in
       expect_rpc_error "events outside trace" (Client.send_events c []) P.Bad_state;
       Client.close c;
+      (* batch validation is client-side and precedes any frame, so it
+         must not disturb the server-side error counters below *)
+      let c = Client.connect (`Unix sock) in
+      (match Client.trace ~batch:0 c with
+      | exception Invalid_argument _ -> ()
+      | Ok _ | Error _ -> fail "trace ~batch:0: expected Invalid_argument");
+      (match Client.trace ~batch:(-3) c with
+      | exception Invalid_argument _ -> ()
+      | Ok _ | Error _ -> fail "trace ~batch:-3: expected Invalid_argument");
+      Client.close c;
       let c = raw_connect sock in
       P.output_frame c P.Trace_started;
       (if read_error_code c <> P.Bad_state then
@@ -429,22 +444,27 @@ let phase_d () =
       ignore (ok (Client.load_image c ~name:w.W.name image));
       assert_equivalent ~what:"post-disconnect" run (remote_check c run);
       Client.close c);
-  (* D2: with session_timeout = 0 a silent client has no receive
-     timeout; stop must still return because it shuts the session
-     sockets down rather than waiting the read out. *)
+  (* D2: with session_timeout = 0 a session has no idle policing and
+     the reactor parks in a long select; stop must still return
+     promptly — the self-pipe, not the poll period, bounds shutdown —
+     with both a silent connection and a live mid-trace session open. *)
   let sock = temp_path "-d0.sock" in
   let config = { Server.default_config with session_timeout = 0. } in
-  let silent = ref None in
+  let open_fds = ref [] in
   let t0 = Unix.gettimeofday () in
   Server.with_server ~config (`Unix sock) (fun _server ->
       let fd = raw_connect sock in
-      silent := Some fd;
-      (* let the worker pick the session up and block in its read *)
+      open_fds := fd :: !open_fds;
+      let c = Client.connect (`Unix sock) in
+      ignore (ok (Client.load_image c ~name:w.W.name image));
+      let tr = ok (Client.trace ~batch:10 c) in
+      List.iter tr.Client.sink (List.filteri (fun i _ -> i < 50) run.events);
+      (* let the reactor absorb both sessions and park in select *)
       Unix.sleepf 0.2);
   let elapsed = Unix.gettimeofday () -. t0 in
-  (match !silent with Some fd -> (try Unix.close fd with Unix.Unix_error _ -> ()) | None -> ());
+  List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) !open_fds;
   if elapsed > 10. then
-    fail "stop with --timeout 0 and a silent client took %.1fs" elapsed;
+    fail "stop with --timeout 0 and parked sessions took %.1fs" elapsed;
   (* D3: socket-path hygiene.  A regular file must never be unlinked... *)
   let precious = temp_path "-precious" in
   let oc = open_out precious in
@@ -490,9 +510,141 @@ let phase_d () =
       fail "unresolvable host raised %s, not Unix_error" (Printexc.to_string e));
   Printf.printf "D ok: SIGPIPE ignored, bounded stop, socket path safe, typed resolve\n%!"
 
+(* ---------- phase E: backpressure / typed overload ---------- *)
+
+(* Stream single-branch event frames at the server without ever reading
+   a reply.  The replies back up through the socket into the server's
+   bounded reply queue; once a bound would be exceeded the server must
+   enqueue exactly one typed [Overloaded] error, stop reading, drain,
+   and close — and keep serving everyone else. *)
+let overload_round ~what config sock (prefix, branch_ev) w image run =
+  let overloaded0 = cval "serve.overloaded" in
+  Server.with_server ~config (`Unix sock) (fun _server ->
+      let fd = raw_connect sock in
+      let reader = P.reader fd in
+      P.output_frame fd
+        (P.Load_image { name = w.W.name; image = Bytes.to_string image });
+      (match P.input_frame reader with
+      | P.In_frame (P.Loaded _) -> ()
+      | _ -> fail "%s: expected Loaded" what);
+      P.output_frame fd P.Begin_trace;
+      (match P.input_frame reader with
+      | P.In_frame P.Trace_started -> ()
+      | _ -> fail "%s: expected Trace_started" what);
+      (* establish the call depth the flooded branch executes at *)
+      if prefix <> [] then begin
+        P.output_frame fd (P.Branch_events prefix);
+        match P.input_frame reader with
+        | P.In_frame (P.Verdicts _) -> ()
+        | _ -> fail "%s: expected Verdicts for the prefix" what
+      end;
+      (* flood, nonblocking: stop when the server stops reading (it is
+         overloaded and closing) or after a generous frame budget *)
+      let frame = P.encode_frame (P.Branch_events [ branch_ev ]) in
+      let n = Bytes.length frame in
+      Unix.set_nonblock fd;
+      let sent = ref 0 and stalled = ref false in
+      (try
+         while !sent < 60_000 && not !stalled do
+           let off = ref 0 in
+           while !off < n && not !stalled do
+             match Unix.write fd frame !off (n - !off) with
+             | k -> off := !off + k
+             | exception
+                 Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> (
+                 match Unix.select [] [ fd ] [] 1.0 with
+                 | _, [], _ -> stalled := true
+                 | _ -> ())
+           done;
+           if !off = n then incr sent
+         done
+       with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+         stalled := true);
+      if not !stalled then
+        fail "%s: server absorbed %d unread replies without shedding" what !sent;
+      (* now drain: queued verdicts, then exactly one Overloaded, then EOF *)
+      Unix.clear_nonblock fd;
+      Unix.setsockopt_float fd Unix.SO_RCVTIMEO 10.0;
+      let verdicts = ref 0 and got_overload = ref false and eof = ref false in
+      while not !eof do
+        match P.input_frame reader with
+        | P.In_frame (P.Verdicts _) when not !got_overload -> incr verdicts
+        | P.In_frame (P.Error e)
+          when e.P.code = P.Overloaded && not !got_overload ->
+            got_overload := true
+        | P.In_frame f ->
+            fail "%s: unexpected frame after %d verdicts (overload=%b): %s"
+              what !verdicts !got_overload
+              (match f with
+              | P.Error e -> "Error " ^ P.error_code_to_string e.P.code
+              | _ -> "non-error")
+        | P.In_eof -> eof := true
+        | P.In_error _ when !got_overload ->
+            (* The server closes with our unread flood bytes still in its
+               receive queue, which Linux surfaces to us as a reset
+               rather than a clean EOF; the typed error frame above is
+               already in hand, so this is the expected end of stream. *)
+            eof := true
+        | P.In_error e ->
+            fail "%s: transport error while draining: %s" what
+              (P.error_code_to_string e.P.code)
+      done;
+      Unix.close fd;
+      if not !got_overload then
+        fail "%s: connection closed without a typed Overloaded error" what;
+      if !verdicts = 0 then
+        fail "%s: no verdicts drained before the overload frame" what;
+      (* the shed connection must not have poisoned the server *)
+      let c = Client.connect (`Unix sock) in
+      if not (ok (Client.load_image c ~name:w.W.name image)) then
+        fail "%s: expected a warm cache hit after shedding" what;
+      assert_equivalent ~what:(what ^ "/post-overload") run (remote_check c run);
+      Client.close c;
+      !verdicts)
+  |> fun verdicts ->
+  if cval "serve.overloaded" - overloaded0 < 1 then
+    fail "%s: serve.overloaded did not count the shed" what;
+  verdicts
+
+let phase_e () =
+  section "E: unread replies past the bounds -> one typed Overloaded, then EOF";
+  let w = W.find "telnetd" in
+  let system = W.system w in
+  let image = A.to_bytes system in
+  let run = local_run system (W.program w) ~seed:2006 ~tamper:None in
+  (* a real branch event from the reference run, fed after the call
+     prefix that precedes it, keeps the flood state-valid: the branch
+     replays at its genuine call depth, never the empty-stack guard *)
+  let rec split_at_branch acc = function
+    | [] -> fail "reference run has no branch event"
+    | (e : M.Event.t) :: rest -> (
+        match e.M.Event.kind with
+        | M.Event.Branch _ -> (List.rev acc, e)
+        | _ -> split_at_branch (e :: acc) rest)
+  in
+  let flood = split_at_branch [] run.events in
+  (* per-connection reply-queue bound *)
+  let v1 =
+    overload_round ~what:"reply-queue"
+      { Server.default_config with reply_queue_bytes = 1024 }
+      (temp_path "-e1.sock") flood w image run
+  in
+  (* global in-flight cap, with a roomy per-connection bound *)
+  let v2 =
+    overload_round ~what:"inflight"
+      { Server.default_config with inflight_bytes = 1024 }
+      (temp_path "-e2.sock") flood w image run
+  in
+  Printf.printf
+    "E ok: typed Overloaded after %d / %d unread verdict frames; server \
+     survived both sheds\n\
+     %!"
+    v1 v2
+
 let () =
   phase_a ();
   phase_b ();
   phase_c ();
   phase_d ();
+  phase_e ();
   print_endline "serve smoke OK"

@@ -29,7 +29,8 @@ let error_code : P.error_code Q.t =
     [
       P.Bad_magic; P.Bad_version; P.Bad_crc; P.Oversized; P.Truncated;
       P.Unknown_frame; P.Malformed; P.Bad_state; P.Unknown_artifact;
-      P.Corrupt_artifact; P.Timeout; P.Server_error;
+      P.Corrupt_artifact; P.Timeout; P.Server_error; P.Overloaded;
+      P.Unavailable;
     ]
 
 let binary_string : string Q.t =
@@ -258,6 +259,109 @@ let test_crafted_damage () =
    Bytes.set s 4 (Char.chr (P.version + 1));
    expect_code "version skew" P.Bad_version (Bytes.to_string s))
 
+(* ---------- streaming fast path = generic decoder ---------- *)
+
+(* The event-loop server streams Branch_events payloads through
+   {!P.iter_branch_events} instead of materializing an event list; the
+   two decoders must accept and reject byte-for-byte the same payloads
+   and agree on every checker-relevant field. *)
+
+type op = Op_call of string | Op_ret | Op_branch of int * bool | Op_other
+
+let project (evs : Ipds_machine.Event.t list) =
+  List.map
+    (fun (e : Ipds_machine.Event.t) ->
+      match e.Ipds_machine.Event.kind with
+      | Ipds_machine.Event.Call { callee } -> Op_call callee
+      | Ipds_machine.Event.Ret -> Op_ret
+      | Ipds_machine.Event.Branch { taken; _ } ->
+          Op_branch (e.Ipds_machine.Event.pc, taken)
+      | _ -> Op_other)
+    evs
+
+let iter_result ?limit buf ~pos ~len =
+  let acc = ref [] in
+  match
+    P.iter_branch_events ?limit buf ~pos ~len
+      ~on_call:(fun c -> acc := Op_call c :: !acc)
+      ~on_ret:(fun () -> acc := Op_ret :: !acc)
+      ~on_branch:(fun ~pc ~taken -> acc := Op_branch (pc, taken) :: !acc)
+      ~on_other:(fun () -> acc := Op_other :: !acc)
+  with
+  | n -> Ok (n, List.rev !acc)
+  | exception P.Fast.Short -> Error "short"
+  | exception P.Malformed_payload m -> Error m
+
+let payload_span evs =
+  let b = P.encode_frame (P.Branch_events evs) in
+  (b, P.header_bytes, Bytes.length b - P.header_bytes - P.trailer_bytes)
+
+let prop_fast_path_matches_decode =
+  QCheck2.Test.make
+    ~name:"streaming batch decode = generic decode (fields and count)"
+    ~count:300
+    (Q.list_size (Q.int_range 0 40) Gen.event)
+    (fun evs ->
+      let buf, pos, len = payload_span evs in
+      match iter_result buf ~pos ~len with
+      | Ok (n, ops) -> n = List.length evs && ops = project evs
+      | Error m -> QCheck2.Test.fail_reportf "fast path rejected: %s" m)
+
+let prop_fast_path_rejects_identically =
+  QCheck2.Test.make
+    ~name:"streaming batch decode rejects exactly what generic decode rejects"
+    ~count:400
+    (let* evs = Q.list_size (Q.int_range 0 20) Gen.event in
+     let* flip = Q.option (Q.int_range 0 1000) in
+     let* cut = Q.option (Q.int_range 0 1000) in
+     Q.return (evs, flip, cut))
+    (fun (evs, flip, cut) ->
+      let buf, pos, len = payload_span evs in
+      (* damage the payload: truncate and/or flip one byte *)
+      let len =
+        match cut with Some c when len > 0 -> min len (c mod (len + 1)) | _ -> len
+      in
+      (match flip with
+      | Some f when len > 0 ->
+          let i = pos + (f mod len) in
+          Bytes.set buf i (Char.chr (Char.code (Bytes.get buf i) lxor 0x81))
+      | _ -> ());
+      let generic =
+        P.decode_span P.branch_events_tag buf ~pos ~len
+      in
+      match (generic, iter_result buf ~pos ~len) with
+      | Ok (P.Branch_events evs'), Ok (n, ops) ->
+          (* both accept: they must agree on what they decoded *)
+          n = List.length evs' && ops = project evs'
+      | Ok _, Ok _ -> false
+      | Error _, Error _ -> true
+      | Ok _, Error m ->
+          QCheck2.Test.fail_reportf "generic accepted, fast rejected: %s" m
+      | Error e, Ok _ ->
+          QCheck2.Test.fail_reportf "generic rejected (%s), fast accepted"
+            e.P.detail)
+
+(* The detail strings for structurally bad payloads must match the
+   generic decoder's exactly — clients see one vocabulary of typed
+   errors no matter which server path decoded them. *)
+let test_fast_path_details () =
+  let reject payload =
+    let b = Bytes.of_string payload in
+    let generic =
+      match P.decode_span P.branch_events_tag b ~pos:0 ~len:(Bytes.length b) with
+      | Ok _ -> Alcotest.fail "generic decoder accepted a bad payload"
+      | Error e -> e.P.detail
+    in
+    match iter_result b ~pos:0 ~len:(Bytes.length b) with
+    | Ok _ -> Alcotest.fail "fast path accepted a bad payload"
+    | Error m -> (generic, m)
+  in
+  (* list length out of range: 8 bytes of 0xff parse as a huge count *)
+  let g, f = reject "\xff\xff\xff\xff\xff\xff\xff\xff" in
+  Alcotest.(check string) "list length detail" g f;
+  check "list length is the shared vocabulary" true
+    (g = "list length out of range")
+
 (* A decoder configured with a limit above the default must accept
    frames that fill it: string/list length bounds follow the effective
    max_frame, not the compile-time constant (they used to be pinned to
@@ -292,5 +396,12 @@ let () =
           Alcotest.test_case "every byte flip" `Quick test_every_byte_flip_is_typed_error;
           Alcotest.test_case "every truncation" `Quick test_every_truncation_is_typed;
           QCheck_alcotest.to_alcotest prop_truncation_never_raises;
+        ] );
+      ( "fast-path",
+        [
+          QCheck_alcotest.to_alcotest prop_fast_path_matches_decode;
+          QCheck_alcotest.to_alcotest prop_fast_path_rejects_identically;
+          Alcotest.test_case "shared error vocabulary" `Quick
+            test_fast_path_details;
         ] );
     ]
