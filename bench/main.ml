@@ -1460,6 +1460,8 @@ let cache_json () =
           ("fn_hits", J.Int c.Ipds_artifact.Store.fn_hits);
           ("fn_misses", J.Int c.Ipds_artifact.Store.fn_misses);
           ("fn_corrupt_entries", J.Int c.Ipds_artifact.Store.fn_corrupt);
+          ("collisions", J.Int c.Ipds_artifact.Store.collisions);
+          ("publish_failures", J.Int c.Ipds_artifact.Store.publish_failed);
           ("bytes_read", J.Int c.Ipds_artifact.Store.bytes_read);
           ("bytes_written", J.Int c.Ipds_artifact.Store.bytes_written);
           ("load_wall_seconds", J.Float c.Ipds_artifact.Store.load_seconds);
@@ -1689,5 +1691,12 @@ let () =
         c.Ipds_artifact.Store.fn_misses c.Ipds_artifact.Store.fn_corrupt
         (c.Ipds_artifact.Store.bytes_read / 1024)
         (c.Ipds_artifact.Store.bytes_written / 1024)
-        c.Ipds_artifact.Store.load_seconds c.Ipds_artifact.Store.store_seconds);
+        c.Ipds_artifact.Store.load_seconds c.Ipds_artifact.Store.store_seconds;
+      (* faults are rare enough that a healthy run should print nothing *)
+      if c.Ipds_artifact.Store.collisions > 0
+         || c.Ipds_artifact.Store.publish_failed > 0
+      then
+        Printf.printf "artifact cache faults: %d collisions, %d failed publishes\n"
+          c.Ipds_artifact.Store.collisions
+          c.Ipds_artifact.Store.publish_failed);
   Option.iter (write_report opts ~targets ~total_seconds) opts.json

@@ -546,7 +546,43 @@ let serve_cmd =
             "Lock shards of the server's artifact cache; higher values \
              reduce contention between concurrent cold loads.")
   in
-  let run () obs socket port jobs timeout max_frame cache_slots cache_shards =
+  let peer_socket_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "peer-socket" ] ~docv:"PATH"
+          ~doc:
+            "Base Unix-socket path of a fleet to warm the artifact store \
+             from: on a store miss the artifact is fetched (and verified) \
+             from ring peers instead of answering unknown-artifact.  \
+             Requires $(b,--peer-shards) and $(b,--peer-self).")
+  in
+  let peer_port_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "peer-port" ] ~docv:"PORT"
+          ~doc:"TCP variant of $(b,--peer-socket): peer shard i listens on \
+                $(docv)+i.")
+  in
+  let peer_shards_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "peer-shards" ] ~docv:"N"
+          ~doc:"Shard count of the peer fleet.")
+  in
+  let peer_self_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "peer-self" ] ~docv:"I"
+          ~doc:
+            "This server's own shard index in the peer fleet (never asked \
+             during a peer fetch).")
+  in
+  let run () obs socket port jobs timeout max_frame cache_slots cache_shards
+      peer_socket peer_port peer_shards peer_self =
     obs_init ~command:"serve"
       ~manifest:[ ("jobs", Obs.Json.Int jobs) ]
       obs;
@@ -561,6 +597,48 @@ let serve_cmd =
           Format.eprintf "ipds serve: --socket and --port are mutually exclusive@.";
           exit 2
     in
+    let peers =
+      match (peer_socket, peer_port, peer_shards, peer_self) with
+      | None, None, None, None -> None
+      | _, _, None, _ | _, _, _, None ->
+          Format.eprintf
+            "ipds serve: peer sharing needs all of --peer-socket/--peer-port, \
+             --peer-shards and --peer-self@.";
+          exit 2
+      | Some _, Some _, _, _ ->
+          Format.eprintf
+            "ipds serve: --peer-socket and --peer-port are mutually \
+             exclusive@.";
+          exit 2
+      | None, None, Some _, Some _ ->
+          Format.eprintf
+            "ipds serve: peer sharing needs one of --peer-socket or \
+             --peer-port@.";
+          exit 2
+      | base, port_base, Some n, Some self ->
+          if n < 1 then begin
+            Format.eprintf "ipds serve: --peer-shards must be >= 1 (got %d)@." n;
+            exit 2
+          end;
+          if self < 0 || self >= n then begin
+            Format.eprintf
+              "ipds serve: --peer-self must be in [0, %d) (got %d)@." n self;
+            exit 2
+          end;
+          let peer_base =
+            match (base, port_base) with
+            | Some path, None -> `Unix path
+            | None, Some p -> `Tcp ("127.0.0.1", p)
+            | _ -> assert false
+          in
+          Some
+            {
+              Serve.Server.peer_topology =
+                Ipds_fleet.Topology.create ~shards:n peer_base;
+              peer_self = self;
+              peer_backoff = Ipds_fleet.Backoff.default;
+            }
+    in
     let config =
       {
         Serve.Server.default_config with
@@ -570,6 +648,7 @@ let serve_cmd =
         cache_slots;
         cache_shards = max 1 cache_shards;
         store_dir = None;
+        peers;
       }
     in
     let server =
@@ -608,7 +687,8 @@ let serve_cmd =
           IPDS verdicts back.")
     Term.(
       const run $ cache_term $ obs_term $ socket_arg $ port_arg $ jobs_arg
-      $ timeout_arg $ max_frame_arg $ cache_slots_arg $ cache_shards_arg)
+      $ timeout_arg $ max_frame_arg $ cache_slots_arg $ cache_shards_arg
+      $ peer_socket_arg $ peer_port_arg $ peer_shards_arg $ peer_self_arg)
 
 let check_remote_cmd =
   let host_arg =
@@ -795,8 +875,17 @@ let fleet_cmd =
       & info [ "router-port" ] ~docv:"PORT"
           ~doc:"TCP variant of $(b,--router-socket).")
   in
+  let share_artifacts_arg =
+    Arg.(
+      value & flag
+      & info [ "share-artifacts" ]
+          ~doc:
+            "Let shards warm their artifact stores from each other: a shard \
+             missing a key fetches the (verified) artifact from its ring \
+             peers over the wire instead of answering unknown-artifact.")
+  in
   let run () obs socket port shards jobs timeout cache_slots router_socket
-      router_port =
+      router_port share_artifacts =
     obs_init ~command:"fleet"
       ~manifest:[ ("shards", Obs.Json.Int shards) ]
       obs;
@@ -828,10 +917,21 @@ let fleet_cmd =
       | Some dir -> [ "--cache-dir"; dir ]
       | None -> []
     in
+    let peer_args i =
+      if not share_artifacts then []
+      else
+        (match base with
+        | `Unix path -> [ "--peer-socket"; path ]
+        | `Tcp (_, p) -> [ "--peer-port"; string_of_int p ])
+        @ [
+            "--peer-shards"; string_of_int shards;
+            "--peer-self"; string_of_int i;
+          ]
+    in
     let spawn i =
       let argv =
         Array.of_list
-          ([ "ipds"; "serve" ] @ addr_args i @ cache_args
+          ([ "ipds"; "serve" ] @ addr_args i @ cache_args @ peer_args i
           @ [
               "--jobs"; string_of_int jobs;
               "--timeout"; string_of_float timeout;
@@ -946,7 +1046,7 @@ let fleet_cmd =
     Term.(
       const run $ cache_term $ obs_term $ socket_arg $ port_arg $ shards_arg
       $ jobs_arg $ timeout_arg $ cache_slots_arg $ router_socket_arg
-      $ router_port_arg)
+      $ router_port_arg $ share_artifacts_arg)
 
 (* ---------- servers ---------- *)
 

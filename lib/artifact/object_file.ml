@@ -4,11 +4,14 @@ let corrupt fmt = Printf.ksprintf (fun s -> raise (Corrupt s)) fmt
 
 let magic = "IPDSOBJF"
 
-(* v2: per-function table sections + index with content digests
-   (function-granular incremental cache).  v1 files (monolithic
-   "tables" section) fail the version check and load as a miss. *)
-let format_version = 2
-let header_bytes = 32
+(* v3: the whole-file digest is SHA-256 (collision-resistant content
+   addressing, a prerequisite for trusting artifacts fetched from fleet
+   peers), growing the header from 32 to 48 bytes.  v2 files (16-byte
+   MD5 digest at offset 16) and v1 files (monolithic "tables" section)
+   fail the version check and load as a clean miss. *)
+let format_version = 3
+let header_bytes = 48
+let digest_bytes = Sha256.digest_length
 let entry_bytes = 20
 let name_bytes = 8
 let max_sections = 4096
@@ -26,6 +29,7 @@ type info = {
   file_bytes : int;
   digest_hex : string;
   digest_ok : bool;
+  legacy_md5_hex : string;
   sections : section_info list;
 }
 
@@ -63,9 +67,9 @@ let to_bytes ~sections =
       off := !off + Bytes.length payload)
     sections;
   let digest =
-    Digest.subbytes buf header_bytes (Bytes.length buf - header_bytes)
+    Sha256.bytes buf ~pos:header_bytes ~len:(Bytes.length buf - header_bytes)
   in
-  Bytes.blit_string digest 0 buf 16 16;
+  Bytes.blit_string digest 0 buf 16 digest_bytes;
   buf
 
 (* header + section table, shared by the strict and forgiving readers *)
@@ -98,9 +102,9 @@ let read_table buf =
       (name, offset, length, crc))
 
 let digest_ok buf =
-  let stored = Bytes.sub_string buf 16 16 in
+  let stored = Bytes.sub_string buf 16 digest_bytes in
   let actual =
-    Digest.subbytes buf header_bytes (Bytes.length buf - header_bytes)
+    Sha256.bytes buf ~pos:header_bytes ~len:(Bytes.length buf - header_bytes)
   in
   String.equal stored actual
 
@@ -119,8 +123,11 @@ let info_of_bytes buf =
   {
     version = Int32.to_int (Bytes.get_int32_le buf 8);
     file_bytes = Bytes.length buf;
-    digest_hex = Digest.to_hex (Bytes.sub_string buf 16 16);
+    digest_hex = Sha256.to_hex (Bytes.sub_string buf 16 digest_bytes);
     digest_ok = digest_ok buf;
+    legacy_md5_hex =
+      Digest.to_hex
+        (Digest.subbytes buf header_bytes (Bytes.length buf - header_bytes));
     sections =
       List.map
         (fun (name, offset, length, crc) ->

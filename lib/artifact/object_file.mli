@@ -6,11 +6,16 @@
     0   8   magic "IPDSOBJF"
     8   4   format version (u32)
     12  4   section count (u32)
-    16  16  MD5 digest of everything from byte 32 to end of file
-    32  20n section table: 8-byte NUL-padded name, u32 offset,
+    16  32  SHA-256 digest of everything from byte 48 to end of file
+    48  20n section table: 8-byte NUL-padded name, u32 offset,
             u32 length, u32 CRC-32 of the payload
     ...     payloads, in table order
     v}
+
+    The digest is the file's content address: collision-resistant, so a
+    byte-identical digest from an untrusted peer names byte-identical
+    content.  v2 files carried a 16-byte MD5 there; they fail the
+    version check and load as a clean miss (the store rebuilds them).
 
     {!of_bytes} verifies the magic, version, whole-file digest and every
     section CRC; any mismatch raises {!Corrupt}, which the store layer
@@ -25,6 +30,9 @@ val format_version : int
 
 val header_bytes : int
 (** Fixed header size (everything before the section table). *)
+
+val digest_bytes : int
+(** Size of the whole-file digest stored at offset 16 (32: SHA-256). *)
 
 val to_bytes : sections:(string * Bytes.t) list -> Bytes.t
 (** Section names must be 1–8 bytes and unique; raises
@@ -44,8 +52,12 @@ type section_info = {
 type info = {
   version : int;
   file_bytes : int;
-  digest_hex : string;  (** digest stored in the header *)
+  digest_hex : string;  (** SHA-256 digest stored in the header *)
   digest_ok : bool;
+  legacy_md5_hex : string;
+      (** computed MD5 of the same region — the address a v2 store
+          would have used, printed by [ipds inspect] so operators can
+          correlate entries across the format upgrade *)
   sections : section_info list;
 }
 

@@ -1,0 +1,27 @@
+(** SHA-256 (FIPS 180-4), pure OCaml over [Bytes].
+
+    This is the collision-resistant content address for everything the
+    artifact layer trusts across a machine boundary: store keys, the
+    whole-file digest of v3 {!Object_file} containers, and the identity
+    an artifact fetched from a fleet peer is verified against.  MD5 and
+    CRC-32 remain only where they guard against bit-rot, never where
+    they name content.
+
+    Domain-safe and allocation-free per compression round; digests of
+    the same bytes are identical across processes and platforms. *)
+
+val digest_length : int
+(** 32. *)
+
+val bytes : Bytes.t -> pos:int -> len:int -> string
+(** Raw 32-byte digest of [len] bytes starting at [pos]; raises
+    [Invalid_argument] when the range is out of bounds. *)
+
+val all : Bytes.t -> string
+val string : string -> string
+
+val to_hex : string -> string
+(** Lowercase hex of a raw digest (or any string). *)
+
+val hex_bytes : Bytes.t -> string
+val hex_string : string -> string

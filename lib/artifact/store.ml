@@ -18,6 +18,8 @@ let m_corrupt = Ipds_obs.Registry.counter "store.corrupt"
 let m_fn_hits = Ipds_obs.Registry.counter "store.fn_hits"
 let m_fn_misses = Ipds_obs.Registry.counter "store.fn_misses"
 let m_fn_corrupt = Ipds_obs.Registry.counter "store.fn_corrupt"
+let m_collisions = Ipds_obs.Registry.counter "store.collisions"
+let m_publish_failed = Ipds_obs.Registry.counter "store.publish_failed"
 let m_bytes_read = Ipds_obs.Registry.counter "store.bytes_read"
 let m_bytes_written = Ipds_obs.Registry.counter "store.bytes_written"
 let span_load = "store.load"
@@ -30,6 +32,8 @@ type counters = {
   fn_hits : int;
   fn_misses : int;
   fn_corrupt : int;
+  collisions : int;
+  publish_failed : int;
   bytes_read : int;
   bytes_written : int;
   load_seconds : float;
@@ -46,6 +50,8 @@ let counters () =
     fn_hits = v m_fn_hits;
     fn_misses = v m_fn_misses;
     fn_corrupt = v m_fn_corrupt;
+    collisions = v m_collisions;
+    publish_failed = v m_publish_failed;
     bytes_read = v m_bytes_read;
     bytes_written = v m_bytes_written;
     load_seconds = seconds span_load;
@@ -61,6 +67,8 @@ let reset_counters () =
       m_fn_hits;
       m_fn_misses;
       m_fn_corrupt;
+      m_collisions;
+      m_publish_failed;
       m_bytes_read;
       m_bytes_written;
     ];
@@ -72,18 +80,37 @@ let reset_counters () =
 let options_fingerprint = Corr.Analysis.options_fingerprint
 
 let key ~source ~promote ~options =
-  Digest.to_hex
-    (Digest.string
-       (String.concat "\x00"
-          [
-            "ipds-artifact";
-            string_of_int Object_file.format_version;
-            Printf.sprintf "promote=%b" promote;
-            options_fingerprint options;
-            source;
-          ]))
+  Sha256.hex_string
+    (String.concat "\x00"
+       [
+         "ipds-artifact";
+         string_of_int Object_file.format_version;
+         Printf.sprintf "promote=%b" promote;
+         options_fingerprint options;
+         source;
+       ])
+
+(* Keys reach this layer over the wire (artifact fetch/push frames), so
+   their shape is validated here at the path boundary instead of letting
+   [String.sub]/[Filename] fail deep inside: 2..128 chars, filename-safe
+   alphabet, no leading dot — which rules out traversal ("../x"),
+   separators and control bytes while still admitting both SHA-256 hex
+   keys and the human-readable keys tests publish under. *)
+let valid_key k =
+  let n = String.length k in
+  n >= 2 && n <= 128
+  && k.[0] <> '.'
+  && String.for_all
+       (fun c ->
+         (c >= 'a' && c <= 'z')
+         || (c >= 'A' && c <= 'Z')
+         || (c >= '0' && c <= '9')
+         || c = '-' || c = '_' || c = '.')
+       k
 
 let path_of_key t key =
+  if not (valid_key key) then
+    invalid_arg (Printf.sprintf "Store.path_of_key: malformed key %S" key);
   Filename.concat t.dir (Filename.concat (String.sub key 0 2) (key ^ ".ipds"))
 
 let rec mkdirs dir =
@@ -95,36 +122,111 @@ let rec mkdirs dir =
 
 (* ---------- load / publish ---------- *)
 
-let load_system t key =
-  let path = path_of_key t key in
-  Ipds_obs.Span.time span_load (fun () ->
-      match Object_file.read_file path with
-      | exception Sys_error _ ->
-          Ipds_obs.Registry.incr m_misses;
-          None
-      | bytes -> (
-          match Artifact.of_bytes bytes with
-          | sys ->
-              Ipds_obs.Registry.incr m_hits;
-              Ipds_obs.Registry.add m_bytes_read (Bytes.length bytes);
-              Some sys
-          | exception Artifact.Corrupt reason ->
-              Ipds_obs.Registry.incr m_misses;
-              Ipds_obs.Registry.incr m_corrupt;
-              if Ipds_obs.Events.enabled () then
-                Ipds_obs.Events.emit ~kind:"store.corrupt"
-                  [
-                    ("path", Ipds_obs.Json.String path);
-                    ("reason", Ipds_obs.Json.String reason);
-                  ];
-              None))
+(* A failed read is only a plain miss when the entry does not exist;
+   EACCES/EIO/EISDIR on an existing path is a damaged cache that would
+   otherwise silently recompile forever. *)
+let read_fault path msg =
+  match Unix.access path [ Unix.F_OK ] with
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> None
+  | exception Unix.Unix_error (e, _, _) -> Some (Unix.error_message e)
+  | () -> Some msg
 
-let publish_system t key sys =
-  let path = path_of_key t key in
-  Ipds_obs.Span.time span_publish (fun () ->
+let emit_corrupt ~kind path reason =
+  if Ipds_obs.Events.enabled () then
+    Ipds_obs.Events.emit ~kind
+      [
+        ("path", Ipds_obs.Json.String path);
+        ("reason", Ipds_obs.Json.String reason);
+      ]
+
+(* the common load shape: None = plain miss, Some (`Hit v) /
+   Some (`Corrupt reason) from the decoder *)
+let load_entry path ~decode ~m_hit ~m_miss ~m_bad ~corrupt_kind =
+  match Object_file.read_file path with
+  | exception Sys_error msg -> (
+      match read_fault path msg with
+      | None ->
+          Ipds_obs.Registry.incr m_miss;
+          `Miss
+      | Some reason ->
+          Ipds_obs.Registry.incr m_miss;
+          Ipds_obs.Registry.incr m_bad;
+          emit_corrupt ~kind:corrupt_kind path reason;
+          `Corrupt reason)
+  | bytes -> (
+      match decode bytes with
+      | v ->
+          Ipds_obs.Registry.incr m_hit;
+          Ipds_obs.Registry.add m_bytes_read (Bytes.length bytes);
+          `Hit v
+      | exception Artifact.Corrupt reason ->
+          Ipds_obs.Registry.incr m_miss;
+          Ipds_obs.Registry.incr m_bad;
+          emit_corrupt ~kind:corrupt_kind path reason;
+          `Corrupt reason)
+
+let load_system t key =
+  if not (valid_key key) then begin
+    Ipds_obs.Registry.incr m_misses;
+    None
+  end
+  else
+    let path = path_of_key t key in
+    Ipds_obs.Span.time span_load (fun () ->
+        match
+          load_entry path ~decode:Artifact.of_bytes ~m_hit:m_hits
+            ~m_miss:m_misses ~m_bad:m_corrupt ~corrupt_kind:"store.corrupt"
+        with
+        | `Hit sys -> Some sys
+        | `Miss | `Corrupt _ -> None)
+
+let fetch_image t key =
+  if not (valid_key key) then `Miss
+  else
+    let path = path_of_key t key in
+    Ipds_obs.Span.time span_load (fun () ->
+        match
+          load_entry path
+            ~decode:(fun bytes ->
+              ignore (Artifact.of_bytes bytes : Ipds_core.System.t);
+              bytes)
+            ~m_hit:m_hits ~m_miss:m_misses ~m_bad:m_corrupt
+            ~corrupt_kind:"store.corrupt"
+        with
+        | `Hit bytes -> `Image bytes
+        | `Miss -> `Miss
+        | `Corrupt reason -> `Corrupt reason)
+
+(* The collision-detection table: the entry already stored at the
+   hashed path is the table row for this key.  On a hash hit the bytes
+   are compared before anything is trusted or replaced — identical
+   bytes are the expected dedup case, a valid-but-different entry is a
+   detected collision (counted and kept: first writer wins, loudly,
+   never silent reuse), and an undecodable entry is damage to repair. *)
+let publish_image_at path bytes =
+  let previous =
+    match Object_file.read_file path with
+    | existing ->
+        if Bytes.equal existing bytes then `Duplicate
+        else if
+          match Object_file.of_bytes existing with
+          | (_ : (string * Bytes.t) list) -> true
+          | exception Object_file.Corrupt _ -> false
+        then `Collision
+        else `Damaged
+    | exception Sys_error _ -> `Absent
+  in
+  match previous with
+  | `Duplicate -> `Duplicate
+  | `Collision ->
+      Ipds_obs.Registry.incr m_collisions;
+      if Ipds_obs.Events.enabled () then
+        Ipds_obs.Events.emit ~kind:"store.collision"
+          [ ("path", Ipds_obs.Json.String path) ];
+      `Collision
+  | `Absent | `Damaged -> (
       match
         mkdirs (Filename.dirname path);
-        let bytes = Artifact.to_bytes sys in
         Object_file.write_file_atomic path bytes;
         Bytes.length bytes
       with
@@ -135,8 +237,26 @@ let publish_system t key sys =
               [
                 ("path", Ipds_obs.Json.String path);
                 ("bytes", Ipds_obs.Json.Int written);
-              ]
-      | exception Sys_error _ -> ()  (* read-only or full cache dir: skip *))
+              ];
+          `Stored
+      | exception Sys_error msg ->
+          Ipds_obs.Registry.incr m_publish_failed;
+          if Ipds_obs.Events.enabled () then
+            Ipds_obs.Events.emit ~kind:"store.publish_failed"
+              [
+                ("path", Ipds_obs.Json.String path);
+                ("reason", Ipds_obs.Json.String msg);
+              ];
+          `Failed msg)
+
+let publish_image t key bytes =
+  if not (valid_key key) then `Failed "malformed key"
+  else
+    Ipds_obs.Span.time span_publish (fun () ->
+        publish_image_at (path_of_key t key) bytes)
+
+let publish_system t key sys =
+  ignore (publish_image t key (Artifact.to_bytes sys))
 
 (* ---------- function tier ----------
 
@@ -148,10 +268,9 @@ let publish_system t key sys =
 
 let fn_path t digest =
   let key =
-    Digest.to_hex
-      (Digest.string
-         (String.concat "\x00"
-            [ "ipds-fn"; string_of_int Object_file.format_version; digest ]))
+    Sha256.hex_string
+      (String.concat "\x00"
+         [ "ipds-fn"; string_of_int Object_file.format_version; digest ])
   in
   Filename.concat t.dir
     (Filename.concat "fn"
@@ -160,38 +279,19 @@ let fn_path t digest =
 let load_func t ~digest ~layout f =
   let path = fn_path t digest in
   Ipds_obs.Span.time span_load (fun () ->
-      match Object_file.read_file path with
-      | exception Sys_error _ ->
-          Ipds_obs.Registry.incr m_fn_misses;
-          None
-      | bytes -> (
-          match Artifact.func_of_image ~digest ~layout f bytes with
-          | info ->
-              Ipds_obs.Registry.incr m_fn_hits;
-              Ipds_obs.Registry.add m_bytes_read (Bytes.length bytes);
-              Some info
-          | exception Artifact.Corrupt reason ->
-              Ipds_obs.Registry.incr m_fn_misses;
-              Ipds_obs.Registry.incr m_fn_corrupt;
-              if Ipds_obs.Events.enabled () then
-                Ipds_obs.Events.emit ~kind:"store.fn_corrupt"
-                  [
-                    ("path", Ipds_obs.Json.String path);
-                    ("reason", Ipds_obs.Json.String reason);
-                  ];
-              None))
+      match
+        load_entry path
+          ~decode:(Artifact.func_of_image ~digest ~layout f)
+          ~m_hit:m_fn_hits ~m_miss:m_fn_misses ~m_bad:m_fn_corrupt
+          ~corrupt_kind:"store.fn_corrupt"
+      with
+      | `Hit info -> Some info
+      | `Miss | `Corrupt _ -> None)
 
 let publish_func t ~digest info =
   let path = fn_path t digest in
   Ipds_obs.Span.time span_publish (fun () ->
-      match
-        mkdirs (Filename.dirname path);
-        let bytes = Artifact.func_image info in
-        Object_file.write_file_atomic path bytes;
-        Bytes.length bytes
-      with
-      | written -> Ipds_obs.Registry.add m_bytes_written written
-      | exception Sys_error _ -> ())
+      ignore (publish_image_at path (Artifact.func_image info)))
 
 let func_cache t =
   {

@@ -1,12 +1,18 @@
 (** Content-addressed on-disk cache of IPDS artifacts.
 
-    Entries are keyed by the MD5 digest of (MiniC/MIR source text,
+    Entries are keyed by the SHA-256 digest of (MiniC/MIR source text,
     compile options, analysis options, artifact format version) and live
     at [<dir>/<k₀k₁>/<key>.ipds].  Publishing is atomic (temp file +
     rename), so concurrent processes sharing a directory can only ever
     observe complete files; a truncated, CRC-mismatched or
     version-skewed entry is treated as a miss and rebuilt, never a
     crash.
+
+    Because the key is collision-resistant, the entry stored at a key's
+    path doubles as a collision-detection table row: every publish that
+    finds the path occupied byte-compares against it, and a
+    valid-but-different entry is a counted [store.collisions] event —
+    never silently reused, never silently overwritten.
 
     The {e ambient} store is process-global configuration consulted by
     {!Ipds_workloads.Workloads.system}: it defaults to the
@@ -33,15 +39,48 @@ val key :
     whenever the source, the compile options, the analysis options or
     {!Object_file.format_version} change. *)
 
+val valid_key : string -> bool
+(** Whether a key is well-formed: 2..128 chars of [[A-Za-z0-9._-]], no
+    leading dot.  Keys arrive over the wire (artifact fetch/push
+    frames), so shape is checked at this boundary — a malformed key is
+    a typed miss/failure, never an exception from path construction. *)
+
 val path_of_key : t -> string -> string
+(** Raises [Invalid_argument] when the key fails {!valid_key}. *)
 
 val load_system : t -> string -> Ipds_core.System.t option
-(** [None] on absent, truncated, corrupt or version-skewed entries
-    (counted as misses); never raises on bad cache contents. *)
+(** [None] on absent, truncated, corrupt, version-skewed or
+    malformed-key entries (counted as misses); never raises on bad
+    cache contents.  A read failure on an entry that {e exists}
+    (EACCES, EIO, ...) additionally counts as [corrupt] and emits a
+    [store.corrupt] event carrying the errno — an unreadable cache is
+    damage to surface, not a cold miss to recompile forever. *)
 
 val publish_system : t -> string -> Ipds_core.System.t -> unit
-(** Atomic; IO errors (read-only dir, disk full) are swallowed — the
-    cache is an optimisation, not a correctness dependency. *)
+(** Atomic; IO errors (read-only dir, disk full) are counted as
+    [publish_failed] and emitted as [store.publish_failed] events but
+    do not raise — the cache is an optimisation, not a correctness
+    dependency. *)
+
+(** {2 Raw images (fleet artifact sharing)}
+
+    The serve layer moves whole container images between shards; these
+    are the store's byte-level endpoints for that traffic. *)
+
+val fetch_image : t -> string -> [ `Image of Bytes.t | `Miss | `Corrupt of string ]
+(** The verified raw bytes of entry [key]: the container is fully
+    decoded ({!Artifact.of_bytes}) before the bytes are handed out, so
+    a corrupt entry is a typed [`Corrupt], never propagated to a peer.
+    Malformed keys and absent entries are [`Miss]. *)
+
+val publish_image :
+  t -> string -> Bytes.t -> [ `Stored | `Duplicate | `Collision | `Failed of string ]
+(** Insert pre-encoded container bytes under [key] through the
+    collision-detection table: [`Duplicate] = byte-identical entry
+    already present (no write), [`Collision] = a {e different} valid
+    entry holds this key (counted, existing entry kept), [`Stored] =
+    written (repairing a damaged entry counts as a store).  The caller
+    is responsible for having verified untrusted bytes first. *)
 
 (** {2 Function tier}
 
@@ -57,7 +96,9 @@ val load_func :
   layout:Ipds_mir.Layout.t ->
   Ipds_mir.Func.t ->
   Ipds_core.System.func_info option
-(** [None] on absent or corrupt blobs (counted as [fn_misses]). *)
+(** [None] on absent or corrupt blobs (counted as [fn_misses]; read
+    faults on existing blobs count as [fn_corrupt] like
+    {!load_system}). *)
 
 val publish_func : t -> digest:string -> Ipds_core.System.func_info -> unit
 
@@ -84,6 +125,9 @@ type counters = {
   fn_hits : int;  (** function-tier hits (functions not re-analyzed) *)
   fn_misses : int;  (** function-tier misses (functions analyzed fresh) *)
   fn_corrupt : int;  (** the subset of [fn_misses] from damaged blobs *)
+  collisions : int;
+      (** publishes that found a different valid entry at the key *)
+  publish_failed : int;  (** publishes lost to IO errors *)
   bytes_read : int;
   bytes_written : int;
   load_seconds : float;  (** wall-clock spent loading artifacts (warm path) *)

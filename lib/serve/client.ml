@@ -105,6 +105,20 @@ let end_trace t =
     | Protocol.Trace_summary s -> Some s
     | _ -> None)
 
+let fetch_artifact t key =
+  rpc t (Protocol.Fetch_artifact key) (function
+    | Protocol.Artifact_data { key = k; image } when String.equal k key ->
+        Some (Bytes.of_string image)
+    | _ -> None)
+
+let push_artifact t ~key image =
+  rpc t
+    (Protocol.Push_artifact { key; image = Bytes.to_string image })
+    (function
+      | Protocol.Artifact_pushed { key = k; stored } when String.equal k key ->
+          Some stored
+      | _ -> None)
+
 type trace = {
   sink : Event.t -> unit;
   finish :

@@ -33,6 +33,21 @@ val send_events :
 
 val end_trace : t -> (Protocol.summary, Protocol.err) result
 
+val fetch_artifact : t -> string -> (Bytes.t, Protocol.err) result
+(** The raw verified container bytes stored under a key on the server;
+    [unknown-artifact] for absent or malformed keys, [corrupt-artifact]
+    for a damaged entry.  The caller must verify the bytes itself
+    before trusting them ({!Ipds_artifact.Artifact.of_bytes}) — the
+    transport CRC is not a content address. *)
+
+val push_artifact : t -> key:string -> Bytes.t -> (bool, Protocol.err) result
+(** Publish container bytes under [key] on the server, which fully
+    verifies them before touching its store; [Ok stored] is [false]
+    when a byte-identical entry was already present.  Forged or corrupt
+    images are rejected with [corrupt-artifact]; a key already held by
+    different valid content is rejected with [corrupt-artifact] too
+    (collision, counted server-side). *)
+
 type trace = {
   sink : Ipds_machine.Event.t -> unit;
       (** feed interpreter events; batches are flushed on the wire every

@@ -93,3 +93,49 @@ let with_key t key f =
         (Fun.protect
            ~finally:(fun () -> Client.close routed.client)
            (fun () -> f routed))
+
+(* Artifact sharing: ask the ring owner (then its successors) for the
+   raw container bytes of [key].  Unlike [connect_for_key], a reachable
+   shard can still answer [unknown-artifact] (it is cold too) or
+   [corrupt-artifact] (its copy rotted) — both just mean "try the next
+   peer", with the same bounded backoff budget.  [exclude] lets a shard
+   walk its own ring without asking itself. *)
+let fetch_artifact ?exclude t key =
+  let order =
+    List.filter
+      (fun shard -> not (exclude = Some shard))
+      (Ring.successors t.ring key)
+  in
+  let max_attempts = min (Backoff.max_attempts t.backoff) (List.length order) in
+  let rec go attempt last = function
+    | [] -> (
+        match last with
+        | Some e -> Error e
+        | None ->
+            Error
+              {
+                Protocol.code = Protocol.Unavailable;
+                detail = "no peers configured";
+              })
+    | shard :: rest -> (
+        if attempt > 0 then Unix.sleepf (Backoff.delay t.backoff (attempt - 1));
+        let res =
+          match connect_shard t shard with
+          | Error e -> Error e
+          | Ok client ->
+              Fun.protect
+                ~finally:(fun () -> Client.close client)
+                (fun () -> Client.fetch_artifact client key)
+        in
+        match res with
+        | Ok image -> Ok image
+        | Error e ->
+            if attempt + 1 >= max_attempts then Error e
+            else go (attempt + 1) (Some e) rest)
+  in
+  go 0 None order
+
+let push_artifact t ~key image =
+  match with_key t key (fun r -> Client.push_artifact r.client ~key image) with
+  | Ok r -> r
+  | Error e -> Error e

@@ -34,3 +34,16 @@ val connect_for_key : t -> string -> (routed, Protocol.err) result
 
 val with_key : t -> string -> (routed -> 'a) -> ('a, Protocol.err) result
 (** [connect_for_key] + close on exit (also on exception). *)
+
+val fetch_artifact :
+  ?exclude:int -> t -> string -> (Bytes.t, Protocol.err) result
+(** The raw container bytes of [key] from the first ring peer that has
+    a verified copy, walking the successor order with bounded backoff;
+    a reachable-but-cold peer ([unknown-artifact]) or a rotted copy
+    ([corrupt-artifact]) just advances the walk.  [exclude] skips one
+    shard index — a shard warming itself must not ask itself.  The
+    caller still owns verification of the returned bytes. *)
+
+val push_artifact : t -> key:string -> Bytes.t -> (bool, Protocol.err) result
+(** {!Client.push_artifact} to the key's ring owner (with connect
+    failover): seed a fleet with a locally-built artifact. *)

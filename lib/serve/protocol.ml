@@ -101,10 +101,14 @@ type frame =
   | Begin_trace
   | Branch_events of Event.t list
   | End_trace
+  | Fetch_artifact of string
+  | Push_artifact of { key : string; image : string }
   | Loaded of { name : string; cached : bool }
   | Trace_started
   | Verdicts of Ipds_core.Checker.alarm list
   | Trace_summary of summary
+  | Artifact_data of { key : string; image : string }
+  | Artifact_pushed of { key : string; stored : bool }
   | Error of err
 
 let verdict_to_string (a : Ipds_core.Checker.alarm) =
@@ -243,10 +247,14 @@ let tag_of_frame = function
   | Begin_trace -> 3
   | Branch_events _ -> 4
   | End_trace -> 5
+  | Fetch_artifact _ -> 6
+  | Push_artifact _ -> 7
   | Loaded _ -> 16
   | Trace_started -> 17
   | Verdicts _ -> 18
   | Trace_summary _ -> 19
+  | Artifact_data _ -> 20
+  | Artifact_pushed _ -> 21
   | Error _ -> 31
 
 let encode_payload w = function
@@ -257,6 +265,10 @@ let encode_payload w = function
   | Begin_trace -> ()
   | Branch_events evs -> push_list w push_event evs
   | End_trace -> ()
+  | Fetch_artifact key -> push_string w key
+  | Push_artifact { key; image } ->
+      push_string w key;
+      push_string w image
   | Loaded { name; cached } ->
       push_string w name;
       push_bool w cached
@@ -266,6 +278,12 @@ let encode_payload w = function
       push_int w total_events;
       push_int w total_branches;
       push_int w total_alarms
+  | Artifact_data { key; image } ->
+      push_string w key;
+      push_string w image
+  | Artifact_pushed { key; stored } ->
+      push_string w key;
+      push_bool w stored
   | Error { code; detail } ->
       Bs.Writer.push w ~width:8 (error_code_to_int code);
       push_string w detail
@@ -280,6 +298,11 @@ let decode_payload ~limit tag r =
   | 3 -> Some Begin_trace
   | 4 -> Some (Branch_events (pull_list ~limit r (pull_event ~limit)))
   | 5 -> Some End_trace
+  | 6 -> Some (Fetch_artifact (pull_string ~limit r))
+  | 7 ->
+      let key = pull_string ~limit r in
+      let image = pull_string ~limit r in
+      Some (Push_artifact { key; image })
   | 16 ->
       let name = pull_string ~limit r in
       let cached = pull_bool r in
@@ -291,6 +314,14 @@ let decode_payload ~limit tag r =
       let total_branches = pull_int r in
       let total_alarms = pull_int r in
       Some (Trace_summary { total_events; total_branches; total_alarms })
+  | 20 ->
+      let key = pull_string ~limit r in
+      let image = pull_string ~limit r in
+      Some (Artifact_data { key; image })
+  | 21 ->
+      let key = pull_string ~limit r in
+      let stored = pull_bool r in
+      Some (Artifact_pushed { key; stored })
   | 31 -> (
       match error_code_of_int (Bs.Reader.pull r ~width:8) with
       | Some code -> Some (Error { code; detail = pull_string ~limit r })

@@ -61,11 +61,22 @@ type frame =
   | Begin_trace
   | Branch_events of Ipds_machine.Event.t list
   | End_trace
+  | Fetch_artifact of string
+      (** client → server: the raw container bytes stored under this
+          key — how a cold shard warms itself from a peer *)
+  | Push_artifact of { key : string; image : string }
+      (** client → server: store these container bytes under [key];
+          the image is untrusted and fully verified before publish *)
   | Loaded of { name : string; cached : bool }
   | Trace_started
   | Verdicts of Ipds_core.Checker.alarm list
       (** alarms newly raised by the preceding [Branch_events] batch *)
   | Trace_summary of summary
+  | Artifact_data of { key : string; image : string }
+      (** reply to [Fetch_artifact]: verified container bytes *)
+  | Artifact_pushed of { key : string; stored : bool }
+      (** reply to [Push_artifact]; [stored = false] means a
+          byte-identical entry was already present *)
   | Error of err
 
 val verdict_to_string : Ipds_core.Checker.alarm -> string

@@ -30,6 +30,15 @@ module Reg = Ipds_obs.Registry
 (* Overload shedding depends on timing, so the counter is unstable. *)
 let m_overloaded = Reg.counter ~stable:false "serve.overloaded"
 
+(* Fleet artifact sharing: where this server may fetch verified
+   artifacts from on a local-store miss, instead of answering
+   [unknown-artifact] and forcing the client to recompile. *)
+type peer_sharing = {
+  peer_topology : Ipds_fleet.Topology.t;
+  peer_self : int;  (** this server's own shard index (never asked) *)
+  peer_backoff : Ipds_fleet.Backoff.t;
+}
+
 type config = {
   jobs : int;  (** reactor domains (≥ 1) *)
   max_frame : int;  (** payload-size limit, bytes *)
@@ -40,6 +49,7 @@ type config = {
       (** artifact store for [Load_key]; [None] uses the ambient store *)
   reply_queue_bytes : int;  (** per-connection reply-queue bound *)
   inflight_bytes : int;  (** global bound on queued reply bytes *)
+  peers : peer_sharing option;  (** fleet peers to warm the store from *)
 }
 
 let default_config =
@@ -52,6 +62,7 @@ let default_config =
     store_dir = None;
     reply_queue_bytes = 8 * 1024 * 1024;
     inflight_bytes = 64 * 1024 * 1024;
+    peers = None;
   }
 
 type address = [ `Unix of string | `Tcp of int ]
@@ -82,6 +93,7 @@ type reactor = {
 type t = {
   config : config;
   store : Store.t option;
+  peer_fetch : (string -> (string, Protocol.err) result) option;
   cache : Ipds_core.System.t Shard_cache.t;
   fd : Unix.file_descr;
   sock_path : string option;
@@ -298,7 +310,9 @@ let adopt t r =
       let conn =
         {
           fd;
-          session = Session.create ~store:t.store ~fetch:(cache_fetch t) ();
+          session =
+            Session.create ?peer_fetch:t.peer_fetch ~store:t.store
+              ~fetch:(cache_fetch t) ();
           inbuf = Bytes.create 65536;
           in_start = 0;
           in_len = 0;
@@ -473,6 +487,24 @@ let start ?(config = default_config) (addr : address) =
     | Some dir -> Some (Store.create ~dir)
     | None -> Store.ambient ()
   in
+  (* Built once per server: the fleet client's ring agrees with every
+     other shard's by construction (same topology).  The fetch runs
+     inside the reactor handling the Load_key — blocking, but strictly
+     on the cold-miss path, where the alternative is a client-side
+     recompile costing far more. *)
+  let peer_fetch =
+    Option.map
+      (fun p ->
+        let fc =
+          Fleet_client.create ~max_frame:config.max_frame
+            ~backoff:p.peer_backoff p.peer_topology
+        in
+        fun key ->
+          match Fleet_client.fetch_artifact ~exclude:p.peer_self fc key with
+          | Ok bytes -> Ok (Bytes.to_string bytes)
+          | Error e -> Error e)
+      config.peers
+  in
   let shards = max 1 config.cache_shards in
   let cache =
     Shard_cache.create ~metrics_prefix:"serve.cache" ~shards
@@ -496,6 +528,7 @@ let start ?(config = default_config) (addr : address) =
     {
       config;
       store;
+      peer_fetch;
       cache;
       fd;
       sock_path;

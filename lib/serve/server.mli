@@ -29,6 +29,19 @@
     {!Server_threaded} (bench baseline); observable protocol behaviour
     is identical. *)
 
+type peer_sharing = {
+  peer_topology : Ipds_fleet.Topology.t;
+  peer_self : int;  (** this server's own shard index (never asked) *)
+  peer_backoff : Ipds_fleet.Backoff.t;
+}
+(** Fleet artifact sharing: on a [Load_key] local-store miss the server
+    fetches the artifact from ring peers ({!Fleet_client.fetch_artifact}
+    excluding [peer_self]), fully verifies it
+    ({!Ipds_artifact.Artifact.of_bytes} + {!Ipds_core.Image.validate} —
+    peer bytes are untrusted input), publishes it to its own store and
+    serves it — a cold shard warms itself instead of forcing a client
+    recompile.  Tracked by the [serve.artifact_*] counters. *)
+
 type config = {
   jobs : int;  (** reactor domains (≥ 1) *)
   max_frame : int;  (** payload-size limit, bytes *)
@@ -39,11 +52,13 @@ type config = {
       (** artifact store for [Load_key]; [None] uses the ambient store *)
   reply_queue_bytes : int;  (** per-connection reply-queue bound *)
   inflight_bytes : int;  (** global bound on queued reply bytes *)
+  peers : peer_sharing option;  (** fleet peers to warm the store from *)
 }
 
 val default_config : config
 (** 1 reactor, 4 MiB frames, 30 s timeout, 8 cache slots over 4 shards,
-    ambient store, 8 MiB per-connection reply bound, 64 MiB global. *)
+    ambient store, 8 MiB per-connection reply bound, 64 MiB global, no
+    peer sharing. *)
 
 type address = [ `Unix of string | `Tcp of int ]
 (** [`Tcp port] binds the loopback interface; port 0 picks a free one

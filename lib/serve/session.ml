@@ -25,6 +25,10 @@ let m_branches = Reg.counter "serve.branches"
 let m_alarms = Reg.counter "serve.alarms"
 let m_protocol_errors = Reg.counter "serve.protocol_errors"
 let m_state_errors = Reg.counter "serve.state_errors"
+let m_artifact_fetches = Reg.counter "serve.artifact_fetches"
+let m_artifact_pushes = Reg.counter "serve.artifact_pushes"
+let m_artifact_verify_rejects = Reg.counter "serve.artifact_verify_rejects"
+let m_artifact_peer_loads = Reg.counter ~stable:false "serve.artifact_peer_loads"
 let m_timeouts = Reg.counter ~stable:false "serve.timeouts"
 let m_batch_micros = Reg.histogram ~stable:false "serve.batch_micros"
 
@@ -45,6 +49,7 @@ type fetch =
 type t = {
   store : Store.t option;
   fetch : fetch;
+  peer_fetch : (string -> (string, Protocol.err) result) option;
   mutable system : System.t option;
   mutable checker : Checker.t option;
   mutable tr_events : int;
@@ -61,11 +66,12 @@ type t = {
   mutable st_ncallees : int;
 }
 
-let create ~store ~fetch () =
+let create ?peer_fetch ~store ~fetch () =
   Reg.incr m_sessions;
   {
     store;
     fetch;
+    peer_fetch;
     system = None;
     checker = None;
     tr_events = 0;
@@ -79,8 +85,26 @@ let create ~store ~fetch () =
   }
 
 (* The cache key of an inline image: servers, routing clients and the
-   legacy router must all derive it identically. *)
-let image_key image = "img:" ^ Digest.to_hex (Digest.string image)
+   legacy router must all derive it identically.  SHA-256 so the key is
+   a collision-resistant content address, like store keys. *)
+let image_key image = "img:" ^ Ipds_artifact.Sha256.hex_string image
+
+(* Full verification of untrusted container bytes (a pushed artifact or
+   one fetched from a peer): container digest, section CRCs, complete
+   decode and structural validation of every flat image.  Anything less
+   would let a forged frame publish unservable — or wrong — tables. *)
+let verify_image bytes =
+  match Ipds_artifact.Artifact.of_bytes bytes with
+  | sys -> (
+      match
+        List.iter
+          (fun (_, (i : System.func_info)) ->
+            Ipds_core.Image.validate i.System.image)
+          sys.System.funcs
+      with
+      | () -> Ok sys
+      | exception Invalid_argument m -> Error m)
+  | exception Ipds_artifact.Artifact.Corrupt m -> Error m
 
 let send_error ~send code detail =
   (match code with
@@ -129,13 +153,35 @@ let handle t ~send (f : Protocol.frame) =
           send_err Protocol.Unknown_artifact "no artifact store configured";
           `Close
       | Some store -> (
+          let miss () =
+            `Err
+              (Protocol.Unknown_artifact, "no loadable artifact for key " ^ key)
+          in
+          (* local store first; a cold shard then warms itself from a
+             fleet peer — the fetched image is untrusted until
+             [verify_image] passes, and only then published locally so
+             the next miss is a plain store hit *)
           let load () =
             match Store.load_system store key with
             | Some sys -> `Ok sys
-            | None ->
-                `Err
-                  ( Protocol.Unknown_artifact,
-                    "no loadable artifact for key " ^ key )
+            | None -> (
+                match t.peer_fetch with
+                | None -> miss ()
+                | Some peer -> (
+                    match peer key with
+                    | Error (_ : Protocol.err) -> miss ()
+                    | Ok image -> (
+                        let bytes = Bytes.of_string image in
+                        match verify_image bytes with
+                        | Error m ->
+                            Reg.incr m_artifact_verify_rejects;
+                            `Err
+                              ( Protocol.Corrupt_artifact,
+                                "peer artifact failed verification: " ^ m )
+                        | Ok sys ->
+                            Reg.incr m_artifact_peer_loads;
+                            ignore (Store.publish_image store key bytes);
+                            `Ok sys)))
           in
           match t.fetch key load with
           | `Hit sys -> loaded t ~send ~name:key sys `Hit
@@ -219,8 +265,64 @@ let handle t ~send (f : Protocol.frame) =
                  total_alarms = t.tr_alarms;
                });
           `Continue)
+  | Protocol.Fetch_artifact key -> (
+      match t.store with
+      | None ->
+          send_err Protocol.Unknown_artifact "no artifact store configured";
+          `Close
+      | Some _ when not (Store.valid_key key) ->
+          send_err Protocol.Unknown_artifact
+            ("malformed artifact key " ^ String.escaped key);
+          `Close
+      | Some store -> (
+          match Store.fetch_image store key with
+          | `Image bytes ->
+              Reg.incr m_artifact_fetches;
+              send
+                (Protocol.Artifact_data { key; image = Bytes.to_string bytes });
+              `Continue
+          | `Miss ->
+              send_err Protocol.Unknown_artifact
+                ("no artifact stored for key " ^ key);
+              `Close
+          | `Corrupt reason -> send_err Protocol.Corrupt_artifact reason; `Close))
+  | Protocol.Push_artifact { key; image } -> (
+      match t.store with
+      | None ->
+          send_err Protocol.Unknown_artifact "no artifact store configured";
+          `Close
+      | Some _ when not (Store.valid_key key) ->
+          send_err Protocol.Unknown_artifact
+            ("malformed artifact key " ^ String.escaped key);
+          `Close
+      | Some store -> (
+          let bytes = Bytes.of_string image in
+          match verify_image bytes with
+          | Error m ->
+              Reg.incr m_artifact_verify_rejects;
+              send_err Protocol.Corrupt_artifact
+                ("pushed artifact failed verification: " ^ m);
+              `Close
+          | Ok (_ : System.t) -> (
+              match Store.publish_image store key bytes with
+              | `Stored ->
+                  Reg.incr m_artifact_pushes;
+                  send (Protocol.Artifact_pushed { key; stored = true });
+                  `Continue
+              | `Duplicate ->
+                  Reg.incr m_artifact_pushes;
+                  send (Protocol.Artifact_pushed { key; stored = false });
+                  `Continue
+              | `Collision ->
+                  send_err Protocol.Corrupt_artifact
+                    ("a different valid artifact already holds key " ^ key);
+                  `Close
+              | `Failed m ->
+                  send_err Protocol.Server_error ("publish failed: " ^ m);
+                  `Close)))
   | Protocol.Loaded _ | Protocol.Trace_started | Protocol.Verdicts _
-  | Protocol.Trace_summary _ | Protocol.Error _ ->
+  | Protocol.Trace_summary _ | Protocol.Artifact_data _
+  | Protocol.Artifact_pushed _ | Protocol.Error _ ->
       send_err Protocol.Bad_state "server-to-client frame from a client";
       `Close
 

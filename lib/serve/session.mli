@@ -22,6 +22,20 @@ val m_alarms : Reg.counter
 val m_protocol_errors : Reg.counter
 val m_state_errors : Reg.counter
 
+val m_artifact_fetches : Reg.counter
+(** [Fetch_artifact] frames answered with verified artifact bytes. *)
+
+val m_artifact_pushes : Reg.counter
+(** [Push_artifact] frames accepted (stored or byte-identical dup). *)
+
+val m_artifact_verify_rejects : Reg.counter
+(** Inbound images (pushed or peer-fetched) that failed full
+    verification and were rejected with [corrupt-artifact]. *)
+
+val m_artifact_peer_loads : Reg.counter
+(** Local-store misses satisfied by fetching a verified artifact from a
+    fleet peer.  Unstable: depends on which shard warmed first. *)
+
 val m_timeouts : Reg.counter
 (** Unstable (timing-dependent). *)
 
@@ -41,11 +55,21 @@ type fetch =
 
 type t
 
-val create : store:Ipds_artifact.Store.t option -> fetch:fetch -> unit -> t
-(** Counts [serve.sessions]. *)
+val create :
+  ?peer_fetch:(string -> (string, Protocol.err) result) ->
+  store:Ipds_artifact.Store.t option ->
+  fetch:fetch ->
+  unit ->
+  t
+(** Counts [serve.sessions].  [peer_fetch] is the fleet hook consulted
+    on a [Load_key] local-store miss: it returns the raw container
+    bytes of the key from a warm peer, which the session verifies
+    ({!Ipds_artifact.Artifact.of_bytes} + {!Ipds_core.Image.validate})
+    and publishes locally before serving — a cold shard warms itself
+    instead of answering [unknown-artifact]. *)
 
 val image_key : string -> string
-(** The cache key of an inline [.ipds] image ("img:" ^ MD5 hex) —
+(** The cache key of an inline [.ipds] image ("img:" ^ SHA-256 hex) —
     servers, routing clients and the legacy router must derive it
     identically, so it lives here. *)
 

@@ -258,4 +258,89 @@ let () =
           fail "router transport error: %s" (P.error_code_to_string e.P.code));
       Unix.close fd;
       Printf.printf "4 ok: dead fleet surfaces as typed unavailable everywhere\n%!");
+
+  section "5: artifact sharing -- cold shard warms itself from a peer";
+  (* Two fresh shards with SEPARATE stores (sections 1-4 share one
+     directory, which would hide the fetch): warm shard 0 holds the
+     artifact, cold shard 1 must obtain it over the fetch frame, verify
+     it, publish it into its own store and serve byte-identical
+     verdicts -- with zero MiniC compiles anywhere in the process. *)
+  let module Reg = Ipds_obs.Registry in
+  let cval name = Reg.counter_value (Reg.counter name) in
+  let base5 = temp_path "-share.sock" in
+  let topo5 = Topology.create ~shards:2 (`Unix base5) in
+  let dirs = [| temp_path "-share-store0"; temp_path "-share-store1" |] in
+  let share_config i =
+    {
+      Server.default_config with
+      cache_slots = 16;
+      store_dir = Some dirs.(i);
+      peers =
+        Some
+          {
+            Server.peer_topology = topo5;
+            peer_self = i;
+            peer_backoff = backoff;
+          };
+    }
+  in
+  let path5 i =
+    match Topology.address topo5 i with
+    | `Unix path -> path
+    | `Tcp _ -> fail "unix topology produced a tcp address"
+  in
+  let s5 = Array.init 2 (fun i -> Server.start ~config:(share_config i) (`Unix (path5 i))) in
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter Server.stop s5;
+      Array.iter
+        (fun d -> ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote d))))
+        dirs)
+  @@ fun () ->
+  let w5 = List.hd W.all in
+  let system5 = W.system w5 in
+  let key5 = "share-" ^ w5.W.name in
+  let run5 = local_run system5 (W.program w5) ~seed:2006 in
+  let store_warm = Store.create ~dir:dirs.(0) in
+  Store.publish_system store_warm key5 system5;
+  let compiles0 = W.compile_count () in
+  let fetches0 = cval "serve.artifact_fetches" in
+  let peer_loads0 = cval "serve.artifact_peer_loads" in
+  (* straight to the COLD shard: its store misses, so it must go to its
+     ring peer (never itself) for the bytes *)
+  let c = Client.connect (`Unix (path5 1)) in
+  ignore (ok (Client.load_key c key5));
+  assert_equivalent ~what:"cold-shard warm-up" run5 (remote_check c run5);
+  Client.close c;
+  if W.compile_count () <> compiles0 then
+    fail "cold shard recompiled instead of fetching from its peer";
+  if cval "serve.artifact_fetches" - fetches0 <> 1 then
+    fail "expected exactly one peer fetch served, got %d"
+      (cval "serve.artifact_fetches" - fetches0);
+  if cval "serve.artifact_peer_loads" - peer_loads0 <> 1 then
+    fail "expected exactly one peer-warmed load, got %d"
+      (cval "serve.artifact_peer_loads" - peer_loads0);
+  (* the fetched artifact was published into the cold shard's own
+     store: a fresh session is a local hit, no second peer fetch *)
+  let fetches1 = cval "serve.artifact_fetches" in
+  let c2 = Client.connect (`Unix (path5 1)) in
+  ignore (ok (Client.load_key c2 key5));
+  assert_equivalent ~what:"warmed-shard rerun" run5 (remote_check c2 run5);
+  Client.close c2;
+  if cval "serve.artifact_fetches" <> fetches1 then
+    fail "warmed shard paid a second peer fetch";
+  (* and client-side push seeds a shard directly: push to shard 0 under
+     a new key, then a fetch returns the identical bytes *)
+  let image5 = Ipds_artifact.Artifact.to_bytes system5 in
+  let fc5 = Fleet_client.create ~backoff topo5 in
+  (match Fleet_client.push_artifact fc5 ~key:"share-seeded" image5 with
+  | Ok true -> ()
+  | Ok false -> fail "seeding push reported duplicate on an empty key"
+  | Error e -> fail "seeding push failed: %s" e.P.detail);
+  (match Fleet_client.fetch_artifact fc5 "share-seeded" with
+  | Ok got when Bytes.equal got image5 -> ()
+  | Ok _ -> fail "fetched bytes differ from the pushed image"
+  | Error e -> fail "fetch after push failed: %s" e.P.detail);
+  Printf.printf
+    "5 ok: cold shard warmed over the wire, zero compiles, verdicts identical\n%!";
   print_endline "fleet smoke OK"

@@ -107,6 +107,29 @@ let test_checker_equivalence () =
       check (w.W.name ^ " same verdicts") true (drive sys = drive sys2))
     [ W.find "telnetd"; W.find "httpd" ]
 
+(* ---------- SHA-256 ---------- *)
+
+(* FIPS 180-4 test vectors: the store's content addresses and the
+   object-file digest both stand on this implementation, so it is
+   pinned to the published vectors, not just to self-consistency. *)
+let test_sha256_fips_vectors () =
+  let module H = Ipds_artifact.Sha256 in
+  check_str "empty" "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+    (H.hex_string "");
+  check_str "abc" "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+    (H.hex_string "abc");
+  check_str "two blocks"
+    "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+    (H.hex_string "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq");
+  check_str "million a's"
+    "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+    (H.hex_string (String.make 1_000_000 'a'));
+  (* windowed digest agrees with whole-buffer digest *)
+  let buf = Bytes.of_string "xxabcyy" in
+  check_str "pos/len window" (H.hex_string "abc")
+    (H.to_hex (H.bytes buf ~pos:2 ~len:3));
+  check_int "digest length" 32 (String.length (H.all (Bytes.create 0)))
+
 (* ---------- corruption ---------- *)
 
 let test_every_byte_flip_detected () =
@@ -213,6 +236,160 @@ let test_store_hit_miss_corrupt () =
       check_int "corrupt misses" 1 c.Store.corrupt;
       check "bytes accounted" true (c.Store.bytes_read > 0 && c.Store.bytes_written > 0))
 
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let buf = Bytes.create n in
+  really_input ic buf 0 n;
+  close_in ic;
+  buf
+
+let write_file path buf =
+  let oc = open_out_bin path in
+  output_bytes oc buf;
+  close_out oc
+
+(* A v2 (or any older-format) entry left over from a previous release
+   must read as a clean miss — counted corrupt, rebuilt, never a crash
+   and never a silent misparse. *)
+let test_version_skew_clean_miss () =
+  with_temp_dir (fun dir ->
+      Store.reset_counters ();
+      let store = Store.create ~dir in
+      let w = W.find "telnetd" in
+      let key =
+        Store.key ~source:w.W.source ~promote:true
+          ~options:Ipds_correlation.Analysis.default_options
+      in
+      Store.publish_system store key (system_of w);
+      let path = Store.path_of_key store key in
+      let buf = read_file path in
+      (* rewrite the format-version field (u32 LE at offset 8) to v2 *)
+      Bytes.set_int32_le buf 8 2l;
+      write_file path buf;
+      check "v2 entry decodes as Corrupt" true
+        (match A.of_bytes buf with
+        | _ -> false
+        | exception A.Corrupt msg ->
+            (* the reason names the version skew, not a generic failure *)
+            let has_sub s sub =
+              let n = String.length sub in
+              let rec go i =
+                i + n <= String.length s
+                && (String.sub s i n = sub || go (i + 1))
+              in
+              go 0
+            in
+            has_sub msg "version");
+      check "v2 entry is a clean store miss" true
+        (Store.load_system store key = None);
+      let c = Store.counters () in
+      check_int "skew counted corrupt" 1 c.Store.corrupt;
+      check_int "skew counted miss" 1 c.Store.misses)
+
+(* The collision-detection table: an occupied key is byte-compared on
+   every publish; different valid content is counted and refused, a
+   byte-identical republish is a no-op, and a damaged entry is
+   repaired. *)
+let test_collision_table () =
+  with_temp_dir (fun dir ->
+      Store.reset_counters ();
+      let store = Store.create ~dir in
+      let img_a = A.to_bytes (system_of (W.find "telnetd")) in
+      let img_b = A.to_bytes (system_of (W.find "httpd")) in
+      let key = "collision-table-probe" in
+      check "first publish stores" true (Store.publish_image store key img_a = `Stored);
+      check "identical republish is duplicate" true
+        (Store.publish_image store key img_a = `Duplicate);
+      check "different valid content collides" true
+        (Store.publish_image store key img_b = `Collision);
+      (* first writer wins: the original bytes are still what is served *)
+      (match Store.fetch_image store key with
+      | `Image got -> check "original entry kept" true (Bytes.equal got img_a)
+      | `Miss | `Corrupt _ -> Alcotest.fail "entry lost after collision");
+      (* a damaged entry is not a collision — it is repaired in place *)
+      let path = Store.path_of_key store key in
+      write_file path (Bytes.of_string "rot");
+      check "damaged entry repaired" true (Store.publish_image store key img_a = `Stored);
+      (match Store.fetch_image store key with
+      | `Image got -> check "repair restored bytes" true (Bytes.equal got img_a)
+      | `Miss | `Corrupt _ -> Alcotest.fail "repair did not restore the entry");
+      let c = Store.counters () in
+      check_int "exactly one collision counted" 1 c.Store.collisions;
+      check_int "no publish failures" 0 c.Store.publish_failed)
+
+(* Regression: [load_system] used to treat {e any} [Sys_error] as a
+   plain miss, so an unreadable-but-present cache (EACCES, EIO, a
+   directory squatting on the entry path) looked cold forever.  A
+   read fault on an existing entry must count as corrupt.  The fault
+   here is a directory at the entry path — deterministic even when the
+   tests run as root (unlike chmod 0). *)
+let test_read_fault_is_corrupt_not_miss () =
+  with_temp_dir (fun dir ->
+      Store.reset_counters ();
+      let store = Store.create ~dir in
+      let key = "fault-probe-entry" in
+      ignore (Store.publish_image store key (A.to_bytes (system_of (W.find "crond"))));
+      let path = Store.path_of_key store key in
+      Sys.remove path;
+      Unix.mkdir path 0o755;
+      check "read fault is a miss, not a crash" true
+        (Store.load_system store key = None);
+      let c = Store.counters () in
+      check_int "read fault counted corrupt" 1 c.Store.corrupt;
+      (* and a genuinely absent entry stays a plain (non-corrupt) miss *)
+      check "absent entry misses" true
+        (Store.load_system store "fault-probe-absent" = None);
+      let c2 = Store.counters () in
+      check_int "absent entry not counted corrupt" 1 c2.Store.corrupt)
+
+(* Regression: [publish_system] used to swallow [Sys_error] silently.
+   A publish lost to an IO error must be counted.  The fault: a
+   regular file squatting on the 2-char prefix directory, so the temp
+   file creation fails with ENOTDIR — again deterministic as root. *)
+let test_publish_failure_counted () =
+  with_temp_dir (fun dir ->
+      Store.reset_counters ();
+      let store = Store.create ~dir in
+      let key = "pf-probe" in
+      let prefix_dir = Filename.concat dir (String.sub key 0 2) in
+      write_file prefix_dir (Bytes.of_string "squatter");
+      (match Store.publish_image store key (A.to_bytes (system_of (W.find "atftpd"))) with
+      | `Failed _ -> ()
+      | `Stored | `Duplicate | `Collision ->
+          Alcotest.fail "publish into a blocked prefix dir must fail");
+      Store.publish_system store key (system_of (W.find "atftpd"));
+      let c = Store.counters () in
+      check_int "both failed publishes counted" 2 c.Store.publish_failed)
+
+(* Regression: [path_of_key] used to [String.sub key 0 2] without
+   validation, so a short or hostile key (now remotely reachable via
+   the artifact fetch/push frames) raised from deep inside the load
+   path.  Key shape is validated at the boundary instead. *)
+let test_malformed_keys_rejected () =
+  check "short key invalid" false (Store.valid_key "x");
+  check "empty key invalid" false (Store.valid_key "");
+  check "traversal invalid" false (Store.valid_key "../../etc/passwd");
+  check "separator invalid" false (Store.valid_key "ab/cd");
+  check "leading dot invalid" false (Store.valid_key ".hidden");
+  check "control byte invalid" false (Store.valid_key "ab\ncd");
+  check "overlong invalid" false (Store.valid_key (String.make 129 'a'));
+  check "hex digest valid" true (Store.valid_key (String.make 64 'a'));
+  check "human key valid" true (Store.valid_key "fleet-telnetd_v1.2");
+  with_temp_dir (fun dir ->
+      Store.reset_counters ();
+      let store = Store.create ~dir in
+      check "malformed key loads as None, no raise" true
+        (Store.load_system store "x" = None);
+      check "malformed key fetch is a miss" true (Store.fetch_image store "x" = `Miss);
+      (match Store.publish_image store "x" (Bytes.of_string "data") with
+      | `Failed _ -> ()
+      | _ -> Alcotest.fail "malformed key publish must fail");
+      check "path_of_key raises on malformed key" true
+        (match Store.path_of_key store "../x" with
+        | _ -> false
+        | exception Invalid_argument _ -> true))
+
 (* Regression for the multicore-safety fix in Crc32: the lookup table
    used to be a top-level [lazy], and concurrent [Lazy.force] from
    several domains could raise CamlinternalLazy.Undefined.  Hammer the
@@ -281,16 +458,27 @@ let () =
           Alcotest.test_case "all workloads" `Quick test_roundtrip_all_workloads;
           Alcotest.test_case "checker equivalence" `Quick test_checker_equivalence;
         ] );
+      ( "sha256",
+        [ Alcotest.test_case "FIPS 180-4 vectors" `Quick test_sha256_fips_vectors ] );
       ( "corruption",
         [
           Alcotest.test_case "every byte flip" `Quick test_every_byte_flip_detected;
           Alcotest.test_case "truncation" `Quick test_truncation_detected;
           Alcotest.test_case "inspect reports damage" `Quick test_inspect_reports_damage;
+          Alcotest.test_case "v2 version skew is a clean miss" `Quick
+            test_version_skew_clean_miss;
         ] );
       ( "store",
         [
           Alcotest.test_case "file round trip + sniff" `Quick test_file_roundtrip_and_sniff;
           Alcotest.test_case "hit/miss/corrupt + counters" `Quick test_store_hit_miss_corrupt;
+          Alcotest.test_case "collision table" `Quick test_collision_table;
+          Alcotest.test_case "read fault counted corrupt" `Quick
+            test_read_fault_is_corrupt_not_miss;
+          Alcotest.test_case "publish failure counted" `Quick
+            test_publish_failure_counted;
+          Alcotest.test_case "malformed keys rejected" `Quick
+            test_malformed_keys_rejected;
           Alcotest.test_case "key sensitivity" `Quick test_key_sensitivity;
         ] );
       ( "crc32",

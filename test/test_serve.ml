@@ -62,6 +62,16 @@ let frame : P.frame Q.t =
       (let* code = error_code in
        let* detail = Q.oneofl [ "bad thing"; ""; "x" ] in
        Q.return (P.Error { P.code; detail }));
+      Q.map (fun k -> P.Fetch_artifact k) binary_string;
+      (let* key = binary_string in
+       let* image = binary_string in
+       Q.return (P.Push_artifact { key; image }));
+      (let* key = binary_string in
+       let* image = binary_string in
+       Q.return (P.Artifact_data { key; image }));
+      (let* key = binary_string in
+       let* stored = Q.bool in
+       Q.return (P.Artifact_pushed { key; stored }));
     ]
 
 let frames : P.frame list Q.t = Q.list_size (Q.int_range 1 8) frame
@@ -118,6 +128,10 @@ let sample_stream () =
         ];
       P.Trace_summary { P.total_events = 3; total_branches = 1; total_alarms = 1 };
       P.Error { P.code = P.Timeout; detail = "session timed out" };
+      P.Fetch_artifact "abcdef0123456789";
+      P.Push_artifact { key = "abcdef0123456789"; image = "IPDS\x00raw\xfe" };
+      P.Artifact_data { key = "abcdef0123456789"; image = "IPDS\x00raw\xfe" };
+      P.Artifact_pushed { key = "abcdef0123456789"; stored = true };
     ]
 
 let test_every_byte_flip_is_typed_error () =
@@ -382,7 +396,121 @@ let test_raised_max_frame () =
   | Ok _ -> Alcotest.fail "default limit decoded an oversized frame"
   | exception e -> Alcotest.failf "raised %s" (Printexc.to_string e)
 
+(* ---------- artifact fetch/push against a live server ---------- *)
+
+(* The fetch/push frames carry untrusted input onto the server's disk,
+   so this section exercises the whole trust boundary end-to-end:
+   verified bytes round trip, forged or colliding bytes are refused
+   with typed errors, and malformed keys never reach path
+   construction. *)
+
+module Serve = Ipds_serve
+module W = Ipds_workloads.Workloads
+
+let with_store_server f =
+  let tmp name =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ipds-serve-%s-%d-%d" name (Unix.getpid ()) (Random.bits ()))
+  in
+  let dir = tmp "store" in
+  Unix.mkdir dir 0o755;
+  let sock = tmp "sock" in
+  Fun.protect
+    ~finally:(fun () ->
+      ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote dir))))
+    (fun () ->
+      Serve.Server.with_server
+        ~config:{ Serve.Server.default_config with store_dir = Some dir }
+        (`Unix sock)
+        (fun _server ->
+          let client = Serve.Client.connect (`Unix sock) in
+          Fun.protect
+            ~finally:(fun () -> Serve.Client.close client)
+            (fun () -> f client)))
+
+let expect_err name code = function
+  | Error (e : P.err) ->
+      Alcotest.(check string)
+        name
+        (P.error_code_to_string code)
+        (P.error_code_to_string e.P.code)
+  | Ok _ -> Alcotest.failf "%s: expected %s, got Ok" name (P.error_code_to_string code)
+
+let test_push_fetch_roundtrip () =
+  with_store_server (fun client ->
+      let image =
+        Ipds_artifact.Artifact.to_bytes
+          (Core.System.cached_build (W.program (W.find "telnetd")))
+      in
+      let key = "e2e-roundtrip-key" in
+      (match Serve.Client.push_artifact client ~key image with
+      | Ok stored -> check "first push stores" true stored
+      | Error e -> Alcotest.failf "push failed: %s" e.P.detail);
+      (match Serve.Client.push_artifact client ~key image with
+      | Ok stored -> check "identical re-push is a duplicate" false stored
+      | Error e -> Alcotest.failf "re-push failed: %s" e.P.detail);
+      (match Serve.Client.fetch_artifact client key with
+      | Ok got -> check "fetched bytes identical" true (Bytes.equal got image)
+      | Error e -> Alcotest.failf "fetch failed: %s" e.P.detail);
+      (* the pushed artifact is immediately loadable for checking *)
+      match Serve.Client.load_key client key with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "load_key after push failed: %s" e.P.detail)
+
+let test_push_rejects_forgery () =
+  with_store_server (fun client ->
+      let image =
+        Ipds_artifact.Artifact.to_bytes
+          (Core.System.cached_build (W.program (W.find "crond")))
+      in
+      (* flip one payload byte: the container digest no longer matches,
+         so the server must refuse to publish — typed, not an exception,
+         and nothing lands in the store *)
+      let forged = Bytes.copy image in
+      let i = Bytes.length forged / 2 in
+      Bytes.set forged i (Char.chr (Char.code (Bytes.get forged i) lxor 0x20));
+      expect_err "forged push rejected" P.Corrupt_artifact
+        (Serve.Client.push_artifact client ~key:"e2e-forged-key" forged);
+      (* session closed after the typed error; reconnect happens via a
+         fresh with_store_server in the next test.  Garbage that is not
+         even a container is rejected the same way. *)
+      ())
+
+let test_push_rejects_garbage_and_collision () =
+  with_store_server (fun client ->
+      expect_err "garbage push rejected" P.Corrupt_artifact
+        (Serve.Client.push_artifact client ~key:"e2e-garbage-key"
+           (Bytes.of_string "not a container at all")));
+  with_store_server (fun client ->
+      let img w =
+        Ipds_artifact.Artifact.to_bytes
+          (Core.System.cached_build (W.program (W.find w)))
+      in
+      let key = "e2e-collision-key" in
+      (match Serve.Client.push_artifact client ~key (img "telnetd") with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "seed push failed: %s" e.P.detail);
+      expect_err "colliding push rejected" P.Corrupt_artifact
+        (Serve.Client.push_artifact client ~key (img "httpd")))
+
+let test_fetch_typed_misses () =
+  with_store_server (fun client ->
+      expect_err "unknown key" P.Unknown_artifact
+        (Serve.Client.fetch_artifact client "e2e-absent-key"));
+  (* a malformed key must be a typed error from the boundary check,
+     never an Invalid_argument escaping path construction *)
+  List.iter
+    (fun key ->
+      with_store_server (fun client ->
+          expect_err
+            (Printf.sprintf "malformed key %S" key)
+            P.Unknown_artifact
+            (Serve.Client.fetch_artifact client key)))
+    [ "x"; ""; "../../etc/passwd"; ".hidden" ]
+
 let () =
+  Random.self_init ();
   Alcotest.run "serve-protocol"
     [
       ( "codec",
@@ -403,5 +531,15 @@ let () =
           QCheck_alcotest.to_alcotest prop_fast_path_rejects_identically;
           Alcotest.test_case "shared error vocabulary" `Quick
             test_fast_path_details;
+        ] );
+      ( "artifact-sharing",
+        [
+          Alcotest.test_case "push/fetch round trip" `Quick
+            test_push_fetch_roundtrip;
+          Alcotest.test_case "forged push rejected" `Quick
+            test_push_rejects_forgery;
+          Alcotest.test_case "garbage + collision rejected" `Quick
+            test_push_rejects_garbage_and_collision;
+          Alcotest.test_case "typed fetch misses" `Quick test_fetch_typed_misses;
         ] );
     ]
