@@ -13,6 +13,7 @@
      dune exec bench/main.exe -- micro   -- bechamel microbenchmarks
      dune exec bench/main.exe -- serve-latency -- verdict-server round trips
      dune exec bench/main.exe -- serve-throughput -- event-loop vs threaded
+     dune exec bench/main.exe -- precision -- Fig-7 lift from --precision on
      dune exec bench/main.exe -- smoke   -- tiny campaign + invariant checks
 
    Flags (defaults preserve the historical sizes):
@@ -1322,6 +1323,180 @@ let checker_throughput ~reps ~seed ~out () =
       Printf.printf "wrote %s\n" path);
   data
 
+(* ---------- precision: Fig-7 lift from feasible-path refinement ---------- *)
+
+let precision_options =
+  {
+    Ipds_correlation.Analysis.default_options with
+    Ipds_correlation.Analysis.precision = Ipds_correlation.Analysis.precision_on;
+  }
+
+(* Same campaign twice — default options, then with the refine pass on —
+   and report the per-workload detection delta plus what the refinement
+   actually did (obs counters) and what it cost (per-pass deltas). *)
+let precision ~attacks ~seed ?pool ~out () =
+  section
+    (Printf.sprintf "Feasible-path refinement: detection lift (%d attacks/server)"
+       attacks);
+  let pass_snapshot () =
+    List.map
+      (fun (r : Ipds_pass.Pass.report_row) ->
+        (r.Ipds_pass.Pass.r_name, (r.Ipds_pass.Pass.r_units, r.Ipds_pass.Pass.r_seconds)))
+      (Ipds_pass.Pass.report ())
+  in
+  let pass_delta before after =
+    List.filter_map
+      (fun (name, (u1, s1)) ->
+        let u0, s0 =
+          match List.assoc_opt name before with Some v -> v | None -> (0, 0.)
+        in
+        if u1 = u0 && s1 -. s0 < 1e-9 then None
+        else Some (name, u1 - u0, s1 -. s0))
+      after
+  in
+  let refine_names =
+    [ "refine.iterations"; "refine.edges_pruned"; "refine.correlations_gained" ]
+  in
+  let refine_snapshot () =
+    List.map
+      (fun n -> (n, Ipds_obs.Registry.counter_value (Ipds_obs.Registry.counter n)))
+      refine_names
+  in
+  let p0 = pass_snapshot () in
+  let off = H.Attack_experiment.run_all ~attacks ~seed ?pool () in
+  let p1 = pass_snapshot () in
+  let r0 = refine_snapshot () in
+  let on =
+    H.Attack_experiment.run_all ~options:precision_options ~attacks ~seed ?pool ()
+  in
+  let p2 = pass_snapshot () in
+  let r1 = refine_snapshot () in
+  let refine_counters =
+    List.map2 (fun (n, v0) (_, v1) -> (n, v1 - v0)) r0 r1
+  in
+  let rows =
+    List.map2
+      (fun (o : H.Attack_experiment.row) (n : H.Attack_experiment.row) ->
+        assert (String.equal o.workload n.workload);
+        (o.workload, o.attacks, o.detected, n.detected))
+      off.H.Attack_experiment.rows on.H.Attack_experiment.rows
+  in
+  let lifted =
+    List.length (List.filter (fun (_, _, o, n) -> n > o) rows)
+  in
+  Printf.printf "%-12s %9s %9s %6s\n" "workload" "off" "on" "lift";
+  List.iter
+    (fun (w, attacks, o, n) ->
+      Printf.printf "%-12s %5d/%-3d %5d/%-3d %+6d\n" w o attacks n attacks
+        (n - o))
+    rows;
+  Printf.printf
+    "detection lifted on %d/%d workloads; avg detected %.1f%% -> %.1f%%\n"
+    lifted (List.length rows)
+    (100. *. off.H.Attack_experiment.avg_detected)
+    (100. *. on.H.Attack_experiment.avg_detected);
+  List.iter (fun (n, v) -> Printf.printf "  %s: %d\n" n v) refine_counters;
+  let cost_on = pass_delta p1 p2 in
+  print_endline "per-pass cost of the precision build:";
+  List.iter
+    (fun (name, units, seconds) ->
+      Printf.printf "  %-24s %6d units  %8.3fs\n" name units seconds)
+    cost_on;
+  (* per-function refinement stats: the systems are memoised, so this
+     reuses the builds the on-campaign already did *)
+  let fn_stats =
+    List.concat_map
+      (fun w ->
+        let sys = W.system ~options:precision_options ?pool w in
+        List.filter_map
+          (fun (fname, (info : Ipds_core.System.func_info)) ->
+            Option.map
+              (fun s -> (w.W.name, fname, s))
+              info.Ipds_core.System.refine)
+          sys.Ipds_core.System.funcs)
+      W.all
+  in
+  let hist =
+    List.sort_uniq compare
+      (List.map (fun (_, _, s) -> s.Ipds_correlation.Refine.iterations) fn_stats)
+  in
+  Printf.printf "iterations to fixpoint:%s\n"
+    (String.concat ""
+       (List.map
+          (fun it ->
+            let n =
+              List.length
+                (List.filter
+                   (fun (_, _, s) ->
+                     s.Ipds_correlation.Refine.iterations = it)
+                   fn_stats)
+            in
+            Printf.sprintf "  %d iteration%s x %d functions"
+              it (if it = 1 then "" else "s") n)
+          hist));
+  let pass_cost_json delta =
+    J.List
+      (List.map
+         (fun (name, units, seconds) ->
+           J.Obj
+             [
+               ("pass", J.String name);
+               ("units", J.Int units);
+               ("wall_seconds", J.Float seconds);
+             ])
+         delta)
+  in
+  let data =
+    J.Obj
+      [
+        ("attacks", J.Int attacks);
+        ("seed", J.Int seed);
+        ("off", attack_summary_json off);
+        ("on", attack_summary_json on);
+        ( "lift",
+          J.List
+            (List.map
+               (fun (w, attacks, o, n) ->
+                 J.Obj
+                   [
+                     ("workload", J.String w);
+                     ("attacks", J.Int attacks);
+                     ("detected_off", J.Int o);
+                     ("detected_on", J.Int n);
+                     ("lift", J.Int (n - o));
+                   ])
+               rows) );
+        ("workloads_lifted", J.Int lifted);
+        ("refine", J.Obj (List.map (fun (n, v) -> (n, J.Int v)) refine_counters));
+        ( "functions",
+          J.List
+            (List.map
+               (fun (w, fname, (s : Ipds_correlation.Refine.stats)) ->
+                 J.Obj
+                   [
+                     ("workload", J.String w);
+                     ("function", J.String fname);
+                     ("iterations", J.Int s.Ipds_correlation.Refine.iterations);
+                     ("edges_pruned", J.Int s.Ipds_correlation.Refine.edges_pruned);
+                     ( "total_directions",
+                       J.Int s.Ipds_correlation.Refine.total_directions );
+                     ( "correlations_before",
+                       J.Int s.Ipds_correlation.Refine.correlations_before );
+                     ( "correlations_after",
+                       J.Int s.Ipds_correlation.Refine.correlations_after );
+                   ])
+               fn_stats) );
+        ("pass_cost_off", pass_cost_json (pass_delta p0 p1));
+        ("pass_cost_on", pass_cost_json cost_on);
+      ]
+  in
+  (match out with
+  | None -> ()
+  | Some path ->
+      J.write_file path data;
+      Printf.printf "wrote %s\n" path);
+  data
+
 (* ---------- smoke: tiny campaign + the harness's own invariants ---------- *)
 
 let smoke ~attacks ~seed ~jobs () =
@@ -1370,6 +1545,7 @@ type opts = {
   reps : int;  (* checker-throughput replay repetitions *)
   checker_out : string option;  (* checker-throughput report file *)
   serve_out : string option;  (* serve-throughput report file *)
+  precision_out : string option;  (* precision-lift report file *)
 }
 
 let report = ref []  (* (target, wall seconds, data), reverse order *)
@@ -1431,6 +1607,8 @@ let run_target opts pool name =
   | "serve-throughput" -> go (serve_throughput ~seed ~out:opts.serve_out)
   | "checker-throughput" ->
       go (checker_throughput ~reps:opts.reps ~seed ~out:opts.checker_out)
+  | "precision" ->
+      go (precision ~attacks:(att 100) ~seed ?pool ~out:opts.precision_out)
   | "smoke" -> go (smoke ~attacks:(att 5) ~seed ~jobs:opts.jobs)
   | other ->
       Printf.eprintf "unknown bench target: %s\n" other;
@@ -1439,7 +1617,7 @@ let run_target opts pool name =
 let default_targets =
   [
     "table1"; "fig8"; "fig7"; "fig9"; "latency"; "compile-time"; "ablation";
-    "opt-levels"; "baseline"; "models"; "ctx"; "checker-throughput";
+    "opt-levels"; "baseline"; "models"; "ctx"; "precision"; "checker-throughput";
     "serve-throughput";
   ]
 
@@ -1459,6 +1637,7 @@ let cache_json () =
           ("corrupt_entries", J.Int c.Ipds_artifact.Store.corrupt);
           ("fn_hits", J.Int c.Ipds_artifact.Store.fn_hits);
           ("fn_misses", J.Int c.Ipds_artifact.Store.fn_misses);
+          ("fn_precision_misses", J.Int c.Ipds_artifact.Store.fn_precision_misses);
           ("fn_corrupt_entries", J.Int c.Ipds_artifact.Store.fn_corrupt);
           ("collisions", J.Int c.Ipds_artifact.Store.collisions);
           ("publish_failures", J.Int c.Ipds_artifact.Store.publish_failed);
@@ -1585,6 +1764,7 @@ let () =
   let reps = ref 5 in
   let checker_out = ref (Some "BENCH_checker.json") in
   let serve_out = ref (Some "BENCH_serve.json") in
+  let precision_out = ref (Some "BENCH_precision.json") in
   let events = ref (Sys.getenv_opt "IPDS_EVENTS") in
   let targets_rev = ref [] in
   let spec =
@@ -1609,6 +1789,9 @@ let () =
         ( "--serve-out",
           Arg.String (fun f -> serve_out := Some f),
           "FILE Serve-throughput report (default BENCH_serve.json)" );
+        ( "--precision-out",
+          Arg.String (fun f -> precision_out := Some f),
+          "FILE Precision-lift report (default BENCH_precision.json)" );
         ( "--events",
           Arg.String (fun f -> events := Some f),
           "FILE Stream structured JSONL events (default: IPDS_EVENTS)" );
@@ -1647,6 +1830,7 @@ let () =
       reps = max 1 !reps;
       checker_out = !checker_out;
       serve_out = !serve_out;
+      precision_out = !precision_out;
     }
   in
   let targets =

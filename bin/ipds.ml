@@ -42,11 +42,13 @@ let read_file path =
    are compiled and analyzed here.  [jobs] fans the per-function
    analysis passes over a domain pool; the system is byte-identical for
    any value. *)
-let load_system ?(jobs = 1) path =
+let load_system ?(jobs = 1) ?options path =
   if String.length path > 1 && path.[0] = '@' then
     Ipds_parallel.Pool.with_opt ~jobs (fun pool ->
-        W.system ?pool (W.find (String.sub path 1 (String.length path - 1))))
+        W.system ?options ?pool
+          (W.find (String.sub path 1 (String.length path - 1))))
   else if A.is_artifact_file path then begin
+    (* prebuilt artifacts carry their analysis; options don't apply *)
     try A.load_file path
     with A.Corrupt msg ->
       Format.eprintf
@@ -62,7 +64,7 @@ let load_system ?(jobs = 1) path =
       else Mir.Parser.program_of_string src
     in
     Ipds_parallel.Pool.with_opt ~jobs (fun pool ->
-        Core.System.cached_build ?pool program)
+        Core.System.cached_build ?options ?pool program)
   end
 
 let file_arg =
@@ -185,22 +187,74 @@ let build_jobs_arg =
            sequential.  The resulting tables and artifacts are byte-identical \
            for any value.")
 
+(* --precision for the compile-side commands.  [off] is the historical
+   single-pass analysis (byte-identical artifacts and cache keys); [on]
+   iterates analysis and feasibility pruning to a fixpoint. *)
+let precision_arg =
+  Arg.(
+    value
+    & opt (enum [ ("off", `Off); ("on", `On) ]) `Off
+    & info [ "precision" ] ~docv:"MODE"
+        ~doc:
+          "Feasible-path refinement: $(b,on) prunes infeasible branch \
+           directions and re-analyzes on the tightened CFG (up to a \
+           per-function iteration cap), which can expose correlations \
+           spurious paths hid; $(b,off) (default) is the historical \
+           single-pass analysis with byte-identical output.")
+
+let options_of_precision = function
+  | `Off -> None
+  | `On ->
+      Some
+        {
+          Ipds_correlation.Analysis.default_options with
+          Ipds_correlation.Analysis.precision =
+            Ipds_correlation.Analysis.precision_on;
+        }
+
+(* Satellite of the refine pass: one line per function with what the
+   flywheel bought.  Loaded artifacts carry no stats, so this prints
+   only for freshly analyzed functions under --precision on. *)
+let print_feasibility_summary (system : Core.System.t) =
+  let module R = Ipds_correlation.Refine in
+  let any =
+    List.exists
+      (fun (_, (i : Core.System.func_info)) -> i.Core.System.refine <> None)
+      system.Core.System.funcs
+  in
+  if any then begin
+    Format.printf "feasibility refinement (per function):@.";
+    List.iter
+      (fun (name, (i : Core.System.func_info)) ->
+        match i.Core.System.refine with
+        | None -> ()
+        | Some s ->
+            Format.printf
+              "  %-16s pruned %d/%d directions  correlations %d -> %d  (%d \
+               iteration%s)@."
+              name s.R.edges_pruned s.R.total_directions
+              s.R.correlations_before s.R.correlations_after s.R.iterations
+              (if s.R.iterations = 1 then "" else "s"))
+      system.Core.System.funcs
+  end
+
 let print_pass_report () =
   Format.printf "per-pass breakdown (units stable, seconds wall-clock):@.%s"
     (Ipds_pass.Pass.render_report (Ipds_pass.Pass.report ()))
 
 let analyze_cmd =
-  let run () obs file jobs =
+  let run () obs file jobs precision =
     obs_init ~command:"analyze"
       ~manifest:
         [ ("file", Obs.Json.String file); ("jobs", Obs.Json.Int jobs) ]
       obs;
-    let system = load_system ~jobs file in
+    let system = load_system ~jobs ?options:(options_of_precision precision) file in
     List.iter
       (fun (_, (i : Core.System.func_info)) ->
         Format.printf "%a@.%a@.@."
           Ipds_correlation.Analysis.pp_result i.result Core.Tables.pp i.tables)
       system.Core.System.funcs;
+    print_feasibility_summary system;
     let stats = Core.System.size_stats system in
     Format.printf "checked %d of %d branches; avg bits: BSV %.1f BCV %.1f BAT %.1f@."
       (Core.System.checked_branch_count system)
@@ -211,7 +265,9 @@ let analyze_cmd =
   in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Run the compile-side correlation analysis and show the tables.")
-    Term.(const run $ cache_term $ obs_term $ file_arg $ build_jobs_arg)
+    Term.(
+      const run $ cache_term $ obs_term $ file_arg $ build_jobs_arg
+      $ precision_arg)
 
 (* ---------- run ---------- *)
 
@@ -409,12 +465,12 @@ let compile_cmd =
       value & opt string "prog.ipds"
       & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output .ipds object file.")
   in
-  let run () obs file out jobs =
+  let run () obs file out jobs precision =
     obs_init ~command:"compile"
       ~manifest:
         [ ("file", Obs.Json.String file); ("jobs", Obs.Json.Int jobs) ]
       obs;
-    let system = load_system ~jobs file in
+    let system = load_system ~jobs ?options:(options_of_precision precision) file in
     A.save_file out system;
     let bytes = (Unix.stat out).Unix.st_size in
     Format.printf "wrote %d bytes (%d functions, %d/%d branches checked) to %s@."
@@ -423,6 +479,7 @@ let compile_cmd =
       (Core.System.checked_branch_count system)
       (Core.System.total_branch_count system)
       out;
+    print_feasibility_summary system;
     print_pass_report ()
   in
   Cmd.v
@@ -431,7 +488,9 @@ let compile_cmd =
          "Analyze the program and save a checksummed .ipds object file; \
           'ipds run/attack/perf' load it back without re-running the front \
           end or the analysis.")
-    Term.(const run $ cache_term $ obs_term $ file_arg $ out_arg $ build_jobs_arg)
+    Term.(
+      const run $ cache_term $ obs_term $ file_arg $ out_arg $ build_jobs_arg
+      $ precision_arg)
 
 let encode_cmd =
   let out_arg =

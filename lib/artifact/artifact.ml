@@ -179,6 +179,8 @@ let reconstruct ~layout (f : Mir.Func.t) ~entry_pc ~digest
         edge_actions = List.rev !edge_actions;
         entry_actions = entries_to_actions tables.Core.Tables.entry_row;
       };
+    (* refinement stats are build-time telemetry, not part of the format *)
+    refine = None;
   }
 
 let of_bytes bytes =

@@ -1,12 +1,19 @@
 module Core = Ipds_core
+module Corr = Ipds_correlation
 
 let system ?options ?pool store ~key compile =
   match Store.load_system store key with
   | Some sys -> sys
   | None ->
       let program = compile () in
+      let precision =
+        match options with
+        | Some o -> o.Corr.Analysis.precision <> Corr.Analysis.Off
+        | None -> false
+      in
       let sys =
-        Core.System.build ?options ?pool ~func_cache:(Store.func_cache store)
+        Core.System.build ?options ?pool
+          ~func_cache:(Store.func_cache ~precision store)
           program
       in
       Store.publish_system store key sys;

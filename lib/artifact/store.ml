@@ -17,6 +17,7 @@ let m_misses = Ipds_obs.Registry.counter "store.misses"
 let m_corrupt = Ipds_obs.Registry.counter "store.corrupt"
 let m_fn_hits = Ipds_obs.Registry.counter "store.fn_hits"
 let m_fn_misses = Ipds_obs.Registry.counter "store.fn_misses"
+let m_fn_precision_misses = Ipds_obs.Registry.counter "store.fn_precision_misses"
 let m_fn_corrupt = Ipds_obs.Registry.counter "store.fn_corrupt"
 let m_collisions = Ipds_obs.Registry.counter "store.collisions"
 let m_publish_failed = Ipds_obs.Registry.counter "store.publish_failed"
@@ -31,6 +32,7 @@ type counters = {
   corrupt : int;
   fn_hits : int;
   fn_misses : int;
+  fn_precision_misses : int;
   fn_corrupt : int;
   collisions : int;
   publish_failed : int;
@@ -49,6 +51,7 @@ let counters () =
     corrupt = v m_corrupt;
     fn_hits = v m_fn_hits;
     fn_misses = v m_fn_misses;
+    fn_precision_misses = v m_fn_precision_misses;
     fn_corrupt = v m_fn_corrupt;
     collisions = v m_collisions;
     publish_failed = v m_publish_failed;
@@ -66,6 +69,7 @@ let reset_counters () =
       m_corrupt;
       m_fn_hits;
       m_fn_misses;
+      m_fn_precision_misses;
       m_fn_corrupt;
       m_collisions;
       m_publish_failed;
@@ -293,10 +297,18 @@ let publish_func t ~digest info =
   Ipds_obs.Span.time span_publish (fun () ->
       ignore (publish_image_at path (Artifact.func_image info)))
 
-let func_cache t =
+let func_cache ?(precision = false) t =
   {
     Ipds_core.System.lookup =
-      (fun ~digest ~layout f -> load_func t ~digest ~layout f);
+      (fun ~digest ~layout f ->
+        match load_func t ~digest ~layout f with
+        | Some _ as hit -> hit
+        | None ->
+            (* misses attributable to a precision-bearing digest get their
+               own counter, so a config flip shows up as clean fn misses *)
+            if precision then
+              Ipds_obs.Registry.incr m_fn_precision_misses;
+            None);
     publish = (fun ~digest info -> publish_func t ~digest info);
   }
 

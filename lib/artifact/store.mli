@@ -102,9 +102,13 @@ val load_func :
 
 val publish_func : t -> digest:string -> Ipds_core.System.func_info -> unit
 
-val func_cache : t -> Ipds_core.System.func_cache
+val func_cache : ?precision:bool -> t -> Ipds_core.System.func_cache
 (** The two hooks above packaged for
-    [Ipds_core.System.build ~func_cache]. *)
+    [Ipds_core.System.build ~func_cache].  With [~precision:true] every
+    function-tier miss additionally counts as [fn_precision_misses]:
+    since precision is part of {!Ipds_core.System.func_digest}, flipping
+    the precision config shows up as a clean sweep of these misses
+    rather than stale hits. *)
 
 (** {2 Ambient store} *)
 
@@ -124,6 +128,9 @@ type counters = {
   corrupt : int;  (** the subset of misses caused by damaged entries *)
   fn_hits : int;  (** function-tier hits (functions not re-analyzed) *)
   fn_misses : int;  (** function-tier misses (functions analyzed fresh) *)
+  fn_precision_misses : int;
+      (** the subset of [fn_misses] incurred under a precision-enabled
+          digest (see {!func_cache}) *)
   fn_corrupt : int;  (** the subset of [fn_misses] from damaged blobs *)
   collisions : int;
       (** publishes that found a different valid entry at the key *)

@@ -7,7 +7,7 @@ type t = {
   first : int array;  (* block index -> first point *)
 }
 
-let make (f : Mir.Func.t) =
+let make ?(branch_ok = fun _ _ -> true) (f : Mir.Func.t) =
   let n = f.instr_count in
   let nblocks = Array.length f.blocks in
   let first =
@@ -29,7 +29,13 @@ let make (f : Mir.Func.t) =
           succs.(i.iid) <- [ nxt ])
         body;
       succs.(blk.term_iid) <-
-        List.map (fun b -> first.(b)) (Mir.Terminator.successors blk.term))
+        (match blk.term with
+        | Mir.Terminator.Branch { if_true; if_false; _ } ->
+            (if branch_ok blk.term_iid true then [ first.(if_true) ] else [])
+            @ (if branch_ok blk.term_iid false then [ first.(if_false) ] else [])
+        | Mir.Terminator.Jump _ | Mir.Terminator.Return _ | Mir.Terminator.Halt
+          ->
+            List.map (fun b -> first.(b)) (Mir.Terminator.successors blk.term)))
     f.blocks;
   let preds = Array.make n [] in
   Array.iteri (fun p ss -> List.iter (fun s -> preds.(s) <- p :: preds.(s)) ss) succs;

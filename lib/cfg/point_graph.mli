@@ -11,7 +11,12 @@
 
 type t
 
-val make : Ipds_mir.Func.t -> t
+val make : ?branch_ok:(int -> bool -> bool) -> Ipds_mir.Func.t -> t
+(** [branch_ok term_iid taken] (default: always true) filters branch
+    edges: a direction it rejects contributes no terminator→successor
+    edge, so path queries range over the feasibility-pruned graph
+    ({!Feasibility.branch_ok}).  Jump/return edges are never filtered. *)
+
 val n_points : t -> int
 val succs : t -> int -> int list
 val preds : t -> int -> int list

@@ -8,6 +8,9 @@ type func_info = {
   tables : Tables.t;
   image : Image.t;
   result : Corr.Analysis.result;
+  refine : Corr.Refine.stats option;
+      (** present iff this build ran the refine pass (precision on);
+          not serialized, so artifact loads carry [None] *)
 }
 
 type t = {
@@ -59,6 +62,10 @@ let pass_analyze =
   Pass.v ~name:"analyze" ~scope:Pass.Function (fun (options, pw, f) ->
       Corr.Analysis.analyze_func ~options pw f)
 
+let pass_refine =
+  Pass.v ~name:"refine" ~scope:Pass.Function (fun (options, pw, f) ->
+      Corr.Refine.analyze ~options pw f)
+
 let pass_tables =
   Pass.v ~name:"tables" ~scope:Pass.Function (fun (layout, result) ->
       Tables.build ~layout result)
@@ -91,7 +98,14 @@ let build ?options ?pool ?func_cache program =
         match cached with
         | Some info -> (name, info)
         | None ->
-            let result = Pass.run pass_analyze (options, pw, f) in
+            let result, refine =
+              match options.Corr.Analysis.precision with
+              | Corr.Analysis.Off ->
+                  (Pass.run pass_analyze (options, pw, f), None)
+              | Corr.Analysis.Refine _ ->
+                  let result, stats = Pass.run pass_refine (options, pw, f) in
+                  (result, Some stats)
+            in
             let tables = Pass.run pass_tables (layout, result) in
             let info =
               {
@@ -100,6 +114,7 @@ let build ?options ?pool ?func_cache program =
                 tables;
                 image = Image.of_tables tables;
                 result;
+                refine;
               }
             in
             (match func_cache with

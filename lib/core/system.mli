@@ -19,6 +19,10 @@ type func_info = {
           straight from the artifact section) so every checker shares
           it *)
   result : Ipds_correlation.Analysis.result;
+  refine : Ipds_correlation.Refine.stats option;
+      (** present iff this build ran the refine pass (precision on);
+          build-time telemetry only — not serialized into artifacts, so
+          loaded [func_info]s carry [None] *)
 }
 
 type t = {

@@ -15,22 +15,46 @@ type result = {
   entry_actions : (int * Action.t) list;
 }
 
+type precision =
+  | Off
+  | Refine of { cap : int }
+
 type options = {
   store_load : bool;
   load_load : bool;
   affine_tracing : bool;
   summary_mode : Alias.Summary.mode;
+  precision : precision;
 }
 
 let default_options =
-  { store_load = true; load_load = true; affine_tracing = true; summary_mode = `Faithful }
+  {
+    store_load = true;
+    load_load = true;
+    affine_tracing = true;
+    summary_mode = `Faithful;
+    precision = Off;
+  }
 
+let default_refine_cap = 4
+let precision_on = Refine { cap = default_refine_cap }
+
+(* [Off] must render exactly as the pre-precision fingerprint did: the
+   per-function digests, store keys and artifact bytes of a [--precision
+   off] build are byte-identical to a build that predates the refine
+   pass.  Enabling precision appends a component, so it behaves like any
+   other analysis-config change: a clean cache miss. *)
 let options_fingerprint o =
-  Printf.sprintf "store_load=%b;load_load=%b;affine=%b;summary=%s" o.store_load
-    o.load_load o.affine_tracing
-    (match o.summary_mode with
-    | `Faithful -> "faithful"
-    | `Precise_globals -> "precise-globals")
+  let base =
+    Printf.sprintf "store_load=%b;load_load=%b;affine=%b;summary=%s" o.store_load
+      o.load_load o.affine_tracing
+      (match o.summary_mode with
+      | `Faithful -> "faithful"
+      | `Precise_globals -> "precise-globals")
+  in
+  match o.precision with
+  | Off -> base
+  | Refine { cap } -> Printf.sprintf "%s;precision=refine;cap=%d" base cap
 
 (* ---------- Working state ---------- *)
 
@@ -394,18 +418,53 @@ let analyze_with st =
     entry_actions = List.filter keep entry_actions;
   }
 
-let analyze_func ?(options = default_options) pw func =
-  let ctx = Context.for_func pw func in
-  let st =
-    {
-      ctx;
-      opts = options;
-      kills_cache = Cell.Map.empty;
-      reach_cache = Hashtbl.create 64;
-      coreach_cache = Hashtbl.create 64;
-    }
-  in
-  analyze_with st
+let st_of ctx options =
+  {
+    ctx;
+    opts = options;
+    kills_cache = Cell.Map.empty;
+    reach_cache = Hashtbl.create 64;
+    coreach_cache = Hashtbl.create 64;
+  }
+
+let analyze_ctx ?(options = default_options) ctx = analyze_with (st_of ctx options)
+
+let analyze_func ?(options = default_options) ?feas pw func =
+  analyze_ctx ~options (Context.for_func ?feas pw func)
+
+(* Branch directions no execution — tampered or not — can commit: the
+   committed direction's exact inverse image through the affine trace is
+   empty ([Never]), or both operands trace to constants and the branch
+   is decided.  Registers are immune to memory tampering (a tampered
+   value enters a register only through a load, and these predicates
+   come from the trace semantics, not from memory facts), so these are
+   safe to prune unconditionally. *)
+let static_infeasible ?(options = default_options) ctx =
+  let st = st_of ctx options in
+  let f = ctx.Context.func in
+  let out = ref [] in
+  List.iter
+    (fun (bs, (blk : Mir.Block.t)) ->
+      (match blk.term with
+      | Mir.Terminator.Branch { cmp; lhs; rhs; _ } -> (
+          match Trace.reg st.ctx ~at:bs lhs, Trace.operand st.ctx ~at:bs rhs with
+          | Trace.Const a, Trace.Const b ->
+              (* decided: the direction the comparison refutes is dead *)
+              out := (bs, not (Mir.Cmp.eval cmp a b)) :: !out
+          | _, _ ->
+              let pin_at = pin_of st bs in
+              List.iter
+                (fun taken ->
+                  match pin_at ~taken with
+                  | Some pin when Range.Pred.equal (pin_pred pin) Range.Pred.Never
+                    ->
+                      out := (bs, taken) :: !out
+                  | Some _ | None -> ())
+                [ true; false ])
+      | Mir.Terminator.Jump _ | Mir.Terminator.Return _ | Mir.Terminator.Halt ->
+          ()))
+    (Mir.Func.branches f);
+  List.sort compare !out
 
 let analyze pw func = analyze_func pw func
 

@@ -36,24 +36,57 @@ type result = {
 val analyze : Context.program_wide -> Ipds_mir.Func.t -> result
 (** [analyze_func] with default options (historical entry point). *)
 
+type precision =
+  | Off  (** single pass on the unpruned CFG: the historical behaviour *)
+  | Refine of { cap : int }
+      (** iterate analysis and feasibility pruning to a fixpoint,
+          re-running at most [cap] times per function (see {!Refine}) *)
+
 type options = {
   store_load : bool;  (** store–load correlations (§4 scenario 1/3) *)
   load_load : bool;  (** load–load correlations (§4 scenario 2) *)
   affine_tracing : bool;
       (** trace through add/sub chains (Figure 3.c); off = direct loads only *)
   summary_mode : Ipds_alias.Summary.mode;
+  precision : precision;
 }
 
 val default_options : options
+(** Precision defaults to [Off]. *)
+
+val default_refine_cap : int
+
+val precision_on : precision
+(** [Refine] with the default per-function iteration cap. *)
 
 val options_fingerprint : options -> string
-(** Canonical rendering for cache keys and content digests. *)
+(** Canonical rendering for cache keys and content digests.  With
+    precision [Off] this is byte-identical to the pre-precision
+    rendering, so [--precision off] artifacts and cache keys are
+    unchanged; [Refine] appends a component and misses cleanly. *)
 
 val analyze_func :
-  ?options:options -> Context.program_wide -> Ipds_mir.Func.t -> result
+  ?options:options ->
+  ?feas:Ipds_cfg.Feasibility.t ->
+  Context.program_wide ->
+  Ipds_mir.Func.t ->
+  result
 (** The pure per-function stage: everything program-wide it consumes
     comes through the prepared {!Context.program_wide}, so distinct
-    functions can be analyzed concurrently from separate domains. *)
+    functions can be analyzed concurrently from separate domains.
+    [feas] restricts every path-sensitivity query to the pruned view —
+    the incremental re-run entry point the refinement loop drives. *)
+
+val analyze_ctx : ?options:options -> Context.t -> result
+(** [analyze_func] on an already-built context (avoids rebuilding the
+    point graph and reaching definitions when the caller has them). *)
+
+val static_infeasible : ?options:options -> Context.t -> (int * bool) list
+(** Branch directions [(branch_iid, taken)] that no execution — benign
+    or tampered — can commit: the direction's inverse image through the
+    affine trace is empty, or both operands trace to constants and the
+    comparison is decided.  Sorted; safe for
+    {!Ipds_cfg.Feasibility.prune}. *)
 
 val analyze_program :
   ?options:options -> Ipds_mir.Program.t -> (string * result) list

@@ -5,6 +5,7 @@ type t = {
   program : Mir.Program.t;
   func : Mir.Func.t;
   cfg : Ipds_cfg.Cfg.t;
+  feas : Ipds_cfg.Feasibility.t;
   pgraph : Ipds_cfg.Point_graph.t;
   rdefs : Ipds_dataflow.Reaching_defs.t;
   access : Alias.Access.t;
@@ -22,14 +23,21 @@ let prepare ?(mode = `Faithful) prog =
   let summaries = Alias.Summary.compute prog points_to ~mode in
   { prog; points_to; summaries }
 
-let for_func pw (func : Mir.Func.t) =
+let for_func ?feas pw (func : Mir.Func.t) =
   let cfg = Ipds_cfg.Cfg.make func in
-  let pgraph = Ipds_cfg.Point_graph.make func in
-  let rdefs = Ipds_dataflow.Reaching_defs.compute cfg in
+  let feas =
+    match feas with Some f -> f | None -> Ipds_cfg.Feasibility.full cfg
+  in
+  let pgraph =
+    Ipds_cfg.Point_graph.make
+      ~branch_ok:(Ipds_cfg.Feasibility.branch_ok feas)
+      func
+  in
+  let rdefs = Ipds_dataflow.Reaching_defs.compute ~feas cfg in
   let access = Alias.Access.make pw.prog pw.points_to ~summaries:pw.summaries func in
   let may_def_of = Array.make func.instr_count Alias.Access.No_target in
   Mir.Func.iter_instrs func (fun iid op -> may_def_of.(iid) <- Alias.Access.may_defs access op);
-  { program = pw.prog; func; cfg; pgraph; rdefs; access; may_def_of }
+  { program = pw.prog; func; cfg; feas; pgraph; rdefs; access; may_def_of }
 
 (* Everything one function's analysis reads from the program-wide
    preparation: its slice of the points-to solution and the summaries of

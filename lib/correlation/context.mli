@@ -4,6 +4,8 @@ type t = {
   program : Ipds_mir.Program.t;
   func : Ipds_mir.Func.t;
   cfg : Ipds_cfg.Cfg.t;
+  feas : Ipds_cfg.Feasibility.t;
+      (** the feasibility view [pgraph] and [rdefs] were computed on *)
   pgraph : Ipds_cfg.Point_graph.t;
   rdefs : Ipds_dataflow.Reaching_defs.t;
   access : Ipds_alias.Access.t;
@@ -18,7 +20,13 @@ type program_wide = {
 }
 
 val prepare : ?mode:Ipds_alias.Summary.mode -> Ipds_mir.Program.t -> program_wide
-val for_func : program_wide -> Ipds_mir.Func.t -> t
+
+val for_func :
+  ?feas:Ipds_cfg.Feasibility.t -> program_wide -> Ipds_mir.Func.t -> t
+(** [for_func ?feas pw func] — when [feas] is given, the point graph and
+    reaching definitions are computed on the feasibility-pruned views,
+    so every path-sensitivity question the analysis asks ranges over
+    feasible paths only.  Default: the unpruned function. *)
 
 val slice_fingerprint : program_wide -> Ipds_mir.Func.t -> string
 (** Hex digest of the program-wide state one function's analysis can

@@ -1,0 +1,136 @@
+(* Feasible-path refinement: the precision flywheel.
+
+   Round i analyzes the function on the current feasibility view; its
+   output yields branch directions no *benign* execution can commit.
+   Pruning them tightens the point graph and the reaching definitions,
+   which can expose further correlations on round i+1 — iterate until no
+   new direction falls, or the per-function cap.
+
+   Three derivation channels feed the pruner:
+
+   - {e unanimous pins}: a branch whose entry action is a direction and
+     which no edge action ever contradicts (no [Set_unknown], no
+     opposite direction) always goes that way benignly — the checker's
+     own soundness argument, read backwards.  The opposite direction is
+     the paper's "infeasible path": only a tampered run enters it, and
+     the runtime check already alarms there.
+   - {e static refutations} ({!Analysis.static_infeasible}): directions
+     whose inverse affine image is empty, or const-const decided
+     branches.  These are dead for tampered runs too.
+   - {e range flow} ({!Ipds_range.Flow}): interval facts over registers
+     force branch directions; registers cannot be tampered (memory
+     reaches them only through loads, which the flow treats as unknown).
+
+   Soundness invariant: a pruned direction is never committed by an
+   untampered execution, so analysis results on the pruned view hold on
+   every benign run — by induction over rounds.  A tampered run that
+   does commit one lands on a branch the tables pin, and alarms. *)
+
+module Mir = Ipds_mir
+module Feas = Ipds_cfg.Feasibility
+
+let m_iterations = Ipds_obs.Registry.counter "refine.iterations"
+let m_edges_pruned = Ipds_obs.Registry.counter "refine.edges_pruned"
+let m_correlations_gained = Ipds_obs.Registry.counter "refine.correlations_gained"
+
+type stats = {
+  iterations : int;
+  edges_pruned : int;
+  total_directions : int;
+  correlations_before : int;
+  correlations_after : int;
+  pruned : (int * bool) list;
+}
+
+let correlations_gained s = max 0 (s.correlations_after - s.correlations_before)
+
+(* Directed (SET_T / SET_NT) actions are the correlations the checker
+   can enforce; SET_UN only retracts. *)
+let directed_count (r : Analysis.result) =
+  let count =
+    List.fold_left (fun acc (_, a) ->
+        match (a : Action.t) with
+        | Action.Set_taken | Action.Set_not_taken -> acc + 1
+        | Action.Set_unknown -> acc)
+  in
+  List.fold_left
+    (fun acc (_, actions) -> count acc actions)
+    (count 0 r.Analysis.entry_actions)
+    r.Analysis.edge_actions
+
+(* A branch pinned to direction [d] at activation entry and never
+   retargeted by any edge action benignly commits [d] forever: prune
+   [not d].
+
+   An action recorded on the branch's own [not d] edge (its self
+   SET_NT/SET_T, or region facts behind it) is not a conflict: it only
+   fires once [not d] has already been committed, and by induction over
+   a benign run's first deviation that commit would itself be a checker
+   false positive — which table soundness rules out.  Everything else
+   that retargets the branch away from [d] is a real benign path. *)
+let unanimous_pins (r : Analysis.result) =
+  let conflicting bl d =
+    List.exists
+      (fun (((src, sdir), actions) : Analysis.edge * _) ->
+        (not (src = bl && sdir = not d))
+        && List.exists
+             (fun (tgt, a) ->
+               tgt = bl && not (Action.equal a (Action.of_direction d)))
+             actions)
+      r.Analysis.edge_actions
+  in
+  List.filter_map
+    (fun (bl, a) ->
+      match (a : Action.t) with
+      | Action.Set_taken when not (conflicting bl true) -> Some (bl, false)
+      | Action.Set_not_taken when not (conflicting bl false) -> Some (bl, true)
+      | Action.Set_taken | Action.Set_not_taken | Action.Set_unknown -> None)
+    r.Analysis.entry_actions
+
+let fresh_directions feas dirs =
+  List.sort_uniq compare
+    (List.filter (fun (iid, taken) -> not (Feas.is_pruned feas iid taken)) dirs)
+
+let analyze ?(options = Analysis.default_options) pw (func : Mir.Func.t) =
+  let cap =
+    match options.Analysis.precision with
+    | Analysis.Off -> 1
+    | Analysis.Refine { cap } -> max 1 cap
+  in
+  let cfg = Ipds_cfg.Cfg.make func in
+  let feas = ref (Feas.full cfg) in
+  let ctx = ref (Context.for_func ~feas:!feas pw func) in
+  let result = ref (Analysis.analyze_ctx ~options !ctx) in
+  let first_count = directed_count !result in
+  let iterations = ref 1 in
+  let continue = ref (cap > 1) in
+  while !continue do
+    let dirs =
+      unanimous_pins !result
+      @ Analysis.static_infeasible ~options !ctx
+      @ Ipds_range.Flow.infeasible_directions
+          (Ipds_range.Flow.analyze ~feas:!feas func)
+    in
+    match fresh_directions !feas dirs with
+    | [] -> continue := false
+    | fresh ->
+        feas := Feas.prune !feas fresh;
+        ctx := Context.for_func ~feas:!feas pw func;
+        result := Analysis.analyze_ctx ~options !ctx;
+        incr iterations;
+        if !iterations >= cap then continue := false
+  done;
+  let stats =
+    {
+      iterations = !iterations;
+      edges_pruned = Feas.pruned_count !feas;
+      total_directions = Feas.total_directions !feas;
+      correlations_before = first_count;
+      correlations_after = directed_count !result;
+      pruned = Feas.pruned_directions !feas;
+    }
+  in
+  Ipds_obs.Registry.add m_iterations stats.iterations;
+  Ipds_obs.Registry.add m_edges_pruned stats.edges_pruned;
+  Ipds_obs.Registry.add m_correlations_gained (correlations_gained stats);
+  (!result, stats)

@@ -36,10 +36,15 @@ let transfer_block (f : Mir.Func.t) b live_out =
   in
   Array.fold_right (fun i acc -> kill_gen_instr acc i) blk.body live
 
-let compute cfg =
+let compute ?feas cfg =
   let f = Ipds_cfg.Cfg.func cfg in
+  let view =
+    match feas with
+    | Some feas -> Ipds_cfg.Feasibility.view feas
+    | None -> Ipds_cfg.Feasibility.view_of_cfg cfg
+  in
   let block_in, block_out =
-    Solver.solve cfg ~exit:Int_set.empty ~bottom:Int_set.empty
+    Solver.solve view ~exit:Int_set.empty ~bottom:Int_set.empty
       ~transfer:(fun b d -> transfer_block f b d)
   in
   { func = f; block_in; block_out }

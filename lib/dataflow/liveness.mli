@@ -3,7 +3,9 @@
 
 type t
 
-val compute : Ipds_cfg.Cfg.t -> t
+val compute : ?feas:Ipds_cfg.Feasibility.t -> Ipds_cfg.Cfg.t -> t
+(** [compute ?feas cfg] solves over the feasibility-pruned view when
+    [feas] is given; otherwise over the raw CFG. *)
 
 val live_in : t -> int -> Ipds_mir.Reg.t -> bool
 (** [live_in t block reg] — is [reg] live at the start of [block]? *)

@@ -35,13 +35,18 @@ let transfer_instr state (i : Mir.Instr.t) =
 let transfer_block (f : Mir.Func.t) b state =
   Array.fold_left transfer_instr state f.blocks.(b).Mir.Block.body
 
-let compute cfg =
+let compute ?feas cfg =
   let f = Ipds_cfg.Cfg.func cfg in
+  let view =
+    match feas with
+    | Some feas -> Ipds_cfg.Feasibility.view feas
+    | None -> Ipds_cfg.Feasibility.view_of_cfg cfg
+  in
   let nregs = f.Mir.Func.reg_count in
   let entry = Array.make nregs (Def_set.singleton Entry) in
   let bottom = Array.make nregs Def_set.empty in
   let block_in, _ =
-    Solver.solve cfg ~entry ~bottom ~transfer:(fun b d -> transfer_block f b d)
+    Solver.solve view ~entry ~bottom ~transfer:(fun b d -> transfer_block f b d)
   in
   { func = f; block_in }
 

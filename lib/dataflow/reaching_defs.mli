@@ -15,7 +15,9 @@ module Def_set : Set.S with type elt = def
 
 type t
 
-val compute : Ipds_cfg.Cfg.t -> t
+val compute : ?feas:Ipds_cfg.Feasibility.t -> Ipds_cfg.Cfg.t -> t
+(** [compute ?feas cfg] solves over the feasibility-pruned view when
+    [feas] is given; otherwise over the raw CFG. *)
 
 val before : t -> iid:int -> Ipds_mir.Reg.t -> Def_set.t
 (** Definitions of the register reaching the point just before [iid]

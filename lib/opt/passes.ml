@@ -283,7 +283,9 @@ let rle_func (prog : Mir.Program.t) points_to summaries (f : Mir.Func.t) =
              m f.Mir.Func.blocks.(b).Mir.Block.body)
   in
   let block_in, _ =
-    Solver.solve cfg ~entry:(Avail.Map Cell.Map.empty) ~bottom:Avail.Top ~transfer
+    Solver.solve
+      (Ipds_cfg.Feasibility.view_of_cfg cfg)
+      ~entry:(Avail.Map Cell.Map.empty) ~bottom:Avail.Top ~transfer
   in
   let body_of b =
     let start =

@@ -39,6 +39,63 @@ let neg t =
 
 let equal a b = a.lo = b.lo && a.hi = b.hi
 
+let join a b =
+  let lo =
+    match a.lo, b.lo with Some x, Some y -> Some (min x y) | _, _ -> None
+  in
+  let hi =
+    match a.hi, b.hi with Some x, Some y -> Some (max x y) | _, _ -> None
+  in
+  { lo; hi }
+
+let meet a b =
+  let lo =
+    match a.lo, b.lo with
+    | Some x, Some y -> Some (max x y)
+    | (Some _ as x), None -> x
+    | None, y -> y
+  in
+  let hi =
+    match a.hi, b.hi with
+    | Some x, Some y -> Some (min x y)
+    | (Some _ as x), None -> x
+    | None, y -> y
+  in
+  make ~lo ~hi
+
+let widen a b =
+  let lo =
+    match a.lo, b.lo with
+    | Some x, Some y when y >= x -> Some x
+    | (Some _ | None), (Some _ | None) -> None
+  in
+  let hi =
+    match a.hi, b.hi with
+    | Some x, Some y when y <= x -> Some x
+    | (Some _ | None), (Some _ | None) -> None
+  in
+  { lo; hi }
+
+let add a b =
+  let bound x y = match x, y with Some x, Some y -> Some (x + y) | _, _ -> None in
+  { lo = bound a.lo b.lo; hi = bound a.hi b.hi }
+
+let sub a b = add a (neg b)
+
+let mul_const t k =
+  if k = 0 then point 0
+  else
+    let map v = Option.map (fun n -> n * k) v in
+    if k > 0 then { lo = map t.lo; hi = map t.hi }
+    else { lo = map t.hi; hi = map t.lo }
+
+let remove_point t c =
+  match t.lo, t.hi with
+  | Some l, Some h when l = c && h = c -> None
+  | Some l, _ when l = c -> make ~lo:(Some (c + 1)) ~hi:t.hi
+  | _, Some h when h = c -> make ~lo:t.lo ~hi:(Some (c - 1))
+  | (Some _ | None), (Some _ | None) -> Some t
+
 let pp ppf t =
   let b = function Some n -> string_of_int n | None -> "" in
   Format.fprintf ppf "[%s..%s]" (b t.lo) (b t.hi)

@@ -26,4 +26,30 @@ val neg : t -> t
 (** Pointwise negation: \[lo, hi\] becomes \[-hi, -lo\]. *)
 
 val equal : t -> t -> bool
+
+val join : t -> t -> t
+(** Convex hull (least upper bound). *)
+
+val meet : t -> t -> t option
+(** Intersection; [None] when empty. *)
+
+val widen : t -> t -> t
+(** [widen old next] — keeps each bound of [old] that [next] did not
+    move past, and drops the others to infinity.  An upper bound of both
+    arguments that can only strictly grow twice, so widened chains
+    stabilize. *)
+
+val add : t -> t -> t
+(** Pointwise sum hull (exact). *)
+
+val sub : t -> t -> t
+(** Pointwise difference hull (exact). *)
+
+val mul_const : t -> int -> t
+(** Hull of [{ n * k | n in t }]. *)
+
+val remove_point : t -> int -> t option
+(** Tightest interval containing [t] minus [c]: shaves an endpoint, or
+    [None] when [t] is exactly the point [c]. *)
+
 val pp : Format.formatter -> t -> unit

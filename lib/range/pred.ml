@@ -45,6 +45,30 @@ let equal a b =
   | Never, Never -> true
   | (In _ | Except _ | Never), _ -> false
 
+let join a b =
+  match a, b with
+  | Never, x | x, Never -> x
+  | In ia, In ib -> In (Interval.join ia ib)
+  | In i, Except c | Except c, In i ->
+      if Interval.mem c i then top else Except c
+  | Except c, Except c' -> if c = c' then Except c else top
+
+(* Over-approximation of the intersection (exact except for the
+   unrepresentable [Except c /\ Except c'] case). *)
+let meet a b =
+  match a, b with
+  | Never, _ | _, Never -> Never
+  | In ia, In ib -> of_interval (Interval.meet ia ib)
+  | In i, Except c | Except c, In i -> of_interval (Interval.remove_point i c)
+  | Except c, Except c' -> if c = c' then Except c else Except (min c c')
+
+let widen a b =
+  match a, b with
+  | Never, x | x, Never -> x
+  | In ia, In ib -> In (Interval.widen ia ib)
+  | Except c, Except c' when c = c' -> a
+  | (In _ | Except _), (In _ | Except _) -> top
+
 let pp ppf = function
   | In i -> Interval.pp ppf i
   | Except c -> Format.fprintf ppf "!=%d" c

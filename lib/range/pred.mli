@@ -21,4 +21,17 @@ val of_interval : Interval.t option -> t
 (** [None] (an empty interval) becomes [Never]. *)
 
 val equal : t -> t -> bool
+
+val join : t -> t -> t
+(** Least representable upper bound of the union. *)
+
+val meet : t -> t -> t
+(** Over-approximation of the intersection; exact except for
+    [Except c /\ Except c'] with distinct constants, and [Never] exactly
+    when the intersection is provably empty. *)
+
+val widen : t -> t -> t
+(** [widen old next] — interval widening under [In], top on shape
+    changes; chains stabilize. *)
+
 val pp : Format.formatter -> t -> unit

@@ -29,25 +29,36 @@ int main() {
   int pw[4];
   int line[4];
   int term[4];
+  int lmode[1];
   int nreq;
   int i;
   int c;
   int ok;
+  int t0;
+  int t1;
+  int t3;
   read_line(&term[0], 4);
   sess[0] = 0;
   sess[1] = 0;
   sess[2] = 1;
   sess[3] = 0;
+  lmode[0] = 0;
   nreq = input(0) % 12 + 6;
   i = 0;
   while (i < nreq) {
     // connection keep-alive audit: runs every request
     if (sess[0]) { output(7); } else { output(6); }
-    // negotiated terminal options steer echo/paging behaviour
-    if (term[0] > 100) { output(77); }
-    if (term[1] > 100) { output(78); }
+    // negotiated terminal options steer echo/paging behaviour; narrow
+    // legacy terminals (linemode) rescale them, but this build ships
+    // without linemode so the flag stays 0 and the rescale never runs
+    t0 = term[0];
+    t1 = term[1];
+    t3 = term[3];
+    if (lmode[0]) { t0 = t0 % 40; t1 = t1 % 40; t3 = 0; }
+    if (t0 > 100) { output(77); }
+    if (t1 > 100) { output(78); }
     if (term[2] > 100) { output(79); }
-    if (term[3] != 0) { output(84); }
+    if (t3 != 0) { output(84); }
     c = input(0) % 5;
     if (c == 0) {
       read_line(&pw[0], 4);
@@ -308,22 +319,34 @@ int main() {
   int cfg[4];
   int msg[4];
   int filt[4];
+  int legacy[1];
   int nmsg;
   int i;
   int prio;
+  int f0;
+  int f1;
+  int f3;
   read_line(&filt[0], 4);
   cfg[0] = 4;
   cfg[1] = 0;
   cfg[2] = 0;
   cfg[3] = 0;
+  legacy[0] = 0;
   nmsg = input(0) % 20 + 8;
   i = 0;
   while (i < nmsg) {
     if (cfg[3]) { output(991); } else { output(990); }
-    if (filt[0] > 100) { output(63); }
-    if (filt[1] > 100) { output(64); }
+    // filter thresholds come off the wire; legacy (pre-RFC3164) peers
+    // use a narrower priority scale and get rescaled, but this build
+    // speaks only the modern protocol so the flag stays 0
+    f0 = filt[0];
+    f1 = filt[1];
+    f3 = filt[3];
+    if (legacy[0]) { f0 = f0 % 40; f1 = f1 % 40; f3 = 0; }
+    if (f0 > 100) { output(63); }
+    if (f1 > 100) { output(64); }
     if (filt[2] > 100) { output(46); }
-    if (filt[3] != 0) { output(43); }
+    if (f3 != 0) { output(43); }
     prio = input(0) % 8;
     recv(&msg[0], 4);
     if (classify(&msg[0], 4) == 2) { output(302); }
@@ -460,22 +483,34 @@ int main() {
   int hdr[4];
   int body[4];
   int host[4];
+  int vhost[1];
   int nreq;
   int i;
   int method;
+  int h0;
+  int h1;
+  int h3;
   read_line(&host[0], 4);
   sess[0] = 0;
   sess[1] = 10;
   sess[2] = 0;
   sess[3] = input(0) % 2;
+  vhost[0] = 0;
   nreq = input(0) % 14 + 6;
   i = 0;
   while (i < nreq) {
     if (sess[3]) { output(443); } else { output(80); }
-    if (host[0] > 100) { output(67); }
-    if (host[1] > 100) { output(68); }
+    // Host-header sanity limits; mass-vhosting deployments remap them
+    // per vhost, but this build serves a single site so the vhost
+    // flag never leaves 0 and the remap is dead
+    h0 = host[0];
+    h1 = host[1];
+    h3 = host[3];
+    if (vhost[0]) { h0 = h0 % 40; h1 = h1 % 40; h3 = 0; }
+    if (h0 > 100) { output(67); }
+    if (h1 > 100) { output(68); }
     if (host[2] > 100) { output(37); }
-    if (host[3] != 0) { output(36); }
+    if (h3 != 0) { output(36); }
     if (sess[1] <= 0) { output(408); }
     method = input(0) % 4;
     if (method == 0) {
@@ -624,22 +659,34 @@ int main() {
   int nonce[4];
   int chan[4];
   int ver[4];
+  int compat[1];
   int nops;
   int i;
   int op;
+  int v0;
+  int v1;
+  int v3;
   read_line(&ver[0], 4);
   sess[0] = 0;
   sess[1] = 0;
   sess[2] = 0;
   sess[3] = 0;
+  compat[0] = 0;
   nops = input(0) % 16 + 8;
   i = 0;
   while (i < nops) {
     if (sess[1]) { output(45); } else { output(44); }
-    if (ver[0] > 100) { output(73); }
-    if (ver[1] > 100) { output(74); }
+    // client version fields bound banner checks; protocol-1 compat
+    // mode rescales them, but compat is compiled out of this build so
+    // the flag is pinned to 0 and the rescale arm is unreachable
+    v0 = ver[0];
+    v1 = ver[1];
+    v3 = ver[3];
+    if (compat[0]) { v0 = v0 % 40; v1 = v1 % 40; v3 = 0; }
+    if (v0 > 100) { output(73); }
+    if (v1 > 100) { output(74); }
     if (ver[2] > 100) { output(33); }
-    if (ver[3] != 0) { output(29); }
+    if (v3 != 0) { output(29); }
     op = input(0) % 5;
     if (op == 0) {
       recv(&nonce[0], 4);

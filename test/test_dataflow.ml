@@ -3,6 +3,7 @@
 
 module Mir = Ipds_mir
 module Cfg = Ipds_cfg.Cfg
+module Feas = Ipds_cfg.Feasibility
 module Rd = Ipds_dataflow.Reaching_defs
 module Live = Ipds_dataflow.Liveness
 
@@ -143,7 +144,8 @@ exit:
     | Toy.Known n -> if b = 0 then Toy.Known (n + 1) else Toy.Known n
   in
   let block_in, block_out =
-    Solver.solve cfg ~entry:(Toy.Known 0) ~bottom:Toy.Bot ~transfer
+    Solver.solve (Feas.view_of_cfg cfg) ~entry:(Toy.Known 0) ~bottom:Toy.Bot
+      ~transfer
   in
   check "entry in" true (block_in.(0) = Toy.Known 0);
   check "loop reaches stable fixpoint" true (block_in.(1) = Toy.Known 1);
@@ -175,7 +177,8 @@ join:
     | _, d -> d
   in
   let block_in, _ =
-    Solver.solve cfg ~entry:(Toy.Known 0) ~bottom:Toy.Bot ~transfer
+    Solver.solve (Feas.view_of_cfg cfg) ~entry:(Toy.Known 0) ~bottom:Toy.Bot
+      ~transfer
   in
   check "conflicting paths merge to top" true (block_in.(3) = Toy.Top)
 
@@ -196,8 +199,95 @@ b:
   let cfg = Cfg.make f in
   let module Solver = Ipds_dataflow.Framework.Backward (Toy) in
   let transfer _ d = d in
-  let block_in, _ = Solver.solve cfg ~exit:(Toy.Known 9) ~bottom:Toy.Bot ~transfer in
+  let block_in, _ =
+    Solver.solve (Feas.view_of_cfg cfg) ~exit:(Toy.Known 9) ~bottom:Toy.Bot
+      ~transfer
+  in
   check "exit value propagates backwards" true (block_in.(0) = Toy.Known 9)
+
+let test_framework_visits () =
+  (* With the priority worklist, the single-loop function stabilizes in
+     at most 4 block visits (3 blocks + one re-visit of the loop head);
+     FIFO insertion order took more on this shape.  This pins the
+     reverse-postorder scheduling. *)
+  let f =
+    func_of
+      {|
+func main() {
+entry:
+  nop
+  jmp loop
+loop:
+  nop
+  nop
+  br lt r0, 5, loop, exit
+exit:
+  ret
+}
+|}
+  in
+  let module Solver = Ipds_dataflow.Framework.Forward (Toy) in
+  let visits = ref 0 in
+  let transfer b d =
+    match d with
+    | Toy.Bot -> Toy.Bot
+    | Toy.Top -> Toy.Top
+    | Toy.Known n -> if b = 0 then Toy.Known (n + 1) else Toy.Known n
+  in
+  let _ =
+    Solver.solve ~visits
+      (Feas.view_of_cfg (Cfg.make f))
+      ~entry:(Toy.Known 0) ~bottom:Toy.Bot ~transfer
+  in
+  check "rpo worklist converges in <= 4 visits" true (!visits <= 4)
+
+let test_framework_edge_hook () =
+  (* The edge hook refines the value flowing along one specific edge:
+     kill the value on the entry->b edge and join must see only a's. *)
+  let f =
+    func_of
+      {|
+func main() {
+entry:
+  br lt r0, 5, a, b
+a:
+  jmp join
+b:
+  jmp join
+join:
+  ret
+}
+|}
+  in
+  let module Solver = Ipds_dataflow.Framework.Forward (Toy) in
+  let edge ~src:_ ~dst d = if dst = 2 then Toy.Bot else d in
+  let transfer b d =
+    match b, d with 1, _ -> Toy.Known 10 | 2, Toy.Bot -> Toy.Bot | _, d -> d
+  in
+  let block_in, _ =
+    Solver.solve ~edge
+      (Feas.view_of_cfg (Cfg.make f))
+      ~entry:(Toy.Known 0) ~bottom:Toy.Bot ~transfer
+  in
+  check "edge hook starves b" true (block_in.(2) = Toy.Bot);
+  check "join only sees a's constant" true (block_in.(3) = Toy.Known 10)
+
+let test_pruned_view_tightens_rdefs () =
+  let f = merge_func () in
+  let cfg = Cfg.make f in
+  (* Prune the taken direction of the entry branch (iid 1): block a is
+     unreachable, so r0's def in b becomes unique at the output. *)
+  let feas = Feas.prune (Feas.full cfg) [ (1, true) ] in
+  let rd = Rd.compute ~feas cfg in
+  (match Rd.unique_def rd ~iid:6 (Mir.Reg.make 0) with
+  | Some (Rd.At 4) -> ()
+  | Some _ | None -> Alcotest.fail "pruning should leave b's def unique");
+  (* The pruned solution is pointwise subsumed by the unpruned one. *)
+  let rd0 = Rd.compute cfg in
+  check "pruned defs subset of unpruned" true
+    (Rd.Def_set.subset
+       (Rd.before rd ~iid:6 (Mir.Reg.make 0))
+       (Rd.before rd0 ~iid:6 (Mir.Reg.make 0)))
 
 let test_liveness () =
   let f = merge_func () in
@@ -228,5 +318,9 @@ let () =
           Alcotest.test_case "forward loop fixpoint" `Quick test_framework_forward_loop;
           Alcotest.test_case "forward merge conflict" `Quick test_framework_forward_conflict;
           Alcotest.test_case "backward" `Quick test_framework_backward;
+          Alcotest.test_case "rpo visit bound" `Quick test_framework_visits;
+          Alcotest.test_case "edge hook" `Quick test_framework_edge_hook;
+          Alcotest.test_case "pruned view tightens rdefs" `Quick
+            test_pruned_view_tightens_rdefs;
         ] );
     ]
