@@ -14,6 +14,10 @@
      dune exec bench/main.exe -- serve-latency -- verdict-server round trips
      dune exec bench/main.exe -- serve-throughput -- event-loop vs threaded
      dune exec bench/main.exe -- precision -- Fig-7 lift from --precision on
+     dune exec bench/main.exe -- attacks -- attack universes (mem, cond-flip,
+                                            insn-skip) over the workloads, a
+                                            generated population, and the DME
+                                            baseline; writes BENCH_attacks.json
      dune exec bench/main.exe -- smoke   -- tiny campaign + invariant checks
 
    Flags (defaults preserve the historical sizes):
@@ -34,6 +38,11 @@
      --no-cache    ignore IPDS_CACHE_DIR and run everything in memory
      --events F    stream structured JSONL events (manifest first line)
                    to F; defaults to IPDS_EVENTS when set
+     --universes L comma-separated attack universes for the attacks
+                   target (default mem,cond-flip,insn-skip)
+     --attacks-out F  attack-universes report file (the "stable" section
+                   is byte-identical across --jobs; throughput is under
+                   "throughput_unstable")
 
    The --json report embeds the run manifest plus two metric sections:
    "metrics" (stable counters/gauges/histograms — byte-identical across
@@ -1497,6 +1506,80 @@ let precision ~attacks ~seed ?pool ~out () =
       Printf.printf "wrote %s\n" path);
   data
 
+(* ---------- attacks: every universe, generated population, DME ---------- *)
+
+let attacks_bench ~attacks ~seed ~universes ?pool ~out () =
+  section
+    (Printf.sprintf "Attack universes (%d attacks/server, universes: %s)"
+       attacks (String.concat "," universes));
+  let universes =
+    List.map
+      (fun name ->
+        match H.Attack_experiment.universe_of_name name with
+        | Some u -> u
+        | None ->
+            Printf.eprintf
+              "unknown attack universe: %s (expected mem, cond-flip or \
+               insn-skip)\n"
+              name;
+            exit 2)
+      universes
+  in
+  let config =
+    {
+      H.Attack_bench.default_config with
+      universes;
+      attacks;
+      seed;
+      dme_attacks = attacks;
+    }
+  in
+  let t0 = Unix.gettimeofday () in
+  let r = H.Attack_bench.run ~config ?pool () in
+  let dt = Unix.gettimeofday () -. t0 in
+  List.iter
+    (fun (u, s) ->
+      Printf.printf "\n-- workloads, universe %s --\n"
+        (H.Attack_experiment.universe_name u);
+      print_endline (H.Attack_experiment.render s))
+    r.H.Attack_bench.workload_universes;
+  Printf.printf "\n-- generated population: %d members (%d distinct), seed %d --\n"
+    config.H.Attack_bench.pop_members r.H.Attack_bench.pop_distinct seed;
+  List.iter
+    (fun (u, s) ->
+      Printf.printf "\n-- population, universe %s --\n"
+        (H.Attack_experiment.universe_name u);
+      print_endline (H.Attack_experiment.render s))
+    r.H.Attack_bench.pop_universes;
+  Printf.printf "\n-- DME baseline (%d attacks/server, %d holdout pairs) --\n"
+    config.H.Attack_bench.dme_attacks config.H.Attack_bench.dme_holdout;
+  print_endline (H.Dme_experiment.render r.H.Attack_bench.dme);
+  let injected = H.Attack_bench.injected_total r in
+  Printf.printf "campaign throughput: %d injected attacks in %.2fs (%.1f/s)\n"
+    injected dt
+    (float_of_int injected /. Float.max dt 1e-9);
+  let data =
+    J.Obj
+      [
+        (* byte-identical across --jobs values *)
+        ("stable", H.Attack_bench.stable_json r);
+        ( "throughput_unstable",
+          J.Obj
+            [
+              ("wall_seconds", J.Float dt);
+              ("injected_attacks", J.Int injected);
+              ( "attacks_per_second",
+                J.Float (float_of_int injected /. Float.max dt 1e-9) );
+            ] );
+      ]
+  in
+  (match out with
+  | None -> ()
+  | Some path ->
+      J.write_file path data;
+      Printf.printf "wrote %s\n" path);
+  data
+
 (* ---------- smoke: tiny campaign + the harness's own invariants ---------- *)
 
 let smoke ~attacks ~seed ~jobs () =
@@ -1546,6 +1629,8 @@ type opts = {
   checker_out : string option;  (* checker-throughput report file *)
   serve_out : string option;  (* serve-throughput report file *)
   precision_out : string option;  (* precision-lift report file *)
+  attacks_out : string option;  (* attack-universes report file *)
+  universes : string list;  (* attack universes for the attacks target *)
 }
 
 let report = ref []  (* (target, wall seconds, data), reverse order *)
@@ -1609,6 +1694,10 @@ let run_target opts pool name =
       go (checker_throughput ~reps:opts.reps ~seed ~out:opts.checker_out)
   | "precision" ->
       go (precision ~attacks:(att 100) ~seed ?pool ~out:opts.precision_out)
+  | "attacks" ->
+      go
+        (attacks_bench ~attacks:(att 40) ~seed ~universes:opts.universes ?pool
+           ~out:opts.attacks_out)
   | "smoke" -> go (smoke ~attacks:(att 5) ~seed ~jobs:opts.jobs)
   | other ->
       Printf.eprintf "unknown bench target: %s\n" other;
@@ -1617,8 +1706,8 @@ let run_target opts pool name =
 let default_targets =
   [
     "table1"; "fig8"; "fig7"; "fig9"; "latency"; "compile-time"; "ablation";
-    "opt-levels"; "baseline"; "models"; "ctx"; "precision"; "checker-throughput";
-    "serve-throughput";
+    "opt-levels"; "baseline"; "models"; "ctx"; "precision"; "attacks";
+    "checker-throughput"; "serve-throughput";
   ]
 
 let full_targets = default_targets @ [ "micro" ]
@@ -1765,6 +1854,8 @@ let () =
   let checker_out = ref (Some "BENCH_checker.json") in
   let serve_out = ref (Some "BENCH_serve.json") in
   let precision_out = ref (Some "BENCH_precision.json") in
+  let attacks_out = ref (Some "BENCH_attacks.json") in
+  let universes = ref [ "mem"; "cond-flip"; "insn-skip" ] in
   let events = ref (Sys.getenv_opt "IPDS_EVENTS") in
   let targets_rev = ref [] in
   let spec =
@@ -1792,6 +1883,14 @@ let () =
         ( "--precision-out",
           Arg.String (fun f -> precision_out := Some f),
           "FILE Precision-lift report (default BENCH_precision.json)" );
+        ( "--attacks-out",
+          Arg.String (fun f -> attacks_out := Some f),
+          "FILE Attack-universes report (default BENCH_attacks.json)" );
+        ( "--universes",
+          Arg.String
+            (fun s -> universes := String.split_on_char ',' s),
+          "LIST Comma-separated universes for the attacks target (default \
+           mem,cond-flip,insn-skip)" );
         ( "--events",
           Arg.String (fun f -> events := Some f),
           "FILE Stream structured JSONL events (default: IPDS_EVENTS)" );
@@ -1831,6 +1930,8 @@ let () =
       checker_out = !checker_out;
       serve_out = !serve_out;
       precision_out = !precision_out;
+      attacks_out = !attacks_out;
+      universes = !universes;
     }
   in
   let targets =

@@ -323,8 +323,24 @@ let attack_cmd =
   let model_arg =
     Arg.(
       value
-      & opt (enum [ ("overflow", `Overflow); ("arbitrary", `Arbitrary) ]) `Arbitrary
-      & info [ "model" ] ~doc:"Tamper model: overflow (active frame) or arbitrary.")
+      & opt
+          (enum
+             [
+               ("overflow", `Stack_overflow);
+               ("arbitrary", `Arbitrary_write);
+               (* "mem" is the universe spelling of the memory scenario;
+                  with no per-workload vulnerability class attached to a
+                  FILE it means an arbitrary write *)
+               ("mem", `Arbitrary_write);
+               ("cond-flip", `Cond_flip);
+               ("insn-skip", `Insn_skip);
+             ])
+          `Arbitrary_write
+      & info [ "model" ]
+          ~doc:
+            "Tamper model: overflow (active frame), arbitrary or mem (any \
+             live cell), cond-flip (invert one committed branch), insn-skip \
+             (skip one committed branch).")
   in
   let jobs_arg =
     Arg.(
@@ -348,11 +364,6 @@ let attack_cmd =
       obs;
     let system = load_system file in
     let program = system.Core.System.program in
-    let model =
-      match model with
-      | `Overflow -> `Stack_overflow
-      | `Arbitrary -> `Arbitrary_write
-    in
     match
       Ipds_parallel.Pool.with_opt ~jobs (fun pool ->
           Ipds_harness.Attack_experiment.campaign ~system ?pool ~attacks ~seed
@@ -437,7 +448,7 @@ let trace_cmd =
       | M.Event.Branch { taken; _ } ->
           ignore (Core.Trace_log.on_branch log ~pc:e.M.Event.pc ~taken)
       | M.Event.Alu | M.Event.Load _ | M.Event.Store _ | M.Event.Jump _
-      | M.Event.Input_read | M.Event.Output_write _ ->
+      | M.Event.Input_read | M.Event.Output_write _ | M.Event.Fault_inject _ ->
           ()
     in
     let o =

@@ -84,12 +84,17 @@ let () =
       let o =
         run
           ~tamper:
-            { M.Tamper.at_step = 25; model = M.Tamper.Stack_overflow; seed; value = 1 }
+            {
+              M.Tamper.at_step = 25;
+              site =
+                M.Tamper.Mem_write { model = M.Tamper.Stack_overflow; value = 1 };
+              seed;
+            }
           ()
       in
       match o.M.Interp.injection, o.M.Interp.reason with
-      | Some inj, M.Interp.Trapped a
-        when String.equal inj.M.Tamper.var.Mir.Var.name "audit" ->
+      | Some (M.Tamper.Tampered_cell i as inj), M.Interp.Trapped a
+        when String.equal i.var.Mir.Var.name "audit" ->
           Format.printf "attack:   %a@." M.Tamper.pp_injection inj;
           Printf.printf
             "trap:     stopped at pc 0x%x after %d outputs [%s] — the 700-range \

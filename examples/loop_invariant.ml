@@ -76,13 +76,15 @@ let () =
             (Some
                {
                  M.Tamper.at_step = 40;
-                 model = M.Tamper.Arbitrary_write;
+                 site =
+                   M.Tamper.Mem_write
+                     { model = M.Tamper.Arbitrary_write; value = 7 };
                  seed;
-                 value = 7;
                })
       in
       match o.M.Interp.injection with
-      | Some inj when String.equal inj.M.Tamper.var.Mir.Var.name "y" ->
+      | Some (M.Tamper.Tampered_cell i as inj)
+        when String.equal i.var.Mir.Var.name "y" ->
           Format.printf "attack: %a@." M.Tamper.pp_injection inj;
           (match o.M.Interp.alarms with
           | [] -> print_endline "NOT DETECTED"

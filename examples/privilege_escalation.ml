@@ -76,14 +76,15 @@ let () =
             (Some
                {
                  M.Tamper.at_step = 18;
-                 model = M.Tamper.Stack_overflow;
+                 site =
+                   M.Tamper.Mem_write
+                     { model = M.Tamper.Stack_overflow; value = 1 };
                  seed;
-                 value = 1;
                })
       in
       match o.M.Interp.injection with
-      | Some inj
-        when String.equal inj.M.Tamper.var.Mir.Var.name "user"
+      | Some (M.Tamper.Tampered_cell i as inj)
+        when String.equal i.var.Mir.Var.name "user"
              && o.M.Interp.outputs <> benign.M.Interp.outputs ->
           Format.printf "  %a@." M.Tamper.pp_injection inj;
           Format.printf "  outputs: %s  <- privilege escalation!@."

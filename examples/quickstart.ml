@@ -57,14 +57,16 @@ let () =
               Some
                 {
                   M.Tamper.at_step = 20;
-                  model = M.Tamper.Stack_overflow;
+                  site =
+                    M.Tamper.Mem_write
+                      { model = M.Tamper.Stack_overflow; value = 0 };
                   seed;
-                  value = 0;
                 };
           }
       in
       match o.M.Interp.injection with
-      | Some inj when String.equal inj.M.Tamper.var.Mir.Var.name "secret" ->
+      | Some (M.Tamper.Tampered_cell i as inj)
+        when String.equal i.var.Mir.Var.name "secret" ->
           Format.printf "   %a@." M.Tamper.pp_injection inj;
           Format.printf "   outputs: %s@."
             (String.concat " " (List.map string_of_int o.M.Interp.outputs));

@@ -1,0 +1,44 @@
+module Mir = Ipds_mir
+module M = Ipds_machine
+
+type outcome = {
+  trace_digest : int;
+  branches : int;
+  reason : string;
+  outputs : int list;
+}
+
+let decorrelate (p : Mir.Program.t) =
+  {
+    p with
+    Mir.Program.globals = List.rev p.Mir.Program.globals;
+    funcs =
+      List.map
+        (fun (f : Mir.Func.t) -> { f with Mir.Func.locals = List.rev f.Mir.Func.locals })
+        p.Mir.Program.funcs;
+  }
+
+let reason_tag = function
+  | M.Interp.Exited v -> Format.asprintf "exit:%a" M.Value.pp v
+  | M.Interp.Halted -> "halt"
+  | M.Interp.Fault m -> "fault:" ^ m
+  | M.Interp.Out_of_steps -> "steps"
+  | M.Interp.Trapped _ -> "trap"
+
+let canonical (o : M.Interp.outcome) =
+  {
+    trace_digest = o.M.Interp.trace_digest;
+    branches = o.M.Interp.branches;
+    reason = reason_tag o.M.Interp.reason;
+    outputs = o.M.Interp.outputs;
+  }
+
+let diverged a b = a <> b
+
+let run ?config p =
+  let config =
+    match config with
+    | Some c -> c
+    | None -> { M.Interp.default_config with record_trace = false }
+  in
+  M.Interp.run p config

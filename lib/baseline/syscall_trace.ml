@@ -10,6 +10,7 @@ let collect program ~(config : M.Interp.config) =
           acc := callee :: !acc
     | M.Event.Alu | M.Event.Load _ | M.Event.Store _ | M.Event.Branch _
     | M.Event.Jump _ | M.Event.Ret | M.Event.Input_read | M.Event.Output_write _
+    | M.Event.Fault_inject _
       ->
         ());
     match base_observer with

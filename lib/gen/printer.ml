@@ -1,0 +1,186 @@
+module Ast = Ipds_minic.Ast
+
+let binop_token : Ast.binop -> string = function
+  | Ast.Arith Ipds_mir.Binop.Add -> "+"
+  | Ast.Arith Ipds_mir.Binop.Sub -> "-"
+  | Ast.Arith Ipds_mir.Binop.Mul -> "*"
+  | Ast.Arith Ipds_mir.Binop.Div -> "/"
+  | Ast.Arith Ipds_mir.Binop.Rem -> "%"
+  | Ast.Arith Ipds_mir.Binop.And -> "&"
+  | Ast.Arith Ipds_mir.Binop.Or -> "|"
+  | Ast.Arith Ipds_mir.Binop.Xor -> "^"
+  | Ast.Arith Ipds_mir.Binop.Shl -> "<<"
+  | Ast.Arith Ipds_mir.Binop.Shr -> ">>"
+  | Ast.Cmp Ipds_mir.Cmp.Lt -> "<"
+  | Ast.Cmp Ipds_mir.Cmp.Le -> "<="
+  | Ast.Cmp Ipds_mir.Cmp.Gt -> ">"
+  | Ast.Cmp Ipds_mir.Cmp.Ge -> ">="
+  | Ast.Cmp Ipds_mir.Cmp.Eq -> "=="
+  | Ast.Cmp Ipds_mir.Cmp.Ne -> "!="
+  | Ast.And -> "&&"
+  | Ast.Or -> "||"
+
+(* Fully parenthesized: precedence never matters, and the parser's
+   [primary] rule accepts every parenthesized form. *)
+let rec expr buf (e : Ast.expr) =
+  match e with
+  | Ast.Int_lit n ->
+      if n < 0 then Buffer.add_string buf (Printf.sprintf "(0 - %d)" (-n))
+      else Buffer.add_string buf (string_of_int n)
+  | Ast.Var name -> Buffer.add_string buf name
+  | Ast.Index (name, e) ->
+      Buffer.add_string buf name;
+      Buffer.add_char buf '[';
+      expr buf e;
+      Buffer.add_char buf ']'
+  | Ast.Addr_of (name, None) ->
+      Buffer.add_char buf '&';
+      Buffer.add_string buf name
+  | Ast.Addr_of (name, Some e) ->
+      Buffer.add_char buf '&';
+      Buffer.add_string buf name;
+      Buffer.add_char buf '[';
+      expr buf e;
+      Buffer.add_char buf ']'
+  | Ast.Unary (op, e) ->
+      Buffer.add_char buf '(';
+      Buffer.add_string buf
+        (match op with Ast.Neg -> "-" | Ast.Not -> "!" | Ast.Deref -> "*");
+      expr buf e;
+      Buffer.add_char buf ')'
+  | Ast.Binary (op, a, b) ->
+      Buffer.add_char buf '(';
+      expr buf a;
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf (binop_token op);
+      Buffer.add_char buf ' ';
+      expr buf b;
+      Buffer.add_char buf ')'
+  | Ast.Call (name, args) ->
+      Buffer.add_string buf name;
+      Buffer.add_char buf '(';
+      List.iteri
+        (fun i a ->
+          if i > 0 then Buffer.add_string buf ", ";
+          expr buf a)
+        args;
+      Buffer.add_char buf ')'
+  | Ast.Input ch -> Buffer.add_string buf (Printf.sprintf "input(%d)" ch)
+
+let lvalue buf (lv : Ast.lvalue) =
+  match lv with
+  | Ast.Lvar name -> Buffer.add_string buf name
+  | Ast.Lindex (name, e) ->
+      Buffer.add_string buf name;
+      Buffer.add_char buf '[';
+      expr buf e;
+      Buffer.add_char buf ']'
+  | Ast.Lderef e ->
+      Buffer.add_char buf '*';
+      expr buf e
+
+let pad buf indent = Buffer.add_string buf (String.make (2 * indent) ' ')
+
+(* A [simple_stmt] — assignment or expression — without indent or ';',
+   for use in [for] headers. *)
+let simple buf (st : Ast.stmt) =
+  match st with
+  | Ast.Assign (lv, e) ->
+      lvalue buf lv;
+      Buffer.add_string buf " = ";
+      expr buf e
+  | Ast.Expr e -> expr buf e
+  | _ -> invalid_arg "Printer.simple: not a simple statement"
+
+let rec stmt buf ~indent (st : Ast.stmt) =
+  match st with
+  | Ast.Assign _ | Ast.Expr _ ->
+      pad buf indent;
+      simple buf st;
+      Buffer.add_string buf ";\n"
+  | Ast.If (c, then_b, else_b) ->
+      pad buf indent;
+      Buffer.add_string buf "if (";
+      expr buf c;
+      Buffer.add_string buf ") {\n";
+      List.iter (stmt buf ~indent:(indent + 1)) then_b;
+      pad buf indent;
+      Buffer.add_string buf "}";
+      (match else_b with
+      | [] -> ()
+      | _ ->
+          (* [else { if ... }] parses back to the same single-statement
+             else branch as an [else if] chain would *)
+          Buffer.add_string buf " else {\n";
+          List.iter (stmt buf ~indent:(indent + 1)) else_b;
+          pad buf indent;
+          Buffer.add_string buf "}");
+      Buffer.add_char buf '\n'
+  | Ast.While (c, body) ->
+      pad buf indent;
+      Buffer.add_string buf "while (";
+      expr buf c;
+      Buffer.add_string buf ") {\n";
+      List.iter (stmt buf ~indent:(indent + 1)) body;
+      pad buf indent;
+      Buffer.add_string buf "}\n"
+  | Ast.For (init, cond, step, body) ->
+      pad buf indent;
+      Buffer.add_string buf "for (";
+      (match init with None -> () | Some s -> simple buf s);
+      Buffer.add_string buf "; ";
+      (match cond with None -> () | Some c -> expr buf c);
+      Buffer.add_string buf "; ";
+      (match step with None -> () | Some s -> simple buf s);
+      Buffer.add_string buf ") {\n";
+      List.iter (stmt buf ~indent:(indent + 1)) body;
+      pad buf indent;
+      Buffer.add_string buf "}\n"
+  | Ast.Return None ->
+      pad buf indent;
+      Buffer.add_string buf "return;\n"
+  | Ast.Return (Some e) ->
+      pad buf indent;
+      Buffer.add_string buf "return ";
+      expr buf e;
+      Buffer.add_string buf ";\n"
+  | Ast.Output e ->
+      pad buf indent;
+      Buffer.add_string buf "output(";
+      expr buf e;
+      Buffer.add_string buf ");\n"
+  | Ast.Break ->
+      pad buf indent;
+      Buffer.add_string buf "break;\n"
+  | Ast.Continue ->
+      pad buf indent;
+      Buffer.add_string buf "continue;\n"
+
+let decl buf ~indent (d : Ast.decl) =
+  pad buf indent;
+  (match d.Ast.d_size with
+  | None -> Buffer.add_string buf (Printf.sprintf "int %s;\n" d.Ast.d_name)
+  | Some n -> Buffer.add_string buf (Printf.sprintf "int %s[%d];\n" d.Ast.d_name n))
+
+let func buf (f : Ast.func) =
+  Buffer.add_string buf (Printf.sprintf "int %s(" f.Ast.f_name);
+  List.iteri
+    (fun i p ->
+      if i > 0 then Buffer.add_string buf ", ";
+      Buffer.add_string buf ("int " ^ p))
+    f.Ast.f_params;
+  Buffer.add_string buf ") {\n";
+  List.iter (decl buf ~indent:1) f.Ast.f_locals;
+  List.iter (stmt buf ~indent:1) f.Ast.f_body;
+  Buffer.add_string buf "}\n"
+
+let program (p : Ast.program) =
+  let buf = Buffer.create 4096 in
+  List.iter (decl buf ~indent:0) p.Ast.p_globals;
+  if p.Ast.p_globals <> [] then Buffer.add_char buf '\n';
+  List.iteri
+    (fun i f ->
+      if i > 0 then Buffer.add_char buf '\n';
+      func buf f)
+    p.Ast.p_funcs;
+  Buffer.contents buf

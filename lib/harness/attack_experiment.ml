@@ -45,6 +45,23 @@ type attempt_outcome =
       alarmed : bool;
     }
 
+(* The attack universes, each a concrete [Tamper.site] builder.  [`Mem]
+   resolves per-workload (its vulnerability class); the branch-fault
+   universes are workload-independent. *)
+type universe =
+  [ `Mem | `Cond_flip | `Insn_skip ]
+
+let universe_name = function
+  | `Mem -> "mem"
+  | `Cond_flip -> "cond-flip"
+  | `Insn_skip -> "insn-skip"
+
+let universe_of_name = function
+  | "mem" -> Some `Mem
+  | "cond-flip" -> Some `Cond_flip
+  | "insn-skip" -> Some `Insn_skip
+  | _ -> None
+
 let run_attempt ~system ~program ~model ~seed ~name attempt =
   let rng = attempt_rng ~seed ~name ~attempt in
   let input_seed = Random.State.bits rng land 0xffffff in
@@ -70,16 +87,27 @@ let run_attempt ~system ~program ~model ~seed ~name attempt =
     let lo = max 1 (benign.M.Interp.steps / 5) in
     let at_step = lo + Random.State.int rng (max 1 (benign.M.Interp.steps - lo)) in
     (* Attackers pick meaningful values: small protocol constants about
-       half the time, arbitrary bytes otherwise. *)
+       half the time, arbitrary bytes otherwise.  Drawn for every
+       universe (branch faults ignore them) so the attempt schedule of
+       the memory universe is byte-identical to the historical one. *)
     let value =
       if Random.State.bool rng then Random.State.int rng 8
       else Random.State.int rng 256
     in
     let tamper_seed = Random.State.bits rng land 0xffffff in
+    let site =
+      match model with
+      | `Stack_overflow ->
+          M.Tamper.Mem_write { model = M.Tamper.Stack_overflow; value }
+      | `Arbitrary_write ->
+          M.Tamper.Mem_write { model = M.Tamper.Arbitrary_write; value }
+      | `Cond_flip -> M.Tamper.Cond_flip
+      | `Insn_skip -> M.Tamper.Insn_skip
+    in
     let checker = Core.System.new_checker system in
     let attacked =
       run_once
-        ~tamper:(Some { M.Tamper.at_step; model; seed = tamper_seed; value })
+        ~tamper:(Some { M.Tamper.at_step; site; seed = tamper_seed })
         ~checker:(Some checker)
     in
     match attacked.M.Interp.injection with
@@ -98,11 +126,6 @@ let campaign ?options ?system ?pool ?(attacks = 100) ?(seed = 2006) ~model
     match system with
     | Some s -> s
     | None -> Core.System.cached_build ?options program
-  in
-  let model =
-    match model with
-    | `Stack_overflow -> M.Tamper.Stack_overflow
-    | `Arbitrary_write -> M.Tamper.Arbitrary_write
   in
   (* Some attempts pick a victim whose old value equals the attack value
      (no-op); keep evaluating fresh attempts until [attacks] real
@@ -160,6 +183,13 @@ let campaign ?options ?system ?pool ?(attacks = 100) ?(seed = 2006) ~model
     Ipds_obs.Events.emit ~kind:"attack.campaign"
       [
         ("workload", Ipds_obs.Json.String name);
+        ( "model",
+          Ipds_obs.Json.String
+            (match model with
+            | `Stack_overflow -> "overflow"
+            | `Arbitrary_write -> "arbitrary"
+            | `Cond_flip -> "cond-flip"
+            | `Insn_skip -> "insn-skip") );
         ("attacks", Ipds_obs.Json.Int !injected);
         ("cf_changed", Ipds_obs.Json.Int !cf_changed);
         ("detected", Ipds_obs.Json.Int !detected);
@@ -167,8 +197,16 @@ let campaign ?options ?system ?pool ?(attacks = 100) ?(seed = 2006) ~model
   { workload = name; attacks = !injected; cf_changed = !cf_changed;
     detected = !detected }
 
-let run ?options ?promote ?pool ?prepare ?attacks ?seed (w : W.t) =
-  let model = W.tamper_model w in
+let run ?options ?promote ?pool ?prepare ?(universe = `Mem) ?attacks ?seed
+    (w : W.t) =
+  let model =
+    match universe with
+    | `Mem ->
+        (W.tamper_model w
+          :> [ `Stack_overflow | `Arbitrary_write | `Cond_flip | `Insn_skip ])
+    | `Cond_flip -> `Cond_flip
+    | `Insn_skip -> `Insn_skip
+  in
   match prepare with
   | Some prepare ->
       campaign ?options ?pool ?attacks ?seed ~model ~name:w.W.name (prepare w)
@@ -194,11 +232,11 @@ let summarize rows =
     detected_given_cf = mean (fun r -> frac r.detected (max 1 r.cf_changed));
   }
 
-let run_all ?options ?promote ?prepare ?attacks ?seed ?jobs ?pool () =
+let run_all ?options ?promote ?prepare ?universe ?attacks ?seed ?jobs ?pool () =
   Pool.with_opt ?jobs ?pool (fun pool ->
       summarize
         (Pool.map' pool
-           (run ?options ?promote ?pool ?prepare ?attacks ?seed)
+           (run ?options ?promote ?pool ?prepare ?universe ?attacks ?seed)
            W.all))
 
 let render s =

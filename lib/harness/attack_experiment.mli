@@ -37,13 +37,24 @@ type summary = {
 exception False_positive of string
 (** Raised if a benign run raises an alarm — a soundness violation. *)
 
+type universe = [ `Mem | `Cond_flip | `Insn_skip ]
+(** The attack universes.  [`Mem] is the paper's memory-tamper scenario
+    (the workload's own vulnerability class picks the scope);
+    [`Cond_flip] and [`Insn_skip] are the branch-fault models of the
+    fault-attack literature, landing at branch commit. *)
+
+val universe_name : universe -> string
+(** ["mem"], ["cond-flip"], ["insn-skip"] — the CLI/bench spelling. *)
+
+val universe_of_name : string -> universe option
+
 val campaign :
   ?options:Ipds_correlation.Analysis.options ->
   ?system:Ipds_core.System.t ->
   ?pool:Ipds_parallel.Pool.t ->
   ?attacks:int ->
   ?seed:int ->
-  model:[ `Stack_overflow | `Arbitrary_write ] ->
+  model:[ `Stack_overflow | `Arbitrary_write | `Cond_flip | `Insn_skip ] ->
   name:string ->
   Ipds_mir.Program.t ->
   row
@@ -58,6 +69,7 @@ val run :
   ?promote:bool ->
   ?pool:Ipds_parallel.Pool.t ->
   ?prepare:(Ipds_workloads.Workloads.t -> Ipds_mir.Program.t) ->
+  ?universe:universe ->
   ?attacks:int ->
   ?seed:int ->
   Ipds_workloads.Workloads.t ->
@@ -73,6 +85,7 @@ val run_all :
   ?options:Ipds_correlation.Analysis.options ->
   ?promote:bool ->
   ?prepare:(Ipds_workloads.Workloads.t -> Ipds_mir.Program.t) ->
+  ?universe:universe ->
   ?attacks:int ->
   ?seed:int ->
   ?jobs:int ->

@@ -67,9 +67,8 @@ let run ?(n = 3) ?(train_runs = 40) ?(holdout_runs = 50) ?(attacks = 100)
       let plan =
         {
           M.Tamper.at_step;
-          model = model_tamper;
+          site = M.Tamper.Mem_write { model = model_tamper; value };
           seed = Random.State.bits rng land 0xffffff;
-          value;
         }
       in
       (* one attacked run, observed by both detectors *)
@@ -82,7 +81,7 @@ let run ?(n = 3) ?(train_runs = 40) ?(holdout_runs = 50) ?(attacks = 100)
             syscalls := callee :: !syscalls
         | M.Event.Call _ | M.Event.Alu | M.Event.Load _ | M.Event.Store _
         | M.Event.Branch _ | M.Event.Jump _ | M.Event.Ret | M.Event.Input_read
-        | M.Event.Output_write _ ->
+        | M.Event.Output_write _ | M.Event.Fault_inject _ ->
             ()
       in
       let attacked =

@@ -1,0 +1,46 @@
+(** The DME-baseline experiment: layout-diversified replicas as a
+    detector, reported Fig-7-style next to IPDS.
+
+    One attempt mirrors {!Attack_experiment}: run the benign server
+    under a seeded input script, pick a random step and a random
+    victim through the workload's own vulnerability class, and re-run
+    tampered — once in the original layout (watched by the IPDS
+    checker) and once replayed {e physically}, at the tampered cell's
+    absolute address, in the decorrelated variant
+    ({!Ipds_baseline.Dme.decorrelate}).  DME flags the attack when the
+    two tampered variants disagree on canonical behaviour
+    ({!Ipds_baseline.Dme.diverged}).
+
+    Reported per workload: DME coverage and IPDS detection over the
+    same injected attacks, DME false positives over held-out benign
+    variant pairs (zero by construction — benign runs are
+    layout-oblivious), and DME's runtime overhead (the variant pair's
+    step total over the single-run baseline, ~2x).
+
+    Campaigns draw from a [(seed, workload-name)]-salted RNG, so
+    {!run_all}'s workload-level pool fan-out is deterministic for any
+    job count. *)
+
+type row = {
+  workload : string;
+  attacks : int;  (** attempts with an actual injection in the original *)
+  cf_changed : int;
+  dme_detected : int;
+  ipds_detected : int;
+  benign_diffs : int;  (** DME false positives over the holdout *)
+  holdout : int;
+  overhead : float;  (** mean (steps_A + steps_B) / steps_A, benign *)
+}
+
+val run : ?attacks:int -> ?holdout:int -> ?seed:int -> Ipds_workloads.Workloads.t -> row
+
+val run_all :
+  ?attacks:int ->
+  ?holdout:int ->
+  ?seed:int ->
+  ?jobs:int ->
+  ?pool:Ipds_parallel.Pool.t ->
+  unit ->
+  row list
+
+val render : row list -> string

@@ -11,6 +11,7 @@ type kind =
   | Ret
   | Input_read
   | Output_write of int
+  | Fault_inject of { skipped : bool }
 
 type t = {
   fname : string;
@@ -32,5 +33,7 @@ let pp ppf t =
     | Ret -> "ret"
     | Input_read -> "input"
     | Output_write v -> Printf.sprintf "output %d" v
+    | Fault_inject { skipped } ->
+        Printf.sprintf "fault-inject %s" (if skipped then "insn-skip" else "cond-flip")
   in
   Format.fprintf ppf "%s+%d@0x%x: %s" t.fname t.iid t.pc k

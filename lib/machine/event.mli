@@ -15,6 +15,13 @@ type kind =
   | Ret
   | Input_read
   | Output_write of int
+  | Fault_inject of { skipped : bool }
+      (** simulator-side marker that a branch fault landed on this
+          instruction: [skipped = false] is a condition flip (the
+          {!Branch} event that follows carries the flipped direction),
+          [skipped = true] an instruction skip (no branch event commits
+          at all).  Checker replay ignores it — a real victim would not
+          announce its own corruption. *)
 
 type t = {
   fname : string;

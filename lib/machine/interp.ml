@@ -379,12 +379,44 @@ let step st =
                  });
             a.blk <- target;
             a.pos <- 0
-        | Mir.Terminator.Branch { cmp; lhs; rhs; if_true; if_false } ->
+        | Mir.Terminator.Branch { cmp; lhs; rhs; if_true; if_false } -> (
             let x = to_num st a.regs.(Mir.Reg.index lhs) in
             let y = to_num st (operand a rhs) in
-            let taken = Mir.Cmp.eval cmp x y in
-            let target = if taken then if_true else if_false in
+            let orig_taken = Mir.Cmp.eval cmp x y in
             let pc = Mir.Layout.pc st.layout ~fname:a.func.Mir.Func.name ~iid in
+            (* An armed branch fault lands on the first branch commit
+               at/after its step; memory faults never reach this point
+               (they fire in the run loop).  Exactly one fault per run. *)
+            let fault =
+              match st.config.tamper with
+              | Some { Tamper.site = (Tamper.Cond_flip | Tamper.Insn_skip) as s;
+                       at_step; _ }
+                when st.injection = None && st.steps >= at_step ->
+                  Some s
+              | Some _ | None -> None
+            in
+            match fault with
+            | Some Tamper.Insn_skip ->
+                (* The branch instruction never executes: no event, no
+                   digest update, no checker verdict — control falls
+                   through to the not-taken successor.  The committed
+                   trace is simply missing one entry, which is what
+                   makes this universe hard for trace-shape detectors. *)
+                st.injection <- Some (Tamper.Skipped_branch { pc; taken = orig_taken });
+                emit st a iid (Event.Fault_inject { skipped = true });
+                a.blk <- if_false;
+                a.pos <- 0
+            | (Some Tamper.Cond_flip | None
+              | Some (Tamper.Mem_write _ | Tamper.Mem_write_at _)) as fault ->
+            let taken =
+              match fault with
+              | Some Tamper.Cond_flip ->
+                  st.injection <- Some (Tamper.Flipped_branch { pc; orig_taken });
+                  emit st a iid (Event.Fault_inject { skipped = false });
+                  not orig_taken
+              | _ -> orig_taken
+            in
+            let target = if taken then if_true else if_false in
             st.branches <- st.branches + 1;
             st.trace_digest <- digest_branch st.trace_digest ~pc ~taken;
             if st.config.record_trace then
@@ -410,7 +442,7 @@ let step st =
                     | None -> ())
             | None -> ());
             a.blk <- target;
-            a.pos <- 0
+            a.pos <- 0)
         | Mir.Terminator.Return o ->
             let v =
               match o with
@@ -521,15 +553,21 @@ let run program config =
             step st;
             st.steps <- st.steps + 1;
             match config.tamper with
-            | Some plan when plan.Tamper.at_step = st.steps ->
-                st.injection <- Tamper.inject plan st.memory;
-                if Ipds_obs.Events.enabled () then
-                  Ipds_obs.Events.emit ~kind:"interp.tamper"
-                    [
-                      ("main", Ipds_obs.Json.String program.Mir.Program.main);
-                      ("at_step", Ipds_obs.Json.Int plan.Tamper.at_step);
-                      ("hit", Ipds_obs.Json.Bool (st.injection <> None));
-                    ]
+            | Some plan when plan.Tamper.at_step = st.steps -> (
+                match plan.Tamper.site with
+                | Tamper.Mem_write _ | Tamper.Mem_write_at _ ->
+                    st.injection <- Tamper.inject plan st.memory;
+                    if Ipds_obs.Events.enabled () then
+                      Ipds_obs.Events.emit ~kind:"interp.tamper"
+                        [
+                          ("main", Ipds_obs.Json.String program.Mir.Program.main);
+                          ("at_step", Ipds_obs.Json.Int plan.Tamper.at_step);
+                          ("hit", Ipds_obs.Json.Bool (st.injection <> None));
+                        ]
+                | Tamper.Cond_flip | Tamper.Insn_skip ->
+                    (* Branch faults arm here and land at the next branch
+                       commit, inside [step]'s terminator case. *)
+                    ())
             | Some _ | None -> ()
           end)
     done;

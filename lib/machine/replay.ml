@@ -20,7 +20,10 @@ let feed checker ~defined (e : Event.t) =
   | Event.Branch { taken; _ } ->
       ignore (Ipds_core.Checker.on_branch checker ~pc:e.Event.pc ~taken)
   | Event.Alu | Event.Load _ | Event.Store _ | Event.Jump _ | Event.Input_read
-  | Event.Output_write _ ->
+  | Event.Output_write _
+  (* Fault markers are simulator metadata, not program behaviour: the
+     checker must reach the same verdicts whether or not it sees them. *)
+  | Event.Fault_inject _ ->
       ()
 
 let feed_all checker ~defined events = List.iter (feed checker ~defined) events

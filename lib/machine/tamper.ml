@@ -4,45 +4,97 @@ type model =
   | Stack_overflow
   | Arbitrary_write
 
+type site =
+  | Mem_write of {
+      model : model;
+      value : int;
+    }
+  | Mem_write_at of {
+      addr : int;
+      value : int;
+    }
+  | Cond_flip
+  | Insn_skip
+
 type plan = {
   at_step : int;
-  model : model;
+  site : site;
   seed : int;
-  value : int;
 }
 
-type injection = {
-  frame : int;
-  var : Mir.Var.t;
-  index : int;
-  old_value : Value.t;
-  new_value : Value.t;
-}
+type injection =
+  | Tampered_cell of {
+      frame : int;
+      var : Mir.Var.t;
+      index : int;
+      addr : int;
+      old_value : Value.t;
+      new_value : Value.t;
+    }
+  | Flipped_branch of {
+      pc : int;
+      orig_taken : bool;
+    }
+  | Skipped_branch of {
+      pc : int;
+      taken : bool;
+    }
 
-let pp_injection ppf i =
-  Format.fprintf ppf "tamper %s[%d]@f%d: %a -> %a" i.var.Mir.Var.name i.index
-    i.frame Value.pp i.old_value Value.pp i.new_value
+let pp_injection ppf = function
+  | Tampered_cell i ->
+      Format.fprintf ppf "tamper %s[%d]@f%d (0x%x): %a -> %a" i.var.Mir.Var.name
+        i.index i.frame i.addr Value.pp i.old_value Value.pp i.new_value
+  | Flipped_branch f ->
+      Format.fprintf ppf "cond-flip @0x%x: %s -> %s" f.pc
+        (if f.orig_taken then "T" else "N")
+        (if f.orig_taken then "N" else "T")
+  | Skipped_branch s ->
+      Format.fprintf ppf "insn-skip @0x%x (was %s)" s.pc
+        (if s.taken then "T" else "N")
+
+let tamper_cell memory (frame, var, index) value =
+  match Memory.load memory ~frame var index with
+  | None -> None
+  | Some old_value ->
+      let new_value = Value.Int value in
+      if old_value = new_value then None
+      else begin
+        let stored = Memory.store memory ~frame var index new_value in
+        assert stored;
+        let addr = Memory.address memory ~frame var index in
+        Some (Tampered_cell { frame; var; index; addr; old_value; new_value })
+      end
 
 let inject plan memory =
-  let scope =
-    match plan.model with
-    | Stack_overflow -> `Active_locals
-    | Arbitrary_write -> `Anywhere
-  in
-  match Memory.live_cells memory ~scope with
-  | [] -> None
-  | candidates -> (
-      let state = Random.State.make [| plan.seed |] in
-      let frame, var, index =
-        List.nth candidates (Random.State.int state (List.length candidates))
+  match plan.site with
+  | Cond_flip | Insn_skip ->
+      (* Branch faults land at the next branch commit, inside the
+         interpreter — there is no memory cell to pick here. *)
+      None
+  | Mem_write_at { addr; value } -> (
+      (* A physical attack: hit whatever cell the layout put at [addr].
+         Under a decorrelated layout the same address resolves to a
+         different logical cell (or to nothing at all) — exactly the
+         asymmetry the DME baseline detects. *)
+      let cell =
+        List.find_opt
+          (fun (frame, v, i) -> Memory.address memory ~frame v i = addr)
+          (Memory.live_cells memory ~scope:`Anywhere)
       in
-      match Memory.load memory ~frame var index with
+      match cell with
       | None -> None
-      | Some old_value ->
-          let new_value = Value.Int plan.value in
-          if old_value = new_value then None
-          else begin
-            let stored = Memory.store memory ~frame var index new_value in
-            assert stored;
-            Some { frame; var; index; old_value; new_value }
-          end)
+      | Some c -> tamper_cell memory c value)
+  | Mem_write { model; value } -> (
+      let scope =
+        match model with
+        | Stack_overflow -> `Active_locals
+        | Arbitrary_write -> `Anywhere
+      in
+      match Memory.live_cells memory ~scope with
+      | [] -> None
+      | candidates ->
+          let state = Random.State.make [| plan.seed |] in
+          let cell =
+            List.nth candidates (Random.State.int state (List.length candidates))
+          in
+          tamper_cell memory cell value)

@@ -1,12 +1,24 @@
-(** Memory-tampering attack injection (paper §6 methodology).
+(** Fault injection: the attack universes (paper §6 methodology plus the
+    branch-fault models of the fault-attack literature).
 
-    An attack flips exactly one memory cell at a chosen dynamic step.  The
-    two models mirror the paper's vulnerability classes:
+    A plan says {b when} ([at_step]), {b where/what} ([site]) and, for
+    randomized victim selection, a [seed].  The sites form a typed
+    variant so every consumer matches exhaustively — adding a universe
+    is a compile-time event, not a silently-ignored runtime case:
 
-    - [Stack_overflow] — a buffer overflow can reach only local stack data
-      of the function that is executing when the tamper lands;
-    - [Arbitrary_write] — a format-string bug can tamper any live memory
-      location.
+    - [Mem_write] — flip one memory cell, victim picked by seed.
+      [Stack_overflow] reaches only local stack data of the function
+      executing when the tamper lands; [Arbitrary_write] (format-string
+      class) reaches any live memory.
+    - [Mem_write_at] — flip the cell at a concrete {e physical} address
+      (no-op if nothing lives there).  Used by the DME baseline to
+      replay one physical attack against layout-decorrelated variants.
+    - [Cond_flip] — at the first branch commit at/after [at_step],
+      invert the evaluated condition: the branch commits in the wrong
+      direction.
+    - [Insn_skip] — at the first branch commit at/after [at_step], skip
+      the branch instruction entirely: no branch event commits and
+      control falls through to the not-taken successor.
 
     Victim selection is deterministic in the plan's seed, making every
     attack experiment reproducible. *)
@@ -15,24 +27,46 @@ type model =
   | Stack_overflow
   | Arbitrary_write
 
+type site =
+  | Mem_write of {
+      model : model;
+      value : int;  (** the attacker-chosen replacement value *)
+    }
+  | Mem_write_at of {
+      addr : int;
+      value : int;
+    }
+  | Cond_flip
+  | Insn_skip
+
 type plan = {
-  at_step : int;  (** inject after this many executed instructions *)
-  model : model;
+  at_step : int;  (** fire after this many executed instructions *)
+  site : site;
   seed : int;
-  value : int;  (** the attacker-chosen replacement value *)
 }
 
-type injection = {
-  frame : int;
-  var : Ipds_mir.Var.t;
-  index : int;
-  old_value : Value.t;
-  new_value : Value.t;
-}
+type injection =
+  | Tampered_cell of {
+      frame : int;
+      var : Ipds_mir.Var.t;
+      index : int;
+      addr : int;  (** physical address of the cell, at injection time *)
+      old_value : Value.t;
+      new_value : Value.t;
+    }
+  | Flipped_branch of {
+      pc : int;
+      orig_taken : bool;  (** the direction the branch should have gone *)
+    }
+  | Skipped_branch of {
+      pc : int;
+      taken : bool;  (** the direction the skipped branch would have gone *)
+    }
 
 val pp_injection : Format.formatter -> injection -> unit
 
 val inject : plan -> Memory.t -> injection option
-(** Pick a victim cell under the plan's model and overwrite it.  [None]
-    when no eligible cell exists or the chosen value equals the old one
-    (the "attack" would be a no-op). *)
+(** Perform a {e memory} fault now.  [None] when no eligible cell
+    exists, the chosen value equals the old one (the "attack" would be
+    a no-op), or the site is a branch fault — those land inside the
+    interpreter at branch commit, never here. *)

@@ -62,6 +62,11 @@ let mem_access t cache addr =
   end
 
 let observer t (e : Event.t) =
+  (* Fault markers are simulator metadata, not retired instructions: the
+     faulted hardware spends no cycles announcing its own corruption. *)
+  match e.Event.kind with
+  | Event.Fault_inject _ -> ()
+  | _ ->
   t.instructions <- t.instructions + 1;
   (match t.ctx_switch_period, t.unit_ with
   | Some period, Some unit_ ->
@@ -73,7 +78,8 @@ let observer t (e : Event.t) =
   t.cycles <- t.cycles +. (1. /. float_of_int t.config.Config.commit_width);
   mem_access t t.l1i e.Event.pc;
   match e.Event.kind with
-  | Event.Alu | Event.Input_read | Event.Output_write _ | Event.Jump _ -> ()
+  | Event.Alu | Event.Input_read | Event.Output_write _ | Event.Jump _
+  | Event.Fault_inject _ -> ()
   | Event.Load { addr } | Event.Store { addr } -> mem_access t t.l1d addr
   | Event.Branch { taken; _ } -> (
       let correct = Predictor.observe t.predictor ~pc:e.Event.pc ~taken in

@@ -194,6 +194,9 @@ let push_event w (e : Event.t) =
   | Event.Output_write v ->
       tag 8;
       push_int w v
+  | Event.Fault_inject { skipped } ->
+      tag 9;
+      push_bool w skipped
 
 let pull_event ~limit r : Event.t =
   let fname = pull_string ~limit r in
@@ -213,6 +216,7 @@ let pull_event ~limit r : Event.t =
     | 6 -> Event.Ret
     | 7 -> Event.Input_read
     | 8 -> Event.Output_write (pull_int r)
+    | 9 -> Event.Fault_inject { skipped = pull_bool r }
     | n -> fail (Printf.sprintf "bad event kind %d" n)
   in
   { Event.fname; iid; pc; kind }
@@ -556,6 +560,9 @@ let iter_branch_events ?(limit = default_max_frame) buf ~pos ~len ~on_call
     | 7 -> on_other () (* Input_read *)
     | 8 ->
         ignore (Fast.pull_int r) (* Output_write value *);
+        on_other ()
+    | 9 ->
+        ignore (Fast.pull r 1) (* Fault_inject skipped *);
         on_other ()
     | k -> fail (Printf.sprintf "bad event kind %d" k)
   done;

@@ -1,0 +1,186 @@
+type action =
+  | Accept
+  | Drop
+  | Reject
+  | Log_accept
+
+type rule = {
+  proto : int option;
+  sport : (int * int) option;
+  dport : (int * int) option;
+  src_net : int option;
+  action : action;
+}
+
+type policy = rule list
+
+let action_code = function
+  | Accept -> 0
+  | Drop -> 1
+  | Reject -> 2
+  | Log_accept -> 3
+
+let default_policy =
+  [
+    (* management subnet: always in, logged *)
+    { proto = None; sport = None; dport = None; src_net = Some 1; action = Log_accept };
+    (* dns over proto 2 from anywhere *)
+    { proto = Some 2; sport = None; dport = Some (53, 53); src_net = None; action = Accept };
+    (* low ports from the dmz are rejected, not silently dropped *)
+    { proto = None; sport = None; dport = Some (0, 63); src_net = Some 6; action = Reject };
+    (* web: tcp-ish proto 0 to the http range *)
+    { proto = Some 0; sport = None; dport = Some (80, 88); src_net = None; action = Accept };
+    (* shadowed by the rule above for proto 0 — narrower port range *)
+    { proto = Some 0; sport = Some (32, 128); dport = Some (80, 80); src_net = None; action = Drop };
+    (* icmp-ish proto 3 is rate-limited by main; accept and log here *)
+    { proto = Some 3; sport = None; dport = None; src_net = None; action = Log_accept };
+    (* ephemeral-to-ephemeral between inside nets *)
+    { proto = Some 1; sport = Some (128, 255); dport = Some (128, 255); src_net = Some 3; action = Accept };
+    (* legacy net is cut off entirely *)
+    { proto = None; sport = None; dport = None; src_net = Some 7; action = Reject };
+  ]
+
+let default_action = Drop
+
+let generate ~seed ~nrules =
+  let rng = Random.State.make [| seed; nrules; 0x66697265 |] in
+  let opt p f = if Random.State.float rng 1.0 < p then Some (f ()) else None in
+  let port_range () =
+    let lo = Random.State.int rng 256 in
+    let hi = lo + Random.State.int rng (256 - lo) in
+    (lo, hi)
+  in
+  List.init (max 1 nrules) (fun _ ->
+      let rec rule () =
+        let r =
+          {
+            proto = opt 0.5 (fun () -> Random.State.int rng 4);
+            sport = opt 0.35 port_range;
+            dport = opt 0.6 port_range;
+            src_net = opt 0.45 (fun () -> Random.State.int rng 8);
+            action =
+              (match Random.State.int rng 5 with
+              | 0 | 1 -> Accept
+              | 2 -> Drop
+              | 3 -> Reject
+              | _ -> Log_accept);
+          }
+        in
+        (* an all-wildcard rule would shadow the rest of the chain *)
+        if r.proto = None && r.sport = None && r.dport = None && r.src_net = None
+        then rule ()
+        else r
+      in
+      rule ())
+
+(* ---------- MiniC lowering ---------- *)
+
+let rule_test r =
+  let tests =
+    List.concat
+      [
+        (match r.proto with
+        | None -> []
+        | Some p -> [ Printf.sprintf "(proto == %d)" p ]);
+        (match r.sport with
+        | None -> []
+        | Some (lo, hi) ->
+            if lo = hi then [ Printf.sprintf "(sport == %d)" lo ]
+            else [ Printf.sprintf "((sport >= %d) && (sport <= %d))" lo hi ]);
+        (match r.dport with
+        | None -> []
+        | Some (lo, hi) ->
+            if lo = hi then [ Printf.sprintf "(dport == %d)" lo ]
+            else [ Printf.sprintf "((dport >= %d) && (dport <= %d))" lo hi ]);
+        (match r.src_net with
+        | None -> []
+        | Some s -> [ Printf.sprintf "(src == %d)" s ]);
+      ]
+  in
+  match tests with
+  | [] -> "(1 == 1)"
+  | t :: rest -> List.fold_left (fun acc t -> acc ^ " && " ^ t) t rest
+
+let source policy =
+  let buf = Buffer.create 2048 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "int accepted;\n";
+  add "int dropped;\n";
+  add "int rejected;\n";
+  add "int logged;\n";
+  add "int rate[8];\n";
+  add "\n";
+  (* the rule chain: first match returns its action code *)
+  add "int classify(int proto, int sport, int dport, int src) {\n";
+  List.iter
+    (fun r ->
+      add "  if (%s) {\n    return %d;\n  }\n" (rule_test r) (action_code r.action))
+    policy;
+  add "  return %d;\n" (action_code default_action);
+  add "}\n\n";
+  (* main keeps its session state in local arrays (st[0]=lockdown,
+     st[1]=rejects, st[2]=seen_mgmt, st[3]=accepts) like the other
+     servers: flags set in one branch and tested in others are what the
+     correlation analysis latches onto, and memory-resident state is
+     what the attack campaigns corrupt. *)
+  add "// st[0]=lockdown  st[1]=rejects  st[2]=seen_mgmt  st[3]=accepts\n";
+  add "int main() {\n";
+  add "  int st[4];\n  int rate[8];\n  int conf[4];\n";
+  add "  int npkt;\n  int i;\n  int proto;\n  int sport;\n  int dport;\n";
+  add "  int src;\n  int v;\n";
+  add "  read_line(&conf[0], 4);\n";
+  add "  st[0] = 0;\n  st[1] = 0;\n  st[2] = 0;\n  st[3] = 0;\n";
+  add "  for (i = 0; i < 8; i = i + 1) {\n    rate[i] = 0;\n  }\n";
+  add "  npkt = (input(0) %% 12) + 6;\n";
+  add "  for (i = 0; i < npkt; i = i + 1) {\n";
+  add "    // lockdown audit runs for every packet\n";
+  add "    if (st[0]) { output(13); } else { output(12); }\n";
+  add "    // operator-tuned thresholds from the config block\n";
+  add "    if (conf[0] > 100) { output(91); }\n";
+  add "    if (conf[1] > 100) { output(92); }\n";
+  add "    proto = input(0) %% 4;\n";
+  add "    sport = input(0);\n";
+  add "    dport = input(0);\n";
+  add "    src = input(0) %% 8;\n";
+  add "    v = classify(proto, sport, dport, src);\n";
+  add "    rate[src] = rate[src] + 1;\n";
+  add "    // lockdown and the per-source rate limiter override accepts\n";
+  add "    if (st[0]) { v = 1; }\n";
+  add "    if ((v == 0 || v == 3) && rate[src] > 9) {\n";
+  add "      v = 1;\n";
+  add "    }\n";
+  add "    if (v == 0) {\n";
+  add "      accepted = accepted + 1;\n";
+  add "      st[3] = st[3] + 1;\n";
+  add "      send(0, dport);\n";
+  add "    } else {\n";
+  add "      if (v == 1) {\n";
+  add "        dropped = dropped + 1;\n";
+  add "      } else {\n";
+  add "        if (v == 2) {\n";
+  add "          rejected = rejected + 1;\n";
+  add "          st[1] = st[1] + 1;\n";
+  add "          send(0, 0 - 1);\n";
+  add "        } else {\n";
+  add "          logged = logged + 1;\n";
+  add "          log_msg(src, dport);\n";
+  add "          accepted = accepted + 1;\n";
+  add "          st[3] = st[3] + 1;\n";
+  add "          send(0, dport);\n";
+  add "        }\n";
+  add "      }\n";
+  add "    }\n";
+  add "    if (src == 1) { st[2] = 1; }\n";
+  add "    if (st[1] > 2) { st[0] = 1; }\n";
+  add "    if (st[2]) {\n";
+  add "      if (dport == 53) { output(53); }\n";
+  add "    }\n";
+  add "  }\n";
+  add "  output(accepted);\n";
+  add "  output(dropped);\n";
+  add "  output(rejected);\n";
+  add "  output(logged);\n";
+  add "  output(st[3]);\n";
+  add "  return 0;\n";
+  add "}\n";
+  Buffer.contents buf

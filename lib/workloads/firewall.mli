@@ -1,0 +1,46 @@
+(** Firewall-policy workload family.
+
+    A policy is an ordered, first-match-wins rule chain over packet
+    header fields.  {!source} compiles a policy into a MiniC packet
+    filter shaped like the other servers: [classify] is the rule chain
+    lowered to an if-dispatch cascade (one conjunction of field tests
+    per rule, falling through to the default verdict), and [main] pulls
+    a bounded number of packets off the input script, routes each
+    through the chain, and maintains per-action counters plus a
+    per-source rate limiter.
+
+    The canonical member ([fwpolicyd], built from {!default_policy}) is
+    registered in [Workloads.all]; [Workloads.firewall] mints further
+    family members from seeded random policies for population-scale
+    campaigns — each gets a distinct name, so the compile/system memo
+    keyed by name stays correct.  (The constructor lives in [Workloads]
+    because this module cannot depend on it.) *)
+
+type action =
+  | Accept
+  | Drop
+  | Reject  (** drop, but tell the peer ([send(0, -1)]) *)
+  | Log_accept  (** accept and [log_msg] the packet *)
+
+type rule = {
+  proto : int option;  (** exact protocol match, 0..3 *)
+  sport : (int * int) option;  (** inclusive source-port range, 0..255 *)
+  dport : (int * int) option;  (** inclusive dest-port range, 0..255 *)
+  src_net : int option;  (** exact source-subnet match, 0..7 *)
+  action : action;
+}
+(** A rule with no populated field matches every packet. *)
+
+type policy = rule list
+
+val default_policy : policy
+(** The canonical [fwpolicyd] chain: eight rules covering every action
+    and every field kind, with shadowing and range overlaps so the
+    chain has real branch-correlation structure. *)
+
+val generate : seed:int -> nrules:int -> policy
+(** Seeded random policy (pure function of its arguments); every rule
+    populates at least one field. *)
+
+val source : policy -> string
+(** The policy compiled to a MiniC server. *)

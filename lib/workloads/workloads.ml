@@ -71,7 +71,21 @@ let all =
       source = Sources.portmap;
       vulnerability = Buffer_overflow;
     };
+    {
+      name = "fwpolicyd";
+      description = "packet filter: first-match rule chain, rate limiting";
+      source = Firewall.source Firewall.default_policy;
+      vulnerability = Buffer_overflow;
+    };
   ]
+
+let firewall ~seed ~nrules =
+  {
+    name = Printf.sprintf "fwpolicyd-s%d-r%d" seed nrules;
+    description = "packet filter: seeded random rule chain";
+    source = Firewall.source (Firewall.generate ~seed ~nrules);
+    vulnerability = Buffer_overflow;
+  }
 
 let find name = List.find (fun w -> String.equal w.name name) all
 

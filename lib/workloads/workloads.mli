@@ -1,7 +1,8 @@
-(** The benchmark suite: ten synthetic servers mirroring the programs the
-    paper attacks (telnetd, wu-ftpd, xinetd, crond, sysklogd, atftpd,
-    httpd, sendmail, sshd, portmap), each with its original vulnerability
-    class. *)
+(** The benchmark suite: the paper's ten synthetic servers (telnetd,
+    wu-ftpd, xinetd, crond, sysklogd, atftpd, httpd, sendmail, sshd,
+    portmap), each with its original vulnerability class, plus the
+    firewall-policy family ({!Firewall}) whose canonical member
+    [fwpolicyd] rides along as the eleventh workload. *)
 
 type vulnerability =
   | Buffer_overflow  (** tampers local stack data of the running function *)
@@ -15,10 +16,15 @@ type t = {
 }
 
 val all : t list
-(** The ten servers, in the paper's order. *)
+(** The ten servers in the paper's order, then [fwpolicyd]. *)
 
 val find : string -> t
 (** Raises [Not_found]. *)
+
+val firewall : seed:int -> nrules:int -> t
+(** A fresh firewall-policy family member ([fwpolicyd-s<seed>-r<n>],
+    see {!Firewall.generate}); distinct names keep the per-name
+    compile/system memos sound. *)
 
 val compiled : ?promote:bool -> t -> Ipds_mir.Program.t
 (** Compiled MIR, memoised per [(workload, promote)] — domain-safe and

@@ -214,6 +214,7 @@ let event : Ipds_machine.Event.t Q.t =
         Q.return Ret;
         Q.return Input_read;
         Q.map (fun v -> Output_write v) wide_int;
+        Q.map (fun skipped -> Fault_inject { skipped }) Q.bool;
       ]
   in
   Q.return { fname; iid; pc; kind }

@@ -107,7 +107,13 @@ let tampered_run system program w =
   in
   let run_with seed =
     local_run system program ~seed
-      ~tamper:(Some { M.Tamper.at_step = 40; model; seed; value = 0 })
+      ~tamper:
+        (Some
+           {
+             M.Tamper.at_step = 40;
+             site = M.Tamper.Mem_write { model; value = 0 };
+             seed;
+           })
   in
   let rec search seed best =
     if seed > 14 then best

@@ -290,9 +290,10 @@ let test_checker_from_image () =
            Some
              {
                Ipds_machine.Tamper.at_step = 120;
-               model = Ipds_machine.Tamper.Stack_overflow;
+               site =
+                 Ipds_machine.Tamper.Mem_write
+                   { model = Ipds_machine.Tamper.Stack_overflow; value = 1 };
                seed = 9;
-               value = 1;
              };
        })
       .Ipds_machine.Interp.alarms
@@ -441,9 +442,13 @@ let prop_checker_matches_oracle =
           Some
             {
               Ipds_machine.Tamper.at_step = 1 + (attack_bits mod 400);
-              model = Ipds_machine.Tamper.Arbitrary_write;
+              site =
+                Ipds_machine.Tamper.Mem_write
+                  {
+                    model = Ipds_machine.Tamper.Arbitrary_write;
+                    value = attack_bits mod 256;
+                  };
               seed = attack_bits;
-              value = attack_bits mod 256;
             }
       in
       (* production run *)
@@ -472,7 +477,8 @@ let prop_checker_matches_oracle =
             Oracle.on_branch oracle ~pc:e.Ipds_machine.Event.pc ~taken
         | Ipds_machine.Event.Alu | Ipds_machine.Event.Load _
         | Ipds_machine.Event.Store _ | Ipds_machine.Event.Jump _
-        | Ipds_machine.Event.Input_read | Ipds_machine.Event.Output_write _ ->
+        | Ipds_machine.Event.Input_read | Ipds_machine.Event.Output_write _
+        | Ipds_machine.Event.Fault_inject _ ->
             ()
       in
       let _o2 =
@@ -516,7 +522,8 @@ let prop_checker_matches_oracle =
                 Oracle.on_branch oracle2 ~pc:e.Ipds_machine.Event.pc ~taken
             | Ipds_machine.Event.Alu | Ipds_machine.Event.Load _
             | Ipds_machine.Event.Store _ | Ipds_machine.Event.Jump _
-            | Ipds_machine.Event.Input_read | Ipds_machine.Event.Output_write _ ->
+            | Ipds_machine.Event.Input_read | Ipds_machine.Event.Output_write _
+            | Ipds_machine.Event.Fault_inject _ ->
                 ()
           in
           let _ =

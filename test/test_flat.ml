@@ -183,11 +183,15 @@ let tamper_of_bits bits =
     Some
       {
         M.Tamper.at_step = 1 + (bits mod 400);
-        model =
-          (if bits mod 2 = 0 then M.Tamper.Arbitrary_write
-           else M.Tamper.Stack_overflow);
+        site =
+          (match bits mod 4 with
+          | 0 -> M.Tamper.Mem_write
+                   { model = M.Tamper.Arbitrary_write; value = bits mod 256 }
+          | 1 -> M.Tamper.Mem_write
+                   { model = M.Tamper.Stack_overflow; value = bits mod 256 }
+          | 2 -> M.Tamper.Cond_flip
+          | _ -> M.Tamper.Insn_skip);
         seed = bits;
-        value = bits mod 256;
       }
 
 let prop_flat_matches_ref_minic =
@@ -218,17 +222,17 @@ let test_workloads_differential () =
       Some
         {
           M.Tamper.at_step = 40;
-          model = M.Tamper.Arbitrary_write;
+          site = M.Tamper.Mem_write { model = M.Tamper.Arbitrary_write; value = 99 };
           seed = 5;
-          value = 99;
         };
       Some
         {
           M.Tamper.at_step = 25;
-          model = M.Tamper.Stack_overflow;
+          site = M.Tamper.Mem_write { model = M.Tamper.Stack_overflow; value = 77 };
           seed = 11;
-          value = 77;
         };
+      Some { M.Tamper.at_step = 30; site = M.Tamper.Cond_flip; seed = 0 };
+      Some { M.Tamper.at_step = 30; site = M.Tamper.Insn_skip; seed = 0 };
     ]
   in
   List.iter

@@ -174,6 +174,55 @@ let test_run_all_jobs_deterministic () =
   let parallel = H.Attack_experiment.run_all ~attacks:5 ~seed:11 ~jobs:4 () in
   check "jobs=1 equals jobs=4" true (sequential = parallel)
 
+let test_golden_campaign_rows () =
+  (* Frozen `ipds attack` CLI rows (name salts include the CLI's "@"
+     prefix).  These anchor the typed-tamper-site refactor: any change
+     to the attempt schedule or the memory universes shows up here as a
+     changed injected/detected count. *)
+  let check_row name model attacks seed exp_detected =
+    let w = W.find (String.sub name 1 (String.length name - 1)) in
+    let system = W.system w in
+    let r =
+      H.Attack_experiment.campaign ~system ~attacks ~seed ~model ~name
+        system.Ipds_core.System.program
+    in
+    check_int (name ^ " injected") attacks r.H.Attack_experiment.attacks;
+    check_int (name ^ " detected") exp_detected r.H.Attack_experiment.detected
+  in
+  check_row "@telnetd" `Arbitrary_write 12 2006 2;
+  check_row "@crond" `Arbitrary_write 12 7 2;
+  check_row "@telnetd" `Stack_overflow 12 2006 2;
+  check_row "@sysklogd" `Stack_overflow 10 42 2
+
+let test_branch_fault_universes () =
+  (* The branch-fault universes: a committed flip or skip always moves
+     the branch-trace digest, so cf_changed tracks injections exactly;
+     rows stay deterministic for a fixed seed. *)
+  List.iter
+    (fun u ->
+      let name = H.Attack_experiment.universe_name u in
+      let r =
+        H.Attack_experiment.run ~universe:u ~attacks:10 ~seed:3
+          (W.find "telnetd")
+      in
+      check_int (name ^ " injected") 10 r.H.Attack_experiment.attacks;
+      check_int (name ^ " changes the committed trace") 10
+        r.H.Attack_experiment.cf_changed;
+      check (name ^ " detected within cf_changed") true
+        (r.H.Attack_experiment.detected <= r.H.Attack_experiment.cf_changed);
+      let r' =
+        H.Attack_experiment.run ~universe:u ~attacks:10 ~seed:3
+          (W.find "telnetd")
+      in
+      check (name ^ " deterministic") true (r = r'))
+    [ `Cond_flip; `Insn_skip ];
+  check "universe names round-trip" true
+    (List.for_all
+       (fun u ->
+         H.Attack_experiment.universe_of_name (H.Attack_experiment.universe_name u)
+         = Some u)
+       [ `Mem; `Cond_flip; `Insn_skip ])
+
 let test_summarize () =
   let rows =
     [
@@ -253,6 +302,9 @@ let () =
         [
           Alcotest.test_case "row invariants" `Slow test_attack_experiment_row;
           Alcotest.test_case "deterministic" `Slow test_attack_experiment_deterministic;
+          Alcotest.test_case "golden CLI rows" `Slow test_golden_campaign_rows;
+          Alcotest.test_case "branch-fault universes" `Slow
+            test_branch_fault_universes;
           Alcotest.test_case "deterministic across jobs" `Slow
             test_run_all_jobs_deterministic;
           Alcotest.test_case "summarize" `Quick test_summarize;

@@ -281,7 +281,13 @@ exit:
 |}
 
 let test_tamper_deterministic () =
-  let plan = { M.Tamper.at_step = 3; model = M.Tamper.Stack_overflow; seed = 11; value = 77 } in
+  let plan =
+    {
+      M.Tamper.at_step = 3;
+      site = M.Tamper.Mem_write { model = M.Tamper.Stack_overflow; value = 77 };
+      seed = 11;
+    }
+  in
   let o1 = run ~tamper:plan tamper_src in
   let o2 = run ~tamper:plan tamper_src in
   check "same plan, same injection" true (o1.M.Interp.injection = o2.M.Interp.injection);
@@ -293,10 +299,18 @@ let test_tamper_noop_when_same_value () =
      flag hit. *)
   let hit = ref false in
   for seed = 0 to 40 do
-    let plan = { M.Tamper.at_step = 3; model = M.Tamper.Stack_overflow; seed; value = 1 } in
+    let plan =
+      {
+        M.Tamper.at_step = 3;
+        site = M.Tamper.Mem_write { model = M.Tamper.Stack_overflow; value = 1 };
+        seed;
+      }
+    in
     let o = run ~tamper:plan tamper_src in
     match o.M.Interp.injection with
-    | Some i when String.equal i.M.Tamper.var.Mir.Var.name "flag" -> hit := true
+    | Some (M.Tamper.Tampered_cell i)
+      when String.equal i.var.Mir.Var.name "flag" ->
+        hit := true
     | Some _ | None -> ()
   done;
   check "tampering flag with its own value never counts" false !hit
@@ -307,10 +321,17 @@ let test_tamper_changes_behavior () =
   let flipped = ref false in
   for seed = 0 to 40 do
     if not !flipped then begin
-      let plan = { M.Tamper.at_step = 3; model = M.Tamper.Stack_overflow; seed; value = 0 } in
+      let plan =
+        {
+          M.Tamper.at_step = 3;
+          site = M.Tamper.Mem_write { model = M.Tamper.Stack_overflow; value = 0 };
+          seed;
+        }
+      in
       let o = run ~tamper:plan tamper_src in
       match o.M.Interp.injection with
-      | Some i when String.equal i.M.Tamper.var.Mir.Var.name "flag" ->
+      | Some (M.Tamper.Tampered_cell i)
+        when String.equal i.var.Mir.Var.name "flag" ->
           flipped := true;
           check "exit code changed" true (exit_code o = Some 9);
           check "control flow changed" true (M.Interp.control_flow_changed benign o)
@@ -318,6 +339,38 @@ let test_tamper_changes_behavior () =
     end
   done;
   check "found a flag hit" true !flipped
+
+let test_zero_fault_plan_is_identity () =
+  (* A plan that never fires must leave the run byte-identical to
+     running with no plan at all, for every site variant — the typed
+     tamper sites cannot perturb the zero-fault pipeline. *)
+  let p = Ipds_workloads.Workloads.(program (find "sysklogd")) in
+  let sites =
+    [
+      M.Tamper.Mem_write { model = M.Tamper.Arbitrary_write; value = 7 };
+      M.Tamper.Mem_write_at { addr = 3; value = 7 };
+      M.Tamper.Cond_flip;
+      M.Tamper.Insn_skip;
+    ]
+  in
+  for seed = 0 to 2 do
+    let outcome tamper =
+      M.Interp.run p
+        {
+          M.Interp.default_config with
+          inputs = M.Input_script.random ~seed ();
+          tamper;
+        }
+    in
+    let plain = outcome None in
+    List.iter
+      (fun site ->
+        let armed =
+          outcome (Some { M.Tamper.at_step = max_int; site; seed = 1 })
+        in
+        check "zero-fault run identical to plan-free run" true (plain = armed))
+      sites
+  done
 
 let test_trace_recording () =
   let o = run tamper_src in
@@ -473,7 +526,12 @@ bad:
             trap_on_alarm = true;
             tamper =
               Some
-                { M.Tamper.at_step = 4; model = M.Tamper.Stack_overflow; seed; value = 0 };
+                {
+                  M.Tamper.at_step = 4;
+                  site =
+                    M.Tamper.Mem_write { model = M.Tamper.Stack_overflow; value = 0 };
+                  seed;
+                };
           }
       in
       match o.M.Interp.injection with
@@ -554,8 +612,82 @@ let prop_sink_replay_matches_inline_tampered =
     (fun p ->
       sink_replay_agrees
         ~tamper:
-          { M.Tamper.at_step = 7; model = M.Tamper.Arbitrary_write; seed = 3; value = 13 }
+          {
+            M.Tamper.at_step = 7;
+            site =
+              M.Tamper.Mem_write { model = M.Tamper.Arbitrary_write; value = 13 };
+            seed = 3;
+          }
         ~trap_on_alarm:true ~seed:7 p)
+
+let prop_sink_replay_matches_inline_cond_flip =
+  QCheck2.Test.make
+    ~name:"sink-replayed checking = inline checking (cond-flip, trapping)"
+    ~count:100 Gen.mir_program
+    (fun p ->
+      sink_replay_agrees
+        ~tamper:{ M.Tamper.at_step = 5; site = M.Tamper.Cond_flip; seed = 9 }
+        ~trap_on_alarm:true ~seed:7 p)
+
+let prop_sink_replay_matches_inline_insn_skip =
+  QCheck2.Test.make
+    ~name:"sink-replayed checking = inline checking (insn-skip, trapping)"
+    ~count:100 Gen.mir_program
+    (fun p ->
+      sink_replay_agrees
+        ~tamper:{ M.Tamper.at_step = 5; site = M.Tamper.Insn_skip; seed = 9 }
+        ~trap_on_alarm:true ~seed:7 p)
+
+(* The branch-fault differential on a real server: every injected flip
+   or skip that changes the committed trace must yield the same verdicts
+   through Replay.feed over the sink stream as through the inline
+   checker — the contract the remote verdict path depends on. *)
+let test_sink_replay_branch_faults_workload () =
+  let p = Ipds_workloads.Workloads.(program (find "telnetd")) in
+  let system = Ipds_core.System.build p in
+  let module C = Ipds_core.Checker in
+  let changed = ref 0 and injected = ref 0 in
+  List.iter
+    (fun site ->
+      for i = 0 to 9 do
+        let inputs = M.Input_script.random ~seed:(400 + i) () in
+        let benign =
+          M.Interp.run p
+            { M.Interp.default_config with inputs; record_trace = false }
+        in
+        let at_step = max 1 (benign.M.Interp.steps * (i + 1) / 12) in
+        let checker = Ipds_core.System.new_checker system in
+        let events = ref [] in
+        let o =
+          M.Interp.run p
+            {
+              M.Interp.default_config with
+              inputs;
+              checker = Some checker;
+              tamper = Some { M.Tamper.at_step; site; seed = i };
+              record_trace = false;
+              sink = Some (fun e -> events := e :: !events);
+            }
+        in
+        match o.M.Interp.injection with
+        | Some (M.Tamper.Flipped_branch _ | M.Tamper.Skipped_branch _) ->
+            incr injected;
+            if M.Interp.control_flow_changed benign o then incr changed;
+            let replayed = Ipds_core.System.new_checker system in
+            M.Replay.feed_all replayed
+              ~defined:(Ipds_core.System.mem system)
+              (List.rev !events);
+            check "replayed verdicts = inline (branch fault)" true
+              (C.alarms replayed = C.alarms checker
+              && C.branches_seen replayed = C.branches_seen checker
+              && C.depth replayed = C.depth checker)
+        | Some (M.Tamper.Tampered_cell _) ->
+            Alcotest.fail "branch-fault plan injected a memory write"
+        | None -> ()
+      done)
+    [ M.Tamper.Cond_flip; M.Tamper.Insn_skip ];
+  check "campaign injected branch faults" true (!injected > 0);
+  check "some faults changed the committed trace" true (!changed > 0)
 
 let test_sink_commit_order_on_stack_overflow () =
   (* unbounded recursion: the interpreter faults inside push_function
@@ -616,6 +748,10 @@ let () =
         [
           QCheck_alcotest.to_alcotest prop_sink_replay_matches_inline;
           QCheck_alcotest.to_alcotest prop_sink_replay_matches_inline_tampered;
+          QCheck_alcotest.to_alcotest prop_sink_replay_matches_inline_cond_flip;
+          QCheck_alcotest.to_alcotest prop_sink_replay_matches_inline_insn_skip;
+          Alcotest.test_case "branch-fault differential on a server" `Quick
+            test_sink_replay_branch_faults_workload;
           Alcotest.test_case "commit order across mid-call fault" `Quick
             test_sink_commit_order_on_stack_overflow;
         ] );
@@ -638,6 +774,8 @@ let () =
           Alcotest.test_case "deterministic" `Quick test_tamper_deterministic;
           Alcotest.test_case "no-op value" `Quick test_tamper_noop_when_same_value;
           Alcotest.test_case "changes behavior" `Quick test_tamper_changes_behavior;
+          Alcotest.test_case "zero-fault plan is identity" `Quick
+            test_zero_fault_plan_is_identity;
           Alcotest.test_case "trace recording" `Quick test_trace_recording;
           Alcotest.test_case "trap on alarm" `Quick test_trap_on_alarm;
           Alcotest.test_case "printers" `Quick test_printers;

@@ -252,11 +252,18 @@ bad:
               checker = Some checker;
               tamper =
                 Some
-                  { M.Tamper.at_step = 3; model = M.Tamper.Stack_overflow; seed; value = 0 };
+                  {
+                    M.Tamper.at_step = 3;
+                    site =
+                      M.Tamper.Mem_write
+                        { model = M.Tamper.Stack_overflow; value = 0 };
+                    seed;
+                  };
             }
         in
         match o.M.Interp.injection with
-        | Some inj when String.equal inj.M.Tamper.var.Mir.Var.name "flag" ->
+        | Some (M.Tamper.Tampered_cell inj)
+          when String.equal inj.var.Mir.Var.name "flag" ->
             (true, o.M.Interp.alarms <> [])
         | Some _ | None -> go (seed + 1)
       end

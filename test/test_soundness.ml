@@ -88,9 +88,14 @@ let prop_alarm_implies_divergence =
       let tamper =
         {
           M.Tamper.at_step = 1 + (attack_bits mod (benign.M.Interp.steps - 1));
-          model = M.Tamper.Arbitrary_write;
+          site =
+            (match attack_bits mod 4 with
+            | 0 | 1 ->
+                M.Tamper.Mem_write
+                  { model = M.Tamper.Arbitrary_write; value = attack_bits mod 256 }
+            | 2 -> M.Tamper.Cond_flip
+            | _ -> M.Tamper.Insn_skip);
           seed = attack_bits;
-          value = attack_bits mod 256;
         }
       in
       let attacked = run ~tamper:(Some tamper) in
@@ -139,7 +144,12 @@ bad:
             checker = Some checker;
             tamper =
               Some
-                { M.Tamper.at_step = 4; model = M.Tamper.Stack_overflow; seed; value = 0 };
+                {
+                  M.Tamper.at_step = 4;
+                  site =
+                    M.Tamper.Mem_write { model = M.Tamper.Stack_overflow; value = 0 };
+                  seed;
+                };
           }
       in
       match o.M.Interp.injection with

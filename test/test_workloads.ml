@@ -17,15 +17,36 @@ let run ?tamper ?(seed = 7) p =
       tamper;
     }
 
-let test_ten_servers () =
-  check_int "ten benchmarks" 10 (List.length W.all);
+let test_eleven_servers () =
+  check_int "eleven benchmarks" 11 (List.length W.all);
   let names = List.map (fun w -> w.W.name) W.all in
   List.iter
     (fun expected -> check (expected ^ " present") true (List.mem expected names))
     [
       "telnetd"; "wu-ftpd"; "xinetd"; "crond"; "sysklogd"; "atftpd"; "httpd";
-      "sendmail"; "sshd"; "portmap";
+      "sendmail"; "sshd"; "portmap"; "fwpolicyd";
     ]
+
+let test_firewall_family () =
+  (* canonical member: the default policy exercises every action code *)
+  let fw = W.find "fwpolicyd" in
+  let p = W.program fw in
+  check "fwpolicyd validates" true (Mir.Validate.check p = []);
+  (* generated members: distinct names, deterministic policies, and a
+     spread of seeds that compile and terminate *)
+  let a = W.firewall ~seed:1 ~nrules:6 and b = W.firewall ~seed:2 ~nrules:6 in
+  check "family members have distinct names" true (a.W.name <> b.W.name);
+  check "family generation is pure" true
+    (String.equal a.W.source (W.firewall ~seed:1 ~nrules:6).W.source);
+  for seed = 0 to 5 do
+    let w = W.firewall ~seed ~nrules:(4 + seed) in
+    let p = Ipds_minic.Minic.compile w.W.source in
+    check (w.W.name ^ " validates") true (Mir.Validate.check p = []);
+    let o = run ~seed p in
+    match o.M.Interp.reason with
+    | M.Interp.Exited _ -> ()
+    | _ -> Alcotest.fail (w.W.name ^ " did not exit cleanly")
+  done
 
 let test_all_compile_and_terminate () =
   List.iter
@@ -106,9 +127,8 @@ let test_detectable_attack_exists () =
                 Some
                   {
                     M.Tamper.at_step = 60 + (!seed * 3);
-                    model;
+                    site = M.Tamper.Mem_write { model; value = !seed mod 7 };
                     seed = !seed;
-                    value = !seed mod 7;
                   };
             }
         in
@@ -123,7 +143,8 @@ let () =
     [
       ( "suite",
         [
-          Alcotest.test_case "ten servers" `Quick test_ten_servers;
+          Alcotest.test_case "eleven servers" `Quick test_eleven_servers;
+          Alcotest.test_case "firewall family" `Quick test_firewall_family;
           Alcotest.test_case "compile and terminate" `Quick test_all_compile_and_terminate;
           Alcotest.test_case "deterministic" `Quick test_runs_deterministic;
           Alcotest.test_case "analyzable" `Quick test_every_server_analyzable;
